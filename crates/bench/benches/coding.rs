@@ -1,0 +1,68 @@
+//! FEC substrate benchmarks: convolutional encode, Viterbi decode (with
+//! the traceback-depth ablation of DESIGN.md §6 expressed as message
+//! length), Reed–Solomon encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ofdm_bench::payload_bits;
+use ofdm_core::fec::{ConvCode, ConvSpec, ReedSolomon};
+use ofdm_rx::fec::ViterbiDecoder;
+use std::hint::black_box;
+
+fn bench_conv_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_encode");
+    for (label, spec) in [
+        ("rate_1_2", ConvSpec::k7_rate_half()),
+        ("rate_3_4", ConvSpec::k7_rate_three_quarters()),
+    ] {
+        let bits = payload_bits(4096, 1);
+        group.throughput(Throughput::Elements(bits.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            let mut enc = ConvCode::new(spec.clone()).expect("valid spec");
+            b.iter(|| {
+                enc.reset();
+                black_box(enc.encode_terminated(&bits));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viterbi_decode");
+    group.sample_size(10);
+    for &msg_len in &[256usize, 1024, 4096] {
+        let spec = ConvSpec::k7_rate_half();
+        let bits = payload_bits(msg_len, 2);
+        let mut enc = ConvCode::new(spec.clone()).expect("valid spec");
+        let coded = enc.encode_terminated(&bits);
+        group.throughput(Throughput::Elements(msg_len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(msg_len), &coded, |b, coded| {
+            let dec = ViterbiDecoder::new(spec.clone());
+            b.iter(|| black_box(dec.decode_terminated(coded, msg_len)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon_204_188");
+    let rs = ReedSolomon::dvb_t204();
+    let msg: Vec<u8> = (0..188).map(|i| (i * 29) as u8).collect();
+    let clean = rs.encode(&msg);
+    let mut errored = clean.clone();
+    for e in 0..8 {
+        errored[e * 25 + 1] ^= 0x5a;
+    }
+    group.throughput(Throughput::Bytes(188));
+    group.bench_function("encode", |b| b.iter(|| black_box(rs.encode(&msg))));
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| black_box(rs.decode(&clean).expect("clean block decodes")))
+    });
+    group.bench_function("decode_8_errors", |b| {
+        b.iter(|| black_box(rs.decode(&errored).expect("t errors decode")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv_encode, bench_viterbi, bench_reed_solomon);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E1 timing backbone: how expensive is a Mother Model *reconfiguration*
+//! (the paper's "changeover from a standard to another"), and what does
+//! one transmitted frame cost per standard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofdm_bench::payload_bits;
+use ofdm_core::MotherModel;
+use ofdm_standards::{default_params, StandardId};
+use std::hint::black_box;
+
+fn bench_reconfigure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfigure");
+    group.sample_size(20);
+    for id in StandardId::ALL {
+        let params = default_params(id);
+        group.bench_with_input(BenchmarkId::from_parameter(id.key()), &params, |b, p| {
+            let mut tx = MotherModel::new(default_params(StandardId::Ieee80211a))
+                .expect("valid preset");
+            b.iter(|| {
+                tx.reconfigure(black_box(p.clone())).expect("valid preset");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transmit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transmit_frame");
+    group.sample_size(10);
+    for id in [
+        StandardId::Ieee80211a,
+        StandardId::Adsl,
+        StandardId::Drm,
+        StandardId::Dab,
+        StandardId::DvbT,
+    ] {
+        let params = default_params(id);
+        let bits = payload_bits(2 * params.nominal_bits_per_symbol().max(100), 7);
+        group.bench_with_input(BenchmarkId::from_parameter(id.key()), &params, |b, p| {
+            let mut tx = MotherModel::new(p.clone()).expect("valid preset");
+            b.iter(|| {
+                black_box(tx.transmit(black_box(&bits)).expect("transmits"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfigure, bench_transmit);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Error types for configuration and transmission.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parameter set failed validation when constructing a
+/// [`crate::MotherModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The FFT size is zero or otherwise unusable.
+    BadFftSize(usize),
+    /// A subcarrier index falls outside the representable grid.
+    CarrierOutOfRange {
+        /// The offending signed carrier index.
+        carrier: i32,
+        /// The FFT size defining the grid.
+        fft_size: usize,
+    },
+    /// Two roles (data/pilot/DC) claim the same subcarrier.
+    CarrierCollision {
+        /// The doubly-assigned carrier.
+        carrier: i32,
+    },
+    /// The cyclic prefix is at least as long as the symbol itself.
+    BadCyclicPrefix {
+        /// Requested prefix length in samples.
+        cp: usize,
+        /// FFT length in samples.
+        fft_size: usize,
+    },
+    /// A per-carrier modulation table has the wrong number of entries.
+    ModulationTableMismatch {
+        /// Entries supplied.
+        got: usize,
+        /// Data carriers configured.
+        expected: usize,
+    },
+    /// Hermitian (DMT) mode needs all carriers in the positive half-grid.
+    HermitianCarrierInvalid {
+        /// The carrier violating the constraint.
+        carrier: i32,
+    },
+    /// The sample rate is not positive and finite.
+    BadSampleRate(f64),
+    /// A puncturing pattern is empty or all-zero.
+    BadPuncturePattern,
+    /// Windowing taper exceeds the cyclic prefix.
+    TaperTooLong {
+        /// Requested taper in samples.
+        taper: usize,
+        /// Cyclic prefix length limiting it.
+        cp: usize,
+    },
+    /// Differential modulation requires a phase-reference preamble symbol.
+    DifferentialNeedsReference,
+    /// A parameter combination is self-contradictory.
+    Invalid(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadFftSize(n) => write!(f, "unusable FFT size {n}"),
+            ConfigError::CarrierOutOfRange { carrier, fft_size } => write!(
+                f,
+                "carrier {carrier} does not fit an {fft_size}-point grid"
+            ),
+            ConfigError::CarrierCollision { carrier } => {
+                write!(f, "carrier {carrier} is assigned more than one role")
+            }
+            ConfigError::BadCyclicPrefix { cp, fft_size } => write!(
+                f,
+                "cyclic prefix of {cp} samples is not shorter than the {fft_size}-sample symbol"
+            ),
+            ConfigError::ModulationTableMismatch { got, expected } => write!(
+                f,
+                "modulation table has {got} entries for {expected} data carriers"
+            ),
+            ConfigError::HermitianCarrierInvalid { carrier } => write!(
+                f,
+                "carrier {carrier} is invalid in Hermitian (DMT) mode; use 1..fft_size/2"
+            ),
+            ConfigError::BadSampleRate(r) => write!(f, "sample rate {r} is not usable"),
+            ConfigError::BadPuncturePattern => write!(f, "puncture pattern is empty or all-zero"),
+            ConfigError::TaperTooLong { taper, cp } => write!(
+                f,
+                "window taper of {taper} samples exceeds the {cp}-sample cyclic prefix"
+            ),
+            ConfigError::DifferentialNeedsReference => write!(
+                f,
+                "differential modulation requires a phase-reference symbol in the preamble"
+            ),
+            ConfigError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A runtime transmission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// The payload cannot be empty.
+    EmptyPayload,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::EmptyPayload => write!(f, "payload must contain at least one bit"),
+        }
+    }
+}
+
+impl Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errors: Vec<ConfigError> = vec![
+            ConfigError::BadFftSize(0),
+            ConfigError::CarrierOutOfRange { carrier: 99, fft_size: 64 },
+            ConfigError::CarrierCollision { carrier: 7 },
+            ConfigError::BadCyclicPrefix { cp: 64, fft_size: 64 },
+            ConfigError::ModulationTableMismatch { got: 3, expected: 48 },
+            ConfigError::HermitianCarrierInvalid { carrier: -3 },
+            ConfigError::BadSampleRate(-1.0),
+            ConfigError::BadPuncturePattern,
+            ConfigError::TaperTooLong { taper: 20, cp: 16 },
+            ConfigError::DifferentialNeedsReference,
+            ConfigError::Invalid("something".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn Error = &e;
+        }
+        assert!(!TxError::EmptyPayload.to_string().is_empty());
+        let _: &dyn Error = &TxError::EmptyPayload;
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<TxError>();
+    }
+}

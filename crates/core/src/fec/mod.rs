@@ -1,0 +1,15 @@
+//! Forward error correction.
+//!
+//! The family's inner code is the ubiquitous K=7 convolutional code
+//! (g₀=133₈, g₁=171₈) with standard-specific puncturing; DVB-T and 802.16a
+//! add a shortened Reed–Solomon outer code over GF(256). Encoders live here;
+//! the matching decoders (Viterbi, Berlekamp–Massey) are in `ofdm-rx` and
+//! [`rs`] respectively.
+
+pub mod conv;
+pub mod gf256;
+pub mod rs;
+
+pub use conv::{ConvCode, ConvSpec, PunctureSpec};
+pub use gf256::Gf256;
+pub use rs::ReedSolomon;

@@ -1,0 +1,359 @@
+//! Pilot-cell generation.
+//!
+//! Pilots are the known reference cells OFDM receivers use for channel
+//! estimation and phase tracking. Across the standard family they come in
+//! three mechanically different flavours, all expressible as Mother Model
+//! parameters:
+//!
+//! * **fixed** cells — the same carriers and values every symbol (ADSL's
+//!   pilot tone, 802.16a's eight fixed pilots);
+//! * **symbol-polarity** pilots — fixed carriers whose common sign flips
+//!   per OFDM symbol following an LFSR sequence (802.11a's `p_n`);
+//! * **scattered grids** — pilot positions that sweep across the band with
+//!   a per-symbol stagger and per-carrier PRBS polarity, optionally with
+//!   continual (fixed-position) pilots on top (DVB-T, and a behavioral
+//!   approximation of DRM's gain references).
+
+use ofdm_dsp::bits::Lfsr;
+use ofdm_dsp::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// A serializable LFSR definition (generator polynomial taps + seed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LfsrSpec {
+    /// Register length in bits.
+    pub order: u32,
+    /// 1-based polynomial tap exponents.
+    pub taps: Vec<u32>,
+    /// Initial register contents.
+    pub seed: u32,
+}
+
+impl LfsrSpec {
+    /// The 802.11a scrambler generator x⁷+x⁴+1 with the all-ones seed,
+    /// whose output doubles as the standard's pilot polarity sequence.
+    pub fn ieee80211_polarity() -> Self {
+        LfsrSpec {
+            order: 7,
+            taps: vec![7, 4],
+            seed: 0x7f,
+        }
+    }
+
+    /// The DVB-T reference PRBS x¹¹+x²+1, all-ones seed.
+    pub fn dvb_wk() -> Self {
+        LfsrSpec {
+            order: 11,
+            taps: vec![11, 2],
+            seed: 0x7ff,
+        }
+    }
+
+    /// Instantiates the register.
+    pub fn build(&self) -> Lfsr {
+        Lfsr::new(self.order, &self.taps, self.seed)
+    }
+}
+
+/// Pilot configuration of a Mother Model instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PilotSpec {
+    /// No pilots (differential systems: DAB, HomePlug).
+    None,
+    /// The same cells every symbol: `(carrier, value)` pairs.
+    Fixed(Vec<(i32, Complex64)>),
+    /// Fixed `carriers` with per-carrier base `signs`; every symbol the
+    /// whole set is multiplied by ±1 from the LFSR sequence (0 → +1,
+    /// 1 → −1) and scaled by `boost`.
+    SymbolPolarity {
+        /// Pilot carriers (signed indices).
+        carriers: Vec<i32>,
+        /// Per-carrier base signs (±1.0), same length as `carriers`.
+        signs: Vec<f64>,
+        /// Amplitude boost relative to data cells.
+        boost: f64,
+        /// Per-symbol polarity sequence generator.
+        lfsr: LfsrSpec,
+    },
+    /// A scattered pilot grid over `used_min..=used_max`: in symbol `s`,
+    /// carriers where `(k - used_min) mod spacing == shift·(s mod period)`
+    /// carry pilots, plus the `continual` carriers in every symbol. Each
+    /// pilot's polarity comes from a per-carrier PRBS (DVB-T's `w_k`),
+    /// amplitude scaled by `boost`.
+    ScatteredGrid {
+        /// Lowest used carrier.
+        used_min: i32,
+        /// Highest used carrier.
+        used_max: i32,
+        /// Distance between pilots within one symbol.
+        spacing: u32,
+        /// Per-symbol stagger step.
+        shift: u32,
+        /// Stagger period in symbols.
+        period: u32,
+        /// Continual pilot carriers (present every symbol).
+        continual: Vec<i32>,
+        /// Amplitude boost relative to data cells (DVB-T uses 4/3).
+        boost: f64,
+        /// Per-carrier polarity PRBS.
+        carrier_lfsr: LfsrSpec,
+    },
+}
+
+impl PilotSpec {
+    /// Returns `true` if the configuration defines no pilot cells at all.
+    pub fn is_none(&self) -> bool {
+        matches!(self, PilotSpec::None)
+    }
+}
+
+/// Generates the pilot cells of each OFDM symbol from a [`PilotSpec`].
+#[derive(Debug, Clone)]
+pub struct PilotGenerator {
+    spec: PilotSpec,
+    /// For `SymbolPolarity`: the full polarity period (127 bits for the
+    /// 802.11a generator).
+    polarity_seq: Vec<f64>,
+    /// For `ScatteredGrid`: per-carrier polarity over the used span.
+    carrier_polarity: Vec<f64>,
+}
+
+impl PilotGenerator {
+    /// Builds a generator, precomputing PRBS-derived sequences.
+    pub fn new(spec: PilotSpec) -> Self {
+        let polarity_seq = match &spec {
+            PilotSpec::SymbolPolarity { lfsr, .. } => {
+                let mut reg = lfsr.build();
+                let period = (1usize << lfsr.order) - 1;
+                (0..period)
+                    .map(|_| if reg.next_bit() == 0 { 1.0 } else { -1.0 })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        let carrier_polarity = match &spec {
+            PilotSpec::ScatteredGrid {
+                used_min,
+                used_max,
+                carrier_lfsr,
+                ..
+            } => {
+                let span = (used_max - used_min + 1) as usize;
+                let mut reg = carrier_lfsr.build();
+                (0..span)
+                    .map(|_| if reg.next_bit() == 0 { 1.0 } else { -1.0 })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        PilotGenerator {
+            spec,
+            polarity_seq,
+            carrier_polarity,
+        }
+    }
+
+    /// The configured spec.
+    pub fn spec(&self) -> &PilotSpec {
+        &self.spec
+    }
+
+    /// The pilot cells of OFDM symbol `symbol_index`, sorted by carrier.
+    pub fn cells(&self, symbol_index: usize) -> Vec<(i32, Complex64)> {
+        let mut cells = match &self.spec {
+            PilotSpec::None => Vec::new(),
+            PilotSpec::Fixed(cells) => cells.clone(),
+            PilotSpec::SymbolPolarity {
+                carriers,
+                signs,
+                boost,
+                ..
+            } => {
+                let p = self.polarity_seq[symbol_index % self.polarity_seq.len()];
+                carriers
+                    .iter()
+                    .zip(signs)
+                    .map(|(&k, &s)| (k, Complex64::new(p * s * boost, 0.0)))
+                    .collect()
+            }
+            PilotSpec::ScatteredGrid {
+                used_min,
+                used_max,
+                spacing,
+                shift,
+                period,
+                continual,
+                boost,
+                ..
+            } => {
+                let offset = (shift * (symbol_index as u32 % period)) % spacing;
+                let mut cells: Vec<(i32, Complex64)> = (*used_min..=*used_max)
+                    .filter(|&k| {
+                        let rel = (k - used_min) as u32;
+                        rel % spacing == offset || continual.contains(&k)
+                    })
+                    .map(|k| {
+                        let rel = (k - used_min) as usize;
+                        let w = self.carrier_polarity[rel];
+                        (k, Complex64::new(w * boost, 0.0))
+                    })
+                    .collect();
+                cells.dedup_by_key(|c| c.0);
+                cells
+            }
+        };
+        cells.sort_by_key(|c| c.0);
+        cells
+    }
+
+    /// Just the pilot carriers of symbol `symbol_index`, sorted ascending.
+    pub fn carriers(&self, symbol_index: usize) -> Vec<i32> {
+        self.cells(symbol_index).into_iter().map(|c| c.0).collect()
+    }
+}
+
+/// The 802.11a pilot configuration: carriers ±7, ±21 with base signs
+/// (+1, +1, +1, −1) modulated by the 127-bit polarity sequence.
+pub fn ieee80211a_pilots() -> PilotSpec {
+    PilotSpec::SymbolPolarity {
+        carriers: vec![-21, -7, 7, 21],
+        signs: vec![1.0, 1.0, 1.0, -1.0],
+        boost: 1.0,
+        lfsr: LfsrSpec::ieee80211_polarity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_produces_no_cells() {
+        let g = PilotGenerator::new(PilotSpec::None);
+        assert!(g.cells(0).is_empty());
+        assert!(g.spec().is_none());
+    }
+
+    #[test]
+    fn fixed_cells_constant_over_symbols() {
+        let spec = PilotSpec::Fixed(vec![(64, Complex64::new(1.0, 1.0))]);
+        let g = PilotGenerator::new(spec);
+        assert_eq!(g.cells(0), g.cells(17));
+        assert_eq!(g.carriers(3), vec![64]);
+    }
+
+    #[test]
+    fn wlan_pilot_polarity_first_symbols() {
+        // 802.11a polarity sequence starts 0,0,0,0,1,1,1,0 → +,+,+,+,−,−,−,+.
+        let g = PilotGenerator::new(ieee80211a_pilots());
+        let signs: Vec<f64> = (0..8).map(|s| g.cells(s)[0].1.re).collect();
+        // Carrier −21 has base sign +1, so cell = p_s.
+        assert_eq!(signs, vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0]);
+        // Carrier +21 has base sign −1.
+        let c21: Vec<f64> = (0..4).map(|s| g.cells(s)[3].1.re).collect();
+        assert_eq!(c21, vec![-1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn wlan_polarity_period_127() {
+        let g = PilotGenerator::new(ieee80211a_pilots());
+        assert_eq!(g.cells(0), g.cells(127));
+        assert_ne!(g.cells(3), g.cells(4));
+    }
+
+    #[test]
+    fn wlan_pilot_carriers_sorted() {
+        let g = PilotGenerator::new(ieee80211a_pilots());
+        assert_eq!(g.carriers(0), vec![-21, -7, 7, 21]);
+    }
+
+    #[test]
+    fn scattered_grid_staggers_like_dvb() {
+        // A miniature DVB-like grid: spacing 12, shift 3, period 4.
+        let spec = PilotSpec::ScatteredGrid {
+            used_min: -24,
+            used_max: 24,
+            spacing: 12,
+            shift: 3,
+            period: 4,
+            continual: vec![],
+            boost: 4.0 / 3.0,
+            carrier_lfsr: LfsrSpec::dvb_wk(),
+        };
+        let g = PilotGenerator::new(spec);
+        let s0 = g.carriers(0);
+        let s1 = g.carriers(1);
+        // Symbol 0: offset 0 → −24, −12, 0, 12, 24.
+        assert_eq!(s0, vec![-24, -12, 0, 12, 24]);
+        // Symbol 1: offset 3 → −21, −9, 3, 15.
+        assert_eq!(s1, vec![-21, -9, 3, 15]);
+        // Period 4: symbol 4 repeats symbol 0 positions.
+        assert_eq!(g.carriers(4), s0);
+    }
+
+    #[test]
+    fn scattered_pilots_boosted() {
+        let spec = PilotSpec::ScatteredGrid {
+            used_min: -12,
+            used_max: 12,
+            spacing: 6,
+            shift: 2,
+            period: 3,
+            continual: vec![],
+            boost: 4.0 / 3.0,
+            carrier_lfsr: LfsrSpec::dvb_wk(),
+        };
+        let g = PilotGenerator::new(spec);
+        for (_, v) in g.cells(0) {
+            assert!((v.abs() - 4.0 / 3.0).abs() < 1e-12);
+            assert_eq!(v.im, 0.0);
+        }
+    }
+
+    #[test]
+    fn continual_pilots_always_present() {
+        let spec = PilotSpec::ScatteredGrid {
+            used_min: -10,
+            used_max: 10,
+            spacing: 7,
+            shift: 1,
+            period: 7,
+            continual: vec![5],
+            boost: 1.0,
+            carrier_lfsr: LfsrSpec::dvb_wk(),
+        };
+        let g = PilotGenerator::new(spec);
+        for s in 0..14 {
+            assert!(g.carriers(s).contains(&5), "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn carrier_polarity_is_deterministic() {
+        let spec = PilotSpec::ScatteredGrid {
+            used_min: 0,
+            used_max: 30,
+            spacing: 3,
+            shift: 0,
+            period: 1,
+            continual: vec![],
+            boost: 1.0,
+            carrier_lfsr: LfsrSpec::dvb_wk(),
+        };
+        let a = PilotGenerator::new(spec.clone());
+        let b = PilotGenerator::new(spec);
+        assert_eq!(a.cells(0), b.cells(0));
+        // Polarity varies across carriers (the PRBS is not constant).
+        let values: Vec<f64> = a.cells(0).iter().map(|c| c.1.re).collect();
+        assert!(values.iter().any(|&v| v > 0.0) && values.iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn lfsr_spec_builders() {
+        let mut r = LfsrSpec::ieee80211_polarity().build();
+        assert_eq!(r.take_bits(4), vec![0, 0, 0, 0]);
+        let mut d = LfsrSpec::dvb_wk().build();
+        let bits = d.take_bits(2047 * 2);
+        assert_eq!(&bits[..2047], &bits[2047..], "wk PRBS period 2047");
+    }
+}

@@ -1,0 +1,367 @@
+//! OFDM symbol modulation: subcarrier grid → IFFT → cyclic extension →
+//! edge shaping.
+//!
+//! The modulator normalizes output power to the number of occupied bins so
+//! a Mother Model reconfiguration (48 carriers for 802.11a, 1536 for DAB,
+//! 6817 for 8k DVB-T…) never changes the mean transmit power — the RF
+//! lineup downstream keeps its operating point.
+
+use crate::error::ConfigError;
+use ofdm_dsp::fft::Fft;
+use ofdm_dsp::window::raised_cosine_edge;
+use ofdm_dsp::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// Cyclic-extension length specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardInterval {
+    /// Absolute length in samples.
+    Samples(usize),
+    /// A fraction `numerator / denominator` of the FFT length (e.g. 1/4,
+    /// 1/8, 1/16, 1/32 in DVB-T).
+    Fraction(u32, u32),
+}
+
+impl GuardInterval {
+    /// Resolves the guard length for a given FFT size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction has a zero denominator.
+    pub fn samples(self, fft_size: usize) -> usize {
+        match self {
+            GuardInterval::Samples(n) => n,
+            GuardInterval::Fraction(num, den) => {
+                assert!(den != 0, "guard fraction denominator must be nonzero");
+                fft_size * num as usize / den as usize
+            }
+        }
+    }
+}
+
+/// One shaped OFDM symbol: `overlap` trailing samples are meant to
+/// overlap-add with the next symbol's head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapedSymbol {
+    /// Time-domain samples (length = cp + fft + overlap).
+    pub samples: Vec<Complex64>,
+    /// Raised-cosine overlap region length in samples.
+    pub overlap: usize,
+}
+
+impl ShapedSymbol {
+    /// Net symbol duration in samples once overlapped (total − overlap).
+    pub fn net_len(&self) -> usize {
+        self.samples.len() - self.overlap
+    }
+}
+
+/// The symbol-level modulator of the Mother Model.
+#[derive(Debug, Clone)]
+pub struct SymbolModulator {
+    fft: Fft,
+    fft_size: usize,
+    cp_len: usize,
+    taper: Vec<f64>,
+    hermitian: bool,
+}
+
+impl SymbolModulator {
+    /// Creates a modulator.
+    ///
+    /// `taper_len` is the raised-cosine edge length in samples (0 disables
+    /// shaping); in Hermitian mode the IFFT input is mirrored so the output
+    /// is real-valued (DMT).
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::BadFftSize`] for `fft_size < 4`.
+    /// * [`ConfigError::BadCyclicPrefix`] if the guard is not shorter than
+    ///   the symbol.
+    /// * [`ConfigError::TaperTooLong`] if the taper exceeds the cyclic
+    ///   prefix (the shaped region must stay inside the guard).
+    pub fn new(
+        fft_size: usize,
+        guard: GuardInterval,
+        taper_len: usize,
+        hermitian: bool,
+    ) -> Result<Self, ConfigError> {
+        if fft_size < 4 {
+            return Err(ConfigError::BadFftSize(fft_size));
+        }
+        let cp_len = guard.samples(fft_size);
+        if cp_len >= fft_size {
+            return Err(ConfigError::BadCyclicPrefix { cp: cp_len, fft_size });
+        }
+        if taper_len > cp_len {
+            return Err(ConfigError::TaperTooLong { taper: taper_len, cp: cp_len });
+        }
+        Ok(SymbolModulator {
+            fft: Fft::new(fft_size),
+            fft_size,
+            cp_len,
+            taper: raised_cosine_edge(taper_len),
+            hermitian,
+        })
+    }
+
+    /// FFT length.
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    /// Cyclic prefix length in samples.
+    pub fn cp_len(&self) -> usize {
+        self.cp_len
+    }
+
+    /// Taper (overlap) length in samples.
+    pub fn taper_len(&self) -> usize {
+        self.taper.len()
+    }
+
+    /// Whether DMT Hermitian mirroring is active.
+    pub fn is_hermitian(&self) -> bool {
+        self.hermitian
+    }
+
+    /// Modulates one symbol from `(signed carrier, cell)` pairs.
+    ///
+    /// Unoccupied bins are zero. Output power is normalized to the cell
+    /// count, so unit-energy constellations give (approximately) unit mean
+    /// sample power regardless of how many carriers are active.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on carriers outside the grid — upstream validation in
+    /// [`crate::params::OfdmParams`] prevents this.
+    pub fn modulate(&self, cells: &[(i32, Complex64)]) -> ShapedSymbol {
+        let n = self.fft_size;
+        let mut grid = vec![Complex64::ZERO; n];
+        let mut occupied = 0usize;
+        for &(k, v) in cells {
+            let bin = if k >= 0 {
+                k as usize
+            } else {
+                (n as i32 + k) as usize
+            };
+            debug_assert!(bin < n, "carrier {k} outside the grid");
+            grid[bin] = v;
+            occupied += 1;
+            if self.hermitian {
+                debug_assert!(k > 0 && (k as usize) < n / 2);
+                grid[n - k as usize] = v.conj();
+                occupied += 1;
+            }
+        }
+        self.fft.inverse(&mut grid);
+        // fft.inverse scales by 1/N; renormalize to unit power for
+        // unit-energy cells: multiply by N / √occupied.
+        let scale = if occupied > 0 {
+            n as f64 / (occupied as f64).sqrt()
+        } else {
+            0.0
+        };
+        for z in grid.iter_mut() {
+            *z = z.scale(scale);
+        }
+        self.shape(grid)
+    }
+
+    /// Applies cyclic prefix, cyclic suffix (taper region) and
+    /// raised-cosine edges to an `fft_size`-sample body.
+    fn shape(&self, body: Vec<Complex64>) -> ShapedSymbol {
+        let w = self.taper.len();
+        let n = self.fft_size;
+        let mut samples = Vec::with_capacity(self.cp_len + n + w);
+        // Cyclic prefix.
+        samples.extend_from_slice(&body[n - self.cp_len..]);
+        // Body.
+        samples.extend_from_slice(&body);
+        // Cyclic suffix: first w samples repeated for the falling edge.
+        samples.extend_from_slice(&body[..w]);
+        // Rising edge over the first w samples, falling over the last w.
+        for i in 0..w {
+            let rise = self.taper[i];
+            samples[i] = samples[i].scale(rise);
+            let fall = self.taper[w - 1 - i];
+            let last = samples.len() - w + i;
+            samples[last] = samples[last].scale(fall);
+        }
+        ShapedSymbol { samples, overlap: w }
+    }
+
+    /// Wraps pre-rendered time-domain `fft_size` samples (e.g. a preamble
+    /// body) in the same guard/shaping as a data symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body.len() != fft_size`.
+    pub fn shape_time_domain(&self, body: Vec<Complex64>) -> ShapedSymbol {
+        assert_eq!(body.len(), self.fft_size, "body must be fft_size samples");
+        self.shape(body)
+    }
+}
+
+/// Overlap-adds shaped symbols into a contiguous waveform.
+pub fn assemble(symbols: &[ShapedSymbol]) -> Vec<Complex64> {
+    let total: usize = symbols.iter().map(|s| s.net_len()).sum();
+    let tail = symbols.last().map_or(0, |s| s.overlap);
+    let mut out = vec![Complex64::ZERO; total + tail];
+    let mut pos = 0usize;
+    for s in symbols {
+        for (i, &z) in s.samples.iter().enumerate() {
+            out[pos + i] += z;
+        }
+        pos += s.net_len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdm_dsp::stats::mean_power;
+
+    fn cells_for(carriers: &[i32]) -> Vec<(i32, Complex64)> {
+        carriers.iter().map(|&k| (k, Complex64::ONE)).collect()
+    }
+
+    #[test]
+    fn guard_interval_resolution() {
+        assert_eq!(GuardInterval::Samples(16).samples(64), 16);
+        assert_eq!(GuardInterval::Fraction(1, 4).samples(64), 16);
+        assert_eq!(GuardInterval::Fraction(1, 32).samples(8192), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = GuardInterval::Fraction(1, 0).samples(64);
+    }
+
+    #[test]
+    fn symbol_length_is_cp_plus_fft_plus_taper() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 4, false).unwrap();
+        let s = m.modulate(&cells_for(&[1, 2, 3]));
+        assert_eq!(s.samples.len(), 16 + 64 + 4);
+        assert_eq!(s.overlap, 4);
+        assert_eq!(s.net_len(), 80);
+    }
+
+    #[test]
+    fn cyclic_prefix_is_cyclic() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 0, false).unwrap();
+        let s = m.modulate(&cells_for(&[-7, 3, 12]));
+        // CP copies the symbol tail: samples[0..16] == samples[64..80].
+        for i in 0..16 {
+            assert!((s.samples[i] - s.samples[64 + i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_carrier_is_complex_exponential() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(0), 0, false).unwrap();
+        let s = m.modulate(&[(3, Complex64::ONE)]);
+        // x[n] = e^{j2π·3n/64} (unit power, single occupied bin).
+        for (n, z) in s.samples.iter().enumerate() {
+            let expect = Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * n as f64 / 64.0);
+            assert!((*z - expect).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn power_normalized_across_configurations() {
+        // 4 carriers vs 48 carriers: same mean power.
+        let m = SymbolModulator::new(64, GuardInterval::Samples(0), 0, false).unwrap();
+        let few = m.modulate(&cells_for(&[1, 2, 3, 4]));
+        let many: Vec<i32> = (-26..=26).filter(|&k| k != 0).collect();
+        let lots = m.modulate(&cells_for(&many));
+        let p_few = mean_power(&few.samples);
+        let p_lots = mean_power(&lots.samples);
+        assert!((p_few - 1.0).abs() < 1e-9, "p_few {p_few}");
+        assert!((p_lots - 1.0).abs() < 1e-9, "p_lots {p_lots}");
+    }
+
+    #[test]
+    fn hermitian_output_is_real() {
+        let m = SymbolModulator::new(512, GuardInterval::Samples(32), 0, true).unwrap();
+        let cells: Vec<(i32, Complex64)> = (1..=100)
+            .map(|k| (k, Complex64::new(0.6, -0.8))) // unit-energy cells
+            .collect();
+        let s = m.modulate(&cells);
+        for z in &s.samples {
+            assert!(z.im.abs() < 1e-9, "imag leak {}", z.im);
+        }
+        // Body power is exactly 1 (200 occupied unit-energy bins after
+        // mirroring); the CP section adds a small deviation.
+        let body = &s.samples[32..32 + 512];
+        assert!((mean_power(body) - 1.0).abs() < 1e-9);
+        assert!(m.is_hermitian());
+    }
+
+    #[test]
+    fn taper_scales_edges() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 8, false).unwrap();
+        let s = m.modulate(&cells_for(&[5]));
+        // First sample strongly attenuated, center untouched.
+        assert!(s.samples[0].abs() < 0.2);
+        assert!((s.samples[40].abs() - 1.0).abs() < 1e-9);
+        // Last sample (falling edge end) strongly attenuated.
+        assert!(s.samples.last().unwrap().abs() < 0.2);
+    }
+
+    #[test]
+    fn overlap_add_preserves_envelope() {
+        // Complementary raised-cosine edges: two overlapped constant
+        // symbols sum to constant amplitude in the seam.
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 8, false).unwrap();
+        let a = m.shape_time_domain(vec![Complex64::ONE; 64]);
+        let b = m.shape_time_domain(vec![Complex64::ONE; 64]);
+        let wave = assemble(&[a, b]);
+        // Seam region: samples around the net_len boundary are 1.0.
+        for (i, z) in wave.iter().enumerate().take(88).skip(72) {
+            assert!((z.abs() - 1.0).abs() < 1e-9, "seam sample {i}");
+        }
+    }
+
+    #[test]
+    fn assemble_lengths() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 4, false).unwrap();
+        let s1 = m.modulate(&cells_for(&[1]));
+        let s2 = m.modulate(&cells_for(&[2]));
+        let wave = assemble(&[s1, s2]);
+        assert_eq!(wave.len(), 80 + 80 + 4);
+        assert!(assemble(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_cells_produce_silence() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 0, false).unwrap();
+        let s = m.modulate(&[]);
+        assert!(s.samples.iter().all(|z| z.abs() < 1e-15));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            SymbolModulator::new(2, GuardInterval::Samples(0), 0, false).unwrap_err(),
+            ConfigError::BadFftSize(2)
+        ));
+        assert!(matches!(
+            SymbolModulator::new(64, GuardInterval::Samples(64), 0, false).unwrap_err(),
+            ConfigError::BadCyclicPrefix { .. }
+        ));
+        assert!(matches!(
+            SymbolModulator::new(64, GuardInterval::Samples(4), 8, false).unwrap_err(),
+            ConfigError::TaperTooLong { taper: 8, cp: 4 }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "fft_size samples")]
+    fn shape_wrong_body_panics() {
+        let m = SymbolModulator::new(64, GuardInterval::Samples(16), 0, false).unwrap();
+        let _ = m.shape_time_domain(vec![Complex64::ZERO; 32]);
+    }
+}

@@ -1,0 +1,608 @@
+//! The reconfigurable transmitter engine.
+//!
+//! [`MotherModel`] is one fixed piece of code whose behavior is entirely
+//! determined by its [`OfdmParams`]: the same engine produces 802.11a
+//! packets, DVB-T symbol streams and real-valued ADSL DMT frames. This is
+//! the paper's thesis made executable — a standard is a parameter file.
+
+use crate::constellation::Modulation;
+use crate::error::{ConfigError, TxError};
+use crate::fec::{ConvCode, ReedSolomon};
+use crate::framing::render_element;
+#[cfg(test)]
+use crate::framing::PreambleElement;
+use crate::interleave::Interleaver;
+use crate::params::{ModulationPlan, OfdmParams};
+use crate::pilots::PilotGenerator;
+use crate::scramble::Scrambler;
+use crate::symbol::{assemble, SymbolModulator};
+use ofdm_dsp::bits::{pack_msb_first, unpack_msb_first};
+use ofdm_dsp::Complex64;
+use rfsim::Signal;
+use std::collections::HashMap;
+
+/// One transmitted frame: the waveform plus per-symbol frequency-domain
+/// ground truth (C-INTERMEDIATE: receivers, EVM meters and tests all want
+/// the cells the transmitter actually sent).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    signal: Signal,
+    symbol_cells: Vec<Vec<(i32, Complex64)>>,
+    payload_bits: usize,
+    coded_bits: usize,
+}
+
+impl Frame {
+    /// The complex-baseband waveform.
+    pub fn signal(&self) -> &Signal {
+        &self.signal
+    }
+
+    /// Consumes the frame, returning the waveform.
+    pub fn into_signal(self) -> Signal {
+        self.signal
+    }
+
+    /// Borrow of the raw samples.
+    pub fn samples(&self) -> &[Complex64] {
+        self.signal.samples()
+    }
+
+    /// Per-data-symbol `(carrier, cell)` ground truth, pilots included,
+    /// after differential encoding (i.e. exactly what went into the IFFT).
+    pub fn symbol_cells(&self) -> &[Vec<(i32, Complex64)>] {
+        &self.symbol_cells
+    }
+
+    /// Number of OFDM data symbols in the frame.
+    pub fn symbol_count(&self) -> usize {
+        self.symbol_cells.len()
+    }
+
+    /// Payload bits accepted.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// Bits after scrambling/coding/padding actually mapped to carriers.
+    pub fn coded_bits(&self) -> usize {
+        self.coded_bits
+    }
+}
+
+/// The reconfigurable OFDM transmitter (the Mother Model).
+///
+/// # Example
+///
+/// ```
+/// use ofdm_core::params::presets;
+/// use ofdm_core::MotherModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut tx = MotherModel::new(presets::minimal_test_params())?;
+/// let frame = tx.transmit(&[1, 0, 1, 1, 0, 0, 1, 0])?;
+/// assert!(frame.symbol_count() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MotherModel {
+    params: OfdmParams,
+    modulator: SymbolModulator,
+    pilots: PilotGenerator,
+    scrambler: Option<Scrambler>,
+    conv: Option<ConvCode>,
+    rs: Option<ReedSolomon>,
+    interleaver: Interleaver,
+    /// Differential phase memory per carrier.
+    diff_ref: HashMap<i32, Complex64>,
+    /// Running symbol index (pilot sequences span frames).
+    symbol_index: usize,
+}
+
+impl MotherModel {
+    /// Builds (and validates) a transmitter from a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] from [`OfdmParams::validate`], the symbol
+    /// modulator, the convolutional code or the interleaver.
+    pub fn new(params: OfdmParams) -> Result<Self, ConfigError> {
+        params.validate()?;
+        let modulator = SymbolModulator::new(
+            params.map.fft_size(),
+            params.guard,
+            params.taper_len,
+            params.map.is_hermitian(),
+        )?;
+        let pilots = PilotGenerator::new(params.pilots.clone());
+        let scrambler = params.scrambler.clone().map(Scrambler::new);
+        let conv = params.conv_code.clone().map(ConvCode::new).transpose()?;
+        let rs = params.rs_outer.map(|spec| ReedSolomon::new(spec.n, spec.k));
+        let interleaver = Interleaver::new(params.interleaver.clone())?;
+        Ok(MotherModel {
+            params,
+            modulator,
+            pilots,
+            scrambler,
+            conv,
+            rs,
+            interleaver,
+            diff_ref: HashMap::new(),
+            symbol_index: 0,
+        })
+    }
+
+    /// The active parameter set.
+    pub fn params(&self) -> &OfdmParams {
+        &self.params
+    }
+
+    /// **The reconfiguration entry point**: swaps the parameter set,
+    /// rebuilding all stage state. This is the paper's "changeover from a
+    /// standard to another … simply by changing the parameters of one
+    /// Mother Model".
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MotherModel::new`]; on error the old configuration is
+    /// left untouched.
+    pub fn reconfigure(&mut self, params: OfdmParams) -> Result<(), ConfigError> {
+        *self = MotherModel::new(params)?;
+        Ok(())
+    }
+
+    /// Runs the full bit-processing chain (scramble → RS → convolutional →
+    /// interleave) without modulating. Exposed for the E5 equivalence
+    /// experiment and the RT-level cross-check.
+    pub fn encode_payload(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut bits: Vec<u8> = payload.iter().map(|&b| b & 1).collect();
+        if let Some(s) = self.scrambler.as_mut() {
+            s.reset();
+            bits = s.scramble(&bits);
+        }
+        if let Some(rs) = &self.rs {
+            let mut bytes = pack_msb_first(&bits);
+            let k = rs.k();
+            let pad = (k - bytes.len() % k) % k;
+            bytes.extend(std::iter::repeat_n(0u8, pad));
+            let mut coded = Vec::with_capacity(bytes.len() / k * rs.n());
+            for block in bytes.chunks(k) {
+                coded.extend(rs.encode(block));
+            }
+            bits = unpack_msb_first(&coded);
+        }
+        if let Some(c) = self.conv.as_mut() {
+            c.reset();
+            bits = c.encode_terminated(&bits);
+        }
+        if let Some(block) = self.interleaver.spec().block_len() {
+            let pad = (block - bits.len() % block) % block;
+            bits.extend(std::iter::repeat_n(0u8, pad));
+            bits = self.interleaver.interleave(&bits);
+        }
+        bits
+    }
+
+    /// Transmits one frame carrying `payload` bits (values 0/1).
+    ///
+    /// The coded stream is padded with zeros to fill the last OFDM symbol.
+    /// Pilot sequences and differential references continue across calls;
+    /// use [`MotherModel::reset`] for an independent frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::EmptyPayload`] if `payload` is empty.
+    pub fn transmit(&mut self, payload: &[u8]) -> Result<Frame, TxError> {
+        if payload.is_empty() {
+            return Err(TxError::EmptyPayload);
+        }
+        let coded = self.encode_payload(payload);
+        let coded_bits = coded.len();
+
+        // Initialize differential references from the preamble.
+        if self.params.differential && self.diff_ref.is_empty() {
+            self.init_diff_reference();
+        }
+
+        // Render preamble sections.
+        let mut sections: Vec<_> = self
+            .params
+            .preamble
+            .iter()
+            .map(|e| render_element(e, &self.modulator))
+            .collect();
+
+        // Map coded bits across OFDM symbols.
+        let mut cells_log = Vec::new();
+        let mut cursor = 0usize;
+        while cursor < coded.len() {
+            let (cells, consumed) = self.build_symbol(&coded[cursor..]);
+            cursor += consumed;
+            sections.push(self.modulator.modulate(&cells));
+            cells_log.push(cells);
+            self.symbol_index += 1;
+            if consumed == 0 {
+                // No data capacity (all carriers displaced): avoid livelock.
+                break;
+            }
+        }
+
+        let samples = assemble(&sections);
+        Ok(Frame {
+            signal: Signal::new(samples, self.params.sample_rate),
+            symbol_cells: cells_log,
+            payload_bits: payload.len(),
+            coded_bits,
+        })
+    }
+
+    /// Builds the cell list of the next OFDM symbol from the head of
+    /// `bits`, returning the cells and how many bits were consumed.
+    fn build_symbol(&mut self, bits: &[u8]) -> (Vec<(i32, Complex64)>, usize) {
+        let pilot_cells = self.pilots.cells(self.symbol_index);
+        let pilot_carriers: Vec<i32> = pilot_cells.iter().map(|c| c.0).collect();
+        let data_carriers = self.params.map.data_excluding(&pilot_carriers);
+
+        let mut cells = pilot_cells;
+        let mut consumed = 0usize;
+        for &k in &data_carriers {
+            // Bit loading is indexed by the carrier's position in the full
+            // (un-displaced) data list so DMT tables stay aligned.
+            let idx = self
+                .params
+                .map
+                .data_carriers()
+                .binary_search(&k)
+                .expect("data carrier comes from the map");
+            let modulation = self.params.modulation.modulation_at(idx);
+            let b = modulation.bits_per_symbol();
+            let mut group = Vec::with_capacity(b);
+            for i in 0..b {
+                group.push(*bits.get(consumed + i).unwrap_or(&0));
+            }
+            consumed = (consumed + b).min(bits.len());
+            let mut point = modulation.map(&group);
+            if self.params.differential {
+                let prev = self
+                    .diff_ref
+                    .get(&k)
+                    .copied()
+                    .unwrap_or(Complex64::ONE);
+                point = prev * point;
+                self.diff_ref.insert(k, point);
+            }
+            cells.push((k, point));
+        }
+        cells.sort_by_key(|c| c.0);
+        (cells, consumed)
+    }
+
+    fn init_diff_reference(&mut self) {
+        for element in &self.params.preamble {
+            if let Some(cells) = element.reference_cells() {
+                for &(k, v) in cells {
+                    self.diff_ref.insert(k, v);
+                }
+            }
+        }
+    }
+
+    /// Resets all running state (scrambler, coder, pilot index,
+    /// differential memory) to the configured initial conditions.
+    pub fn reset(&mut self) {
+        if let Some(s) = self.scrambler.as_mut() {
+            s.reset();
+        }
+        if let Some(c) = self.conv.as_mut() {
+            c.reset();
+        }
+        self.diff_ref.clear();
+        self.symbol_index = 0;
+    }
+
+    /// The per-symbol data capacity in bits for symbol `symbol_index`
+    /// (accounts for scattered pilots displacing data carriers).
+    pub fn symbol_capacity(&self, symbol_index: usize) -> usize {
+        let pilot_carriers = self.pilots.carriers(symbol_index);
+        let data = self.params.map.data_excluding(&pilot_carriers);
+        match &self.params.modulation {
+            ModulationPlan::Uniform(m) => data.len() * m.bits_per_symbol(),
+            ModulationPlan::PerCarrier(_) => data
+                .iter()
+                .map(|&k| {
+                    let idx = self
+                        .params
+                        .map
+                        .data_carriers()
+                        .binary_search(&k)
+                        .expect("carrier from map");
+                    self.params.modulation.modulation_at(idx).bits_per_symbol()
+                })
+                .sum(),
+        }
+    }
+
+    /// Convenience: the uniform modulation if the plan is uniform.
+    pub fn uniform_modulation(&self) -> Option<Modulation> {
+        match &self.params.modulation {
+            ModulationPlan::Uniform(m) => Some(*m),
+            ModulationPlan::PerCarrier(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constellation::Modulation;
+    use crate::map::SubcarrierMap;
+    use crate::params::presets::minimal_test_params;
+    use crate::pilots::{ieee80211a_pilots, PilotSpec};
+    use crate::scramble::ScramblerSpec;
+    use crate::symbol::GuardInterval;
+    use ofdm_dsp::stats::mean_power;
+
+    fn bits(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 5 + 1) % 3 == 0) as u8).collect()
+    }
+
+    #[test]
+    fn minimal_transmit_produces_waveform() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        // 12 QPSK carriers → 24 bits/symbol; 48 bits → 2 symbols.
+        let frame = tx.transmit(&bits(48)).unwrap();
+        assert_eq!(frame.symbol_count(), 2);
+        assert_eq!(frame.payload_bits(), 48);
+        assert_eq!(frame.coded_bits(), 48);
+        // 64 FFT + 16 CP per symbol.
+        assert_eq!(frame.samples().len(), 2 * 80);
+        // Body power is exactly 1 by Parseval; the short CP section adds a
+        // statistical fluctuation around it.
+        assert!((frame.signal().power() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn partial_symbol_zero_padded() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let frame = tx.transmit(&bits(25)).unwrap(); // 1 bit into second symbol
+        assert_eq!(frame.symbol_count(), 2);
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        assert_eq!(tx.transmit(&[]).unwrap_err(), TxError::EmptyPayload);
+    }
+
+    #[test]
+    fn symbol_cells_match_demodulation() {
+        // FFT of the guard-stripped symbol must recover the logged cells.
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let frame = tx.transmit(&bits(24)).unwrap();
+        let cells = &frame.symbol_cells()[0];
+        let fft = ofdm_dsp::fft::Fft::new(64);
+        let body = &frame.samples()[16..80];
+        let mut freq = body.to_vec();
+        fft.forward(&mut freq);
+        // Normalization: modulate scaled by N/√occupied; forward FFT gives
+        // N·(that scale)⁻¹... check proportionality instead.
+        let n_cells = cells.len() as f64;
+        for &(k, v) in cells {
+            let bin = if k >= 0 { k as usize } else { (64 + k) as usize };
+            let measured = freq[bin].scale(n_cells.sqrt() / 64.0);
+            assert!((measured - v).abs() < 1e-9, "carrier {k}");
+        }
+    }
+
+    #[test]
+    fn scrambler_changes_cells_not_power() {
+        let p_plain = minimal_test_params();
+        let mut p_scr = minimal_test_params();
+        p_scr.scrambler = Some(ScramblerSpec::ieee80211());
+        let mut tx1 = MotherModel::new(p_plain).unwrap();
+        let mut tx2 = MotherModel::new(p_scr).unwrap();
+        let f1 = tx1.transmit(&bits(48)).unwrap();
+        let f2 = tx2.transmit(&bits(48)).unwrap();
+        assert_ne!(f1.samples()[0], f2.samples()[0]);
+        assert!((mean_power(f1.samples()) - mean_power(f2.samples())).abs() < 0.25);
+    }
+
+    #[test]
+    fn coding_expands_bits() {
+        let mut p = minimal_test_params();
+        p.conv_code = Some(crate::fec::ConvSpec::k7_rate_half());
+        let mut tx = MotherModel::new(p).unwrap();
+        let frame = tx.transmit(&bits(50)).unwrap();
+        // 50 payload + 6 tail bits at rate 1/2 → 112 coded bits.
+        assert_eq!(frame.coded_bits(), 112);
+    }
+
+    #[test]
+    fn rs_outer_expands_bytes() {
+        let mut p = minimal_test_params();
+        p.rs_outer = Some(crate::params::RsOuterSpec { n: 20, k: 12 });
+        let mut tx = MotherModel::new(p).unwrap();
+        let frame = tx.transmit(&bits(96)).unwrap(); // 12 bytes exactly
+        assert_eq!(frame.coded_bits(), 160); // one RS(20,12) block
+    }
+
+    #[test]
+    fn pilots_present_in_cells() {
+        let p = OfdmParams::builder("wlan-like")
+            .sample_rate(20e6)
+            .map(SubcarrierMap::new(
+                64,
+                (-26..=26)
+                    .filter(|&k| k != 0 && ![7, 21, -7, -21].contains(&k))
+                    .collect(),
+                false,
+            ).unwrap())
+            .guard(GuardInterval::Fraction(1, 4))
+            .modulation(Modulation::Qpsk)
+            .pilots(ieee80211a_pilots())
+            .build()
+            .unwrap();
+        let mut tx = MotherModel::new(p).unwrap();
+        let frame = tx.transmit(&bits(96)).unwrap();
+        let cells = &frame.symbol_cells()[0];
+        assert_eq!(cells.len(), 52);
+        let pilot_cell = cells.iter().find(|c| c.0 == -21).unwrap();
+        assert_eq!(pilot_cell.1, Complex64::ONE); // p₀ = +1
+    }
+
+    #[test]
+    fn pilot_sequence_advances_across_frames() {
+        let p = OfdmParams::builder("wlan-like")
+            .sample_rate(20e6)
+            .map(SubcarrierMap::new(
+                64,
+                (-26..=26)
+                    .filter(|&k| k != 0 && ![7, 21, -7, -21].contains(&k))
+                    .collect(),
+                false,
+            ).unwrap())
+            .modulation(Modulation::Qpsk)
+            .pilots(ieee80211a_pilots())
+            .build()
+            .unwrap();
+        let mut tx = MotherModel::new(p).unwrap();
+        // Consume 4 symbols; the 5th (index 4) has polarity −1.
+        tx.transmit(&bits(96 * 4)).unwrap();
+        let frame = tx.transmit(&bits(96)).unwrap();
+        let pilot = frame.symbol_cells()[0].iter().find(|c| c.0 == -21).unwrap();
+        assert_eq!(pilot.1.re, -1.0);
+        // Reset rewinds to p₀.
+        tx.reset();
+        let frame = tx.transmit(&bits(96)).unwrap();
+        let pilot = frame.symbol_cells()[0].iter().find(|c| c.0 == -21).unwrap();
+        assert_eq!(pilot.1.re, 1.0);
+    }
+
+    #[test]
+    fn differential_encoding_chains_phases() {
+        let p = OfdmParams::builder("dqpsk")
+            .sample_rate(2.048e6)
+            .map(SubcarrierMap::contiguous(64, -8, 8, false).unwrap())
+            .modulation(Modulation::Qpsk)
+            .differential(true)
+            .preamble_element(PreambleElement::FreqDomain {
+                cells: (-8..=8)
+                    .filter(|&k| k != 0)
+                    .map(|k| (k, Complex64::ONE))
+                    .collect(),
+            })
+            .build()
+            .unwrap();
+        let mut tx = MotherModel::new(p).unwrap();
+        let frame = tx.transmit(&bits(64)).unwrap();
+        // All differential cells have unit magnitude (QPSK is PSK).
+        for cells in frame.symbol_cells() {
+            for &(_, v) in cells {
+                assert!((v.abs() - 1.0).abs() < 1e-9);
+            }
+        }
+        // Successive symbols on one carrier differ by a QPSK phasor.
+        let c0 = frame.symbol_cells()[0].iter().find(|c| c.0 == 1).unwrap().1;
+        let c1 = frame.symbol_cells()[1].iter().find(|c| c.0 == 1).unwrap().1;
+        let ratio = c1 * c0.inv();
+        let qpsk_phases = [0.25, 0.75, -0.75, -0.25].map(|x: f64| x * std::f64::consts::PI);
+        assert!(qpsk_phases.iter().any(|&ph| (ratio.arg() - ph).abs() < 1e-6));
+    }
+
+    #[test]
+    fn hermitian_mode_emits_real_waveform() {
+        let p = OfdmParams::builder("dmt")
+            .sample_rate(2.208e6)
+            .map(SubcarrierMap::new(512, (33..=255).collect(), true).unwrap())
+            .guard(GuardInterval::Samples(32))
+            .bit_loading(
+                (33..=255)
+                    .map(|k| Modulation::from_bits(2 + (k % 6) as u8))
+                    .collect(),
+            )
+            .build()
+            .unwrap();
+        let mut tx = MotherModel::new(p).unwrap();
+        let frame = tx.transmit(&bits(1000)).unwrap();
+        for z in frame.samples() {
+            assert!(z.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconfigure_swaps_standard() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        assert_eq!(tx.params().map.fft_size(), 64);
+        let p2 = OfdmParams::builder("bigger")
+            .sample_rate(8e6)
+            .map(SubcarrierMap::contiguous(256, -100, 100, false).unwrap())
+            .modulation(Modulation::Qam(4))
+            .build()
+            .unwrap();
+        tx.reconfigure(p2).unwrap();
+        assert_eq!(tx.params().map.fft_size(), 256);
+        let frame = tx.transmit(&bits(800)).unwrap();
+        assert_eq!(frame.symbol_count(), 1);
+    }
+
+    #[test]
+    fn reconfigure_failure_keeps_old_config() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let mut bad = minimal_test_params();
+        bad.sample_rate = -5.0;
+        assert!(tx.reconfigure(bad).is_err());
+        // Old config still works... (reconfigure replaced nothing).
+        assert_eq!(tx.params().name, "minimal-test");
+        assert!(tx.transmit(&bits(24)).is_ok());
+    }
+
+    #[test]
+    fn preamble_prepended() {
+        let mut p = minimal_test_params();
+        p.preamble = vec![PreambleElement::Null { len: 50 }];
+        let mut tx = MotherModel::new(p).unwrap();
+        let frame = tx.transmit(&bits(24)).unwrap();
+        assert_eq!(frame.samples().len(), 50 + 80);
+        for z in &frame.samples()[..50] {
+            assert_eq!(z.abs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn capacity_accounts_for_scattered_pilots() {
+        use crate::pilots::LfsrSpec;
+        let p = OfdmParams::builder("scattered")
+            .sample_rate(1e6)
+            .map(SubcarrierMap::contiguous(128, -48, 48, false).unwrap())
+            .modulation(Modulation::Qpsk)
+            .pilots(PilotSpec::ScatteredGrid {
+                used_min: -48,
+                used_max: 48,
+                spacing: 12,
+                shift: 3,
+                period: 4,
+                continual: vec![],
+                boost: 4.0 / 3.0,
+                carrier_lfsr: LfsrSpec::dvb_wk(),
+            })
+            .build()
+            .unwrap();
+        let tx = MotherModel::new(p).unwrap();
+        // Symbol 0 pilots: -48, -36, …, 48 → 9 pilots, one of them at DC
+        // position 0 which is not a data carrier anyway → 8 displaced.
+        let cap0 = tx.symbol_capacity(0);
+        assert_eq!(cap0, (96 - 8) * 2);
+        // Symbol 1 pilots at -45, -33, …, 39 → 8 pilots, none at DC.
+        let cap1 = tx.symbol_capacity(1);
+        assert_eq!(cap1, (96 - 8) * 2);
+    }
+
+    #[test]
+    fn encode_payload_without_stages_is_identity() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let b = bits(40);
+        assert_eq!(tx.encode_payload(&b), b);
+        assert_eq!(tx.uniform_modulation(), Some(Modulation::Qpsk));
+    }
+}

@@ -1,0 +1,162 @@
+//! Numerically controlled oscillator (NCO).
+//!
+//! Generates a complex exponential sample stream for digital up/down
+//! conversion and for modeling local-oscillator offsets. The phase
+//! accumulator wraps continuously, so arbitrarily long runs stay accurate.
+
+use crate::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// A free-running complex oscillator with programmable frequency and phase.
+///
+/// # Example
+///
+/// ```
+/// use ofdm_dsp::nco::Nco;
+///
+/// // 1 kHz tone at 8 kHz sampling: period is exactly 8 samples.
+/// let mut nco = Nco::new(1_000.0, 8_000.0);
+/// let first = nco.next_sample();
+/// for _ in 0..7 { nco.next_sample(); }
+/// let ninth = nco.next_sample();
+/// assert!((first - ninth).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nco {
+    phase: f64,
+    step: f64,
+    freq_hz: f64,
+    sample_rate: f64,
+}
+
+impl Nco {
+    /// Creates an oscillator at `freq_hz` for a stream sampled at
+    /// `sample_rate` Hz. Negative frequencies produce the conjugate rotation
+    /// (down-conversion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive.
+    pub fn new(freq_hz: f64, sample_rate: f64) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        Nco {
+            phase: 0.0,
+            step: TAU * freq_hz / sample_rate,
+            freq_hz,
+            sample_rate,
+        }
+    }
+
+    /// Current oscillator frequency in Hz.
+    #[inline]
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// Retunes the oscillator, preserving phase continuity.
+    pub fn set_freq(&mut self, freq_hz: f64) {
+        self.freq_hz = freq_hz;
+        self.step = TAU * freq_hz / self.sample_rate;
+    }
+
+    /// Sets the absolute phase in radians.
+    pub fn set_phase(&mut self, phase: f64) {
+        self.phase = phase.rem_euclid(TAU);
+    }
+
+    /// Current phase in radians, in `[0, 2π)`.
+    #[inline]
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Emits the next sample `e^{iφ}` and advances the phase.
+    #[inline]
+    pub fn next_sample(&mut self) -> Complex64 {
+        let out = Complex64::cis(self.phase);
+        self.phase = (self.phase + self.step).rem_euclid(TAU);
+        out
+    }
+
+    /// Mixes (multiplies) a block in place with the oscillator output —
+    /// up-conversion for positive frequency, down-conversion for negative.
+    pub fn mix_in_place(&mut self, buf: &mut [Complex64]) {
+        for z in buf.iter_mut() {
+            *z *= self.next_sample();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_amplitude() {
+        let mut nco = Nco::new(123.0, 48_000.0);
+        for _ in 0..1000 {
+            assert!((nco.next_sample().abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_oscillator_is_constant_one() {
+        let mut nco = Nco::new(0.0, 1000.0);
+        for _ in 0..10 {
+            let s = nco.next_sample();
+            assert!((s - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn up_then_down_conversion_cancels() {
+        let fs = 20e6;
+        let f = 2.5e6;
+        let data: Vec<Complex64> = (0..256)
+            .map(|i| Complex64::new((i as f64 * 0.05).sin(), (i as f64 * 0.03).cos()))
+            .collect();
+        let mut up = Nco::new(f, fs);
+        let mut down = Nco::new(-f, fs);
+        let mut buf = data.clone();
+        up.mix_in_place(&mut buf);
+        down.mix_in_place(&mut buf);
+        for (a, b) in buf.iter().zip(&data) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn retune_keeps_phase_continuous() {
+        let mut nco = Nco::new(100.0, 1000.0);
+        for _ in 0..5 {
+            nco.next_sample();
+        }
+        let phase_before = nco.phase();
+        nco.set_freq(200.0);
+        assert_eq!(nco.freq_hz(), 200.0);
+        assert!((nco.phase() - phase_before).abs() < 1e-15);
+    }
+
+    #[test]
+    fn set_phase_wraps() {
+        let mut nco = Nco::new(0.0, 1.0);
+        nco.set_phase(3.0 * TAU + 0.5);
+        assert!((nco.phase() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn bad_sample_rate_panics() {
+        let _ = Nco::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn long_run_phase_stays_bounded() {
+        // An irrational-ratio tone must not accumulate unbounded phase.
+        let mut nco = Nco::new(1234.567, 44_100.0);
+        for _ in 0..100_000 {
+            nco.next_sample();
+        }
+        assert!(nco.phase() >= 0.0 && nco.phase() < TAU);
+    }
+}

@@ -1,0 +1,195 @@
+//! Window functions for spectral shaping and estimation.
+//!
+//! OFDM transmitters shape symbol edges with a raised-cosine taper to meet
+//! spectral masks; the spectrum analyzer uses Hann/Blackman windows for PSD
+//! estimation; Kaiser windows drive FIR design in [`crate::fir`].
+
+use std::f64::consts::PI;
+
+/// A window shape selector.
+///
+/// # Example
+///
+/// ```
+/// use ofdm_dsp::window::Window;
+///
+/// let w = Window::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0] < 1e-12); // Hann starts at zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// All-ones window (no shaping).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+    /// Kaiser window with shape parameter β.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Generates the `n` window coefficients (periodic convention for
+    /// `Rectangular`/`Hann`/`Hamming`/`Blackman`; symmetric for `Kaiser`).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        match self {
+            Window::Rectangular => vec![1.0; n],
+            Window::Hann => (0..n)
+                .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / (n - 1) as f64).cos())
+                .collect(),
+            Window::Hamming => (0..n)
+                .map(|i| 0.54 - 0.46 * (2.0 * PI * i as f64 / (n - 1) as f64).cos())
+                .collect(),
+            Window::Blackman => (0..n)
+                .map(|i| {
+                    let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+                    0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
+                })
+                .collect(),
+            Window::Kaiser(beta) => {
+                let denom = bessel_i0(beta);
+                let m = (n - 1) as f64;
+                (0..n)
+                    .map(|i| {
+                        let t = 2.0 * i as f64 / m - 1.0;
+                        bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / denom
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The window's coherent gain (mean of its coefficients), used to
+    /// renormalize PSD estimates.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        if c.is_empty() {
+            return 0.0;
+        }
+        c.iter().sum::<f64>() / n as f64
+    }
+}
+
+/// A raised-cosine edge taper for OFDM symbol shaping.
+///
+/// Produces the rising half-ramp of length `len`: `w[i] = 0.5 (1 - cos(π (i + 1) / (len + 1)))`,
+/// strictly increasing from near 0 to near 1. The falling edge is the
+/// reverse. Complementary overlapping edges sum to 1, so back-to-back
+/// OFDM symbols overlap without amplitude ripple.
+pub fn raised_cosine_edge(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| 0.5 * (1.0 - (PI * (i + 1) as f64 / (len + 1) as f64).cos()))
+        .collect()
+}
+
+/// Modified Bessel function of the first kind, order zero (series expansion).
+///
+/// Accurate to better than 1e-12 over the argument range used by Kaiser
+/// windows (β ≤ ~20).
+pub fn bessel_i0(x: f64) -> f64 {
+    let half = x / 2.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..64 {
+        term *= (half / k as f64) * (half / k as f64);
+        sum += term;
+        if term < 1e-16 * sum {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_ones() {
+        assert_eq!(Window::Rectangular.coefficients(5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn hann_endpoints_and_peak() {
+        let w = Window::Hann.coefficients(65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.coefficients(33);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_nonnegative_and_peaked() {
+        let w = Window::Blackman.coefficients(129);
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        let peak = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rectangular() {
+        let w = Window::Kaiser(0.0).coefficients(16);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn kaiser_is_symmetric_and_unit_peak() {
+        let w = Window::Kaiser(8.0).coefficients(31);
+        for i in 0..31 {
+            assert!((w[i] - w[30 - i]).abs() < 1e-12);
+        }
+        assert!((w[15] - 1.0).abs() < 1e-12);
+        assert!(w[0] < 0.01); // strong taper at the edges for beta=8
+    }
+
+    #[test]
+    fn bessel_known_values() {
+        // I0(0) = 1; I0(1) ≈ 1.2660658777520084
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.2660658777520084).abs() < 1e-12);
+        // I0(5) ≈ 27.239871823604442
+        assert!((bessel_i0(5.0) - 27.239871823604442).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raised_cosine_edges_sum_to_one() {
+        let len = 16;
+        let rise = raised_cosine_edge(len);
+        // Rising edge is strictly increasing within (0, 1).
+        for i in 1..len {
+            assert!(rise[i] > rise[i - 1]);
+        }
+        // Complementary overlap: rise[i] + fall[i] == 1 where fall = reversed rise.
+        for i in 0..len {
+            assert!((rise[i] + rise[len - 1 - i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coherent_gain_hann_is_half() {
+        // Large-n Hann coherent gain tends to 0.5.
+        let g = Window::Hann.coherent_gain(4096);
+        assert!((g - 0.5).abs() < 1e-3);
+    }
+}

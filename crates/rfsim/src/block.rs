@@ -1,0 +1,188 @@
+//! The simulator's block abstraction and error type.
+
+use crate::signal::Signal;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running a simulation graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The graph contains a dependency cycle and cannot be scheduled.
+    GraphCycle,
+    /// A block input port was left unconnected.
+    MissingInput {
+        /// Name of the starved block.
+        block: String,
+        /// Index of the unconnected port.
+        port: usize,
+    },
+    /// Two connections target the same input port.
+    PortConflict {
+        /// Name of the block whose port is double-driven.
+        block: String,
+        /// The contested port index.
+        port: usize,
+    },
+    /// A connection references a port beyond the block's input count.
+    InvalidPort {
+        /// Name of the target block.
+        block: String,
+        /// The out-of-range port index.
+        port: usize,
+        /// How many inputs the block actually has.
+        inputs: usize,
+    },
+    /// A block received signals at incompatible sample rates.
+    RateMismatch {
+        /// Name of the complaining block.
+        block: String,
+        /// The rate it expected (Hz).
+        expected: f64,
+        /// The rate it received (Hz).
+        got: f64,
+    },
+    /// A block-specific runtime failure.
+    BlockFailure {
+        /// Name of the failing block.
+        block: String,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// A block id did not belong to this graph.
+    UnknownBlock,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GraphCycle => write!(f, "simulation graph contains a cycle"),
+            SimError::MissingInput { block, port } => {
+                write!(f, "block `{block}` input port {port} is unconnected")
+            }
+            SimError::PortConflict { block, port } => {
+                write!(f, "block `{block}` input port {port} is driven twice")
+            }
+            SimError::InvalidPort {
+                block,
+                port,
+                inputs,
+            } => write!(
+                f,
+                "block `{block}` has {inputs} input(s); port {port} does not exist"
+            ),
+            SimError::RateMismatch {
+                block,
+                expected,
+                got,
+            } => write!(
+                f,
+                "block `{block}` expected {expected} Hz input but received {got} Hz"
+            ),
+            SimError::BlockFailure { block, message } => {
+                write!(f, "block `{block}` failed: {message}")
+            }
+            SimError::UnknownBlock => write!(f, "block id does not belong to this graph"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A behavioral simulation block: consumes input signals, produces one
+/// output signal.
+///
+/// Sources report `input_count() == 0` and ignore the (empty) input slice.
+/// Instruments pass their input through unchanged and expose measurements
+/// via their own inherent methods after the run.
+///
+/// Blocks process whole signal blocks (frames), matching the behavioral
+/// abstraction level the paper argues for: no per-sample event scheduling.
+///
+/// The `Any` supertrait lets [`crate::Graph::block`] hand instruments back
+/// to the caller by concrete type after a run.
+pub trait Block: Send + std::any::Any {
+    /// Human-readable block name used in error messages.
+    fn name(&self) -> &str;
+
+    /// Number of input ports (0 for sources).
+    fn input_count(&self) -> usize {
+        1
+    }
+
+    /// Processes one simulation pass.
+    ///
+    /// `inputs` holds exactly `input_count()` signals, ordered by port.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SimError::BlockFailure`] (or
+    /// [`SimError::RateMismatch`]) for conditions detectable only at run
+    /// time.
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError>;
+
+    /// Clears internal state (delay lines, accumulators) between runs.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty_and_lowercase_start() {
+        let errs: Vec<SimError> = vec![
+            SimError::GraphCycle,
+            SimError::MissingInput {
+                block: "pa".into(),
+                port: 0,
+            },
+            SimError::PortConflict {
+                block: "mix".into(),
+                port: 1,
+            },
+            SimError::InvalidPort {
+                block: "mix".into(),
+                port: 3,
+                inputs: 2,
+            },
+            SimError::RateMismatch {
+                block: "fir".into(),
+                expected: 1.0,
+                got: 2.0,
+            },
+            SimError::BlockFailure {
+                block: "src".into(),
+                message: "no data".into(),
+            },
+            SimError::UnknownBlock,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            // std::error::Error is implemented.
+            let _: &dyn Error = &e;
+        }
+    }
+
+    #[test]
+    fn trait_object_safe() {
+        struct Null;
+        impl Block for Null {
+            fn name(&self) -> &str {
+                "null"
+            }
+            fn input_count(&self) -> usize {
+                0
+            }
+            fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+                Ok(Signal::empty(1.0))
+            }
+        }
+        let mut b: Box<dyn Block> = Box::new(Null);
+        assert_eq!(b.name(), "null");
+        assert_eq!(b.input_count(), 0);
+        assert!(b.process(&[]).unwrap().is_empty());
+        b.reset();
+    }
+}

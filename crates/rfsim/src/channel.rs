@@ -1,0 +1,597 @@
+//! Transmission-channel models: AWGN, static multipath, Rayleigh fading and
+//! a DSL twisted-pair line.
+//!
+//! The paper's point C2 is that the digital TX, the RF parts *and the
+//! transmission channel* can be verified in one simulator — these blocks are
+//! that channel.
+
+use crate::block::{Block, SimError};
+use crate::signal::Signal;
+use ofdm_dsp::fir::FirFilter;
+use ofdm_dsp::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::{PI, TAU};
+
+fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    (r * (TAU * u2).cos(), r * (TAU * u2).sin())
+}
+
+/// Additive white Gaussian noise at a specified SNR relative to the input's
+/// measured power.
+///
+/// # Example
+///
+/// ```
+/// use rfsim::prelude::*;
+/// use ofdm_dsp::Complex64;
+///
+/// let mut ch = AwgnChannel::from_snr_db(10.0, 7);
+/// let s = Signal::new(vec![Complex64::ONE; 10_000], 1.0);
+/// let out = ch.process(&[s]).unwrap();
+/// // Output power ≈ signal + 10 dB-down noise.
+/// assert!((out.power() - 1.1).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AwgnChannel {
+    snr_db: f64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl AwgnChannel {
+    /// Creates a channel adding noise `snr_db` below the measured input
+    /// power. Use the same `seed` for reproducible runs.
+    pub fn from_snr_db(snr_db: f64, seed: u64) -> Self {
+        AwgnChannel {
+            snr_db,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured SNR in dB.
+    pub fn snr_db(&self) -> f64 {
+        self.snr_db
+    }
+}
+
+impl Block for AwgnChannel {
+    fn name(&self) -> &str {
+        "awgn-channel"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let mut s = inputs[0].clone();
+        let sig_pow = s.power();
+        if sig_pow == 0.0 {
+            return Ok(s);
+        }
+        let noise_pow = sig_pow * 10f64.powf(-self.snr_db / 10.0);
+        let sigma = (noise_pow / 2.0).sqrt(); // per real dimension
+        for z in s.samples_mut() {
+            let (gr, gi) = gaussian_pair(&mut self.rng);
+            *z += Complex64::new(sigma * gr, sigma * gi);
+        }
+        Ok(s)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// A static multipath channel: a fixed complex FIR (tapped delay line).
+#[derive(Debug, Clone)]
+pub struct MultipathChannel {
+    taps: Vec<Complex64>,
+}
+
+impl MultipathChannel {
+    /// Creates the channel from complex tap gains (tap 0 is the direct
+    /// path; spacing is one sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<Complex64>) -> Self {
+        assert!(!taps.is_empty(), "taps must be nonempty");
+        MultipathChannel { taps }
+    }
+
+    /// A two-ray channel with an echo `delay` samples later at relative
+    /// amplitude `echo_gain`.
+    pub fn two_ray(delay: usize, echo_gain: f64) -> Self {
+        let mut taps = vec![Complex64::ZERO; delay + 1];
+        taps[0] = Complex64::ONE;
+        taps[delay] = Complex64::new(echo_gain, 0.0);
+        MultipathChannel::new(taps)
+    }
+
+    /// The channel impulse response.
+    pub fn taps(&self) -> &[Complex64] {
+        &self.taps
+    }
+
+    /// The channel frequency response at normalized frequency `f` (fraction
+    /// of the sample rate).
+    pub fn freq_response(&self, f: f64) -> Complex64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(n, &h)| h * Complex64::cis(-2.0 * PI * f * n as f64))
+            .sum()
+    }
+}
+
+impl Block for MultipathChannel {
+    fn name(&self) -> &str {
+        "multipath-channel"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let x = inputs[0].samples();
+        let mut y = vec![Complex64::ZERO; x.len()];
+        for (n, out) in y.iter_mut().enumerate() {
+            for (k, &h) in self.taps.iter().enumerate() {
+                if n >= k {
+                    *out += h * x[n - k];
+                }
+            }
+        }
+        Ok(Signal::new(y, inputs[0].sample_rate()))
+    }
+}
+
+/// A time-varying Rayleigh fading channel: tapped delay line whose tap gains
+/// evolve with a Jakes Doppler spectrum (sum-of-sinusoids synthesis).
+#[derive(Debug, Clone)]
+pub struct RayleighChannel {
+    /// (delay in samples, average linear power) per path.
+    paths: Vec<(usize, f64)>,
+    doppler_hz: f64,
+    seed: u64,
+    /// Per path: oscillator parameters (amplitude-normalized).
+    oscillators: Vec<Vec<(f64, f64, f64)>>, // (freq scale cosθ, phase_i, phase_q)
+    t: u64,
+}
+
+impl RayleighChannel {
+    const N_OSC: usize = 16;
+
+    /// Creates a fading channel from a power-delay profile
+    /// `[(delay_samples, avg_power)]`, a maximum Doppler shift and a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty or `doppler_hz` is negative.
+    pub fn new(paths: Vec<(usize, f64)>, doppler_hz: f64, seed: u64) -> Self {
+        assert!(!paths.is_empty(), "paths must be nonempty");
+        assert!(doppler_hz >= 0.0, "doppler must be nonnegative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let oscillators = paths
+            .iter()
+            .map(|_| {
+                (0..Self::N_OSC)
+                    .map(|_| {
+                        let theta: f64 = rng.gen_range(0.0..TAU);
+                        (theta.cos(), rng.gen_range(0.0..TAU), rng.gen_range(0.0..TAU))
+                    })
+                    .collect()
+            })
+            .collect();
+        RayleighChannel {
+            paths,
+            doppler_hz,
+            seed,
+            oscillators,
+            t: 0,
+        }
+    }
+
+    /// The instantaneous complex gain of path `p` at absolute sample `t`.
+    fn gain(&self, p: usize, t: u64, sample_rate: f64) -> Complex64 {
+        let power = self.paths[p].1;
+        let norm = (power / Self::N_OSC as f64).sqrt();
+        let mut g = Complex64::ZERO;
+        for &(cos_theta, phi_i, phi_q) in &self.oscillators[p] {
+            let w = TAU * self.doppler_hz * cos_theta * t as f64 / sample_rate;
+            g += Complex64::new((w + phi_i).cos(), (w + phi_q).cos());
+        }
+        // Each quadrature sums N cosines of variance 1/2, so |g|² averages
+        // N·norm² = power with no further scaling.
+        g.scale(norm)
+    }
+}
+
+impl Block for RayleighChannel {
+    fn name(&self) -> &str {
+        "rayleigh-channel"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let x = inputs[0].samples();
+        let fs = inputs[0].sample_rate();
+        let mut y = vec![Complex64::ZERO; x.len()];
+        for (n, out) in y.iter_mut().enumerate() {
+            let t = self.t + n as u64;
+            for (p, &(delay, _)) in self.paths.iter().enumerate() {
+                if n >= delay {
+                    *out += self.gain(p, t, fs) * x[n - delay];
+                }
+            }
+        }
+        self.t += x.len() as u64;
+        Ok(Signal::new(y, fs))
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        *self = RayleighChannel::new(self.paths.clone(), self.doppler_hz, self.seed);
+    }
+}
+
+/// A behavioral twisted-pair (DSL) line: √f attenuation law implemented as a
+/// designed FIR, the standard cable model at system level.
+///
+/// The insertion loss at frequency `f` is `loss_at_ref_db · √(f/f_ref)` dB,
+/// matching the skin-effect-dominated attenuation of a copper loop.
+#[derive(Debug, Clone)]
+pub struct DslLineChannel {
+    loss_at_ref_db: f64,
+    f_ref_hz: f64,
+    fir_len: usize,
+}
+
+impl DslLineChannel {
+    /// Creates a line with `loss_at_ref_db` of attenuation at `f_ref_hz`.
+    /// A 3 km 0.4 mm loop is roughly 13.8 dB at 300 kHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loss is negative or the reference frequency is not
+    /// positive.
+    pub fn new(loss_at_ref_db: f64, f_ref_hz: f64) -> Self {
+        assert!(loss_at_ref_db >= 0.0, "loss must be nonnegative");
+        assert!(f_ref_hz > 0.0, "reference frequency must be positive");
+        DslLineChannel {
+            loss_at_ref_db,
+            f_ref_hz,
+            // Default keeps the delay spread comfortably inside a 32-sample
+            // DMT cyclic prefix; real loops are longer and need a TEQ —
+            // model that by raising the length via `with_fir_len`.
+            fir_len: 33,
+        }
+    }
+
+    /// Builder: sets the FIR model length (odd; delay spread ≈ half of
+    /// it). Longer filters model loops whose impulse response exceeds the
+    /// DMT cyclic prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is even or zero.
+    pub fn with_fir_len(mut self, len: usize) -> Self {
+        assert!(len % 2 == 1, "FIR length must be odd for integer group delay");
+        self.fir_len = len;
+        self
+    }
+
+    /// The filter's group delay in samples (the linear-phase FIR centers
+    /// its response here) — receivers must advance their symbol timing by
+    /// this amount, exactly as a modem's timing recovery would.
+    pub fn group_delay(&self) -> usize {
+        (self.fir_len - 1) / 2
+    }
+
+    /// The line's amplitude response at `f` Hz (linear).
+    pub fn amplitude_at(&self, f_hz: f64) -> f64 {
+        let loss_db = self.loss_at_ref_db * (f_hz.abs() / self.f_ref_hz).sqrt();
+        10f64.powf(-loss_db / 20.0)
+    }
+
+    /// Designs the equivalent FIR for a given sample rate via
+    /// frequency sampling.
+    fn design(&self, sample_rate: f64) -> Vec<f64> {
+        let n = self.fir_len;
+        // Sample the desired (real, even) amplitude response on n points and
+        // inverse-DFT to a linear-phase impulse response.
+        let mut h = vec![0.0f64; n];
+        for (k, hk) in h.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for m in 0..n {
+                let f = if m <= n / 2 { m as f64 } else { m as f64 - n as f64 };
+                let f_hz = f * sample_rate / n as f64;
+                let mag = self.amplitude_at(f_hz);
+                // Linear phase centered at (n-1)/2.
+                let phase = -2.0 * PI * f * (n - 1) as f64 / (2.0 * n as f64);
+                acc += mag * (2.0 * PI * f * k as f64 / n as f64 + phase).cos();
+            }
+            *hk = acc / n as f64;
+        }
+        h
+    }
+}
+
+impl Block for DslLineChannel {
+    fn name(&self) -> &str {
+        "dsl-line"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let coeffs = self.design(inputs[0].sample_rate());
+        let mut fir = FirFilter::new(coeffs);
+        Ok(Signal::new(
+            fir.process(inputs[0].samples()),
+            inputs[0].sample_rate(),
+        ))
+    }
+}
+
+/// Bernoulli–Gaussian impulsive noise: the bursty interference of
+/// powerline and subscriber-loop environments (HomePlug's and DSL's
+/// dominant impairment besides attenuation).
+///
+/// Each sample independently receives, with probability `impulse_prob`, a
+/// Gaussian impulse whose power is `impulse_to_background_db` above the
+/// ever-present background AWGN floor — the two-component special case of
+/// Middleton's Class A model.
+#[derive(Debug, Clone)]
+pub struct ImpulsiveNoiseChannel {
+    background_snr_db: f64,
+    impulse_prob: f64,
+    impulse_to_background_db: f64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl ImpulsiveNoiseChannel {
+    /// Creates the channel: background AWGN at `background_snr_db` below
+    /// the signal, impulses of probability `impulse_prob` per sample at
+    /// `impulse_to_background_db` above the background floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `impulse_prob` is outside `[0, 1]`.
+    pub fn new(
+        background_snr_db: f64,
+        impulse_prob: f64,
+        impulse_to_background_db: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&impulse_prob),
+            "impulse probability must be in [0, 1]"
+        );
+        ImpulsiveNoiseChannel {
+            background_snr_db,
+            impulse_prob,
+            impulse_to_background_db,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The impulse probability per sample.
+    pub fn impulse_prob(&self) -> f64 {
+        self.impulse_prob
+    }
+}
+
+impl Block for ImpulsiveNoiseChannel {
+    fn name(&self) -> &str {
+        "impulsive-noise-channel"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let mut s = inputs[0].clone();
+        let sig_pow = s.power();
+        if sig_pow == 0.0 {
+            return Ok(s);
+        }
+        let bg_pow = sig_pow * 10f64.powf(-self.background_snr_db / 10.0);
+        let bg_sigma = (bg_pow / 2.0).sqrt();
+        let imp_sigma = bg_sigma * 10f64.powf(self.impulse_to_background_db / 20.0);
+        for z in s.samples_mut() {
+            let (gr, gi) = gaussian_pair(&mut self.rng);
+            *z += Complex64::new(bg_sigma * gr, bg_sigma * gi);
+            if self.rng.gen::<f64>() < self.impulse_prob {
+                let (ir, ii) = gaussian_pair(&mut self.rng);
+                *z += Complex64::new(imp_sigma * ir, imp_sigma * ii);
+            }
+        }
+        Ok(s)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones(n: usize) -> Signal {
+        Signal::new(vec![Complex64::ONE; n], 1.0)
+    }
+
+    #[test]
+    fn awgn_snr_calibrated() {
+        let mut ch = AwgnChannel::from_snr_db(0.0, 3);
+        let out = ch.process(&[ones(50_000)]).unwrap();
+        // At 0 dB SNR output power ≈ 2× signal power.
+        assert!((out.power() - 2.0).abs() < 0.05, "power {}", out.power());
+        assert_eq!(ch.snr_db(), 0.0);
+    }
+
+    #[test]
+    fn awgn_reproducible_after_reset() {
+        let mut ch = AwgnChannel::from_snr_db(10.0, 99);
+        let a = ch.process(&[ones(64)]).unwrap();
+        ch.reset();
+        let b = ch.process(&[ones(64)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn awgn_passes_silence() {
+        let mut ch = AwgnChannel::from_snr_db(10.0, 1);
+        let out = ch.process(&[Signal::new(vec![Complex64::ZERO; 8], 1.0)]).unwrap();
+        assert_eq!(out.power(), 0.0);
+    }
+
+    #[test]
+    fn multipath_impulse_reproduces_taps() {
+        let taps = vec![Complex64::ONE, Complex64::ZERO, Complex64::new(0.5, 0.0)];
+        let mut ch = MultipathChannel::new(taps.clone());
+        let mut x = vec![Complex64::ZERO; 6];
+        x[0] = Complex64::ONE;
+        let out = ch.process(&[Signal::new(x, 1.0)]).unwrap();
+        for (k, &t) in taps.iter().enumerate() {
+            assert_eq!(out.samples()[k], t);
+        }
+        assert_eq!(out.samples()[4], Complex64::ZERO);
+        assert_eq!(ch.taps().len(), 3);
+    }
+
+    #[test]
+    fn two_ray_frequency_response_nulls() {
+        // Equal-amplitude echo at delay D puts nulls at odd multiples of
+        // 1/(2D).
+        let ch = MultipathChannel::two_ray(4, 1.0);
+        let null = ch.freq_response(1.0 / 8.0);
+        assert!(null.abs() < 1e-12);
+        let peak = ch.freq_response(0.0);
+        assert!((peak.abs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn multipath_empty_taps_panics() {
+        let _ = MultipathChannel::new(vec![]);
+    }
+
+    #[test]
+    fn rayleigh_average_power_matches_profile() {
+        // Single path of unit average power; check long-run mean.
+        let mut ch = RayleighChannel::new(vec![(0, 1.0)], 0.01, 7);
+        let out = ch.process(&[ones(200_000)]).unwrap();
+        let p = out.power();
+        assert!((p - 1.0).abs() < 0.3, "fading mean power {p}");
+    }
+
+    #[test]
+    fn rayleigh_static_when_doppler_zero() {
+        let mut ch = RayleighChannel::new(vec![(0, 1.0)], 0.0, 5);
+        let out = ch.process(&[ones(100)]).unwrap();
+        let g0 = out.samples()[0];
+        for z in out.samples() {
+            assert!((*z - g0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rayleigh_varies_with_doppler() {
+        let mut ch = RayleighChannel::new(vec![(0, 1.0)], 0.05, 5);
+        let out = ch.process(&[ones(1000)]).unwrap();
+        let g0 = out.samples()[0];
+        let g999 = out.samples()[999];
+        assert!((g0 - g999).abs() > 1e-3, "channel must evolve");
+    }
+
+    #[test]
+    fn rayleigh_reset_reproduces() {
+        let mut ch = RayleighChannel::new(vec![(0, 0.5), (3, 0.5)], 0.02, 11);
+        let a = ch.process(&[ones(128)]).unwrap();
+        ch.reset();
+        let b = ch.process(&[ones(128)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impulsive_noise_total_power_matches_model() {
+        // Expected noise power = bg + p·impulse = bg·(1 + p·10^{I/10}).
+        let mut ch = ImpulsiveNoiseChannel::new(20.0, 0.01, 30.0, 5);
+        assert!((ch.impulse_prob() - 0.01).abs() < 1e-12);
+        let out = ch.process(&[ones(200_000)]).unwrap();
+        let noise_pow = out.power() - 1.0;
+        let expected = 0.01 * (1.0 + 0.01 * 1000.0);
+        assert!(
+            (noise_pow - expected).abs() / expected < 0.15,
+            "noise {noise_pow} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn impulsive_noise_is_heavy_tailed() {
+        // With the same *total* noise power, the impulsive channel has far
+        // more extreme samples than pure AWGN.
+        let total_db = -10.0 * (0.01f64 * (1.0 + 0.01 * 1000.0)).log10();
+        let mut imp = ImpulsiveNoiseChannel::new(20.0, 0.01, 30.0, 6);
+        let mut awgn = AwgnChannel::from_snr_db(total_db, 6);
+        let big = |s: &Signal| {
+            s.samples()
+                .iter()
+                .filter(|z| (**z - Complex64::ONE).abs() > 1.0)
+                .count()
+        };
+        let imp_big = big(&imp.process(&[ones(100_000)]).unwrap());
+        let awgn_big = big(&awgn.process(&[ones(100_000)]).unwrap());
+        assert!(
+            imp_big > 10 * awgn_big.max(1),
+            "impulsive {imp_big} vs awgn {awgn_big}"
+        );
+    }
+
+    #[test]
+    fn impulsive_noise_reproducible_and_degenerate_cases() {
+        let mut ch = ImpulsiveNoiseChannel::new(15.0, 0.05, 20.0, 9);
+        let a = ch.process(&[ones(128)]).unwrap();
+        ch.reset();
+        let b = ch.process(&[ones(128)]).unwrap();
+        assert_eq!(a, b);
+        // p = 0 reduces to plain AWGN statistics; silence passes through.
+        let mut quiet = ImpulsiveNoiseChannel::new(15.0, 0.0, 20.0, 9);
+        let out = quiet.process(&[Signal::new(vec![Complex64::ZERO; 16], 1.0)]).unwrap();
+        assert_eq!(out.power(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn impulse_prob_out_of_range_panics() {
+        let _ = ImpulsiveNoiseChannel::new(10.0, 1.5, 10.0, 0);
+    }
+
+    #[test]
+    fn dsl_attenuation_follows_sqrt_f() {
+        let line = DslLineChannel::new(12.0, 300e3);
+        assert!((line.amplitude_at(300e3) - 10f64.powf(-12.0 / 20.0)).abs() < 1e-12);
+        // 4× frequency → 2× dB loss.
+        let a4 = line.amplitude_at(1200e3);
+        assert!((a4 - 10f64.powf(-24.0 / 20.0)).abs() < 1e-12);
+        assert_eq!(line.amplitude_at(0.0), 1.0);
+    }
+
+    #[test]
+    fn dsl_filters_high_frequencies_harder() {
+        let mut line = DslLineChannel::new(20.0, 100e3);
+        let fs = 2.0e6;
+        let n = 4096;
+        // Low tone at 50 kHz vs high tone at 800 kHz.
+        let lo: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(TAU * 50e3 * i as f64 / fs))
+            .collect();
+        let hi: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(TAU * 800e3 * i as f64 / fs))
+            .collect();
+        let ylo = line.process(&[Signal::new(lo, fs)]).unwrap();
+        let yhi = line.process(&[Signal::new(hi, fs)]).unwrap();
+        let plo = ofdm_dsp::stats::mean_power(&ylo.samples()[1024..]);
+        let phi = ofdm_dsp::stats::mean_power(&yhi.samples()[1024..]);
+        assert!(plo > 4.0 * phi, "low {plo} vs high {phi}");
+    }
+}

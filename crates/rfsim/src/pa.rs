@@ -1,0 +1,322 @@
+//! Power-amplifier behavioral models.
+//!
+//! Memoryless AM/AM–AM/PM nonlinearities, the standard system-level PA
+//! abstraction: [`RappPa`] (solid-state), [`SalehPa`] (TWT) and
+//! [`SoftClipPa`] (ideal limiter). These drive the E6 impairment experiment:
+//! OFDM's high PAPR makes EVM/ACPR collapse as back-off shrinks.
+
+use crate::block::{Block, SimError};
+use crate::signal::Signal;
+use ofdm_dsp::Complex64;
+
+fn apply_am_am_pm(
+    signal: &Signal,
+    gain: f64,
+    am_am: impl Fn(f64) -> f64,
+    am_pm: impl Fn(f64) -> f64,
+) -> Signal {
+    let samples = signal
+        .samples()
+        .iter()
+        .map(|z| {
+            let r = z.abs() * gain;
+            if r == 0.0 {
+                Complex64::ZERO
+            } else {
+                Complex64::from_polar(am_am(r), z.arg() + am_pm(r))
+            }
+        })
+        .collect();
+    Signal::new(samples, signal.sample_rate())
+}
+
+/// Rapp (solid-state) PA model.
+///
+/// AM/AM: `g(r) = r / (1 + (r/A)^{2p})^{1/(2p)}` with saturation amplitude
+/// `A` and knee sharpness `p`; no AM/PM (the classic Rapp model). A linear
+/// pre-gain positions the operating point; use
+/// [`RappPa::with_input_backoff_db`] to set drive level relative to
+/// saturation.
+///
+/// # Example
+///
+/// ```
+/// use rfsim::prelude::*;
+/// use ofdm_dsp::Complex64;
+///
+/// let mut pa = RappPa::new(1.0, 3.0);
+/// let s = Signal::new(vec![Complex64::new(10.0, 0.0)], 1.0);
+/// let out = pa.process(&[s]).unwrap();
+/// assert!(out.samples()[0].abs() <= 1.0 + 1e-9); // saturates at A = 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct RappPa {
+    saturation: f64,
+    smoothness: f64,
+    gain: f64,
+}
+
+impl RappPa {
+    /// Creates a Rapp PA with saturation amplitude and smoothness factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    pub fn new(saturation: f64, smoothness: f64) -> Self {
+        assert!(saturation > 0.0, "saturation must be positive");
+        assert!(smoothness > 0.0, "smoothness must be positive");
+        RappPa {
+            saturation,
+            smoothness,
+            gain: 1.0,
+        }
+    }
+
+    /// Builder: linear pre-gain in dB (amplitude gain `10^{dB/20}`).
+    pub fn with_gain_db(mut self, db: f64) -> Self {
+        self.gain = 10f64.powf(db / 20.0);
+        self
+    }
+
+    /// Builder: sets the drive so a unit-RMS input sits `backoff_db` below
+    /// the saturation *power* (input back-off convention).
+    pub fn with_input_backoff_db(mut self, backoff_db: f64) -> Self {
+        self.gain = self.saturation * 10f64.powf(-backoff_db / 20.0);
+        self
+    }
+
+    /// Saturation output amplitude.
+    pub fn saturation(&self) -> f64 {
+        self.saturation
+    }
+}
+
+impl Block for RappPa {
+    fn name(&self) -> &str {
+        "rapp-pa"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let (a, p) = (self.saturation, self.smoothness);
+        Ok(apply_am_am_pm(
+            &inputs[0],
+            self.gain,
+            |r| r / (1.0 + (r / a).powf(2.0 * p)).powf(1.0 / (2.0 * p)),
+            |_| 0.0,
+        ))
+    }
+}
+
+/// Saleh (traveling-wave-tube) PA model with both AM/AM and AM/PM.
+///
+/// AM/AM: `α_a r / (1 + β_a r²)`; AM/PM: `α_φ r² / (1 + β_φ r²)` radians.
+/// The classic parameter set (`α_a=2.1587, β_a=1.1517, α_φ=4.033,
+/// β_φ=9.104`) is available as [`SalehPa::classic`].
+#[derive(Debug, Clone)]
+pub struct SalehPa {
+    alpha_a: f64,
+    beta_a: f64,
+    alpha_phi: f64,
+    beta_phi: f64,
+    gain: f64,
+}
+
+impl SalehPa {
+    /// Creates a Saleh PA from its four coefficients.
+    pub fn new(alpha_a: f64, beta_a: f64, alpha_phi: f64, beta_phi: f64) -> Self {
+        SalehPa {
+            alpha_a,
+            beta_a,
+            alpha_phi,
+            beta_phi,
+            gain: 1.0,
+        }
+    }
+
+    /// The widely used parameter set from Saleh's 1981 paper.
+    pub fn classic() -> Self {
+        SalehPa::new(2.1587, 1.1517, 4.033, 9.104)
+    }
+
+    /// Builder: linear pre-gain in dB.
+    pub fn with_gain_db(mut self, db: f64) -> Self {
+        self.gain = 10f64.powf(db / 20.0);
+        self
+    }
+
+    /// Input amplitude at which the AM/AM curve peaks (`1/√β_a`).
+    pub fn peak_input(&self) -> f64 {
+        1.0 / self.beta_a.sqrt()
+    }
+}
+
+impl Block for SalehPa {
+    fn name(&self) -> &str {
+        "saleh-pa"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let (aa, ba, ap, bp) = (self.alpha_a, self.beta_a, self.alpha_phi, self.beta_phi);
+        Ok(apply_am_am_pm(
+            &inputs[0],
+            self.gain,
+            |r| aa * r / (1.0 + ba * r * r),
+            |r| ap * r * r / (1.0 + bp * r * r),
+        ))
+    }
+}
+
+/// An ideal soft limiter: linear below the clip level, hard-limited above.
+#[derive(Debug, Clone)]
+pub struct SoftClipPa {
+    clip: f64,
+    gain: f64,
+}
+
+impl SoftClipPa {
+    /// Creates a limiter clipping at amplitude `clip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clip` is not positive.
+    pub fn new(clip: f64) -> Self {
+        assert!(clip > 0.0, "clip level must be positive");
+        SoftClipPa { clip, gain: 1.0 }
+    }
+
+    /// Builder: linear pre-gain in dB.
+    pub fn with_gain_db(mut self, db: f64) -> Self {
+        self.gain = 10f64.powf(db / 20.0);
+        self
+    }
+}
+
+impl Block for SoftClipPa {
+    fn name(&self) -> &str {
+        "softclip-pa"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let c = self.clip;
+        Ok(apply_am_am_pm(
+            &inputs[0],
+            self.gain,
+            |r| r.min(c),
+            |_| 0.0,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(vals: &[f64]) -> Signal {
+        Signal::new(
+            vals.iter().map(|&v| Complex64::new(v, 0.0)).collect(),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn rapp_linear_in_small_signal() {
+        let mut pa = RappPa::new(1.0, 3.0);
+        let out = pa.process(&[sig(&[0.01])]).unwrap();
+        assert!((out.samples()[0].re - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rapp_saturates() {
+        let mut pa = RappPa::new(0.5, 2.0);
+        let out = pa.process(&[sig(&[100.0])]).unwrap();
+        let a = out.samples()[0].re;
+        assert!(a <= 0.5 + 1e-9 && a > 0.49);
+        assert_eq!(pa.saturation(), 0.5);
+    }
+
+    #[test]
+    fn rapp_higher_smoothness_is_closer_to_ideal_limiter() {
+        let r = 1.0; // right at saturation
+        let mut soft = RappPa::new(1.0, 1.0);
+        let mut sharp = RappPa::new(1.0, 100.0);
+        let ys = soft.process(&[sig(&[r])]).unwrap().samples()[0].re;
+        let yh = sharp.process(&[sig(&[r])]).unwrap().samples()[0].re;
+        // Ideal limiter would give 1.0 at r = 1; p = 1 gives 1/√2.
+        assert!((ys - 1.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!(yh > 0.99 * (1.0 / 2f64.powf(1.0 / 200.0)));
+        assert!(yh > ys);
+    }
+
+    #[test]
+    fn rapp_preserves_phase() {
+        let mut pa = RappPa::new(1.0, 2.0);
+        let s = Signal::new(vec![Complex64::from_polar(3.0, 1.2)], 1.0);
+        let out = pa.process(&[s]).unwrap();
+        assert!((out.samples()[0].arg() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rapp_gain_and_backoff_builders() {
+        let mut pa = RappPa::new(1.0, 3.0).with_gain_db(20.0);
+        let out = pa.process(&[sig(&[0.001])]).unwrap();
+        assert!((out.samples()[0].re - 0.01).abs() < 1e-6);
+
+        // 10 dB input back-off: unit input drives at 0.316 × saturation.
+        let mut pa = RappPa::new(1.0, 6.0).with_input_backoff_db(10.0);
+        let out = pa.process(&[sig(&[1.0])]).unwrap();
+        assert!((out.samples()[0].re - 0.3162).abs() < 0.01);
+    }
+
+    #[test]
+    fn saleh_peak_and_rollover() {
+        let mut pa = SalehPa::classic();
+        let peak_in = pa.peak_input();
+        let below = pa.process(&[sig(&[peak_in * 0.5])]).unwrap().samples()[0].abs();
+        let at = pa.process(&[sig(&[peak_in])]).unwrap().samples()[0].abs();
+        let above = pa.process(&[sig(&[peak_in * 2.0])]).unwrap().samples()[0].abs();
+        assert!(at > below && at > above, "AM/AM must peak at 1/√βa");
+    }
+
+    #[test]
+    fn saleh_am_pm_rotates_phase() {
+        let mut pa = SalehPa::classic();
+        let out = pa.process(&[sig(&[0.8])]).unwrap();
+        let phase = out.samples()[0].arg();
+        // αφ·r²/(1+βφ·r²) at r = 0.8: 4.033·0.64 / (1 + 9.104·0.64) ≈ 0.3788 rad.
+        assert!((phase - 0.3788).abs() < 1e-3, "phase {phase}");
+    }
+
+    #[test]
+    fn saleh_zero_input_zero_output() {
+        let mut pa = SalehPa::classic();
+        let out = pa.process(&[sig(&[0.0])]).unwrap();
+        assert_eq!(out.samples()[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn softclip_passes_below_and_clips_above() {
+        let mut pa = SoftClipPa::new(1.0);
+        let out = pa.process(&[sig(&[0.5, 2.0])]).unwrap();
+        assert!((out.samples()[0].re - 0.5).abs() < 1e-12);
+        assert!((out.samples()[1].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softclip_gain_builder() {
+        let mut pa = SoftClipPa::new(10.0).with_gain_db(6.0206);
+        let out = pa.process(&[sig(&[1.0])]).unwrap();
+        assert!((out.samples()[0].re - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_rapp_params_panic() {
+        let _ = RappPa::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip")]
+    fn bad_clip_panics() {
+        let _ = SoftClipPa::new(-1.0);
+    }
+}

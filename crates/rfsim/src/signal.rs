@@ -1,0 +1,212 @@
+//! Sampled complex-baseband signals.
+
+use ofdm_dsp::Complex64;
+use ofdm_dsp::stats;
+
+/// A block of complex baseband samples tagged with its sample rate.
+///
+/// Signals are the only currency exchanged between simulator blocks; the
+/// sample-rate tag lets the engine detect rate mismatches at connection
+/// boundaries instead of silently producing wrong spectra.
+///
+/// # Example
+///
+/// ```
+/// use rfsim::Signal;
+/// use ofdm_dsp::Complex64;
+///
+/// let s = Signal::new(vec![Complex64::ONE; 100], 20.0e6);
+/// assert_eq!(s.len(), 100);
+/// assert!((s.duration() - 5.0e-6).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    samples: Vec<Complex64>,
+    sample_rate: f64,
+}
+
+impl Signal {
+    /// Creates a signal from samples and a sample rate in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive and finite.
+    pub fn new(samples: Vec<Complex64>, sample_rate: f64) -> Self {
+        assert!(
+            sample_rate > 0.0 && sample_rate.is_finite(),
+            "sample rate must be positive and finite"
+        );
+        Signal {
+            samples,
+            sample_rate,
+        }
+    }
+
+    /// An empty signal at the given rate.
+    pub fn empty(sample_rate: f64) -> Self {
+        Signal::new(Vec::new(), sample_rate)
+    }
+
+    /// Sample rate in Hz.
+    #[inline]
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the signal holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Signal duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// Borrows the samples.
+    #[inline]
+    pub fn samples(&self) -> &[Complex64] {
+        &self.samples
+    }
+
+    /// Mutably borrows the samples (rate stays fixed).
+    #[inline]
+    pub fn samples_mut(&mut self) -> &mut [Complex64] {
+        &mut self.samples
+    }
+
+    /// Consumes the signal, returning its samples.
+    pub fn into_samples(self) -> Vec<Complex64> {
+        self.samples
+    }
+
+    /// Mean power `(1/N) Σ |x|²`.
+    pub fn power(&self) -> f64 {
+        stats::mean_power(&self.samples)
+    }
+
+    /// Mean power in dB (relative to unit power); `-inf` for silence.
+    pub fn power_db(&self) -> f64 {
+        let p = self.power();
+        if p == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            stats::ratio_to_db(p)
+        }
+    }
+
+    /// Peak-to-average power ratio in dB.
+    pub fn papr_db(&self) -> f64 {
+        stats::papr_db(&self.samples)
+    }
+
+    /// Returns a copy scaled so that mean power equals `target` (linear).
+    /// A silent signal is returned unchanged.
+    pub fn to_power(&self, target: f64) -> Signal {
+        let p = self.power();
+        if p == 0.0 {
+            return self.clone();
+        }
+        let k = (target / p).sqrt();
+        Signal::new(
+            self.samples.iter().map(|z| z.scale(k)).collect(),
+            self.sample_rate,
+        )
+    }
+
+    /// Appends another signal's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sample rates differ.
+    pub fn extend_from(&mut self, other: &Signal) {
+        assert!(
+            (self.sample_rate - other.sample_rate).abs() < 1e-9 * self.sample_rate,
+            "cannot concatenate signals with different sample rates"
+        );
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl AsRef<[Complex64]> for Signal {
+    fn as_ref(&self) -> &[Complex64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = Signal::new(vec![Complex64::ONE; 10], 1000.0);
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+        assert_eq!(s.sample_rate(), 1000.0);
+        assert!((s.duration() - 0.01).abs() < 1e-15);
+        assert_eq!(s.samples().len(), 10);
+        assert_eq!(s.as_ref().len(), 10);
+    }
+
+    #[test]
+    fn empty_signal() {
+        let s = Signal::empty(8000.0);
+        assert!(s.is_empty());
+        assert_eq!(s.power(), 0.0);
+        assert_eq!(s.power_db(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn power_and_scaling() {
+        let s = Signal::new(vec![Complex64::new(2.0, 0.0); 4], 1.0);
+        assert!((s.power() - 4.0).abs() < 1e-12);
+        let scaled = s.to_power(1.0);
+        assert!((scaled.power() - 1.0).abs() < 1e-12);
+        assert!((scaled.samples()[0].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_power_of_silence_is_noop() {
+        let s = Signal::new(vec![Complex64::ZERO; 4], 1.0);
+        assert_eq!(s.to_power(1.0), s);
+    }
+
+    #[test]
+    fn mutation_through_samples_mut() {
+        let mut s = Signal::new(vec![Complex64::ZERO; 2], 1.0);
+        s.samples_mut()[0] = Complex64::ONE;
+        assert_eq!(s.samples()[0], Complex64::ONE);
+        let v = s.into_samples();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn concatenation() {
+        let mut a = Signal::new(vec![Complex64::ONE; 3], 100.0);
+        let b = Signal::new(vec![Complex64::ZERO; 2], 100.0);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sample rates")]
+    fn concatenation_rate_mismatch_panics() {
+        let mut a = Signal::new(vec![], 100.0);
+        let b = Signal::new(vec![], 200.0);
+        a.extend_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn bad_rate_panics() {
+        let _ = Signal::new(vec![], -1.0);
+    }
+}

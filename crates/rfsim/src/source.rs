@@ -1,0 +1,162 @@
+//! Basic signal sources.
+
+use crate::block::{Block, SimError};
+use crate::signal::Signal;
+use ofdm_dsp::nco::Nco;
+use ofdm_dsp::Complex64;
+
+/// A complex-exponential tone source (the simplest RF stimulus).
+///
+/// # Example
+///
+/// ```
+/// use rfsim::prelude::*;
+///
+/// let mut src = ToneSource::new(1.0e6, 8.0e6, 64);
+/// let s = src.process(&[]).unwrap();
+/// assert_eq!(s.len(), 64);
+/// assert!((s.power() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToneSource {
+    nco: Nco,
+    sample_rate: f64,
+    block_len: usize,
+    amplitude: f64,
+}
+
+impl ToneSource {
+    /// A unit-amplitude tone at `freq_hz`, emitting `block_len` samples per
+    /// pass at `sample_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive (via [`Nco::new`]).
+    pub fn new(freq_hz: f64, sample_rate: f64, block_len: usize) -> Self {
+        ToneSource {
+            nco: Nco::new(freq_hz, sample_rate),
+            sample_rate,
+            block_len,
+            amplitude: 1.0,
+        }
+    }
+
+    /// Builder: sets the tone amplitude.
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude;
+        self
+    }
+}
+
+impl Block for ToneSource {
+    fn name(&self) -> &str {
+        "tone-source"
+    }
+
+    fn input_count(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, _inputs: &[Signal]) -> Result<Signal, SimError> {
+        let samples = (0..self.block_len)
+            .map(|_| self.nco.next_sample().scale(self.amplitude))
+            .collect();
+        Ok(Signal::new(samples, self.sample_rate))
+    }
+
+    fn reset(&mut self) {
+        self.nco.set_phase(0.0);
+    }
+}
+
+/// Plays back a pre-rendered sample buffer — the adapter that lets any
+/// externally generated waveform (e.g. a Mother Model frame) enter the
+/// simulator as a source block.
+#[derive(Debug, Clone)]
+pub struct SamplePlayback {
+    signal: Signal,
+}
+
+impl SamplePlayback {
+    /// Wraps a signal for playback. Every simulation pass emits the whole
+    /// buffer.
+    pub fn new(signal: Signal) -> Self {
+        SamplePlayback { signal }
+    }
+
+    /// Convenience constructor from raw samples.
+    pub fn from_samples(samples: Vec<Complex64>, sample_rate: f64) -> Self {
+        SamplePlayback::new(Signal::new(samples, sample_rate))
+    }
+}
+
+impl Block for SamplePlayback {
+    fn name(&self) -> &str {
+        "sample-playback"
+    }
+
+    fn input_count(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, _inputs: &[Signal]) -> Result<Signal, SimError> {
+        Ok(self.signal.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_frequency_correct() {
+        // 1/8 of the sample rate: phase advances 2π/8 per sample.
+        let mut src = ToneSource::new(1.0, 8.0, 16);
+        let s = src.process(&[]).unwrap();
+        let dphi = (s.samples()[1] * s.samples()[0].conj()).arg();
+        assert!((dphi - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tone_is_phase_continuous_across_blocks() {
+        let mut src = ToneSource::new(3.0, 64.0, 10);
+        let a = src.process(&[]).unwrap();
+        let b = src.process(&[]).unwrap();
+        let step = (a.samples()[1] * a.samples()[0].conj()).arg();
+        let seam = (b.samples()[0] * a.samples()[9].conj()).arg();
+        assert!((seam - step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tone_reset_restarts_phase() {
+        let mut src = ToneSource::new(3.0, 64.0, 10);
+        let a = src.process(&[]).unwrap();
+        src.reset();
+        let b = src.process(&[]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn amplitude_builder() {
+        let mut src = ToneSource::new(0.0, 1.0, 4).with_amplitude(0.5);
+        let s = src.process(&[]).unwrap();
+        assert!((s.power() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn playback_repeats_buffer() {
+        let sig = Signal::new(vec![Complex64::ONE, Complex64::I], 100.0);
+        let mut src = SamplePlayback::new(sig.clone());
+        assert_eq!(src.process(&[]).unwrap(), sig);
+        assert_eq!(src.process(&[]).unwrap(), sig);
+        assert_eq!(src.input_count(), 0);
+    }
+
+    #[test]
+    fn playback_from_samples() {
+        let mut src = SamplePlayback::from_samples(vec![Complex64::ZERO; 7], 48.0);
+        let s = src.process(&[]).unwrap();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.sample_rate(), 48.0);
+    }
+}

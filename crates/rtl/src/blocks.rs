@@ -1,0 +1,334 @@
+//! Bit-serial RTL building blocks: scrambler, convolutional encoder,
+//! puncturer, interleaver RAM and mapper ROM.
+//!
+//! Each block exposes a `step`-per-cycle interface with explicit shift
+//! registers — the structure a synthesized 802.11a datapath has, and the
+//! reason it costs a simulator so much more than the behavioral model.
+
+use crate::fixed::{FxComplex, FxFormat};
+use ofdm_core::constellation::Modulation;
+
+/// The 802.11a scrambler as a 7-bit shift register (x⁷+x⁴+1).
+#[derive(Debug, Clone)]
+pub struct ScramblerRtl {
+    shift: [u8; 7],
+}
+
+impl ScramblerRtl {
+    /// All-ones initial state (matching the behavioral preset).
+    pub fn new() -> Self {
+        ScramblerRtl { shift: [1; 7] }
+    }
+
+    /// One clock: scrambles one bit.
+    pub fn step(&mut self, bit: u8) -> u8 {
+        // Feedback = x7 ⊕ x4 (register positions 6 and 3, counting age).
+        let feedback = self.shift[6] ^ self.shift[3];
+        // Shift: newest value enters position 0.
+        for i in (1..7).rev() {
+            self.shift[i] = self.shift[i - 1];
+        }
+        self.shift[0] = feedback;
+        (bit & 1) ^ feedback
+    }
+
+    /// Reloads the all-ones seed.
+    pub fn reset(&mut self) {
+        self.shift = [1; 7];
+    }
+
+    /// Evaluates the combinational feedback without committing — the work
+    /// an HDL kernel performs for this clocked process on *every* edge,
+    /// enabled or not.
+    #[inline(never)]
+    pub fn eval_idle(&self) -> u8 {
+        self.shift[6] ^ self.shift[3]
+    }
+}
+
+impl Default for ScramblerRtl {
+    fn default() -> Self {
+        ScramblerRtl::new()
+    }
+}
+
+/// The K=7 convolutional encoder as a 7-bit shift register with two
+/// parity trees (g₀=133₈, g₁=171₈, LSB = newest bit — matching the
+/// behavioral [`ofdm_core::fec::ConvCode`] convention).
+#[derive(Debug, Clone, Default)]
+pub struct ConvEncoderRtl {
+    shift: u32,
+}
+
+impl ConvEncoderRtl {
+    /// Zero-state encoder.
+    pub fn new() -> Self {
+        ConvEncoderRtl::default()
+    }
+
+    /// One clock: shifts in a bit, produces the two coded bits.
+    pub fn step(&mut self, bit: u8) -> (u8, u8) {
+        self.shift = ((self.shift << 1) | (bit as u32 & 1)) & 0x7f;
+        let a = ((self.shift & 0o133).count_ones() & 1) as u8;
+        let b = ((self.shift & 0o171).count_ones() & 1) as u8;
+        (a, b)
+    }
+
+    /// Clears the shift register.
+    pub fn reset(&mut self) {
+        self.shift = 0;
+    }
+
+    /// Evaluates both parity trees without shifting (idle-edge work).
+    #[inline(never)]
+    pub fn eval_idle(&self) -> (u8, u8) {
+        let a = ((self.shift & 0o133).count_ones() & 1) as u8;
+        let b = ((self.shift & 0o171).count_ones() & 1) as u8;
+        (a, b)
+    }
+}
+
+/// A puncturing FSM over the serialized coded stream.
+#[derive(Debug, Clone)]
+pub struct PunctureRtl {
+    pattern: Vec<bool>,
+    phase: usize,
+}
+
+impl PunctureRtl {
+    /// A puncturer with the given keep/delete pattern (empty = keep all).
+    pub fn new(pattern: Vec<bool>) -> Self {
+        PunctureRtl { pattern, phase: 0 }
+    }
+
+    /// One coded bit in; `Some(bit)` out if kept.
+    pub fn step(&mut self, bit: u8) -> Option<u8> {
+        if self.pattern.is_empty() {
+            return Some(bit);
+        }
+        let keep = self.pattern[self.phase];
+        self.phase = (self.phase + 1) % self.pattern.len();
+        keep.then_some(bit)
+    }
+
+    /// Returns to phase 0.
+    pub fn reset(&mut self) {
+        self.phase = 0;
+    }
+}
+
+/// A double-buffered interleaver RAM: `write` fills one page over
+/// `n_cbps` cycles, then `read` drains it in permuted order while the
+/// other page fills — one bit per cycle each way.
+#[derive(Debug, Clone)]
+pub struct InterleaverRamRtl {
+    /// perm[j] = write address read at output position j.
+    perm: Vec<usize>,
+    page: [Vec<u8>; 2],
+    write_page: usize,
+    write_addr: usize,
+    read_addr: usize,
+}
+
+impl InterleaverRamRtl {
+    /// Builds from the output-position→input-index permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is empty.
+    pub fn new(perm: Vec<usize>) -> Self {
+        assert!(!perm.is_empty(), "permutation must be nonempty");
+        let n = perm.len();
+        InterleaverRamRtl {
+            perm,
+            page: [vec![0; n], vec![0; n]],
+            write_page: 0,
+            write_addr: 0,
+            read_addr: 0,
+        }
+    }
+
+    /// Block size in bits.
+    pub fn block_len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// One write cycle; returns `true` when the page just filled.
+    pub fn write(&mut self, bit: u8) -> bool {
+        let n = self.perm.len();
+        self.page[self.write_page][self.write_addr] = bit & 1;
+        self.write_addr += 1;
+        if self.write_addr == n {
+            self.write_addr = 0;
+            self.write_page ^= 1;
+            self.read_addr = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One read cycle from the last-filled page (permuted order).
+    pub fn read(&mut self) -> u8 {
+        let bit = self.page[self.write_page ^ 1][self.perm[self.read_addr]];
+        self.read_addr = (self.read_addr + 1) % self.perm.len();
+        bit
+    }
+
+    /// Evaluates the current read port without advancing (idle-edge work).
+    #[inline(never)]
+    pub fn eval_idle(&self) -> u8 {
+        self.page[self.write_page ^ 1][self.perm[self.read_addr]]
+    }
+}
+
+/// A constellation-mapper ROM in fixed point: the 2^b points of a
+/// modulation quantized once at construction (the hardware's lookup
+/// table).
+#[derive(Debug, Clone)]
+pub struct MapperRomRtl {
+    points: Vec<FxComplex>,
+    bits: usize,
+}
+
+impl MapperRomRtl {
+    /// Quantizes `modulation`'s points into `format`.
+    pub fn new(modulation: Modulation, format: FxFormat) -> Self {
+        let bits = modulation.bits_per_symbol();
+        let points = modulation
+            .points()
+            .into_iter()
+            .map(|p| FxComplex::from_f64(p.re, p.im, format))
+            .collect();
+        MapperRomRtl { points, bits }
+    }
+
+    /// Bits consumed per lookup.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.bits
+    }
+
+    /// One clock: looks up the point for `bits` (MSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.bits_per_symbol()`.
+    pub fn step(&self, bits: &[u8]) -> FxComplex {
+        assert_eq!(bits.len(), self.bits, "wrong bit-group width");
+        let addr = bits.iter().fold(0usize, |acc, &b| (acc << 1) | (b as usize & 1));
+        self.points[addr]
+    }
+
+    /// Evaluates the ROM read port at its current (parked) address
+    /// (idle-edge work).
+    #[inline(never)]
+    pub fn eval_idle(&self) -> FxComplex {
+        self.points[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdm_core::scramble::{Scrambler, ScramblerSpec};
+
+    #[test]
+    fn rtl_scrambler_matches_behavioral() {
+        let mut rtl = ScramblerRtl::new();
+        let mut beh = Scrambler::new(ScramblerSpec::ieee80211());
+        let bits: Vec<u8> = (0..256).map(|i| ((i * 3) % 2) as u8).collect();
+        let expected = beh.scramble(&bits);
+        let got: Vec<u8> = bits.iter().map(|&b| rtl.step(b)).collect();
+        assert_eq!(got, expected);
+        rtl.reset();
+        assert_eq!(rtl.step(0), expected[0] ^ bits[0]);
+    }
+
+    #[test]
+    fn rtl_encoder_matches_behavioral() {
+        use ofdm_core::fec::{ConvCode, ConvSpec};
+        let mut rtl = ConvEncoderRtl::new();
+        let mut beh = ConvCode::new(ConvSpec::k7_rate_half()).unwrap();
+        let bits: Vec<u8> = (0..128).map(|i| ((i * 7 + 1) % 3 == 0) as u8).collect();
+        let expected = beh.encode(&bits);
+        let mut got = Vec::new();
+        for &b in &bits {
+            let (a, bb) = rtl.step(b);
+            got.push(a);
+            got.push(bb);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn puncture_fsm_keeps_pattern() {
+        let mut p = PunctureRtl::new(vec![true, true, true, false]);
+        let outs: Vec<Option<u8>> = (0..8).map(|i| p.step((i % 2) as u8)).collect();
+        assert!(outs[0].is_some() && outs[1].is_some() && outs[2].is_some());
+        assert!(outs[3].is_none());
+        assert!(outs[7].is_none());
+        p.reset();
+        assert!(p.step(1).is_some());
+    }
+
+    #[test]
+    fn puncture_passthrough_when_empty() {
+        let mut p = PunctureRtl::new(vec![]);
+        assert_eq!(p.step(1), Some(1));
+    }
+
+    #[test]
+    fn interleaver_ram_double_buffers() {
+        // Identity permutation over 4 bits: read returns write order.
+        let mut ram = InterleaverRamRtl::new(vec![0, 1, 2, 3]);
+        assert_eq!(ram.block_len(), 4);
+        for (i, b) in [1u8, 0, 1, 1].iter().enumerate() {
+            let full = ram.write(*b);
+            assert_eq!(full, i == 3);
+        }
+        let out: Vec<u8> = (0..4).map(|_| ram.read()).collect();
+        assert_eq!(out, vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn interleaver_ram_applies_permutation() {
+        let mut ram = InterleaverRamRtl::new(vec![3, 2, 1, 0]);
+        for b in [1u8, 0, 0, 1] {
+            ram.write(b);
+        }
+        let out: Vec<u8> = (0..4).map(|_| ram.read()).collect();
+        assert_eq!(out, vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_permutation_panics() {
+        let _ = InterleaverRamRtl::new(vec![]);
+    }
+
+    #[test]
+    fn mapper_rom_quantizes_constellation() {
+        let fmt = FxFormat::new(16, 14);
+        let rom = MapperRomRtl::new(Modulation::Qpsk, fmt);
+        assert_eq!(rom.bits_per_symbol(), 2);
+        let p = rom.step(&[1, 1]);
+        let (re, im) = p.to_f64();
+        let expect = 1.0 / 2f64.sqrt();
+        assert!((re - expect).abs() < 1e-3);
+        assert!((im - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mapper_rom_matches_behavioral_within_lsb() {
+        let fmt = FxFormat::new(16, 13);
+        let m = Modulation::Qam(6);
+        let rom = MapperRomRtl::new(m, fmt);
+        for v in 0..64usize {
+            let bits: Vec<u8> = (0..6).rev().map(|k| ((v >> k) & 1) as u8).collect();
+            let ideal = m.map(&bits);
+            let (re, im) = rom.step(&bits).to_f64();
+            assert!((re - ideal.re).abs() <= fmt.lsb());
+            assert!((im - ideal.im).abs() <= fmt.lsb());
+        }
+    }
+}

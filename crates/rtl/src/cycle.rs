@@ -1,0 +1,151 @@
+//! The clocked simulation kernel.
+//!
+//! RT-level simulation advances one clock edge at a time: every register
+//! in the design updates on each edge, whether or not anything interesting
+//! happens. [`Scheduler`] dispatches a design's [`Clocked::rising_edge`]
+//! until it reports completion, counting cycles — this per-edge dispatch
+//! is the cost structure the paper contrasts with behavioral models.
+
+/// A synchronous component: one callback per rising clock edge.
+pub trait Clocked {
+    /// Advances one clock cycle. Returns `false` once the component has
+    /// finished its work (the scheduler stops).
+    fn rising_edge(&mut self) -> bool;
+}
+
+/// A D-flip-flop-like register: writes to `d` appear at `q` only after a
+/// clock edge, giving components honest register-transfer semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Register<T: Copy + Default> {
+    d: T,
+    q: T,
+}
+
+impl<T: Copy + Default> Register<T> {
+    /// A register holding the default value.
+    pub fn new() -> Self {
+        Register::default()
+    }
+
+    /// Schedules `value` for the next edge.
+    pub fn set_d(&mut self, value: T) {
+        self.d = value;
+    }
+
+    /// The registered (visible) value.
+    pub fn q(&self) -> T {
+        self.q
+    }
+
+    /// Clock edge: `q ← d`.
+    pub fn clock(&mut self) {
+        self.q = self.d;
+    }
+
+    /// Resets both latches to the default value.
+    pub fn reset(&mut self) {
+        self.d = T::default();
+        self.q = T::default();
+    }
+}
+
+/// Runs clocked components and counts elapsed cycles.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    cycle: u64,
+}
+
+impl Scheduler {
+    /// A scheduler at cycle 0.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// The current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the design one edge; returns what the design returned.
+    pub fn step(&mut self, design: &mut dyn Clocked) -> bool {
+        self.cycle += 1;
+        design.rising_edge()
+    }
+
+    /// Clocks the design until it finishes or `max_cycles` elapse;
+    /// returns the cycles spent in this call.
+    pub fn run(&mut self, design: &mut dyn Clocked, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        for _ in 0..max_cycles {
+            if !self.step(design) {
+                break;
+            }
+        }
+        self.cycle - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        register: Register<u32>,
+        limit: u32,
+    }
+
+    impl Clocked for Counter {
+        fn rising_edge(&mut self) -> bool {
+            self.register.set_d(self.register.q() + 1);
+            self.register.clock();
+            self.register.q() < self.limit
+        }
+    }
+
+    #[test]
+    fn register_has_edge_semantics() {
+        let mut r: Register<u8> = Register::new();
+        r.set_d(7);
+        assert_eq!(r.q(), 0, "d must not appear before the edge");
+        r.clock();
+        assert_eq!(r.q(), 7);
+        r.reset();
+        assert_eq!(r.q(), 0);
+    }
+
+    #[test]
+    fn scheduler_counts_cycles() {
+        let mut s = Scheduler::new();
+        let mut c = Counter {
+            register: Register::new(),
+            limit: 10,
+        };
+        let spent = s.run(&mut c, 1000);
+        assert_eq!(spent, 10);
+        assert_eq!(s.cycles(), 10);
+        assert_eq!(c.register.q(), 10);
+    }
+
+    #[test]
+    fn scheduler_respects_max_cycles() {
+        let mut s = Scheduler::new();
+        let mut c = Counter {
+            register: Register::new(),
+            limit: u32::MAX,
+        };
+        let spent = s.run(&mut c, 25);
+        assert_eq!(spent, 25);
+    }
+
+    #[test]
+    fn step_by_step() {
+        let mut s = Scheduler::new();
+        let mut c = Counter {
+            register: Register::new(),
+            limit: 2,
+        };
+        assert!(s.step(&mut c));
+        assert!(!s.step(&mut c));
+        assert_eq!(s.cycles(), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! Q-format fixed-point arithmetic with saturation and round-to-nearest.
+//!
+//! A value is an integer `raw` interpreted as `raw / 2^frac` within a
+//! signed `width`-bit word — the representation a synthesized datapath
+//! would carry. Width ≤ 32; intermediates use i64 so products never
+//! overflow before the final quantize-and-saturate step.
+
+use std::fmt;
+
+/// A fixed-point format: total signed word width and fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FxFormat {
+    /// Total word width in bits (2..=32), including the sign.
+    pub width: u32,
+    /// Fractional bits (< width).
+    pub frac: u32,
+}
+
+impl FxFormat {
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ width ≤ 32` and `frac < width`.
+    pub fn new(width: u32, frac: u32) -> Self {
+        assert!((2..=32).contains(&width), "width must be in 2..=32");
+        assert!(frac < width, "frac must be below width");
+        FxFormat { width, frac }
+    }
+
+    /// Largest representable raw value.
+    pub fn max_raw(self) -> i64 {
+        (1i64 << (self.width - 1)) - 1
+    }
+
+    /// Smallest representable raw value.
+    pub fn min_raw(self) -> i64 {
+        -(1i64 << (self.width - 1))
+    }
+
+    /// The quantization step (value of one LSB).
+    pub fn lsb(self) -> f64 {
+        1.0 / (1i64 << self.frac) as f64
+    }
+
+    /// Saturates a raw value into range.
+    pub fn saturate(self, raw: i64) -> i64 {
+        raw.clamp(self.min_raw(), self.max_raw())
+    }
+}
+
+/// A fixed-point number: raw integer plus its format.
+///
+/// # Example
+///
+/// ```
+/// use ofdm_rtl::{Fx, FxFormat};
+///
+/// let q15 = FxFormat::new(16, 15);
+/// let a = Fx::from_f64(0.5, q15);
+/// let b = Fx::from_f64(-0.25, q15);
+/// let p = a.mul(b);
+/// assert!((p.to_f64() + 0.125).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fx {
+    raw: i64,
+    format: FxFormat,
+}
+
+// `add`/`sub`/`mul`/`neg` deliberately mirror datapath operator names while
+// carrying saturation and format assertions that std's operator traits
+// (which cannot document per-call panics as clearly) would hide.
+#[allow(clippy::should_implement_trait)]
+impl Fx {
+    /// Zero in the given format.
+    pub fn zero(format: FxFormat) -> Self {
+        Fx { raw: 0, format }
+    }
+
+    /// Quantizes a float (round-to-nearest, saturating).
+    pub fn from_f64(v: f64, format: FxFormat) -> Self {
+        let scaled = (v * (1i64 << format.frac) as f64).round() as i64;
+        Fx {
+            raw: format.saturate(scaled),
+            format,
+        }
+    }
+
+    /// Builds from a raw integer (saturating).
+    pub fn from_raw(raw: i64, format: FxFormat) -> Self {
+        Fx {
+            raw: format.saturate(raw),
+            format,
+        }
+    }
+
+    /// The raw integer.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The format.
+    pub fn format(self) -> FxFormat {
+        self.format
+    }
+
+    /// Converts back to floating point.
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / (1i64 << self.format.frac) as f64
+    }
+
+    /// Saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ (a hardware datapath would not mix
+    /// word formats without an explicit resize).
+    pub fn add(self, rhs: Fx) -> Fx {
+        assert_eq!(self.format, rhs.format, "format mismatch in add");
+        Fx {
+            raw: self.format.saturate(self.raw + rhs.raw),
+            format: self.format,
+        }
+    }
+
+    /// Saturating subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn sub(self, rhs: Fx) -> Fx {
+        assert_eq!(self.format, rhs.format, "format mismatch in sub");
+        Fx {
+            raw: self.format.saturate(self.raw - rhs.raw),
+            format: self.format,
+        }
+    }
+
+    /// Saturating multiplication with round-to-nearest back into the
+    /// left operand's format.
+    pub fn mul(self, rhs: Fx) -> Fx {
+        let prod = self.raw * rhs.raw; // ≤ 62 bits + sign: safe in i64
+        let shift = rhs.format.frac;
+        let rounded = if shift == 0 {
+            prod
+        } else {
+            (prod + (1i64 << (shift - 1))) >> shift
+        };
+        Fx {
+            raw: self.format.saturate(rounded),
+            format: self.format,
+        }
+    }
+
+    /// Arithmetic right shift (divide by 2^n) with round-to-nearest — the
+    /// per-stage scaling of the fixed-point IFFT.
+    pub fn shr_round(self, n: u32) -> Fx {
+        if n == 0 {
+            return self;
+        }
+        let rounded = (self.raw + (1i64 << (n - 1))) >> n;
+        Fx {
+            raw: self.format.saturate(rounded),
+            format: self.format,
+        }
+    }
+
+    /// Negation (saturating: `-min_raw` saturates to `max_raw`).
+    pub fn neg(self) -> Fx {
+        Fx {
+            raw: self.format.saturate(-self.raw),
+            format: self.format,
+        }
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}q{}.{}", self.to_f64(), self.format.width, self.format.frac)
+    }
+}
+
+/// A fixed-point complex pair sharing one format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FxComplex {
+    /// Real part.
+    pub re: Fx,
+    /// Imaginary part.
+    pub im: Fx,
+}
+
+// Same naming rationale as `Fx`: datapath-named saturating operations.
+#[allow(clippy::should_implement_trait)]
+impl FxComplex {
+    /// Zero in the format.
+    pub fn zero(format: FxFormat) -> Self {
+        FxComplex {
+            re: Fx::zero(format),
+            im: Fx::zero(format),
+        }
+    }
+
+    /// Quantizes a float pair.
+    pub fn from_f64(re: f64, im: f64, format: FxFormat) -> Self {
+        FxComplex {
+            re: Fx::from_f64(re, format),
+            im: Fx::from_f64(im, format),
+        }
+    }
+
+    /// Complex addition.
+    pub fn add(self, rhs: FxComplex) -> FxComplex {
+        FxComplex {
+            re: self.re.add(rhs.re),
+            im: self.im.add(rhs.im),
+        }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, rhs: FxComplex) -> FxComplex {
+        FxComplex {
+            re: self.re.sub(rhs.re),
+            im: self.im.sub(rhs.im),
+        }
+    }
+
+    /// Complex multiplication (4 multiplies + 2 adds, like the datapath).
+    pub fn mul(self, rhs: FxComplex) -> FxComplex {
+        let rr = self.re.mul(rhs.re);
+        let ii = self.im.mul(rhs.im);
+        let ri = self.re.mul(rhs.im);
+        let ir = self.im.mul(rhs.re);
+        FxComplex {
+            re: rr.sub(ii),
+            im: ri.add(ir),
+        }
+    }
+
+    /// Halves both components with rounding (butterfly stage scaling).
+    pub fn half(self) -> FxComplex {
+        FxComplex {
+            re: self.re.shr_round(1),
+            im: self.im.shr_round(1),
+        }
+    }
+
+    /// Converts to floating point `(re, im)`.
+    pub fn to_f64(self) -> (f64, f64) {
+        (self.re.to_f64(), self.im.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q15: FxFormat = FxFormat { width: 16, frac: 15 };
+
+    #[test]
+    fn format_limits() {
+        let f = FxFormat::new(16, 15);
+        assert_eq!(f.max_raw(), 32767);
+        assert_eq!(f.min_raw(), -32768);
+        assert!((f.lsb() - 1.0 / 32768.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn bad_width_panics() {
+        let _ = FxFormat::new(40, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "frac")]
+    fn bad_frac_panics() {
+        let _ = FxFormat::new(16, 16);
+    }
+
+    #[test]
+    fn quantization_roundtrip() {
+        for v in [0.0, 0.5, -0.5, 0.999, -1.0, 0.123456] {
+            let q = Fx::from_f64(v, Q15);
+            assert!((q.to_f64() - v).abs() <= Q15.lsb() / 2.0 + 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn saturation_on_construction() {
+        let q = Fx::from_f64(5.0, Q15);
+        assert_eq!(q.raw(), 32767);
+        let q = Fx::from_f64(-5.0, Q15);
+        assert_eq!(q.raw(), -32768);
+        assert_eq!(Fx::from_raw(99999, Q15).raw(), 32767);
+    }
+
+    #[test]
+    fn add_sub_saturate() {
+        let a = Fx::from_f64(0.9, Q15);
+        let sum = a.add(a);
+        assert_eq!(sum.raw(), Q15.max_raw());
+        let b = Fx::from_f64(-0.9, Q15);
+        assert_eq!(b.add(b).raw(), Q15.min_raw());
+        assert!((a.sub(a).to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_accuracy() {
+        let a = Fx::from_f64(0.5, Q15);
+        let b = Fx::from_f64(0.5, Q15);
+        assert!((a.mul(b).to_f64() - 0.25).abs() < 2.0 * Q15.lsb());
+        // Sign handling.
+        let c = Fx::from_f64(-0.7, Q15);
+        assert!((a.mul(c).to_f64() + 0.35).abs() < 2.0 * Q15.lsb());
+    }
+
+    #[test]
+    fn shr_rounds_to_nearest() {
+        let v = Fx::from_raw(3, Q15);
+        assert_eq!(v.shr_round(1).raw(), 2); // 1.5 → 2
+        let v = Fx::from_raw(-3, Q15);
+        assert_eq!(v.shr_round(1).raw(), -1); // −1.5 → −1 (round half up)
+        assert_eq!(Fx::from_raw(8, Q15).shr_round(2).raw(), 2);
+        assert_eq!(Fx::from_raw(5, Q15).shr_round(0).raw(), 5);
+    }
+
+    #[test]
+    fn negation_saturates_min() {
+        let v = Fx::from_raw(Q15.min_raw(), Q15);
+        assert_eq!(v.neg().raw(), Q15.max_raw());
+        assert_eq!(Fx::from_f64(0.25, Q15).neg().to_f64(), -0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixed_format_add_panics() {
+        let a = Fx::from_f64(0.1, FxFormat::new(16, 15));
+        let b = Fx::from_f64(0.1, FxFormat::new(12, 11));
+        let _ = a.add(b);
+    }
+
+    #[test]
+    fn complex_multiplication_matches_float() {
+        let f = FxFormat::new(18, 16);
+        let a = FxComplex::from_f64(0.3, -0.4, f);
+        let b = FxComplex::from_f64(-0.5, 0.2, f);
+        let p = a.mul(b);
+        // (0.3−0.4i)(−0.5+0.2i) = −0.15+0.06i + 0.2i·... compute: re = −0.15+0.08 = −0.07; im = 0.06+0.2 = 0.26.
+        let (re, im) = p.to_f64();
+        assert!((re + 0.07).abs() < 1e-3, "re {re}");
+        assert!((im - 0.26).abs() < 1e-3, "im {im}");
+    }
+
+    #[test]
+    fn complex_half() {
+        let f = FxFormat::new(16, 12);
+        let a = FxComplex::from_f64(0.5, -0.5, f);
+        let (re, im) = a.half().to_f64();
+        assert!((re - 0.25).abs() < 1e-3);
+        assert!((im + 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let v = Fx::from_f64(0.5, Q15);
+        assert!(v.to_string().contains("q16.15"));
+    }
+
+    #[test]
+    fn wider_formats_quantize_finer() {
+        let coarse = Fx::from_f64(0.123456789, FxFormat::new(8, 6));
+        let fine = Fx::from_f64(0.123456789, FxFormat::new(24, 22));
+        let err_coarse = (coarse.to_f64() - 0.123456789).abs();
+        let err_fine = (fine.to_f64() - 0.123456789).abs();
+        assert!(err_fine < err_coarse / 100.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Cycle-trace recording (a minimal VCD-style dump).
+//!
+//! RT-level debugging lives on waveforms; [`Trace`] records named signals
+//! per cycle and renders a compact text dump for inspection in tests and
+//! examples.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A per-cycle recording of named integer signals.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// signal → (cycle, value) change list.
+    signals: BTreeMap<String, Vec<(u64, i64)>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records `value` for `signal` at `cycle` (only changes are stored).
+    pub fn record(&mut self, signal: &str, cycle: u64, value: i64) {
+        let entries = self.signals.entry(signal.to_owned()).or_default();
+        if entries.last().map(|&(_, v)| v) != Some(value) {
+            entries.push((cycle, value));
+        }
+    }
+
+    /// Number of signals traced.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The change list of one signal.
+    pub fn changes(&self, signal: &str) -> Option<&[(u64, i64)]> {
+        self.signals.get(signal).map(Vec::as_slice)
+    }
+
+    /// The value of `signal` at `cycle` (last change at or before it).
+    pub fn value_at(&self, signal: &str, cycle: u64) -> Option<i64> {
+        let changes = self.signals.get(signal)?;
+        changes
+            .iter()
+            .take_while(|&&(c, _)| c <= cycle)
+            .last()
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders a text dump: one line per signal listing `cycle:value`
+    /// changes.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (name, changes) in &self.signals {
+            let _ = write!(out, "{name}:");
+            for (c, v) in changes {
+                let _ = write!(out, " {c}:{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_changes() {
+        let mut t = Trace::new();
+        t.record("state", 0, 0);
+        t.record("state", 1, 0); // no change — dropped
+        t.record("state", 2, 1);
+        assert_eq!(t.changes("state").unwrap(), &[(0, 0), (2, 1)]);
+        assert_eq!(t.signal_count(), 1);
+    }
+
+    #[test]
+    fn value_lookup() {
+        let mut t = Trace::new();
+        t.record("x", 5, 10);
+        t.record("x", 9, 20);
+        assert_eq!(t.value_at("x", 4), None);
+        assert_eq!(t.value_at("x", 5), Some(10));
+        assert_eq!(t.value_at("x", 8), Some(10));
+        assert_eq!(t.value_at("x", 100), Some(20));
+        assert_eq!(t.value_at("missing", 0), None);
+    }
+
+    #[test]
+    fn dump_contains_signals() {
+        let mut t = Trace::new();
+        t.record("a", 1, 7);
+        t.record("b", 2, -3);
+        let d = t.dump();
+        assert!(d.contains("a: 1:7"));
+        assert!(d.contains("b: 2:-3"));
+    }
+}

@@ -1,0 +1,289 @@
+//! FEC decoding: hard-decision Viterbi with depuncturing.
+//!
+//! Decodes the K≤16 convolutional codes of [`ofdm_core::fec::conv`].
+//! Punctured positions re-enter the stream as erasures that contribute no
+//! branch metric. Reed–Solomon decoding lives with its encoder in
+//! [`ofdm_core::fec::rs`].
+
+use ofdm_core::fec::ConvSpec;
+
+/// Re-inserts punctured positions as `None` (erasures) according to the
+/// spec's pattern; `Some(bit)` elsewhere.
+pub fn depuncture(spec: &ConvSpec, punctured: &[u8]) -> Vec<Option<u8>> {
+    let pattern = &spec.puncture.pattern;
+    if pattern.is_empty() {
+        return punctured.iter().map(|&b| Some(b & 1)).collect();
+    }
+    let mut out = Vec::with_capacity(punctured.len() * 2);
+    let mut src = 0usize;
+    let mut phase = 0usize;
+    while src < punctured.len() {
+        if pattern[phase] {
+            out.push(Some(punctured[src] & 1));
+            src += 1;
+        } else {
+            out.push(None);
+        }
+        phase = (phase + 1) % pattern.len();
+    }
+    // Trailing deleted positions of the final period.
+    while !pattern[phase] {
+        out.push(None);
+        phase = (phase + 1) % pattern.len();
+        if out.len() > punctured.len() * pattern.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// A hard-decision Viterbi decoder for one [`ConvSpec`].
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    constraint: u32,
+    polynomials: Vec<u32>,
+    spec: ConvSpec,
+}
+
+impl ViterbiDecoder {
+    /// Builds a decoder matched to an encoder spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint length exceeds 16 (the trellis would need
+    /// more than 32k states).
+    pub fn new(spec: ConvSpec) -> Self {
+        assert!(
+            spec.constraint >= 2 && spec.constraint <= 16,
+            "constraint length out of range"
+        );
+        ViterbiDecoder {
+            constraint: spec.constraint,
+            polynomials: spec.polynomials.clone(),
+            spec,
+        }
+    }
+
+    /// The matching spec.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// Decodes a *punctured* hard-bit stream produced by
+    /// `ConvCode::encode_terminated`, returning the message bits with the
+    /// K−1 tail bits removed.
+    ///
+    /// `msg_len` is the message length in bits (pre-termination); the
+    /// punctured stream may carry trailing pad bits, which are ignored.
+    pub fn decode_terminated(&self, punctured: &[u8], msg_len: usize) -> Vec<u8> {
+        let tail = (self.constraint - 1) as usize;
+        let total_in = msg_len + tail;
+        let n_streams = self.polynomials.len();
+        let full = depuncture(&self.spec, punctured);
+        let needed = total_in * n_streams;
+        // Pad with erasures if puncturing under-supplied the tail.
+        let mut symbols = full;
+        symbols.resize(needed.max(symbols.len()), None);
+        let mut decoded = self.decode_hard(&symbols[..needed], total_in, true);
+        decoded.truncate(msg_len);
+        decoded
+    }
+
+    /// Core Viterbi over `steps` trellis steps; `symbols` holds
+    /// `steps × n_streams` optional hard bits. When `terminated` the
+    /// survivor ending in state 0 is traced; otherwise the best end state.
+    pub fn decode_hard(&self, symbols: &[Option<u8>], steps: usize, terminated: bool) -> Vec<u8> {
+        let k = self.constraint;
+        let n_states = 1usize << (k - 1);
+        let state_mask = (n_states - 1) as u32;
+        let n_streams = self.polynomials.len();
+        const INF: u32 = u32::MAX / 2;
+
+        // Precompute branch outputs: full register = (state << 1) | bit.
+        let mut outputs = vec![0u32; n_states * 2];
+        for s in 0..n_states {
+            for b in 0..2u32 {
+                let full = ((s as u32) << 1) | b;
+                let mut bits = 0u32;
+                for (i, &g) in self.polynomials.iter().enumerate() {
+                    bits |= ((full & g).count_ones() & 1) << i;
+                }
+                outputs[s * 2 + b as usize] = bits;
+            }
+        }
+
+        let mut metric = vec![INF; n_states];
+        metric[0] = 0;
+        let mut decisions: Vec<Vec<u8>> = Vec::with_capacity(steps);
+
+        for t in 0..steps {
+            let mut next = vec![INF; n_states];
+            let mut dec = vec![0u8; n_states];
+            for s in 0..n_states {
+                let m = metric[s];
+                if m >= INF {
+                    continue;
+                }
+                for b in 0..2u32 {
+                    let out = outputs[s * 2 + b as usize];
+                    let mut bm = 0u32;
+                    for i in 0..n_streams {
+                        if let Some(r) = symbols[t * n_streams + i] {
+                            bm += (((out >> i) & 1) as u8 ^ r) as u32;
+                        }
+                    }
+                    let ns = ((((s as u32) << 1) | b) & state_mask) as usize;
+                    let cand = m + bm;
+                    if cand < next[ns] {
+                        next[ns] = cand;
+                        // Decision: the *previous* state's top bit is what
+                        // falls out; store the input bit and source parity.
+                        dec[ns] = ((s >> (k - 2)) as u8) & 1;
+                    }
+                }
+            }
+            decisions.push(dec);
+            metric = next;
+        }
+
+        // Pick the end state.
+        let mut state = if terminated {
+            0usize
+        } else {
+            metric
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &m)| m)
+                .map(|(s, _)| s)
+                .unwrap_or(0)
+        };
+
+        // Traceback: at each step the stored decision bit is the MSB of the
+        // predecessor state; the input bit is the LSB of the current state.
+        let mut out = vec![0u8; steps];
+        for t in (0..steps).rev() {
+            let input = (state & 1) as u8;
+            out[t] = input;
+            let msb = decisions[t][state] as usize;
+            state = (state >> 1) | (msb << (k as usize - 2));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdm_core::fec::ConvCode;
+
+    fn roundtrip(spec: ConvSpec, msg: &[u8]) -> Vec<u8> {
+        let mut enc = ConvCode::new(spec.clone()).unwrap();
+        let coded = enc.encode_terminated(msg);
+        ViterbiDecoder::new(spec).decode_terminated(&coded, msg.len())
+    }
+
+    fn test_msg(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 7 + 3) % 5 < 2) as u8).collect()
+    }
+
+    #[test]
+    fn clean_rate_half_roundtrip() {
+        let msg = test_msg(100);
+        assert_eq!(roundtrip(ConvSpec::k7_rate_half(), &msg), msg);
+    }
+
+    #[test]
+    fn clean_punctured_roundtrips() {
+        for spec in [
+            ConvSpec::k7_rate_two_thirds(),
+            ConvSpec::k7_rate_three_quarters(),
+            ConvSpec::k7_rate_five_sixths(),
+        ] {
+            let msg = test_msg(120);
+            assert_eq!(roundtrip(spec.clone(), &msg), msg, "{:?}", spec.puncture);
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let spec = ConvSpec::k7_rate_half();
+        let msg = test_msg(200);
+        let mut enc = ConvCode::new(spec.clone()).unwrap();
+        let mut coded = enc.encode_terminated(&msg);
+        // Flip well-separated bits — free distance 10 handles these.
+        for pos in [10usize, 90, 170, 250, 330] {
+            coded[pos] ^= 1;
+        }
+        let decoded = ViterbiDecoder::new(spec).decode_terminated(&coded, msg.len());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn corrects_errors_in_punctured_stream() {
+        let spec = ConvSpec::k7_rate_three_quarters();
+        let msg = test_msg(96);
+        let mut enc = ConvCode::new(spec.clone()).unwrap();
+        let mut coded = enc.encode_terminated(&msg);
+        coded[17] ^= 1;
+        coded[89] ^= 1;
+        let decoded = ViterbiDecoder::new(spec).decode_terminated(&coded, msg.len());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn depuncture_reinserts_erasures() {
+        let spec = ConvSpec::k7_rate_two_thirds(); // pattern 1,1,1,0
+        let full = depuncture(&spec, &[1, 0, 1]);
+        assert_eq!(full, vec![Some(1), Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn depuncture_no_pattern_is_identity() {
+        let spec = ConvSpec::k7_rate_half();
+        let full = depuncture(&spec, &[1, 1, 0]);
+        assert_eq!(full, vec![Some(1), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn short_messages() {
+        let msg = vec![1u8];
+        assert_eq!(roundtrip(ConvSpec::k7_rate_half(), &msg), msg);
+        let msg2 = vec![1u8, 0, 1];
+        assert_eq!(roundtrip(ConvSpec::k7_rate_half(), &msg2), msg2);
+    }
+
+    #[test]
+    fn small_constraint_code() {
+        // K = 3, g = (7, 5) — the classic example code.
+        let spec = ConvSpec {
+            constraint: 3,
+            polynomials: vec![0b111, 0b101],
+            puncture: ofdm_core::fec::PunctureSpec::none(),
+        };
+        let msg = test_msg(64);
+        assert_eq!(roundtrip(spec, &msg), msg);
+    }
+
+    #[test]
+    fn unterminated_decode_best_state() {
+        let spec = ConvSpec::k7_rate_half();
+        let msg = test_msg(50);
+        let mut enc = ConvCode::new(spec.clone()).unwrap();
+        let coded = enc.encode(&msg); // NOT terminated
+        let symbols: Vec<Option<u8>> = coded.iter().map(|&b| Some(b)).collect();
+        let decoded = ViterbiDecoder::new(spec).decode_hard(&symbols, msg.len(), false);
+        // All but the last few bits (no tail protection) must match.
+        assert_eq!(&decoded[..40], &msg[..40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint")]
+    fn giant_constraint_rejected() {
+        let spec = ConvSpec {
+            constraint: 17,
+            polynomials: vec![1],
+            puncture: ofdm_core::fec::PunctureSpec::none(),
+        };
+        let _ = ViterbiDecoder::new(spec);
+    }
+}

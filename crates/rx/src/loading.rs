@@ -1,0 +1,203 @@
+//! Per-tone SNR measurement and DMT bit loading.
+//!
+//! The DSL members of the standard family don't pick one constellation —
+//! they *train*: measure each tone's SNR over the actual loop, then load
+//! `bₖ = ⌊log₂(1 + SNRₖ/Γ)⌋` bits per tone (the Shannon-gap
+//! approximation). This module provides the measurement and the loading
+//! computation; feeding the result back into a Mother Model's
+//! `bit_loading` is exactly the reconfiguration loop the paper's
+//! co-simulation enables (see `examples/adsl_training.rs`).
+
+use ofdm_dsp::Complex64;
+use std::collections::BTreeMap;
+
+/// Per-tone SNR statistics accumulated from known cells.
+#[derive(Debug, Clone, Default)]
+pub struct ToneSnr {
+    /// carrier → (signal power sum, error power sum, count).
+    acc: BTreeMap<i32, (f64, f64, u32)>,
+}
+
+impl ToneSnr {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ToneSnr::default()
+    }
+
+    /// Accumulates one symbol's received cells against the known
+    /// transmitted reference (matched by carrier).
+    pub fn accumulate(
+        &mut self,
+        received: &[(i32, Complex64)],
+        reference: &[(i32, Complex64)],
+    ) {
+        let ref_map: BTreeMap<i32, Complex64> = reference.iter().copied().collect();
+        for &(k, r) in received {
+            if let Some(&x) = ref_map.get(&k) {
+                let e = self.acc.entry(k).or_insert((0.0, 0.0, 0));
+                e.0 += x.norm_sqr();
+                e.1 += (r - x).norm_sqr();
+                e.2 += 1;
+            }
+        }
+    }
+
+    /// Number of tones with measurements.
+    pub fn tone_count(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// The measured SNR (linear) of tone `k`, if observed. Error-free
+    /// tones report `f64::INFINITY`.
+    pub fn snr(&self, k: i32) -> Option<f64> {
+        let &(sig, err, n) = self.acc.get(&k)?;
+        if n == 0 || sig == 0.0 {
+            return None;
+        }
+        Some(if err == 0.0 { f64::INFINITY } else { sig / err })
+    }
+
+    /// The measured SNR of tone `k` in dB.
+    pub fn snr_db(&self, k: i32) -> Option<f64> {
+        self.snr(k).map(|s| 10.0 * s.log10())
+    }
+
+    /// All measured tones, ascending.
+    pub fn tones(&self) -> Vec<i32> {
+        self.acc.keys().copied().collect()
+    }
+}
+
+/// Computes the gap-approximation bit loading `bₖ = ⌊log₂(1 + SNRₖ/Γ)⌋`,
+/// clamped to `max_bits`, for every measured tone. `gap_db` is the SNR
+/// gap Γ (≈ 9.8 dB for uncoded QAM at 1e-7, reduced by coding gain,
+/// increased by margin).
+///
+/// Tones whose loading falls below `min_bits` are reported with 0 bits
+/// (unusable — DMT transmitters leave them dark).
+pub fn gap_loading(snr: &ToneSnr, gap_db: f64, min_bits: u8, max_bits: u8) -> Vec<(i32, u8)> {
+    let gap = 10f64.powf(gap_db / 10.0);
+    snr.tones()
+        .into_iter()
+        .map(|k| {
+            let s = snr.snr(k).unwrap_or(0.0);
+            let b = if s.is_infinite() {
+                max_bits
+            } else {
+                ((1.0 + s / gap).log2().floor().max(0.0) as u8).min(max_bits)
+            };
+            (k, if b < min_bits { 0 } else { b })
+        })
+        .collect()
+}
+
+/// Aggregate bits per DMT symbol of a loading table.
+pub fn total_bits(loading: &[(i32, u8)]) -> usize {
+    loading.iter().map(|&(_, b)| b as usize).sum()
+}
+
+/// Splits a loading table into the carrier list and modulation table the
+/// Mother Model builder wants, dropping dark (0-bit) tones.
+pub fn to_mother_model_loading(
+    loading: &[(i32, u8)],
+) -> (Vec<i32>, Vec<ofdm_core::constellation::Modulation>) {
+    let mut carriers = Vec::new();
+    let mut mods = Vec::new();
+    for &(k, b) in loading {
+        if b > 0 {
+            carriers.push(k);
+            mods.push(ofdm_core::constellation::Modulation::from_bits(b));
+        }
+    }
+    (carriers, mods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(values: &[(i32, f64)]) -> Vec<(i32, Complex64)> {
+        values.iter().map(|&(k, re)| (k, Complex64::new(re, 0.0))).collect()
+    }
+
+    #[test]
+    fn snr_measures_known_noise() {
+        let mut snr = ToneSnr::new();
+        // Tone 5: unit signal, error amplitude 0.1 → SNR = 100 (20 dB).
+        for _ in 0..50 {
+            snr.accumulate(
+                &cells(&[(5, 1.1)]),
+                &cells(&[(5, 1.0)]),
+            );
+        }
+        assert_eq!(snr.tone_count(), 1);
+        assert!((snr.snr(5).unwrap() - 100.0).abs() < 1e-9);
+        assert!((snr.snr_db(5).unwrap() - 20.0).abs() < 1e-9);
+        assert!(snr.snr(6).is_none());
+    }
+
+    #[test]
+    fn error_free_tone_is_infinite() {
+        let mut snr = ToneSnr::new();
+        snr.accumulate(&cells(&[(1, 1.0)]), &cells(&[(1, 1.0)]));
+        assert_eq!(snr.snr(1), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn unmatched_carriers_ignored() {
+        let mut snr = ToneSnr::new();
+        snr.accumulate(&cells(&[(1, 1.0), (9, 5.0)]), &cells(&[(1, 1.0)]));
+        assert_eq!(snr.tone_count(), 1);
+    }
+
+    #[test]
+    fn gap_loading_formula() {
+        let mut snr = ToneSnr::new();
+        // SNR exactly 30 dB with a 9.8 dB gap: b = ⌊log2(1 + 10^2.02)⌋ = ⌊6.72⌋ = 6.
+        for (tone, err) in [(1i32, 10f64.powf(-30.0 / 20.0)), (2, 10f64.powf(-10.0 / 20.0))] {
+            for _ in 0..10 {
+                snr.accumulate(&cells(&[(tone, 1.0 + err)]), &cells(&[(tone, 1.0)]));
+            }
+        }
+        let loading = gap_loading(&snr, 9.8, 2, 15);
+        let b1 = loading.iter().find(|c| c.0 == 1).unwrap().1;
+        let b2 = loading.iter().find(|c| c.0 == 2).unwrap().1;
+        assert_eq!(b1, 6);
+        // 10 dB SNR with 9.8 dB gap → b = ⌊log2(2.047)⌋ = 1 < min 2 → dark.
+        assert_eq!(b2, 0);
+    }
+
+    #[test]
+    fn loading_monotone_in_snr() {
+        let mut snr = ToneSnr::new();
+        for t in 1..=20i32 {
+            let err = 10f64.powf(-(t as f64 * 2.0) / 20.0);
+            snr.accumulate(&cells(&[(t, 1.0 + err)]), &cells(&[(t, 1.0)]));
+        }
+        let loading = gap_loading(&snr, 9.8, 0, 15);
+        for w in loading.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{loading:?}");
+        }
+        // Max clamp honored.
+        assert!(loading.iter().all(|&(_, b)| b <= 15));
+    }
+
+    #[test]
+    fn infinite_snr_gets_max_bits() {
+        let mut snr = ToneSnr::new();
+        snr.accumulate(&cells(&[(3, 1.0)]), &cells(&[(3, 1.0)]));
+        let loading = gap_loading(&snr, 9.8, 2, 14);
+        assert_eq!(loading, vec![(3, 14)]);
+    }
+
+    #[test]
+    fn mother_model_conversion_drops_dark_tones() {
+        let loading = vec![(1, 4u8), (2, 0), (3, 10)];
+        let (carriers, mods) = to_mother_model_loading(&loading);
+        assert_eq!(carriers, vec![1, 3]);
+        assert_eq!(mods.len(), 2);
+        assert_eq!(mods[0].bits_per_symbol(), 4);
+        assert_eq!(mods[1].bits_per_symbol(), 10);
+        assert_eq!(total_bits(&loading), 14);
+    }
+}

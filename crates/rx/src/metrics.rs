@@ -1,0 +1,133 @@
+//! Receiver quality metrics: BER/SER counters and cell-level EVM.
+
+use ofdm_dsp::Complex64;
+
+/// A running bit-error-rate counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BerCounter {
+    errors: u64,
+    total: u64,
+}
+
+impl BerCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        BerCounter::default()
+    }
+
+    /// Compares two bit slices position-by-position (up to the shorter
+    /// length) and accumulates.
+    pub fn update(&mut self, reference: &[u8], received: &[u8]) {
+        let n = reference.len().min(received.len());
+        self.total += n as u64;
+        self.errors += reference[..n]
+            .iter()
+            .zip(&received[..n])
+            .filter(|(a, b)| (**a & 1) != (**b & 1))
+            .count() as u64;
+    }
+
+    /// Bit errors seen so far.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Bits compared so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The error ratio (0.0 for an empty counter).
+    pub fn ber(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+}
+
+/// RMS error-vector magnitude between received and reference cell lists
+/// (matched by carrier index), as a fraction of reference RMS.
+///
+/// Carriers missing from either list are ignored. Returns 0.0 when
+/// nothing overlaps.
+pub fn cell_evm(received: &[(i32, Complex64)], reference: &[(i32, Complex64)]) -> f64 {
+    let mut err = 0.0f64;
+    let mut refpow = 0.0f64;
+    for &(k, r) in received {
+        if let Some(&(_, x)) = reference.iter().find(|c| c.0 == k) {
+            err += (r - x).norm_sqr();
+            refpow += x.norm_sqr();
+        }
+    }
+    if refpow == 0.0 {
+        0.0
+    } else {
+        (err / refpow).sqrt()
+    }
+}
+
+/// EVM in dB (`20·log10`), `-inf` for a perfect match.
+pub fn cell_evm_db(received: &[(i32, Complex64)], reference: &[(i32, Complex64)]) -> f64 {
+    20.0 * cell_evm(received, reference).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_counts() {
+        let mut c = BerCounter::new();
+        c.update(&[0, 1, 1, 0], &[0, 1, 0, 0]);
+        assert_eq!(c.errors(), 1);
+        assert_eq!(c.total(), 4);
+        assert!((c.ber() - 0.25).abs() < 1e-12);
+        c.update(&[1, 1], &[1, 1]);
+        assert!((c.ber() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_empty_is_zero() {
+        assert_eq!(BerCounter::new().ber(), 0.0);
+    }
+
+    #[test]
+    fn ber_handles_length_mismatch() {
+        let mut c = BerCounter::new();
+        c.update(&[1, 1, 1], &[1]);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.errors(), 0);
+    }
+
+    #[test]
+    fn evm_zero_for_identical() {
+        let cells = vec![(1, Complex64::ONE), (-3, Complex64::I)];
+        assert!(cell_evm(&cells, &cells) < 1e-15);
+        assert_eq!(cell_evm_db(&cells, &cells), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn evm_known_offset() {
+        let reference = vec![(1, Complex64::ONE), (2, Complex64::ONE)];
+        let received: Vec<(i32, Complex64)> = reference
+            .iter()
+            .map(|&(k, v)| (k, v + Complex64::new(0.1, 0.0)))
+            .collect();
+        assert!((cell_evm(&received, &reference) - 0.1).abs() < 1e-12);
+        assert!((cell_evm_db(&received, &reference) + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evm_ignores_unmatched_carriers() {
+        let reference = vec![(1, Complex64::ONE)];
+        let received = vec![(1, Complex64::ONE), (9, Complex64::new(100.0, 0.0))];
+        assert!(cell_evm(&received, &reference) < 1e-15);
+    }
+
+    #[test]
+    fn evm_empty_overlap_is_zero() {
+        assert_eq!(cell_evm(&[(1, Complex64::ONE)], &[(2, Complex64::ONE)]), 0.0);
+    }
+}

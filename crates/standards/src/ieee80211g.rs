@@ -1,0 +1,55 @@
+//! IEEE 802.11g (ERP-OFDM, 2.4 GHz).
+//!
+//! 802.11g's ERP-OFDM PHY reuses the 802.11a OFDM parameters verbatim in
+//! the 2.4 GHz band — the textbook case for the Mother Model: the
+//! *baseband* parameter set is byte-identical to 802.11a's, only the RF
+//! carrier (outside the digital model) differs. The preset exists
+//! separately because the paper counts it as its own family member.
+
+use crate::ieee80211a::{self, WlanRate};
+use ofdm_core::params::OfdmParams;
+
+/// RF band the ERP-OFDM PHY occupies (Hz); informational only — the
+/// digital baseband model is carrier-agnostic.
+pub const RF_BAND_HZ: f64 = 2.4e9;
+
+/// The 802.11g parameter set at a given rate: 802.11a's baseband with the
+/// ERP name.
+pub fn params(rate: WlanRate) -> OfdmParams {
+    let mut p = ieee80211a::params(rate);
+    p.name = format!("IEEE 802.11g (ERP-OFDM) {} Mbit/s", rate.mbps());
+    p
+}
+
+/// The registry default: 54 Mbit/s.
+pub fn default_params() -> OfdmParams {
+    params(WlanRate::Mbps54)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseband_identical_to_80211a_except_name() {
+        let g = params(WlanRate::Mbps24);
+        let a = ieee80211a::params(WlanRate::Mbps24);
+        assert_ne!(g.name, a.name);
+        assert!(g.name.contains("802.11g"));
+        // Everything else identical — the whole point.
+        assert_eq!(g.map, a.map);
+        assert_eq!(g.guard, a.guard);
+        assert_eq!(g.modulation, a.modulation);
+        assert_eq!(g.pilots, a.pilots);
+        assert_eq!(g.scrambler, a.scrambler);
+        assert_eq!(g.conv_code, a.conv_code);
+        assert_eq!(g.interleaver, a.interleaver);
+        assert_eq!(g.preamble, a.preamble);
+        assert_eq!(g.sample_rate, a.sample_rate);
+    }
+
+    #[test]
+    fn default_is_54() {
+        assert!(default_params().name.contains("54"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # The OFDM standard family: ten reconfiguration presets
+//!
+//! The paper's *Standard Family* is "the group of following ten standard
+//! specifications: 802.11a, 802.11g, ADSL, DRM, VDSL, DAB, DVB, 802.16a,
+//! HomePlug 1.0, ADSL++". This crate holds exactly that: ten parameter
+//! sets, one per standard, each of which reconfigures the single
+//! [`ofdm_core::MotherModel`] engine into that standard's OFDM transmitter.
+//!
+//! Parameter values are transcribed from the public PHY specifications
+//! (FFT sizes, guard intervals, carrier allocations, pilot structures,
+//! coding chains). Where a standard's detail exceeds behavioral-level
+//! relevance (TPS signalling, exact DRM pilot phases, HomePlug's
+//! frame-control symbols), the presets use documented approximations that
+//! preserve the signal structure an RF system simulation observes — see
+//! DESIGN.md §2.
+//!
+//! # Example
+//!
+//! ```
+//! use ofdm_standards::{default_params, StandardId};
+//! use ofdm_core::MotherModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One engine, ten standards: the paper's core claim.
+//! let mut tx = MotherModel::new(default_params(StandardId::Ieee80211a))?;
+//! for id in StandardId::ALL {
+//!     tx.reconfigure(default_params(id))?; // a pure parameter swap
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adsl;
+pub mod adsl2plus;
+pub mod dab;
+pub mod drm;
+pub mod dvbt;
+pub mod homeplug10;
+pub mod ieee80211a;
+pub mod ieee80211g;
+pub mod ieee80216a;
+pub mod registry;
+pub mod vdsl;
+pub mod wlan_packet;
+
+pub use registry::{default_params, StandardId};

@@ -1,0 +1,158 @@
+//! The standard-family registry: one identifier per family member and a
+//! uniform way to obtain its default Mother Model parameter set.
+
+use ofdm_core::params::OfdmParams;
+use std::fmt;
+
+/// The ten members of the paper's OFDM standard family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StandardId {
+    /// IEEE 802.11a WLAN (5 GHz).
+    Ieee80211a,
+    /// IEEE 802.11g WLAN (2.4 GHz ERP-OFDM).
+    Ieee80211g,
+    /// ADSL (G.992.1) downstream DMT.
+    Adsl,
+    /// ADSL2+ (G.992.5), the paper's "ADSL++".
+    Adsl2Plus,
+    /// VDSL (G.993.1) DMT downstream.
+    Vdsl,
+    /// Digital Radio Mondiale.
+    Drm,
+    /// DAB / Eureka-147.
+    Dab,
+    /// DVB-T terrestrial video.
+    DvbT,
+    /// IEEE 802.16a WirelessMAN-OFDM.
+    Ieee80216a,
+    /// HomePlug 1.0 powerline.
+    HomePlug10,
+}
+
+impl StandardId {
+    /// All ten family members, in the paper's order.
+    pub const ALL: [StandardId; 10] = [
+        StandardId::Ieee80211a,
+        StandardId::Ieee80211g,
+        StandardId::Adsl,
+        StandardId::Drm,
+        StandardId::Vdsl,
+        StandardId::Dab,
+        StandardId::DvbT,
+        StandardId::Ieee80216a,
+        StandardId::HomePlug10,
+        StandardId::Adsl2Plus,
+    ];
+
+    /// Short lowercase identifier (stable, CLI-friendly).
+    pub fn key(self) -> &'static str {
+        match self {
+            StandardId::Ieee80211a => "802.11a",
+            StandardId::Ieee80211g => "802.11g",
+            StandardId::Adsl => "adsl",
+            StandardId::Adsl2Plus => "adsl2+",
+            StandardId::Vdsl => "vdsl",
+            StandardId::Drm => "drm",
+            StandardId::Dab => "dab",
+            StandardId::DvbT => "dvb-t",
+            StandardId::Ieee80216a => "802.16a",
+            StandardId::HomePlug10 => "homeplug",
+        }
+    }
+
+    /// Looks an identifier up by its [`StandardId::key`].
+    pub fn from_key(key: &str) -> Option<StandardId> {
+        StandardId::ALL.into_iter().find(|id| id.key() == key)
+    }
+}
+
+impl fmt::Display for StandardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The default Mother Model parameter set for a standard.
+///
+/// Every standard also offers a richer constructor in its own module
+/// (rates for 802.11a/g, robustness modes for DRM, transmission modes for
+/// DAB, constellations/guards for DVB-T and 802.16a).
+pub fn default_params(id: StandardId) -> OfdmParams {
+    match id {
+        StandardId::Ieee80211a => crate::ieee80211a::default_params(),
+        StandardId::Ieee80211g => crate::ieee80211g::default_params(),
+        StandardId::Adsl => crate::adsl::default_params(),
+        StandardId::Adsl2Plus => crate::adsl2plus::default_params(),
+        StandardId::Vdsl => crate::vdsl::default_params(),
+        StandardId::Drm => crate::drm::default_params(),
+        StandardId::Dab => crate::dab::default_params(),
+        StandardId::DvbT => crate::dvbt::default_params(),
+        StandardId::Ieee80216a => crate::ieee80216a::default_params(),
+        StandardId::HomePlug10 => crate::homeplug10::default_params(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdm_core::MotherModel;
+
+    #[test]
+    fn exactly_ten_standards() {
+        assert_eq!(StandardId::ALL.len(), 10);
+    }
+
+    #[test]
+    fn keys_roundtrip_and_are_unique() {
+        let mut keys: Vec<&str> = StandardId::ALL.iter().map(|id| id.key()).collect();
+        for id in StandardId::ALL {
+            assert_eq!(StandardId::from_key(id.key()), Some(id));
+            assert_eq!(id.to_string(), id.key());
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 10);
+        assert_eq!(StandardId::from_key("nonsense"), None);
+    }
+
+    #[test]
+    fn every_default_preset_validates() {
+        for id in StandardId::ALL {
+            let p = default_params(id);
+            assert!(p.validate().is_ok(), "{id}");
+            assert!(!p.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn one_engine_reconfigures_through_all_ten() {
+        // The paper's headline claim, as a test.
+        let mut tx = MotherModel::new(default_params(StandardId::Ieee80211a)).unwrap();
+        for id in StandardId::ALL {
+            tx.reconfigure(default_params(id)).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(tx.params().name, default_params(id).name);
+        }
+    }
+
+    #[test]
+    fn presets_are_distinct_configurations() {
+        // Any two standards differ in at least one core dimension — except
+        // 802.11a/802.11g, whose basebands are intentionally identical
+        // (ERP-OFDM reuses the 11a PHY; only the RF carrier differs).
+        let all: Vec<_> = StandardId::ALL.iter().map(|&id| default_params(id)).collect();
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                let (a, b) = (&all[i], &all[j]);
+                if a.name.contains("802.11") && b.name.contains("802.11") {
+                    continue;
+                }
+                let differs = a.map != b.map
+                    || (a.sample_rate - b.sample_rate).abs() > 1.0
+                    || a.modulation != b.modulation
+                    || a.pilots != b.pilots
+                    || a.preamble != b.preamble;
+                assert!(differs, "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! DRM sky-wave broadcast scenario: the Mother Model reconfigured to
+//! Digital Radio Mondiale (the paper's second demonstrated standard),
+//! transmitted over a two-ray ionospheric channel with AWGN, then
+//! demodulated with pilot-based channel estimation.
+//!
+//! DRM robustness mode A uses a 288-point transform — not a power of two —
+//! exercising the Bluestein FFT path end to end.
+//!
+//! Run with: `cargo run --release --example drm_broadcast`
+
+use ofdm_core::MotherModel;
+use ofdm_dsp::Complex64;
+use ofdm_rx::demod::OfdmDemodulator;
+use ofdm_rx::eq::{equalize, ChannelEstimate};
+use ofdm_rx::metrics::cell_evm_db;
+use ofdm_standards::drm::{self, RobustnessMode};
+use rfsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for mode in RobustnessMode::ALL {
+        let params = drm::params(mode);
+        println!("--- {} ---", params.name);
+        println!(
+            "  Tu = {} samples ({}), guard = {}, carriers = {}",
+            mode.fft_size(),
+            if mode.fft_size().is_power_of_two() { "radix-2" } else { "Bluestein" },
+            mode.guard_samples(),
+            params.map.data_count(),
+        );
+
+        // Transmit a frame.
+        let mut tx = MotherModel::new(params.clone())?;
+        let payload: Vec<u8> = (0..600).map(|i| ((i * 31 + 7) % 5 < 2) as u8).collect();
+        let frame = tx.transmit(&payload)?;
+
+        // Sky-wave channel: direct ray + delayed echo (inside the guard),
+        // plus 30 dB SNR noise.
+        let mut g = Graph::new();
+        let src = g.add(SamplePlayback::new(frame.signal().clone()));
+        let echo_delay = (mode.guard_samples() / 8).max(1);
+        let ch = g.add(MultipathChannel::two_ray(echo_delay, 0.4));
+        let noise = g.add(AwgnChannel::from_snr_db(30.0, 11));
+        g.chain(&[src, ch, noise])?;
+        g.run()?;
+        let received = g.output(noise).expect("channel ran").clone();
+
+        // Demodulate and estimate the channel from the √2-boosted gain
+        // references. DRM's pilot grid staggers over 3 symbols; merging
+        // those estimates gives the dense grid the standard intends
+        // (the channel is static here).
+        let demod = OfdmDemodulator::new(params.clone());
+        let sym_len = demod.symbol_len();
+        let mut est = ChannelEstimate::new();
+        for s in 0..frame.symbol_count().min(3) {
+            let cells_s = demod
+                .demodulate_at(received.samples(), s * sym_len, s)
+                .expect("symbol present");
+            let pilot_refs: Vec<(i32, Complex64)> = frame.symbol_cells()[s]
+                .iter()
+                .copied()
+                .filter(|c| (c.1.abs() - 2f64.sqrt()).abs() < 1e-9)
+                .collect();
+            est.merge(&ChannelEstimate::from_reference(&cells_s, &pilot_refs));
+        }
+        let rx_cells = demod
+            .demodulate_at(received.samples(), 0, 0)
+            .expect("symbol present");
+        let tx_cells = &frame.symbol_cells()[0];
+        let equalized = equalize(&rx_cells, &est);
+
+        let evm_raw = cell_evm_db(&rx_cells, tx_cells);
+        let evm_eq = cell_evm_db(&equalized, tx_cells);
+        println!("  pilots used for estimation : {}", est.len());
+        println!("  EVM before equalization    : {evm_raw:>6.1} dB");
+        println!("  EVM after  equalization    : {evm_eq:>6.1} dB");
+        assert!(
+            evm_eq < evm_raw,
+            "equalization must improve EVM over a dispersive channel"
+        );
+    }
+    println!("\nOK — all four DRM robustness modes transmitted and equalized");
+    Ok(())
+}

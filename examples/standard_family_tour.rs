@@ -1,0 +1,48 @@
+//! The headline demo: one Mother Model instance reconfigured through all
+//! ten standards of the family — "the changeover from a standard to
+//! another is achieved simply by changing the parameters of one Mother
+//! Model".
+//!
+//! Run with: `cargo run --release --example standard_family_tour`
+
+use ofdm_core::MotherModel;
+use ofdm_rx::receiver::ReferenceReceiver;
+use ofdm_standards::{default_params, StandardId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>8} {:>7} {:>9} {:>12} {:>8} {:>9} {:>5}",
+        "standard", "FFT", "guard", "carriers", "rate (MHz)", "PAPR dB", "symbols", "BER"
+    );
+
+    // ONE transmitter object for all ten standards.
+    let mut tx = MotherModel::new(default_params(StandardId::Ieee80211a))?;
+
+    for id in StandardId::ALL {
+        let params = default_params(id);
+        tx.reconfigure(params.clone())?; // ← the whole "changeover"
+
+        let payload: Vec<u8> = (0..1000).map(|i| ((i * 29 + 1) % 3 == 0) as u8).collect();
+        let frame = tx.transmit(&payload)?;
+
+        let mut rx = ReferenceReceiver::new(params.clone())?;
+        let decoded = rx.receive(frame.signal(), payload.len())?;
+        let errors = payload.iter().zip(&decoded).filter(|(a, b)| a != b).count();
+
+        println!(
+            "{:<10} {:>8} {:>7} {:>9} {:>12.3} {:>8.2} {:>9} {:>5}",
+            id.key(),
+            params.map.fft_size(),
+            params.guard.samples(params.map.fft_size()),
+            params.map.data_count(),
+            params.sample_rate / 1e6,
+            frame.signal().papr_db(),
+            frame.symbol_count(),
+            errors,
+        );
+        assert_eq!(errors, 0, "{id}: loopback must be error-free");
+    }
+
+    println!("\nOK — ten standards, one model, zero redesigns, zero bit errors");
+    Ok(())
+}

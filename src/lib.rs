@@ -1,0 +1,18 @@
+//! # Reconfigurable OFDM IP block family
+//!
+//! Meta-crate re-exporting the whole system: the [Mother Model]
+//! (`ofdm_core`), the ten standard presets (`ofdm_standards`), the RF system
+//! simulator (`rfsim`), the RT-level baseline (`ofdm_rtl`) and the reference
+//! receivers (`ofdm_rx`).
+//!
+//! See the repository README for the quickstart and DESIGN.md for the
+//! architecture.
+//!
+//! [Mother Model]: ofdm_core
+
+pub use ofdm_core as core;
+pub use ofdm_dsp as dsp;
+pub use ofdm_rtl as rtl;
+pub use ofdm_rx as rx;
+pub use ofdm_standards as standards;
+pub use rfsim;
