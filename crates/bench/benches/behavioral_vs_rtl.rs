@@ -25,14 +25,10 @@ fn bench_tx_abstractions(c: &mut Criterion) {
                 b.iter(|| black_box(tx.transmit(bits).expect("transmits")));
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("rt_level", n_symbols),
-            &bits,
-            |b, bits| {
-                let tx = Tx80211aRtl::new(RATE);
-                b.iter(|| black_box(tx.transmit(bits)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rt_level", n_symbols), &bits, |b, bits| {
+            let tx = Tx80211aRtl::new(RATE);
+            b.iter(|| black_box(tx.transmit(bits)));
+        });
     }
     group.finish();
 }

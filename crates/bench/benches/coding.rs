@@ -64,5 +64,10 @@ fn bench_reed_solomon(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv_encode, bench_viterbi, bench_reed_solomon);
+criterion_group!(
+    benches,
+    bench_conv_encode,
+    bench_viterbi,
+    bench_reed_solomon
+);
 criterion_main!(benches);

@@ -20,7 +20,11 @@ fn bench_engines(c: &mut Criterion) {
     for &n in &[112usize, 128, 176, 256, 288] {
         let fft = Fft::new(n);
         let input = test_vector(n);
-        let label = if fft.is_radix2() { "radix2" } else { "bluestein" };
+        let label = if fft.is_radix2() {
+            "radix2"
+        } else {
+            "bluestein"
+        };
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new(label, n), &input, |b, input| {
             let mut buf = input.clone();

@@ -14,8 +14,8 @@ fn bench_reconfigure(c: &mut Criterion) {
     for id in StandardId::ALL {
         let params = default_params(id);
         group.bench_with_input(BenchmarkId::from_parameter(id.key()), &params, |b, p| {
-            let mut tx = MotherModel::new(default_params(StandardId::Ieee80211a))
-                .expect("valid preset");
+            let mut tx =
+                MotherModel::new(default_params(StandardId::Ieee80211a)).expect("valid preset");
             b.iter(|| {
                 tx.reconfigure(black_box(p.clone())).expect("valid preset");
             });

@@ -28,13 +28,18 @@ fn bench_blocks(c: &mut Criterion) {
     run("dac_10bit", Box::new(Dac::new(10, 4.0)));
     run("rapp_pa", Box::new(RappPa::new(1.0, 3.0)));
     run("saleh_pa", Box::new(SalehPa::classic()));
-    run("lo_phase_noise", Box::new(LocalOscillator::new(1e3, 100.0, 1)));
+    run(
+        "lo_phase_noise",
+        Box::new(LocalOscillator::new(1e3, 100.0, 1)),
+    );
     run("iq_imbalance", Box::new(IqImbalance::new(0.3, 1.5)));
     run("awgn", Box::new(AwgnChannel::from_snr_db(20.0, 2)));
     run(
         "multipath_8tap",
         Box::new(MultipathChannel::new(
-            (0..8).map(|i| ofdm_dsp::Complex64::new(0.5f64.powi(i), 0.0)).collect(),
+            (0..8)
+                .map(|i| ofdm_dsp::Complex64::new(0.5f64.powi(i), 0.0))
+                .collect(),
         )),
     );
     run("butterworth_6", Box::new(ButterworthLowpass::new(6, 5e6)));

@@ -19,8 +19,17 @@ use ofdm_standards::ieee80211a::{self, WlanRate};
 use ofdm_standards::{default_params, StandardId};
 use rfsim::prelude::*;
 
+const EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| !EXPERIMENTS.contains(&a.as_str())) {
+        eprintln!(
+            "error: unknown experiment `{bad}`; one of: {}",
+            EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if want("e1") {
@@ -63,22 +72,30 @@ fn e8_dab_mobile() -> Result<(), Box<dyn std::error::Error>> {
     let sent = payload_bits(6000, 31);
     let mut tx = MotherModel::new(params.clone())?;
     let frame = tx.transmit(&sent)?;
-    let mut bers = Vec::new();
-    for &doppler in &[2.0f64, 20.0, 100.0, 250.0, 500.0] {
+    // Each Doppler point is an independent graph simulation: fan them out
+    // over the scenario runner (results come back in sweep order).
+    let dopplers = [2.0f64, 20.0, 100.0, 250.0, 500.0];
+    let bers = run_scenarios(Scenarios::new(dopplers.len()), |i| -> Result<f64, String> {
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let fading = g.add(RayleighChannel::new(vec![(0, 0.7), (30, 0.3)], doppler, 3));
+        let fading = g.add(RayleighChannel::new(
+            vec![(0, 0.7), (30, 0.3)],
+            dopplers[i],
+            3,
+        ));
         let noise = g.add(AwgnChannel::from_snr_db(28.0, 9));
-        g.chain(&[src, fading, noise])?;
-        g.run()?;
-        let received = g.output(noise).expect("ran").clone();
-        let mut rx = ReferenceReceiver::new(params.clone())?;
-        let got = rx.receive(&received, sent.len())?;
-        let ber = sent.iter().zip(&got).filter(|(a, b)| a != b).count() as f64
-            / sent.len() as f64;
+        g.chain(&[src, fading, noise]).map_err(|e| e.to_string())?;
+        g.run().map_err(|e| e.to_string())?;
+        let received = g.output(noise).expect("ran");
+        let mut rx = ReferenceReceiver::new(params.clone()).map_err(|e| e.to_string())?;
+        let got = rx
+            .receive(received, sent.len())
+            .map_err(|e| e.to_string())?;
+        Ok(sent.iter().zip(&got).filter(|(a, b)| a != b).count() as f64 / sent.len() as f64)
+    })?;
+    for (&doppler, &ber) in dopplers.iter().zip(&bers) {
         // VHF band III ≈ 200 MHz: v = f_d·c/f ≈ f_d · 5.4 km/h per Hz.
         println!("| {doppler:.0} | {:.0} | {ber:.2e} |", doppler * 5.4);
-        bers.push(ber);
     }
     assert!(
         bers.last().expect("nonempty") > bers.first().expect("nonempty"),
@@ -200,7 +217,10 @@ fn e2_cosimulation() -> Result<(), Box<dyn std::error::Error>> {
             evm2,
         );
         assert!(evm2 > evm8, "{id}: harder PA drive must degrade EVM");
-        assert!(oob2 > oob8, "{id}: harder PA drive must raise spectral regrowth");
+        assert!(
+            oob2 > oob8,
+            "{id}: harder PA drive must raise spectral regrowth"
+        );
     }
     Ok(())
 }
@@ -268,6 +288,44 @@ fn e3_simulation_time() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\n(RTL kernel here is compiled Rust with one micro-op/cycle — a *lower bound* on");
     println!("real HDL-simulator cost; the paper's APLAC-vs-VHDL gap is far larger.)");
+
+    // Batch vs chunked streaming scheduler on a streaming-capable chain
+    // (OFDM source → PA → power meter, 80-sample chunks ≙ one symbol).
+    // Streaming keeps per-edge memory at O(chunk) instead of O(frame).
+    println!("\nBatch vs chunked streaming scheduler (80-sample chunks):\n");
+    println!("| symbols | batch `run` | streaming `run_streaming` | stream/batch |");
+    println!("|---|---|---|---|");
+    for &n_symbols in &[10usize, 50, 200] {
+        let bits = n_symbols * rate.n_cbps() / 2 - 6;
+        let chain_once = |streaming: bool| -> f64 {
+            time_per_run(
+                || {
+                    let mut g = Graph::new();
+                    let src = g.add(
+                        OfdmSource::new(ieee80211a::params(rate), bits, 1).expect("valid preset"),
+                    );
+                    let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(8.0));
+                    let meter = g.add(PowerMeter::new());
+                    g.chain(&[src, pa, meter]).expect("wires");
+                    if streaming {
+                        g.run_streaming(80).expect("runs");
+                    } else {
+                        g.run().expect("runs");
+                    }
+                },
+                3,
+            )
+        };
+        let t_batch = chain_once(false);
+        let t_stream = chain_once(true);
+        println!(
+            "| {} | {} | {} | {:.2}× |",
+            n_symbols,
+            fmt_secs(t_batch),
+            fmt_secs(t_stream),
+            t_stream / t_batch.max(1e-12),
+        );
+    }
     Ok(())
 }
 
@@ -366,31 +424,46 @@ fn e7_ber_waterfall() -> Result<(), Box<dyn std::error::Error>> {
 
     let n_bits = 48_000;
     let sent = payload_bits(n_bits, 77);
-    let mut results = Vec::new();
-    for &snr in &[2.0f64, 4.0, 6.0, 8.0, 10.0] {
-        let ber_for = |params: &ofdm_core::params::OfdmParams, seed: u64| -> f64 {
-            let mut tx = MotherModel::new(params.clone()).expect("valid");
-            let frame = tx.transmit(&sent).expect("tx");
-            let mut g = Graph::new();
-            let src = g.add(SamplePlayback::new(frame.signal().clone()));
-            let ch = g.add(AwgnChannel::from_snr_db(snr, seed));
-            g.chain(&[src, ch]).expect("wiring");
-            g.run().expect("runs");
-            let received = g.output(ch).expect("ran").clone();
-            let mut rx = ReferenceReceiver::new(params.clone()).expect("valid");
-            let got = rx.receive(&received, sent.len()).expect("decodes");
-            sent.iter().zip(&got).filter(|(a, b)| a != b).count() as f64 / n_bits as f64
-        };
-        let raw = ber_for(&uncoded_params, 1000 + snr as u64);
-        let coded = ber_for(&coded_params, 2000 + snr as u64);
+    let ber_for = |params: &ofdm_core::params::OfdmParams, snr: f64, seed: u64| -> f64 {
+        let mut tx = MotherModel::new(params.clone()).expect("valid");
+        let frame = tx.transmit(&sent).expect("tx");
+        let mut g = Graph::new();
+        let src = g.add(SamplePlayback::new(frame.signal().clone()));
+        let ch = g.add(AwgnChannel::from_snr_db(snr, seed));
+        g.chain(&[src, ch]).expect("wiring");
+        g.run().expect("runs");
+        let received = g.output(ch).expect("ran").clone();
+        let mut rx = ReferenceReceiver::new(params.clone()).expect("valid");
+        let got = rx.receive(&received, sent.len()).expect("decodes");
+        sent.iter().zip(&got).filter(|(a, b)| a != b).count() as f64 / n_bits as f64
+    };
+    // The SNR points are independent scenarios; the seeds are functions of
+    // the SNR alone, so the parallel sweep is bit-identical to the old
+    // sequential loop.
+    let snrs = [2.0f64, 4.0, 6.0, 8.0, 10.0];
+    let results = run_scenarios(
+        Scenarios::new(snrs.len()),
+        |i| -> Result<(f64, f64), String> {
+            let snr = snrs[i];
+            let raw = ber_for(&uncoded_params, snr, 1000 + snr as u64);
+            let coded = ber_for(&coded_params, snr, 2000 + snr as u64);
+            Ok((raw, coded))
+        },
+    )?;
+    for (&snr, &(raw, coded)) in snrs.iter().zip(&results) {
         println!("| {snr:.0} | {raw:.2e} | {coded:.2e} |");
-        results.push((raw, coded));
     }
     // The waterfall shape: monotone in SNR, and coding wins decisively at
     // moderate SNR.
-    assert!(results.windows(2).all(|w| w[1].0 <= w[0].0 * 1.2), "uncoded BER must fall");
+    assert!(
+        results.windows(2).all(|w| w[1].0 <= w[0].0 * 1.2),
+        "uncoded BER must fall"
+    );
     let (raw8, coded8) = results[3]; // 8 dB
-    assert!(coded8 < raw8 / 20.0, "coding gain at 8 dB: {raw8:.2e} vs {coded8:.2e}");
+    assert!(
+        coded8 < raw8 / 20.0,
+        "coding gain at 8 dB: {raw8:.2e} vs {coded8:.2e}"
+    );
     Ok(())
 }
 
@@ -404,23 +477,27 @@ fn e6_impairments() -> Result<(), Box<dyn std::error::Error>> {
     println!("EVM vs PA input back-off (Rapp p=3):\n");
     println!("| IBO (dB) | EVM (dB) | 64-QAM limit −25 dB |");
     println!("|---|---|---|");
-    let mut evms = Vec::new();
-    for &ibo in &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0] {
+    let ibos = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+    let evms = run_scenarios(Scenarios::new(ibos.len()), |i| -> Result<f64, String> {
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(ibo));
-        g.chain(&[src, pa])?;
-        g.run()?;
-        let out = g.output(pa).expect("ran").clone();
-        let evm = evm_after_gain_correction(&p, &frame, &out, 6);
+        let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(ibos[i]));
+        g.chain(&[src, pa]).map_err(|e| e.to_string())?;
+        g.run().map_err(|e| e.to_string())?;
+        let out = g.output(pa).expect("ran");
+        Ok(evm_after_gain_correction(&p, &frame, out, 6))
+    })?;
+    for (&ibo, &evm) in ibos.iter().zip(&evms) {
         println!(
             "| {ibo:.0} | {evm:.1} | {} |",
             if evm < -25.0 { "pass" } else { "FAIL" }
         );
-        evms.push(evm);
     }
     // More back-off → monotonically better EVM, by a large margin overall.
-    assert!(evms.windows(2).all(|w| w[1] < w[0] + 0.2), "EVM must improve with back-off");
+    assert!(
+        evms.windows(2).all(|w| w[1] < w[0] + 0.2),
+        "EVM must improve with back-off"
+    );
     assert!(
         evms.last().expect("nonempty") < &(evms[0] - 10.0),
         "12 dB of back-off must buy well over 10 dB of EVM"
@@ -429,14 +506,20 @@ fn e6_impairments() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nEVM vs LO phase-noise linewidth:\n");
     println!("| linewidth (Hz) | EVM (dB) |");
     println!("|---|---|");
-    for &lw in &[0.0, 10.0, 100.0, 1_000.0, 10_000.0] {
-        let mut g = Graph::new();
-        let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let lo = g.add(LocalOscillator::new(0.0, lw, 13));
-        g.chain(&[src, lo])?;
-        g.run()?;
-        let out = g.output(lo).expect("ran").clone();
-        let evm = evm_after_gain_correction(&p, &frame, &out, 6);
+    let linewidths = [0.0, 10.0, 100.0, 1_000.0, 10_000.0];
+    let lo_evms = run_scenarios(
+        Scenarios::new(linewidths.len()),
+        |i| -> Result<f64, String> {
+            let mut g = Graph::new();
+            let src = g.add(SamplePlayback::new(frame.signal().clone()));
+            let lo = g.add(LocalOscillator::new(0.0, linewidths[i], 13));
+            g.chain(&[src, lo]).map_err(|e| e.to_string())?;
+            g.run().map_err(|e| e.to_string())?;
+            let out = g.output(lo).expect("ran");
+            Ok(evm_after_gain_correction(&p, &frame, out, 6))
+        },
+    )?;
+    for (&lw, &evm) in linewidths.iter().zip(&lo_evms) {
         println!("| {lw:.0} | {evm:.1} |");
     }
     Ok(())

@@ -22,7 +22,8 @@ pub fn payload_bits(n: usize, seed: u64) -> Vec<u8> {
 /// to be valid.
 pub fn transmit_frame(params: &OfdmParams, n_bits: usize, seed: u64) -> Frame {
     let mut tx = MotherModel::new(params.clone()).expect("valid preset");
-    tx.transmit(&payload_bits(n_bits, seed)).expect("nonempty payload")
+    tx.transmit(&payload_bits(n_bits, seed))
+        .expect("nonempty payload")
 }
 
 /// Runs a bit-exact loopback, returning the number of bit errors.
@@ -35,7 +36,9 @@ pub fn loopback_errors(params: &OfdmParams, n_bits: usize, seed: u64) -> usize {
     let mut tx = MotherModel::new(params.clone()).expect("valid preset");
     let frame = tx.transmit(&sent).expect("nonempty payload");
     let mut rx = ReferenceReceiver::new(params.clone()).expect("valid preset");
-    let got = rx.receive(frame.signal(), sent.len()).expect("loopback decodes");
+    let got = rx
+        .receive(frame.signal(), sent.len())
+        .expect("loopback decodes");
     sent.iter().zip(&got).filter(|(a, b)| a != b).count()
 }
 
@@ -149,7 +152,12 @@ mod tests {
 
     #[test]
     fn timing_is_positive() {
-        let t = time_per_run(|| { std::hint::black_box(1 + 1); }, 10);
+        let t = time_per_run(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            10,
+        );
         assert!(t >= 0.0);
     }
 }

@@ -61,10 +61,9 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::BadFftSize(n) => write!(f, "unusable FFT size {n}"),
-            ConfigError::CarrierOutOfRange { carrier, fft_size } => write!(
-                f,
-                "carrier {carrier} does not fit an {fft_size}-point grid"
-            ),
+            ConfigError::CarrierOutOfRange { carrier, fft_size } => {
+                write!(f, "carrier {carrier} does not fit an {fft_size}-point grid")
+            }
             ConfigError::CarrierCollision { carrier } => {
                 write!(f, "carrier {carrier} is assigned more than one role")
             }
@@ -122,10 +121,19 @@ mod tests {
     fn display_messages_are_nonempty() {
         let errors: Vec<ConfigError> = vec![
             ConfigError::BadFftSize(0),
-            ConfigError::CarrierOutOfRange { carrier: 99, fft_size: 64 },
+            ConfigError::CarrierOutOfRange {
+                carrier: 99,
+                fft_size: 64,
+            },
             ConfigError::CarrierCollision { carrier: 7 },
-            ConfigError::BadCyclicPrefix { cp: 64, fft_size: 64 },
-            ConfigError::ModulationTableMismatch { got: 3, expected: 48 },
+            ConfigError::BadCyclicPrefix {
+                cp: 64,
+                fft_size: 64,
+            },
+            ConfigError::ModulationTableMismatch {
+                got: 3,
+                expected: 48,
+            },
             ConfigError::HermitianCarrierInvalid { carrier: -3 },
             ConfigError::BadSampleRate(-1.0),
             ConfigError::BadPuncturePattern,

@@ -81,7 +81,9 @@ pub struct PunctureSpec {
 impl PunctureSpec {
     /// No puncturing (empty pattern).
     pub fn none() -> Self {
-        PunctureSpec { pattern: Vec::new() }
+        PunctureSpec {
+            pattern: Vec::new(),
+        }
     }
 
     /// Rate 2/3 from a rate-1/2 mother code: keep a₁b₁a₂, drop b₂.
@@ -145,7 +147,11 @@ impl ConvCode {
             return Err(ConfigError::BadPuncturePattern);
         }
         if !spec.puncture.pattern.is_empty()
-            && !spec.puncture.pattern.len().is_multiple_of(spec.polynomials.len())
+            && !spec
+                .puncture
+                .pattern
+                .len()
+                .is_multiple_of(spec.polynomials.len())
         {
             return Err(ConfigError::BadPuncturePattern);
         }
@@ -306,7 +312,10 @@ mod tests {
             },
             ..ConvSpec::k7_rate_half()
         };
-        assert_eq!(ConvCode::new(spec).unwrap_err(), ConfigError::BadPuncturePattern);
+        assert_eq!(
+            ConvCode::new(spec).unwrap_err(),
+            ConfigError::BadPuncturePattern
+        );
     }
 
     #[test]
@@ -317,7 +326,10 @@ mod tests {
             },
             ..ConvSpec::k7_rate_half()
         };
-        assert_eq!(ConvCode::new(spec).unwrap_err(), ConfigError::BadPuncturePattern);
+        assert_eq!(
+            ConvCode::new(spec).unwrap_err(),
+            ConfigError::BadPuncturePattern
+        );
     }
 
     #[test]
@@ -326,7 +338,10 @@ mod tests {
             constraint: 0,
             ..ConvSpec::k7_rate_half()
         };
-        assert!(matches!(ConvCode::new(spec).unwrap_err(), ConfigError::Invalid(_)));
+        assert!(matches!(
+            ConvCode::new(spec).unwrap_err(),
+            ConfigError::Invalid(_)
+        ));
     }
 
     #[test]
@@ -335,6 +350,9 @@ mod tests {
             polynomials: vec![],
             ..ConvSpec::k7_rate_half()
         };
-        assert!(matches!(ConvCode::new(spec).unwrap_err(), ConfigError::Invalid(_)));
+        assert!(matches!(
+            ConvCode::new(spec).unwrap_err(),
+            ConfigError::Invalid(_)
+        ));
     }
 }

@@ -26,7 +26,10 @@ impl std::fmt::Display for RsError {
         match self {
             RsError::TooManyErrors => write!(f, "uncorrectable block: too many symbol errors"),
             RsError::WrongLength { got, expected } => {
-                write!(f, "block of {got} bytes does not match code length {expected}")
+                write!(
+                    f,
+                    "block of {got} bytes does not match code length {expected}"
+                )
             }
         }
     }
@@ -67,7 +70,10 @@ impl ReedSolomon {
     /// Panics unless `0 < k < n ≤ 255` and `n − k` is even.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k > 0 && k < n && n <= 255, "need 0 < k < n <= 255");
-        assert!((n - k).is_multiple_of(2), "n - k must be even (2t parity symbols)");
+        assert!(
+            (n - k).is_multiple_of(2),
+            "n - k must be even (2t parity symbols)"
+        );
         let gf = Gf256::new();
         let two_t = n - k;
         // generator(x) = Π_{i=0}^{2t-1} (x − α^i).
@@ -75,7 +81,12 @@ impl ReedSolomon {
         for i in 0..two_t {
             generator = gf.poly_mul(&generator, &[1, gf.alpha_pow(i)]);
         }
-        ReedSolomon { gf, n, k, generator }
+        ReedSolomon {
+            gf,
+            n,
+            k,
+            generator,
+        }
     }
 
     /// The DVB-T outer code: RS(204, 188), t = 8.
@@ -143,7 +154,9 @@ impl ReedSolomon {
         let two_t = self.n - self.k;
         // Work on the full-length codeword (virtual leading zeros).
         // Syndromes S_i = r(α^i).
-        let syndromes: Vec<u8> = (0..two_t).map(|i| gf.poly_eval(recv, gf.alpha_pow(i))).collect();
+        let syndromes: Vec<u8> = (0..two_t)
+            .map(|i| gf.poly_eval(recv, gf.alpha_pow(i)))
+            .collect();
         if syndromes.iter().all(|&s| s == 0) {
             return Ok(recv[..self.k].to_vec());
         }
@@ -357,7 +370,10 @@ mod tests {
         let rs = ReedSolomon::new(20, 12);
         assert_eq!(
             rs.decode(&[0u8; 19]).unwrap_err(),
-            RsError::WrongLength { got: 19, expected: 20 }
+            RsError::WrongLength {
+                got: 19,
+                expected: 20
+            }
         );
     }
 
@@ -385,7 +401,10 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!RsError::TooManyErrors.to_string().is_empty());
-        let e = RsError::WrongLength { got: 1, expected: 2 };
+        let e = RsError::WrongLength {
+            got: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains('1'));
     }
 }

@@ -111,7 +111,9 @@ mod tests {
         };
         assert_eq!(fd.reference_cells().unwrap().len(), 1);
         assert!(PreambleElement::Null { len: 1 }.reference_cells().is_none());
-        assert!(PreambleElement::TimeDomain(vec![]).reference_cells().is_none());
+        assert!(PreambleElement::TimeDomain(vec![])
+            .reference_cells()
+            .is_none());
     }
 
     #[test]

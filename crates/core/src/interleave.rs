@@ -209,7 +209,11 @@ mod tests {
         // Adjacent coded bits must land on distant subcarriers: for
         // n_cbps = 48 the 802.11a first permutation sends bit 0 → 0 and
         // bit 1 → 3 (16 columns of 3).
-        let il = Interleaver::new(InterleaverSpec::Ieee80211 { n_cbps: 48, n_bpsc: 1 }).unwrap();
+        let il = Interleaver::new(InterleaverSpec::Ieee80211 {
+            n_cbps: 48,
+            n_bpsc: 1,
+        })
+        .unwrap();
         let mut input = vec![0u8; 48];
         input[1] = 1;
         let out = il.interleave(&input);
@@ -219,7 +223,11 @@ mod tests {
 
     #[test]
     fn multi_block_streams() {
-        let il = Interleaver::new(InterleaverSpec::Ieee80211 { n_cbps: 96, n_bpsc: 2 }).unwrap();
+        let il = Interleaver::new(InterleaverSpec::Ieee80211 {
+            n_cbps: 96,
+            n_bpsc: 2,
+        })
+        .unwrap();
         let bits: Vec<u8> = (0..96 * 4).map(|i| ((i / 3) % 2) as u8).collect();
         assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
     }
@@ -234,8 +242,16 @@ mod tests {
     #[test]
     fn invalid_specs_rejected() {
         assert!(Interleaver::new(InterleaverSpec::BlockRowCol { rows: 0, cols: 3 }).is_err());
-        assert!(Interleaver::new(InterleaverSpec::Ieee80211 { n_cbps: 50, n_bpsc: 1 }).is_err());
-        assert!(Interleaver::new(InterleaverSpec::Ieee80211 { n_cbps: 48, n_bpsc: 0 }).is_err());
+        assert!(Interleaver::new(InterleaverSpec::Ieee80211 {
+            n_cbps: 50,
+            n_bpsc: 1
+        })
+        .is_err());
+        assert!(Interleaver::new(InterleaverSpec::Ieee80211 {
+            n_cbps: 48,
+            n_bpsc: 0
+        })
+        .is_err());
     }
 
     #[test]
@@ -245,7 +261,11 @@ mod tests {
             Some(15)
         );
         assert_eq!(
-            InterleaverSpec::Ieee80211 { n_cbps: 192, n_bpsc: 4 }.block_len(),
+            InterleaverSpec::Ieee80211 {
+                n_cbps: 192,
+                n_bpsc: 4
+            }
+            .block_len(),
             Some(192)
         );
     }

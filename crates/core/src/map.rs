@@ -181,9 +181,15 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = SubcarrierMap::new(64, vec![32], false).unwrap_err();
-        assert!(matches!(err, ConfigError::CarrierOutOfRange { carrier: 32, .. }));
+        assert!(matches!(
+            err,
+            ConfigError::CarrierOutOfRange { carrier: 32, .. }
+        ));
         let err = SubcarrierMap::new(64, vec![-33], false).unwrap_err();
-        assert!(matches!(err, ConfigError::CarrierOutOfRange { carrier: -33, .. }));
+        assert!(matches!(
+            err,
+            ConfigError::CarrierOutOfRange { carrier: -33, .. }
+        ));
         // Boundary cases allowed: −32 is a valid bin for N = 64; 31 likewise.
         assert!(SubcarrierMap::new(64, vec![-32, 31], false).is_ok());
     }

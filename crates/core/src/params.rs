@@ -111,7 +111,9 @@ impl OfdmParams {
         let pilot_carriers: Vec<i32> = match &self.pilots {
             PilotSpec::None => Vec::new(),
             PilotSpec::Fixed(cells) => cells.iter().map(|c| c.0).collect(),
-            PilotSpec::SymbolPolarity { carriers, signs, .. } => {
+            PilotSpec::SymbolPolarity {
+                carriers, signs, ..
+            } => {
                 if carriers.len() != signs.len() {
                     return Err(ConfigError::Invalid(
                         "pilot carriers and signs must have equal length".into(),
@@ -119,7 +121,12 @@ impl OfdmParams {
                 }
                 carriers.clone()
             }
-            PilotSpec::ScatteredGrid { used_min, used_max, spacing, .. } => {
+            PilotSpec::ScatteredGrid {
+                used_min,
+                used_max,
+                spacing,
+                ..
+            } => {
                 if *spacing == 0 {
                     return Err(ConfigError::Invalid("pilot spacing must be nonzero".into()));
                 }
@@ -132,7 +139,10 @@ impl OfdmParams {
                     return Err(ConfigError::HermitianCarrierInvalid { carrier: k });
                 }
             } else if k < -half || k >= half {
-                return Err(ConfigError::CarrierOutOfRange { carrier: k, fft_size: n });
+                return Err(ConfigError::CarrierOutOfRange {
+                    carrier: k,
+                    fft_size: n,
+                });
             }
         }
         // Per-carrier tables must match the data-carrier count.
@@ -153,9 +163,7 @@ impl OfdmParams {
             }
         }
         // Differential modulation needs a phase reference in the preamble.
-        if self.differential
-            && !self.preamble.iter().any(|e| e.reference_cells().is_some())
-        {
+        if self.differential && !self.preamble.iter().any(|e| e.reference_cells().is_some()) {
             return Err(ConfigError::DifferentialNeedsReference);
         }
         // RS dimensions.
@@ -381,7 +389,10 @@ mod tests {
             .pilots(ieee80211a_pilots())
             .scrambler(ScramblerSpec::ieee80211())
             .conv_code(ConvSpec::k7_rate_half())
-            .interleaver(InterleaverSpec::Ieee80211 { n_cbps: 96, n_bpsc: 2 })
+            .interleaver(InterleaverSpec::Ieee80211 {
+                n_cbps: 96,
+                n_bpsc: 2,
+            })
             .build()
             .unwrap();
         assert_eq!(p.name, "test");
@@ -407,7 +418,10 @@ mod tests {
     fn pilot_out_of_grid_rejected() {
         let spec = PilotSpec::Fixed(vec![(40, ofdm_dsp::Complex64::ONE)]);
         let err = base_builder().pilots(spec).build().unwrap_err();
-        assert!(matches!(err, ConfigError::CarrierOutOfRange { carrier: 40, .. }));
+        assert!(matches!(
+            err,
+            ConfigError::CarrierOutOfRange { carrier: 40, .. }
+        ));
     }
 
     #[test]
@@ -429,7 +443,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            ConfigError::ModulationTableMismatch { got: 5, expected: 52 }
+            ConfigError::ModulationTableMismatch {
+                got: 5,
+                expected: 52
+            }
         );
     }
 
@@ -457,7 +474,10 @@ mod tests {
 
     #[test]
     fn invalid_modulation_rejected() {
-        assert!(base_builder().modulation(Modulation::Qam(20)).build().is_err());
+        assert!(base_builder()
+            .modulation(Modulation::Qam(20))
+            .build()
+            .is_err());
         let table = vec![Modulation::Qam(0); 52];
         assert!(base_builder().bit_loading(table).build().is_err());
     }

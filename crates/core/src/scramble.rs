@@ -71,7 +71,9 @@ impl Scrambler {
     /// the identity — the reference receiver descrambles by calling this
     /// same method.
     pub fn scramble(&mut self, bits: &[u8]) -> Vec<u8> {
-        bits.iter().map(|&b| (b & 1) ^ self.lfsr.next_bit()).collect()
+        bits.iter()
+            .map(|&b| (b & 1) ^ self.lfsr.next_bit())
+            .collect()
     }
 
     /// Returns the scrambler to its seeded state (frame boundary).
@@ -86,7 +88,11 @@ mod tests {
 
     #[test]
     fn scramble_twice_is_identity() {
-        for spec in [ScramblerSpec::ieee80211(), ScramblerSpec::dvb(), ScramblerSpec::drm()] {
+        for spec in [
+            ScramblerSpec::ieee80211(),
+            ScramblerSpec::dvb(),
+            ScramblerSpec::drm(),
+        ] {
             let bits: Vec<u8> = (0..200).map(|i| (i % 3 == 0) as u8).collect();
             let mut tx = Scrambler::new(spec.clone());
             let mut rx = Scrambler::new(spec);

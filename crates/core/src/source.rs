@@ -7,16 +7,23 @@
 
 use crate::error::ConfigError;
 use crate::params::OfdmParams;
-use crate::tx::MotherModel;
+use crate::tx::{MotherModel, StreamState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rfsim::{Block, SimError, Signal};
+use rfsim::{Block, Signal, SimError};
 
 /// A [`rfsim::Block`] signal source powered by a [`MotherModel`].
 ///
 /// Each simulation pass transmits one frame of pseudo-random payload bits
 /// (seeded for reproducibility), so repeated runs excite the RF chain with
-/// statistically representative OFDM traffic.
+/// statistically representative OFDM traffic. The payload buffer and the
+/// transmitter's [`StreamState`] scratch are reused across passes — only
+/// the RNG advances.
+///
+/// The source also implements the chunked streaming protocol
+/// ([`Block::stream_chunk`]): under [`rfsim::Graph::run_streaming`] it
+/// emits the same frame in bounded chunks, bit-identical to the batch
+/// output for the same seed.
 ///
 /// # Example
 ///
@@ -43,6 +50,14 @@ pub struct OfdmSource {
     seed: u64,
     rng: StdRng,
     name: String,
+    /// Reused payload buffer — refilled from the RNG each pass, never
+    /// reallocated.
+    bits: Vec<u8>,
+    /// Reused streaming/scratch state for the transmitter.
+    stream: StreamState,
+    /// Set at the start of a streaming pass; the first `stream_chunk` call
+    /// draws the payload and arms the frame emitter.
+    needs_frame: bool,
 }
 
 impl OfdmSource {
@@ -59,7 +74,19 @@ impl OfdmSource {
             seed,
             rng: StdRng::seed_from_u64(seed),
             name,
+            bits: Vec::new(),
+            stream: StreamState::new(),
+            needs_frame: false,
         })
+    }
+
+    /// Draws the next pass's payload into the reused bit buffer.
+    fn fill_bits(&mut self) {
+        self.bits.clear();
+        self.bits.reserve(self.payload_bits);
+        for _ in 0..self.payload_bits {
+            self.bits.push(self.rng.gen_range(0..=1u8));
+        }
     }
 
     /// Reconfigures the underlying Mother Model to a different standard.
@@ -93,19 +120,53 @@ impl Block for OfdmSource {
     }
 
     fn process(&mut self, _inputs: &[Signal]) -> Result<Signal, SimError> {
-        let bits: Vec<u8> = (0..self.payload_bits)
-            .map(|_| self.rng.gen_range(0..=1u8))
-            .collect();
-        let frame = self.model.transmit(&bits).map_err(|e| SimError::BlockFailure {
-            block: self.name.clone(),
-            message: e.to_string(),
-        })?;
-        Ok(frame.into_signal())
+        self.fill_bits();
+        // Stream the whole frame in one go through the reused state — same
+        // samples as `transmit`, without its per-call allocations.
+        self.model
+            .begin_stream(&self.bits, &mut self.stream)
+            .map_err(|e| SimError::BlockFailure {
+                block: self.name.clone(),
+                message: e.to_string(),
+            })?;
+        let mut samples = Vec::new();
+        self.model
+            .stream_into(&mut self.stream, usize::MAX, &mut samples);
+        Ok(Signal::new(samples, self.model.params().sample_rate))
+    }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn begin_stream(&mut self) {
+        self.needs_frame = true;
+    }
+
+    fn stream_chunk(&mut self, max_samples: usize, out: &mut Signal) -> Result<usize, SimError> {
+        if self.needs_frame {
+            self.fill_bits();
+            self.model
+                .begin_stream(&self.bits, &mut self.stream)
+                .map_err(|e| SimError::BlockFailure {
+                    block: self.name.clone(),
+                    message: e.to_string(),
+                })?;
+            self.needs_frame = false;
+        }
+        out.clear();
+        out.set_sample_rate(self.model.params().sample_rate);
+        let n = self
+            .model
+            .stream_into(&mut self.stream, max_samples, out.samples_vec_mut());
+        Ok(n)
     }
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.model.reset();
+        self.stream = StreamState::new();
+        self.needs_frame = false;
     }
 }
 
@@ -130,6 +191,39 @@ mod tests {
         assert_eq!(out.sample_rate(), 1.0e6);
         let p = g.block::<PowerMeter>(meter).unwrap().power().unwrap();
         assert!((p - 1.0).abs() < 0.1, "power {p}");
+    }
+
+    #[test]
+    fn stream_chunks_concatenate_to_batch_frame() {
+        let mut batch = OfdmSource::new(minimal_test_params(), 240, 11).unwrap();
+        let want = batch.process(&[]).unwrap();
+        for chunk_len in [1usize, 7, 80, 4096] {
+            let mut src = OfdmSource::new(minimal_test_params(), 240, 11).unwrap();
+            assert!(src.supports_streaming());
+            src.begin_stream();
+            let mut got = Signal::empty(want.sample_rate());
+            let mut chunk = Signal::default();
+            loop {
+                let n = src.stream_chunk(chunk_len, &mut chunk).unwrap();
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= chunk_len);
+                got.extend_from(&chunk);
+            }
+            assert_eq!(got, want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn payload_buffer_is_reused_across_passes() {
+        let mut src = OfdmSource::new(minimal_test_params(), 480, 5).unwrap();
+        let _ = src.process(&[]).unwrap();
+        let cap = src.bits.capacity();
+        for _ in 0..4 {
+            let _ = src.process(&[]).unwrap();
+        }
+        assert_eq!(src.bits.capacity(), cap, "bit buffer must not reallocate");
     }
 
     #[test]

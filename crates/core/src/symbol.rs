@@ -7,10 +7,11 @@
 //! lineup downstream keeps its operating point.
 
 use crate::error::ConfigError;
-use ofdm_dsp::fft::Fft;
+use ofdm_dsp::fft::{self, Fft, FftScratch};
 use ofdm_dsp::window::raised_cosine_edge;
 use ofdm_dsp::Complex64;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Cyclic-extension length specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,7 +42,7 @@ impl GuardInterval {
 
 /// One shaped OFDM symbol: `overlap` trailing samples are meant to
 /// overlap-add with the next symbol's head.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShapedSymbol {
     /// Time-domain samples (length = cp + fft + overlap).
     pub samples: Vec<Complex64>,
@@ -56,10 +57,29 @@ impl ShapedSymbol {
     }
 }
 
+/// Reusable scratch for [`SymbolModulator::modulate_into`]: the subcarrier
+/// grid and the FFT work buffer, grown once and reused per symbol.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolScratch {
+    grid: Vec<Complex64>,
+    fft: FftScratch,
+}
+
+impl SymbolScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        SymbolScratch::default()
+    }
+}
+
 /// The symbol-level modulator of the Mother Model.
+///
+/// The FFT plan comes from the process-wide [`ofdm_dsp::fft::plan`] cache,
+/// so modulators for the same FFT size (across symbols, reconfigurations
+/// and scenario threads) share one set of twiddles.
 #[derive(Debug, Clone)]
 pub struct SymbolModulator {
-    fft: Fft,
+    fft: Arc<Fft>,
     fft_size: usize,
     cp_len: usize,
     taper: Vec<f64>,
@@ -91,13 +111,19 @@ impl SymbolModulator {
         }
         let cp_len = guard.samples(fft_size);
         if cp_len >= fft_size {
-            return Err(ConfigError::BadCyclicPrefix { cp: cp_len, fft_size });
+            return Err(ConfigError::BadCyclicPrefix {
+                cp: cp_len,
+                fft_size,
+            });
         }
         if taper_len > cp_len {
-            return Err(ConfigError::TaperTooLong { taper: taper_len, cp: cp_len });
+            return Err(ConfigError::TaperTooLong {
+                taper: taper_len,
+                cp: cp_len,
+            });
         }
         Ok(SymbolModulator {
-            fft: Fft::new(fft_size),
+            fft: fft::plan(fft_size),
             fft_size,
             cp_len,
             taper: raised_cosine_edge(taper_len),
@@ -136,8 +162,32 @@ impl SymbolModulator {
     /// Panics (debug) on carriers outside the grid — upstream validation in
     /// [`crate::params::OfdmParams`] prevents this.
     pub fn modulate(&self, cells: &[(i32, Complex64)]) -> ShapedSymbol {
+        let mut out = ShapedSymbol::default();
+        self.modulate_into(cells, &mut SymbolScratch::new(), &mut out);
+        out
+    }
+
+    /// Modulates one symbol into a caller-provided buffer, reusing scratch.
+    ///
+    /// Sample-exact with [`SymbolModulator::modulate`]; after warm-up the
+    /// per-symbol cost involves no heap allocation (grid, FFT work buffer
+    /// and output are all reused). This is the hot path of the streaming
+    /// transmitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on carriers outside the grid — upstream validation in
+    /// [`crate::params::OfdmParams`] prevents this.
+    pub fn modulate_into(
+        &self,
+        cells: &[(i32, Complex64)],
+        scratch: &mut SymbolScratch,
+        out: &mut ShapedSymbol,
+    ) {
         let n = self.fft_size;
-        let mut grid = vec![Complex64::ZERO; n];
+        let SymbolScratch { grid, fft } = scratch;
+        grid.clear();
+        grid.resize(n, Complex64::ZERO);
         let mut occupied = 0usize;
         for &(k, v) in cells {
             let bin = if k >= 0 {
@@ -154,7 +204,7 @@ impl SymbolModulator {
                 occupied += 1;
             }
         }
-        self.fft.inverse(&mut grid);
+        self.fft.inverse_in(grid, fft);
         // fft.inverse scales by 1/N; renormalize to unit power for
         // unit-energy cells: multiply by N / √occupied.
         let scale = if occupied > 0 {
@@ -165,19 +215,28 @@ impl SymbolModulator {
         for z in grid.iter_mut() {
             *z = z.scale(scale);
         }
-        self.shape(grid)
+        self.shape_into(&scratch.grid, out);
     }
 
     /// Applies cyclic prefix, cyclic suffix (taper region) and
     /// raised-cosine edges to an `fft_size`-sample body.
     fn shape(&self, body: Vec<Complex64>) -> ShapedSymbol {
+        let mut out = ShapedSymbol::default();
+        self.shape_into(&body, &mut out);
+        out
+    }
+
+    /// [`SymbolModulator::shape`] into a reused buffer.
+    fn shape_into(&self, body: &[Complex64], out: &mut ShapedSymbol) {
         let w = self.taper.len();
         let n = self.fft_size;
-        let mut samples = Vec::with_capacity(self.cp_len + n + w);
+        let samples = &mut out.samples;
+        samples.clear();
+        samples.reserve(self.cp_len + n + w);
         // Cyclic prefix.
         samples.extend_from_slice(&body[n - self.cp_len..]);
         // Body.
-        samples.extend_from_slice(&body);
+        samples.extend_from_slice(body);
         // Cyclic suffix: first w samples repeated for the falling edge.
         samples.extend_from_slice(&body[..w]);
         // Rising edge over the first w samples, falling over the last w.
@@ -188,7 +247,7 @@ impl SymbolModulator {
             let last = samples.len() - w + i;
             samples[last] = samples[last].scale(fall);
         }
-        ShapedSymbol { samples, overlap: w }
+        out.overlap = w;
     }
 
     /// Wraps pre-rendered time-domain `fft_size` samples (e.g. a preamble
@@ -356,6 +415,28 @@ mod tests {
             SymbolModulator::new(64, GuardInterval::Samples(4), 8, false).unwrap_err(),
             ConfigError::TaperTooLong { taper: 8, cp: 4 }
         ));
+    }
+
+    #[test]
+    fn modulate_into_matches_modulate_exactly() {
+        // One scratch and one output buffer reused across configurations —
+        // including Hermitian mirroring and a non-power-of-two (Bluestein)
+        // grid — must be sample-exact with the allocating path.
+        let mut scratch = SymbolScratch::new();
+        let mut out = ShapedSymbol::default();
+        let configs = [
+            SymbolModulator::new(64, GuardInterval::Samples(16), 4, false).unwrap(),
+            SymbolModulator::new(96, GuardInterval::Samples(12), 6, false).unwrap(),
+            SymbolModulator::new(512, GuardInterval::Samples(32), 0, true).unwrap(),
+        ];
+        for m in &configs {
+            let cells: Vec<(i32, Complex64)> =
+                (1..=20).map(|k| (k, Complex64::new(0.6, -0.8))).collect();
+            let reference = m.modulate(&cells);
+            m.modulate_into(&cells, &mut scratch, &mut out);
+            assert_eq!(reference.samples, out.samples);
+            assert_eq!(reference.overlap, out.overlap);
+        }
     }
 
     #[test]

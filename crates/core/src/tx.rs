@@ -15,7 +15,7 @@ use crate::interleave::Interleaver;
 use crate::params::{ModulationPlan, OfdmParams};
 use crate::pilots::PilotGenerator;
 use crate::scramble::Scrambler;
-use crate::symbol::{assemble, SymbolModulator};
+use crate::symbol::{ShapedSymbol, SymbolModulator, SymbolScratch};
 use ofdm_dsp::bits::{pack_msb_first, unpack_msb_first};
 use ofdm_dsp::Complex64;
 use rfsim::Signal;
@@ -67,6 +67,145 @@ impl Frame {
     /// Bits after scrambling/coding/padding actually mapped to carriers.
     pub fn coded_bits(&self) -> usize {
         self.coded_bits
+    }
+}
+
+/// Resumable state for streaming frame emission
+/// ([`MotherModel::begin_stream`] / [`MotherModel::stream_into`]).
+///
+/// Owns every buffer the per-symbol hot path touches — coded bits, cell
+/// list, IFFT grid and scratch, shaped-symbol buffer and the overlap-add
+/// carry window — so a long-lived `StreamState` makes frame emission
+/// allocation-free after warm-up, with peak memory O(symbol), not O(frame).
+#[derive(Debug, Clone, Default)]
+pub struct StreamState {
+    /// Coded bit stream for the current frame.
+    coded: Vec<u8>,
+    /// Read position in `coded`.
+    cursor: usize,
+    /// Next preamble element to render.
+    preamble_idx: usize,
+    /// Overlap-add carry window: samples produced but not yet emitted.
+    buf: Vec<Complex64>,
+    /// Leading samples of `buf` that no future section can change.
+    finalized: usize,
+    /// No more sections will be produced for this frame.
+    done: bool,
+    /// Per-symbol modulation scratch (grid + FFT work buffer).
+    scratch: SymbolScratch,
+    /// Reused shaped-symbol buffer.
+    symbol: ShapedSymbol,
+    /// Reused `(carrier, cell)` list.
+    cells: Vec<(i32, Complex64)>,
+    /// Ground-truth log of emitted symbol cells (only if enabled).
+    cells_log: Vec<Vec<(i32, Complex64)>>,
+    /// Whether to record `cells_log`.
+    log_cells: bool,
+    /// Payload bits accepted by the active frame.
+    payload_bits: usize,
+}
+
+impl StreamState {
+    /// Fresh state; buffers are grown on first use and reused across frames.
+    pub fn new() -> Self {
+        StreamState::default()
+    }
+
+    /// Enables/disables per-symbol cell logging (disabled by default: the
+    /// log grows with the frame, which streaming callers usually avoid).
+    pub fn set_cell_logging(&mut self, enabled: bool) {
+        self.log_cells = enabled;
+    }
+
+    /// Takes the logged ground-truth cells accumulated so far.
+    pub fn take_symbol_cells(&mut self) -> Vec<Vec<(i32, Complex64)>> {
+        std::mem::take(&mut self.cells_log)
+    }
+
+    /// Coded bits mapped (or being mapped) for the current frame.
+    pub fn coded_bits(&self) -> usize {
+        self.coded.len()
+    }
+
+    /// Payload bits accepted for the current frame.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// `true` once every sample of the current frame has been emitted.
+    pub fn is_finished(&self) -> bool {
+        self.done && self.buf.is_empty()
+    }
+}
+
+/// Overlap-adds one shaped section into the carry window. The section
+/// starts at `finalized` (where the previous section's net duration ended),
+/// and everything before `finalized + net_len` becomes final: later
+/// sections start strictly after it. Identical addition order to batch
+/// assembly, so streamed output is bit-exact with `symbol::assemble`.
+fn push_overlap_add(
+    buf: &mut Vec<Complex64>,
+    finalized: &mut usize,
+    samples: &[Complex64],
+    net_len: usize,
+) {
+    let start = *finalized;
+    let needed = start + samples.len();
+    if buf.len() < needed {
+        buf.resize(needed, Complex64::ZERO);
+    }
+    for (i, &z) in samples.iter().enumerate() {
+        buf[start + i] += z;
+    }
+    *finalized = start + net_len;
+}
+
+/// A borrowed handle streaming one frame in caller-sized sample chunks.
+///
+/// Obtained from [`MotherModel::stream`]. For buffer reuse across frames,
+/// hold a [`StreamState`] yourself and use [`MotherModel::begin_stream`] /
+/// [`MotherModel::stream_into`] directly.
+///
+/// # Example
+///
+/// ```
+/// use ofdm_core::params::presets;
+/// use ofdm_core::MotherModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut tx = MotherModel::new(presets::minimal_test_params())?;
+/// let mut stream = tx.stream(&[1, 0, 1, 1])?;
+/// let mut chunk = Vec::new();
+/// let mut total = 0;
+/// while stream.next_chunk(32, &mut chunk) > 0 {
+///     total += chunk.len();
+///     chunk.clear();
+/// }
+/// assert_eq!(total, 80); // one 64+16 symbol
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FrameStream<'a> {
+    model: &'a mut MotherModel,
+    state: StreamState,
+}
+
+impl FrameStream<'_> {
+    /// Appends up to `max_samples` of the frame to `out`; returns the
+    /// number appended, `0` once the frame is complete.
+    pub fn next_chunk(&mut self, max_samples: usize, out: &mut Vec<Complex64>) -> usize {
+        self.model.stream_into(&mut self.state, max_samples, out)
+    }
+
+    /// `true` once the whole frame has been emitted.
+    pub fn is_finished(&self) -> bool {
+        self.state.is_finished()
+    }
+
+    /// The underlying stream state (e.g. for [`StreamState::coded_bits`]).
+    pub fn state(&self) -> &StreamState {
+        &self.state
     }
 }
 
@@ -194,57 +333,159 @@ impl MotherModel {
     ///
     /// [`TxError::EmptyPayload`] if `payload` is empty.
     pub fn transmit(&mut self, payload: &[u8]) -> Result<Frame, TxError> {
+        let mut state = StreamState::new();
+        state.set_cell_logging(true);
+        self.begin_stream(payload, &mut state)?;
+        let mut samples = Vec::new();
+        while self.stream_into(&mut state, usize::MAX, &mut samples) > 0 {}
+        Ok(Frame {
+            signal: Signal::new(samples, self.params.sample_rate),
+            symbol_cells: state.take_symbol_cells(),
+            payload_bits: state.payload_bits(),
+            coded_bits: state.coded_bits(),
+        })
+    }
+
+    /// Starts streaming one frame: encodes the payload and arms `state`.
+    ///
+    /// The frame is then pulled with [`MotherModel::stream_into`]. Reusing
+    /// one `state` across frames reuses all per-symbol buffers. Pilot
+    /// sequences and differential references continue across frames exactly
+    /// as with [`MotherModel::transmit`].
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::EmptyPayload`] if `payload` is empty.
+    pub fn begin_stream(&mut self, payload: &[u8], state: &mut StreamState) -> Result<(), TxError> {
         if payload.is_empty() {
             return Err(TxError::EmptyPayload);
         }
-        let coded = self.encode_payload(payload);
-        let coded_bits = coded.len();
+        state.coded = self.encode_payload(payload);
+        state.cursor = 0;
+        state.preamble_idx = 0;
+        state.buf.clear();
+        state.finalized = 0;
+        state.done = false;
+        state.cells_log.clear();
+        state.payload_bits = payload.len();
 
         // Initialize differential references from the preamble.
         if self.params.differential && self.diff_ref.is_empty() {
             self.init_diff_reference();
         }
+        Ok(())
+    }
 
-        // Render preamble sections.
-        let mut sections: Vec<_> = self
-            .params
-            .preamble
-            .iter()
-            .map(|e| render_element(e, &self.modulator))
-            .collect();
-
-        // Map coded bits across OFDM symbols.
-        let mut cells_log = Vec::new();
-        let mut cursor = 0usize;
-        while cursor < coded.len() {
-            let (cells, consumed) = self.build_symbol(&coded[cursor..]);
-            cursor += consumed;
-            sections.push(self.modulator.modulate(&cells));
-            cells_log.push(cells);
-            self.symbol_index += 1;
-            if consumed == 0 {
-                // No data capacity (all carriers displaced): avoid livelock.
-                break;
+    /// Appends up to `max_samples` of the active frame to `out`, returning
+    /// the number appended; `0` means the frame is complete.
+    ///
+    /// Sections (preamble elements, then data symbols) are produced lazily,
+    /// one at a time, and drained through the overlap-add carry window —
+    /// the concatenation of all chunks is bit-exact with the waveform
+    /// [`MotherModel::transmit`] builds in one piece, for any chunking.
+    pub fn stream_into(
+        &mut self,
+        state: &mut StreamState,
+        max_samples: usize,
+        out: &mut Vec<Complex64>,
+    ) -> usize {
+        let mut emitted = 0usize;
+        while emitted < max_samples {
+            if state.finalized == 0 {
+                if state.done {
+                    break;
+                }
+                if !self.produce_section(state) {
+                    state.done = true;
+                    // No further sections: the pending tail is final.
+                    state.finalized = state.buf.len();
+                    if state.finalized == 0 {
+                        break;
+                    }
+                }
+                continue;
             }
+            let take = state.finalized.min(max_samples - emitted);
+            out.extend_from_slice(&state.buf[..take]);
+            state.buf.copy_within(take.., 0);
+            let remaining = state.buf.len() - take;
+            state.buf.truncate(remaining);
+            state.finalized -= take;
+            emitted += take;
         }
+        emitted
+    }
 
-        let samples = assemble(&sections);
-        Ok(Frame {
-            signal: Signal::new(samples, self.params.sample_rate),
-            symbol_cells: cells_log,
-            payload_bits: payload.len(),
-            coded_bits,
-        })
+    /// Streams one frame through a borrowed [`FrameStream`] handle (fresh
+    /// internal state; see [`MotherModel::begin_stream`] to reuse one).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::EmptyPayload`] if `payload` is empty.
+    pub fn stream(&mut self, payload: &[u8]) -> Result<FrameStream<'_>, TxError> {
+        let mut state = StreamState::new();
+        self.begin_stream(payload, &mut state)?;
+        Ok(FrameStream { model: self, state })
+    }
+
+    /// Produces the next section (preamble element or data symbol) into the
+    /// carry window. Returns `false` when the frame has no more sections.
+    fn produce_section(&mut self, state: &mut StreamState) -> bool {
+        if state.preamble_idx < self.params.preamble.len() {
+            let s = render_element(&self.params.preamble[state.preamble_idx], &self.modulator);
+            state.preamble_idx += 1;
+            push_overlap_add(
+                &mut state.buf,
+                &mut state.finalized,
+                &s.samples,
+                s.net_len(),
+            );
+            return true;
+        }
+        if state.cursor >= state.coded.len() {
+            return false;
+        }
+        let consumed = {
+            let StreamState {
+                coded,
+                cells,
+                cursor,
+                ..
+            } = state;
+            self.build_symbol_into(&coded[*cursor..], cells)
+        };
+        state.cursor += consumed;
+        self.modulator
+            .modulate_into(&state.cells, &mut state.scratch, &mut state.symbol);
+        if state.log_cells {
+            state.cells_log.push(state.cells.clone());
+        }
+        self.symbol_index += 1;
+        if consumed == 0 {
+            // No data capacity (all carriers displaced): avoid livelock by
+            // ending the frame after this symbol.
+            state.cursor = state.coded.len();
+        }
+        let net = state.symbol.net_len();
+        push_overlap_add(
+            &mut state.buf,
+            &mut state.finalized,
+            &state.symbol.samples,
+            net,
+        );
+        true
     }
 
     /// Builds the cell list of the next OFDM symbol from the head of
-    /// `bits`, returning the cells and how many bits were consumed.
-    fn build_symbol(&mut self, bits: &[u8]) -> (Vec<(i32, Complex64)>, usize) {
+    /// `bits` into `cells` (cleared first), returning how many bits were
+    /// consumed.
+    fn build_symbol_into(&mut self, bits: &[u8], cells: &mut Vec<(i32, Complex64)>) -> usize {
         let pilot_cells = self.pilots.cells(self.symbol_index);
         let pilot_carriers: Vec<i32> = pilot_cells.iter().map(|c| c.0).collect();
         let data_carriers = self.params.map.data_excluding(&pilot_carriers);
 
-        let mut cells = pilot_cells;
+        cells.clear();
+        cells.extend_from_slice(&pilot_cells);
         let mut consumed = 0usize;
         for &k in &data_carriers {
             // Bit loading is indexed by the carrier's position in the full
@@ -264,18 +505,14 @@ impl MotherModel {
             consumed = (consumed + b).min(bits.len());
             let mut point = modulation.map(&group);
             if self.params.differential {
-                let prev = self
-                    .diff_ref
-                    .get(&k)
-                    .copied()
-                    .unwrap_or(Complex64::ONE);
+                let prev = self.diff_ref.get(&k).copied().unwrap_or(Complex64::ONE);
                 point = prev * point;
                 self.diff_ref.insert(k, point);
             }
             cells.push((k, point));
         }
         cells.sort_by_key(|c| c.0);
-        (cells, consumed)
+        consumed
     }
 
     fn init_diff_reference(&mut self) {
@@ -389,7 +626,11 @@ mod tests {
         // N·(that scale)⁻¹... check proportionality instead.
         let n_cells = cells.len() as f64;
         for &(k, v) in cells {
-            let bin = if k >= 0 { k as usize } else { (64 + k) as usize };
+            let bin = if k >= 0 {
+                k as usize
+            } else {
+                (64 + k) as usize
+            };
             let measured = freq[bin].scale(n_cells.sqrt() / 64.0);
             assert!((measured - v).abs() < 1e-9, "carrier {k}");
         }
@@ -431,13 +672,16 @@ mod tests {
     fn pilots_present_in_cells() {
         let p = OfdmParams::builder("wlan-like")
             .sample_rate(20e6)
-            .map(SubcarrierMap::new(
-                64,
-                (-26..=26)
-                    .filter(|&k| k != 0 && ![7, 21, -7, -21].contains(&k))
-                    .collect(),
-                false,
-            ).unwrap())
+            .map(
+                SubcarrierMap::new(
+                    64,
+                    (-26..=26)
+                        .filter(|&k| k != 0 && ![7, 21, -7, -21].contains(&k))
+                        .collect(),
+                    false,
+                )
+                .unwrap(),
+            )
             .guard(GuardInterval::Fraction(1, 4))
             .modulation(Modulation::Qpsk)
             .pilots(ieee80211a_pilots())
@@ -455,13 +699,16 @@ mod tests {
     fn pilot_sequence_advances_across_frames() {
         let p = OfdmParams::builder("wlan-like")
             .sample_rate(20e6)
-            .map(SubcarrierMap::new(
-                64,
-                (-26..=26)
-                    .filter(|&k| k != 0 && ![7, 21, -7, -21].contains(&k))
-                    .collect(),
-                false,
-            ).unwrap())
+            .map(
+                SubcarrierMap::new(
+                    64,
+                    (-26..=26)
+                        .filter(|&k| k != 0 && ![7, 21, -7, -21].contains(&k))
+                        .collect(),
+                    false,
+                )
+                .unwrap(),
+            )
             .modulation(Modulation::Qpsk)
             .pilots(ieee80211a_pilots())
             .build()
@@ -507,7 +754,9 @@ mod tests {
         let c1 = frame.symbol_cells()[1].iter().find(|c| c.0 == 1).unwrap().1;
         let ratio = c1 * c0.inv();
         let qpsk_phases = [0.25, 0.75, -0.75, -0.25].map(|x: f64| x * std::f64::consts::PI);
-        assert!(qpsk_phases.iter().any(|&ph| (ratio.arg() - ph).abs() < 1e-6));
+        assert!(qpsk_phases
+            .iter()
+            .any(|&ph| (ratio.arg() - ph).abs() < 1e-6));
     }
 
     #[test]
@@ -596,6 +845,60 @@ mod tests {
         // Symbol 1 pilots at -45, -33, …, 39 → 8 pilots, none at DC.
         let cap1 = tx.symbol_capacity(1);
         assert_eq!(cap1, (96 - 8) * 2);
+    }
+
+    #[test]
+    fn streaming_matches_transmit_exactly() {
+        // Chunked emission must be bit-exact with the batch waveform for
+        // chunk sizes that do and do not divide the section lengths.
+        let mut p = minimal_test_params();
+        p.taper_len = 4;
+        p.preamble = vec![PreambleElement::Null { len: 23 }];
+        for chunk in [1usize, 7, 64, 80, 1000] {
+            let mut tx_a = MotherModel::new(p.clone()).unwrap();
+            let mut tx_b = MotherModel::new(p.clone()).unwrap();
+            let payload = bits(3 * 24 + 5);
+            let frame = tx_a.transmit(&payload).unwrap();
+            let mut streamed = Vec::new();
+            let mut state = StreamState::new();
+            tx_b.begin_stream(&payload, &mut state).unwrap();
+            while tx_b.stream_into(&mut state, chunk, &mut streamed) > 0 {}
+            assert!(state.is_finished());
+            assert_eq!(frame.samples(), &streamed[..], "chunk={chunk}");
+            assert_eq!(state.coded_bits(), frame.coded_bits());
+        }
+    }
+
+    #[test]
+    fn stream_state_reuse_across_frames_matches_sequential_transmits() {
+        // Pilot/differential continuity: two streamed frames from one
+        // reused state equal two batch transmits from a twin transmitter.
+        let mut tx_a = MotherModel::new(minimal_test_params()).unwrap();
+        let mut tx_b = MotherModel::new(minimal_test_params()).unwrap();
+        let mut state = StreamState::new();
+        for frame_no in 0..2 {
+            let payload = bits(48 + frame_no);
+            let frame = tx_a.transmit(&payload).unwrap();
+            let mut streamed = Vec::new();
+            tx_b.begin_stream(&payload, &mut state).unwrap();
+            while tx_b.stream_into(&mut state, 13, &mut streamed) > 0 {}
+            assert_eq!(frame.samples(), &streamed[..], "frame={frame_no}");
+        }
+    }
+
+    #[test]
+    fn frame_stream_handle_emits_whole_frame() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let reference = {
+            let mut twin = MotherModel::new(minimal_test_params()).unwrap();
+            twin.transmit(&bits(48)).unwrap()
+        };
+        let mut stream = tx.stream(&bits(48)).unwrap();
+        assert!(!stream.is_finished());
+        let mut out = Vec::new();
+        while stream.next_chunk(11, &mut out) > 0 {}
+        assert!(stream.is_finished());
+        assert_eq!(reference.samples(), &out[..]);
     }
 
     #[test]

@@ -128,7 +128,10 @@ pub fn gray_to_binary(mut g: u32) -> u32 {
 
 /// Counts bit positions where `a` and `b` differ (for BER measurement).
 pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
-    a.iter().zip(b).filter(|(x, y)| (**x & 1) != (**y & 1)).count()
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (**x & 1) != (**y & 1))
+        .count()
 }
 
 #[cfg(test)]

@@ -28,7 +28,9 @@
 //! ```
 
 use crate::complex::Complex64;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// An FFT plan for a fixed transform length.
 ///
@@ -107,6 +109,43 @@ impl Fft {
         match &self.engine {
             Engine::Radix2(r) => r.transform(buf, Direction::Inverse),
             Engine::Bluestein(b) => b.transform(buf, Direction::Inverse),
+        }
+        let scale = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// In-place forward DFT reusing caller-provided scratch.
+    ///
+    /// Numerically identical to [`Fft::forward`]; the only difference is
+    /// that the Bluestein convolution buffer comes from `scratch` instead of
+    /// a fresh allocation, so a long-lived scratch makes repeated transforms
+    /// allocation-free after warm-up. The radix-2 engine needs no scratch
+    /// and ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn forward_in(&self, buf: &mut [Complex64], scratch: &mut FftScratch) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan length");
+        match &self.engine {
+            Engine::Radix2(r) => r.transform(buf, Direction::Forward),
+            Engine::Bluestein(b) => b.transform_with(buf, Direction::Forward, &mut scratch.work),
+        }
+    }
+
+    /// In-place inverse DFT (with `1/N` scaling) reusing caller-provided
+    /// scratch. See [`Fft::forward_in`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn inverse_in(&self, buf: &mut [Complex64], scratch: &mut FftScratch) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan length");
+        match &self.engine {
+            Engine::Radix2(r) => r.transform(buf, Direction::Inverse),
+            Engine::Bluestein(b) => b.transform_with(buf, Direction::Inverse, &mut scratch.work),
         }
         let scale = 1.0 / self.n as f64;
         for z in buf.iter_mut() {
@@ -237,6 +276,10 @@ impl Bluestein {
     }
 
     fn transform(&self, buf: &mut [Complex64], dir: Direction) {
+        self.transform_with(buf, dir, &mut Vec::new());
+    }
+
+    fn transform_with(&self, buf: &mut [Complex64], dir: Direction, work: &mut Vec<Complex64>) {
         let n = self.n;
         let m = self.m;
         // An inverse DFT is the conjugate of the forward DFT of the
@@ -246,15 +289,19 @@ impl Bluestein {
                 *z = z.conj();
             }
         }
-        let mut work = vec![Complex64::ZERO; m];
+        // Reset the scratch to `m` zeros; positions `n..m` must be zero for
+        // the circular convolution to match the freshly-allocated path
+        // bit for bit.
+        work.clear();
+        work.resize(m, Complex64::ZERO);
         for k in 0..n {
             work[k] = buf[k] * self.chirp[k];
         }
-        self.inner.transform(&mut work, Direction::Forward);
+        self.inner.transform(work, Direction::Forward);
         for (w, k) in work.iter_mut().zip(self.kernel_fft.iter()) {
             *w *= *k;
         }
-        self.inner.transform(&mut work, Direction::Inverse);
+        self.inner.transform(work, Direction::Inverse);
         let scale = 1.0 / m as f64;
         for k in 0..n {
             buf[k] = work[k].scale(scale) * self.chirp[k];
@@ -265,6 +312,85 @@ impl Bluestein {
             }
         }
     }
+}
+
+/// Reusable scratch memory for [`Fft::forward_in`] / [`Fft::inverse_in`].
+///
+/// One scratch may serve plans of any length (it grows to the largest
+/// Bluestein convolution size it has seen and is reused thereafter). It is
+/// intentionally opaque: the contents carry no state between calls.
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    work: Vec<Complex64>,
+}
+
+impl FftScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        FftScratch::default()
+    }
+
+    /// Current scratch capacity in complex samples (diagnostic; lets tests
+    /// assert that repeated transforms stop allocating after warm-up).
+    pub fn capacity(&self) -> usize {
+        self.work.capacity()
+    }
+}
+
+/// A size-keyed cache of FFT plans.
+///
+/// Twiddle factors (and the Bluestein chirp/kernel for non-power-of-two
+/// lengths) are computed once per distinct transform length and shared via
+/// [`Arc`], so symbol loops, reconfigurations between standards, and
+/// parallel scenario workers all reuse the same plan instead of re-planning.
+///
+/// Most callers want the process-wide cache behind [`plan`]; a local
+/// `PlanCache` is useful when plan lifetime must be bounded (e.g. tests).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<usize, Arc<Fft>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for length `n`, building it on first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn plan(&self, n: usize) -> Arc<Fft> {
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Arc::clone(plans.entry(n).or_insert_with(|| Arc::new(Fft::new(n))))
+    }
+
+    /// Number of distinct lengths currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Returns `true` if no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached plans (outstanding `Arc`s keep their plans alive).
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+/// The process-wide FFT plan for length `n`, from a global [`PlanCache`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn plan(n: usize) -> Arc<Fft> {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new).plan(n)
 }
 
 /// Computes the DFT by direct summation — O(N²), used as a test oracle.
@@ -415,5 +541,70 @@ mod tests {
     fn plan_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Fft>();
+        assert_send_sync::<PlanCache>();
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical() {
+        // One scratch reused across both engines and both directions must
+        // reproduce the allocating path exactly (not just approximately).
+        let mut scratch = FftScratch::new();
+        for n in [8usize, 64, 36, 112, 288] {
+            let fft = Fft::new(n);
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.29).cos()))
+                .collect();
+            let mut alloc = input.clone();
+            let mut reuse = input.clone();
+            fft.forward(&mut alloc);
+            fft.forward_in(&mut reuse, &mut scratch);
+            assert_eq!(alloc, reuse, "forward n={n}");
+            fft.inverse(&mut alloc);
+            fft.inverse_in(&mut reuse, &mut scratch);
+            assert_eq!(alloc, reuse, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn scratch_stops_allocating_after_warmup() {
+        let fft = Fft::new(288); // Bluestein: needs scratch
+        let mut scratch = FftScratch::new();
+        let mut v = vec![Complex64::ONE; 288];
+        fft.forward_in(&mut v, &mut scratch);
+        let warm = scratch.capacity();
+        assert!(warm >= (2usize * 288 - 1).next_power_of_two());
+        for _ in 0..8 {
+            fft.forward_in(&mut v, &mut scratch);
+            fft.inverse_in(&mut v, &mut scratch);
+        }
+        assert_eq!(scratch.capacity(), warm);
+    }
+
+    #[test]
+    fn cache_shares_plans_per_size() {
+        let cache = PlanCache::new();
+        let a = cache.plan(64);
+        let b = cache.plan(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.plan(96);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        // Plans held by callers survive a cache clear.
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn global_plan_is_shared() {
+        let a = plan(40);
+        let b = plan(40);
+        assert!(Arc::ptr_eq(&a, &b));
+        let mut v = vec![Complex64::ZERO; 40];
+        v[0] = Complex64::ONE;
+        a.forward(&mut v);
+        for z in &v {
+            assert!((z.re - 1.0).abs() < 1e-9 && z.im.abs() < 1e-9);
+        }
     }
 }

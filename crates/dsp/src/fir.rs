@@ -78,7 +78,11 @@ pub fn kaiser_lowpass(cutoff: f64, transition: f64, atten_db: f64) -> Vec<f64> {
         0.0
     };
     let taps = (((atten_db - 7.95) / (2.285 * 2.0 * PI * transition)).ceil() as usize).max(3);
-    let taps = if taps.is_multiple_of(2) { taps + 1 } else { taps };
+    let taps = if taps.is_multiple_of(2) {
+        taps + 1
+    } else {
+        taps
+    };
     lowpass(taps, cutoff, Window::Kaiser(beta))
 }
 
@@ -144,6 +148,15 @@ impl FirFilter {
         input.iter().map(|&x| self.push(x)).collect()
     }
 
+    /// Processes a block into a reused output buffer (cleared first) —
+    /// the allocation-free variant of [`FirFilter::process`] used by
+    /// streaming blocks.
+    pub fn process_into(&mut self, input: &[Complex64], out: &mut Vec<Complex64>) {
+        out.clear();
+        out.reserve(input.len());
+        out.extend(input.iter().map(|&x| self.push(x)));
+    }
+
     /// Clears the internal delay line.
     pub fn reset(&mut self) {
         for z in self.delay.iter_mut() {
@@ -190,7 +203,11 @@ mod tests {
         assert!((pass - 1.0).abs() < 0.01, "passband gain {pass}");
         // Stopband: at least ~55 dB down (design margin).
         let stop = freq_response(&h, 0.3).abs();
-        assert!(amplitude_to_db(stop) < -55.0, "stopband {}", amplitude_to_db(stop));
+        assert!(
+            amplitude_to_db(stop) < -55.0,
+            "stopband {}",
+            amplitude_to_db(stop)
+        );
     }
 
     #[test]

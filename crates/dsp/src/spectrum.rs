@@ -99,7 +99,11 @@ impl WelchPsd {
 pub fn fft_shift<T: Copy>(bins: &[T]) -> Vec<T> {
     let n = bins.len();
     let half = n.div_ceil(2);
-    bins[half..].iter().chain(bins[..half].iter()).copied().collect()
+    bins[half..]
+        .iter()
+        .chain(bins[..half].iter())
+        .copied()
+        .collect()
 }
 
 /// The normalized frequency axis (cycles/sample, in `[-0.5, 0.5)`) matching

@@ -104,9 +104,7 @@ mod tests {
 
     #[test]
     fn power_of_unit_circle() {
-        let x: Vec<Complex64> = (0..100)
-            .map(|i| Complex64::cis(i as f64 * 0.1))
-            .collect();
+        let x: Vec<Complex64> = (0..100).map(|i| Complex64::cis(i as f64 * 0.1)).collect();
         assert!((mean_power(&x) - 1.0).abs() < 1e-12);
         assert!((rms(&x) - 1.0).abs() < 1e-12);
         assert!((peak_power(&x) - 1.0).abs() < 1e-12);

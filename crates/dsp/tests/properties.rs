@@ -16,7 +16,9 @@ use proptest::prelude::*;
 fn signal_from_seed(n: usize, seed: u64) -> Vec<Complex64> {
     (0..n)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(seed.wrapping_add(7)).wrapping_add(13);
+            let x = (i as u64)
+                .wrapping_mul(seed.wrapping_add(7))
+                .wrapping_add(13);
             Complex64::cis((x % 10007) as f64 * 0.01).scale(0.2 + ((x % 71) as f64) / 100.0)
         })
         .collect()

@@ -233,9 +233,7 @@ impl Block for Combiner {
         let n = a.len().max(b.len());
         let zero = Complex64::ZERO;
         let samples = (0..n)
-            .map(|i| {
-                *a.samples().get(i).unwrap_or(&zero) + *b.samples().get(i).unwrap_or(&zero)
-            })
+            .map(|i| *a.samples().get(i).unwrap_or(&zero) + *b.samples().get(i).unwrap_or(&zero))
             .collect();
         Ok(Signal::new(samples, a.sample_rate()))
     }
@@ -460,6 +458,9 @@ mod tests {
         let sig = psd[32]; // +0.125 fs
         let img = psd[256 - 32]; // −0.125 fs
         let measured_irr = 10.0 * (sig / img).log10();
-        assert!((measured_irr - irr).abs() < 1.5, "measured {measured_irr}, predicted {irr}");
+        assert!(
+            (measured_irr - irr).abs() < 1.5,
+            "measured {measured_irr}, predicted {irr}"
+        );
     }
 }

@@ -122,6 +122,68 @@ pub trait Block: Send + std::any::Any {
 
     /// Clears internal state (delay lines, accumulators) between runs.
     fn reset(&mut self) {}
+
+    /// Hook called once before the first chunk of a streaming pass
+    /// ([`crate::Graph::run_streaming`]). Instruments arm their
+    /// accumulators here.
+    fn begin_stream(&mut self) {}
+
+    /// Processes one chunk of a streaming pass into a reused output buffer.
+    ///
+    /// `inputs` holds exactly `input_count()` chunk signals, ordered by
+    /// port; `out` arrives with whatever the block wrote last chunk and
+    /// must be overwritten. Stateful blocks (filters, channels with running
+    /// phase) rely on chunks arriving in order — chunk-sequential
+    /// processing of a pass must equal one batch [`Block::process`] call.
+    ///
+    /// The default adapter clones the chunk inputs and delegates to
+    /// `process`, so batch-only blocks participate in streaming runs
+    /// unchanged (at the cost of one copy per chunk). Blocks on hot paths
+    /// override this to write `out` in place.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Block::process`].
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        let owned: Vec<Signal> = inputs.iter().map(|&s| s.clone()).collect();
+        *out = self.process(&owned)?;
+        Ok(())
+    }
+
+    /// Hook called once after the final chunk of a streaming pass.
+    /// Instruments finalize whole-pass measurements here.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BlockFailure`] if finalization fails.
+    fn end_stream(&mut self) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    /// Whether this source can emit its pass output in bounded chunks via
+    /// [`Block::stream_chunk`]. Non-streaming sources are batch-evaluated
+    /// once and sliced by the scheduler.
+    fn supports_streaming(&self) -> bool {
+        false
+    }
+
+    /// Produces the next chunk of this source's pass, at most
+    /// `max_samples`, into `out` (overwritten). Returns the number of
+    /// samples produced; `0` means the pass is exhausted.
+    ///
+    /// Only meaningful for sources (`input_count() == 0`) that report
+    /// [`Block::supports_streaming`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BlockFailure`] by default (the block does not stream).
+    fn stream_chunk(&mut self, max_samples: usize, out: &mut Signal) -> Result<usize, SimError> {
+        let _ = (max_samples, out);
+        Err(SimError::BlockFailure {
+            block: self.name().to_owned(),
+            message: "block does not support chunked streaming".into(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +225,36 @@ mod tests {
             // std::error::Error is implemented.
             let _: &dyn Error = &e;
         }
+    }
+
+    #[test]
+    fn default_chunk_adapter_delegates_to_process() {
+        use ofdm_dsp::Complex64;
+        struct Doubler;
+        impl Block for Doubler {
+            fn name(&self) -> &str {
+                "doubler"
+            }
+            fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+                let samples = inputs[0].samples().iter().map(|z| z.scale(2.0)).collect();
+                Ok(Signal::new(samples, inputs[0].sample_rate()))
+            }
+        }
+        let mut b = Doubler;
+        assert!(!b.supports_streaming());
+        b.begin_stream();
+        let chunk = Signal::new(vec![Complex64::ONE; 3], 1.0e6);
+        let mut out = Signal::default();
+        b.process_chunk(&[&chunk], &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.sample_rate(), 1.0e6);
+        assert!((out.samples()[0].re - 2.0).abs() < 1e-15);
+        b.end_stream().unwrap();
+        // Non-streaming sources reject stream_chunk by default.
+        assert!(matches!(
+            b.stream_chunk(8, &mut out),
+            Err(SimError::BlockFailure { .. })
+        ));
     }
 
     #[test]

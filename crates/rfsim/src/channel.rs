@@ -39,6 +39,7 @@ fn gaussian_pair(rng: &mut StdRng) -> (f64, f64) {
 pub struct AwgnChannel {
     snr_db: f64,
     seed: u64,
+    reference_power: Option<f64>,
     rng: StdRng,
 }
 
@@ -49,13 +50,46 @@ impl AwgnChannel {
         AwgnChannel {
             snr_db,
             seed,
+            reference_power: None,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Builder: derive the noise variance from a fixed reference power
+    /// instead of measuring each pass (or each chunk).
+    ///
+    /// Measuring the input power inside `process` makes the noise level
+    /// depend on how the pass is split: a chunked streaming run would
+    /// measure each chunk separately and diverge from the batch run. With a
+    /// fixed reference the noise σ is constant, the RNG sequence continues
+    /// across chunks, and chunked output is bit-identical to batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is not positive and finite.
+    pub fn with_reference_power(mut self, power: f64) -> Self {
+        assert!(
+            power > 0.0 && power.is_finite(),
+            "reference power must be positive and finite"
+        );
+        self.reference_power = Some(power);
+        self
     }
 
     /// The configured SNR in dB.
     pub fn snr_db(&self) -> f64 {
         self.snr_db
+    }
+
+    /// The fixed reference power, if one was configured.
+    pub fn reference_power(&self) -> Option<f64> {
+        self.reference_power
+    }
+
+    /// Per-dimension noise σ for a given signal power.
+    fn sigma(&self, sig_pow: f64) -> f64 {
+        let noise_pow = sig_pow * 10f64.powf(-self.snr_db / 10.0);
+        (noise_pow / 2.0).sqrt()
     }
 }
 
@@ -66,17 +100,44 @@ impl Block for AwgnChannel {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let mut s = inputs[0].clone();
-        let sig_pow = s.power();
-        if sig_pow == 0.0 {
-            return Ok(s);
-        }
-        let noise_pow = sig_pow * 10f64.powf(-self.snr_db / 10.0);
-        let sigma = (noise_pow / 2.0).sqrt(); // per real dimension
+        let sig_pow = match self.reference_power {
+            Some(p) => p,
+            None => {
+                let p = s.power();
+                if p == 0.0 {
+                    return Ok(s);
+                }
+                p
+            }
+        };
+        let sigma = self.sigma(sig_pow); // per real dimension
         for z in s.samples_mut() {
             let (gr, gi) = gaussian_pair(&mut self.rng);
             *z += Complex64::new(sigma * gr, sigma * gi);
         }
         Ok(s)
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        let sig_pow = match self.reference_power {
+            Some(p) => p,
+            None => {
+                // No reference: fall back to per-chunk measurement (same
+                // behavior as the default clone adapter, without the alloc).
+                let p = out.power();
+                if p == 0.0 {
+                    return Ok(());
+                }
+                p
+            }
+        };
+        let sigma = self.sigma(sig_pow);
+        for z in out.samples_mut() {
+            let (gr, gi) = gaussian_pair(&mut self.rng);
+            *z += Complex64::new(sigma * gr, sigma * gi);
+        }
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -88,6 +149,9 @@ impl Block for AwgnChannel {
 #[derive(Debug, Clone)]
 pub struct MultipathChannel {
     taps: Vec<Complex64>,
+    /// Last `taps.len() - 1` input samples of the streaming pass so far
+    /// (zero-filled at pass start); carries echo memory across chunks.
+    history: Vec<Complex64>,
 }
 
 impl MultipathChannel {
@@ -99,7 +163,10 @@ impl MultipathChannel {
     /// Panics if `taps` is empty.
     pub fn new(taps: Vec<Complex64>) -> Self {
         assert!(!taps.is_empty(), "taps must be nonempty");
-        MultipathChannel { taps }
+        MultipathChannel {
+            taps,
+            history: Vec::new(),
+        }
     }
 
     /// A two-ray channel with an echo `delay` samples later at relative
@@ -144,6 +211,52 @@ impl Block for MultipathChannel {
         }
         Ok(Signal::new(y, inputs[0].sample_rate()))
     }
+
+    fn begin_stream(&mut self) {
+        self.history.clear();
+        self.history.resize(self.taps.len() - 1, Complex64::ZERO);
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        if self.history.len() + 1 != self.taps.len() {
+            // Direct use without begin_stream: arm the delay line now.
+            self.history.clear();
+            self.history.resize(self.taps.len() - 1, Complex64::ZERO);
+        }
+        let x = inputs[0].samples();
+        out.clear();
+        out.set_sample_rate(inputs[0].sample_rate());
+        let hist = self.history.len();
+        for n in 0..x.len() {
+            let mut acc = Complex64::ZERO;
+            for (k, &h) in self.taps.iter().enumerate() {
+                // Samples before the chunk start come from the carried
+                // history; at pass start those are exact zeros, so the sum
+                // matches the batch convolution term for term.
+                let s = if n >= k {
+                    x[n - k]
+                } else {
+                    self.history[hist - (k - n)]
+                };
+                acc += h * s;
+            }
+            out.samples_vec_mut().push(acc);
+        }
+        if hist > 0 {
+            if x.len() >= hist {
+                self.history.copy_from_slice(&x[x.len() - hist..]);
+            } else {
+                self.history.rotate_left(x.len());
+                let keep = hist - x.len();
+                self.history[keep..].copy_from_slice(x);
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+    }
 }
 
 /// A time-varying Rayleigh fading channel: tapped delay line whose tap gains
@@ -178,7 +291,11 @@ impl RayleighChannel {
                 (0..Self::N_OSC)
                     .map(|_| {
                         let theta: f64 = rng.gen_range(0.0..TAU);
-                        (theta.cos(), rng.gen_range(0.0..TAU), rng.gen_range(0.0..TAU))
+                        (
+                            theta.cos(),
+                            rng.gen_range(0.0..TAU),
+                            rng.gen_range(0.0..TAU),
+                        )
                     })
                     .collect()
             })
@@ -275,7 +392,10 @@ impl DslLineChannel {
     ///
     /// Panics if `len` is even or zero.
     pub fn with_fir_len(mut self, len: usize) -> Self {
-        assert!(len % 2 == 1, "FIR length must be odd for integer group delay");
+        assert!(
+            len % 2 == 1,
+            "FIR length must be odd for integer group delay"
+        );
         self.fir_len = len;
         self
     }
@@ -303,7 +423,11 @@ impl DslLineChannel {
         for (k, hk) in h.iter_mut().enumerate() {
             let mut acc = 0.0;
             for m in 0..n {
-                let f = if m <= n / 2 { m as f64 } else { m as f64 - n as f64 };
+                let f = if m <= n / 2 {
+                    m as f64
+                } else {
+                    m as f64 - n as f64
+                };
                 let f_hz = f * sample_rate / n as f64;
                 let mag = self.amplitude_at(f_hz);
                 // Linear phase centered at (n-1)/2.
@@ -440,8 +564,100 @@ mod tests {
     #[test]
     fn awgn_passes_silence() {
         let mut ch = AwgnChannel::from_snr_db(10.0, 1);
-        let out = ch.process(&[Signal::new(vec![Complex64::ZERO; 8], 1.0)]).unwrap();
+        let out = ch
+            .process(&[Signal::new(vec![Complex64::ZERO; 8], 1.0)])
+            .unwrap();
         assert_eq!(out.power(), 0.0);
+    }
+
+    /// Runs `block` over `signal` in `chunk_len`-sized chunks through the
+    /// streaming API and concatenates the output.
+    fn run_chunked(block: &mut dyn Block, signal: &Signal, chunk_len: usize) -> Signal {
+        block.begin_stream();
+        let mut out = Signal::empty(signal.sample_rate());
+        let mut chunk_out = Signal::default();
+        let mut pos = 0;
+        while pos < signal.len() {
+            let take = chunk_len.min(signal.len() - pos);
+            let chunk = Signal::new(
+                signal.samples()[pos..pos + take].to_vec(),
+                signal.sample_rate(),
+            );
+            block.process_chunk(&[&chunk], &mut chunk_out).unwrap();
+            out.extend_from(&chunk_out);
+            pos += take;
+        }
+        block.end_stream().unwrap();
+        out
+    }
+
+    #[test]
+    fn awgn_with_reference_power_chunked_matches_batch() {
+        let sig = Signal::new(
+            (0..257)
+                .map(|i| Complex64::cis(0.01 * i as f64))
+                .collect::<Vec<_>>(),
+            1.0e6,
+        );
+        let mut batch = AwgnChannel::from_snr_db(12.0, 42).with_reference_power(1.0);
+        assert_eq!(batch.reference_power(), Some(1.0));
+        let want = batch.process(std::slice::from_ref(&sig)).unwrap();
+        for chunk_len in [1usize, 7, 64, 1000] {
+            let mut ch = AwgnChannel::from_snr_db(12.0, 42).with_reference_power(1.0);
+            let got = run_chunked(&mut ch, &sig, chunk_len);
+            assert_eq!(got, want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn awgn_reference_power_fixes_sigma_even_for_quiet_input() {
+        // Without a reference, AWGN scales noise to the (tiny) input power;
+        // with one, σ is absolute.
+        let quiet = Signal::new(vec![Complex64::ZERO; 4096], 1.0);
+        let mut ch = AwgnChannel::from_snr_db(0.0, 8).with_reference_power(1.0);
+        let out = ch.process(&[quiet]).unwrap();
+        assert!((out.power() - 1.0).abs() < 0.1, "power {}", out.power());
+    }
+
+    #[test]
+    #[should_panic(expected = "reference power")]
+    fn awgn_bad_reference_power_panics() {
+        let _ = AwgnChannel::from_snr_db(10.0, 0).with_reference_power(0.0);
+    }
+
+    #[test]
+    fn multipath_chunked_matches_batch() {
+        let taps = vec![
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.3, -0.2),
+            Complex64::ZERO,
+            Complex64::new(-0.1, 0.05),
+        ];
+        let sig = Signal::new(
+            (0..131)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect::<Vec<_>>(),
+            1.0,
+        );
+        let mut batch = MultipathChannel::new(taps.clone());
+        let want = batch.process(std::slice::from_ref(&sig)).unwrap();
+        for chunk_len in [1usize, 2, 5, 64, 1000] {
+            let mut ch = MultipathChannel::new(taps.clone());
+            let got = run_chunked(&mut ch, &sig, chunk_len);
+            assert_eq!(got, want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn multipath_stream_state_clears_between_passes() {
+        let mut ch = MultipathChannel::two_ray(2, 0.5);
+        let sig = Signal::new(vec![Complex64::ONE; 16], 1.0);
+        let a = run_chunked(&mut ch, &sig, 3);
+        let b = run_chunked(&mut ch, &sig, 16);
+        assert_eq!(a, b, "begin_stream must re-zero the echo history");
+        ch.reset();
+        let c = run_chunked(&mut ch, &sig, 5);
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -556,7 +772,9 @@ mod tests {
         assert_eq!(a, b);
         // p = 0 reduces to plain AWGN statistics; silence passes through.
         let mut quiet = ImpulsiveNoiseChannel::new(15.0, 0.0, 20.0, 9);
-        let out = quiet.process(&[Signal::new(vec![Complex64::ZERO; 16], 1.0)]).unwrap();
+        let out = quiet
+            .process(&[Signal::new(vec![Complex64::ZERO; 16], 1.0)])
+            .unwrap();
         assert_eq!(out.power(), 0.0);
     }
 

@@ -1,9 +1,16 @@
 //! The simulation netlist and its scheduler.
 //!
 //! A [`Graph`] owns blocks, records point-to-point connections and executes
-//! one simulation pass in topological order. Outputs of every block are
-//! retained so instruments and test code can inspect any internal node after
-//! [`Graph::run`] — like probing nodes of an RF schematic.
+//! one simulation pass in topological order. Two schedulers are available:
+//!
+//! * [`Graph::run`] — batch: each block processes the whole pass at once
+//!   and every node's output is retained for inspection, like probing all
+//!   nodes of an RF schematic. Peak memory is O(pass length × nodes).
+//! * [`Graph::run_streaming`] — chunked: samples move through the graph in
+//!   bounded chunks through per-edge buffers that are reused from chunk to
+//!   chunk, so peak memory is O(chunk length × nodes). Node outputs are
+//!   retained only for nodes opted in via [`Graph::probe`]; instruments
+//!   accumulate across chunks and finalize in [`Block::end_stream`].
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
@@ -17,6 +24,16 @@ struct Node {
     /// `inputs[port] = Some(source)` once connected.
     inputs: Vec<Option<BlockId>>,
     output: Option<Signal>,
+    /// Retain this node's output during streaming runs.
+    probed: bool,
+}
+
+/// How a source node is fed during a streaming run.
+enum Feed {
+    /// The source emits chunks itself ([`Block::stream_chunk`]).
+    Stream,
+    /// Batch-only source: evaluated once up front, then sliced.
+    Cached { signal: Signal, pos: usize },
 }
 
 /// A block-diagram simulation: blocks plus directed connections.
@@ -65,6 +82,7 @@ impl Graph {
             block: Box::new(block),
             inputs,
             output: None,
+            probed: false,
         });
         BlockId(self.nodes.len() - 1)
     }
@@ -149,6 +167,144 @@ impl Graph {
         Ok(())
     }
 
+    /// Marks `id` for output retention during [`Graph::run_streaming`].
+    ///
+    /// Batch [`Graph::run`] retains every node's output regardless; in
+    /// streaming runs retention is opt-in, since accumulating a node's
+    /// chunks reintroduces the O(pass) memory streaming exists to avoid.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownBlock`] if `id` is foreign.
+    pub fn probe(&mut self, id: BlockId) -> Result<(), SimError> {
+        match self.nodes.get_mut(id.0) {
+            Some(node) => {
+                node.probed = true;
+                Ok(())
+            }
+            None => Err(SimError::UnknownBlock),
+        }
+    }
+
+    /// Executes one simulation pass in chunks of at most `chunk_len`
+    /// samples.
+    ///
+    /// Streaming-capable sources ([`Block::supports_streaming`]) emit one
+    /// chunk per round; batch-only sources are evaluated once up front and
+    /// sliced. Each round pushes the chunks through the graph in dependency
+    /// order via [`Block::process_chunk`] into per-edge buffers that are
+    /// reused between chunks, and the pass ends when every source is
+    /// exhausted. [`Block::begin_stream`]/[`Block::end_stream`] bracket the
+    /// pass so instruments can accumulate whole-pass measurements.
+    ///
+    /// For chunk-sequential blocks (every block shipped with this crate),
+    /// the concatenated chunk stream at a node equals the batch
+    /// [`Graph::run`] output sample for sample. Blocks that measure
+    /// whole-pass statistics inside `process` (e.g. a noise channel
+    /// deriving σ from measured input power) only match batch output if
+    /// configured with a fixed reference instead (see
+    /// `AwgnChannel::with_reference_power`).
+    ///
+    /// With multiple sources of unequal pass lengths, exhausted sources
+    /// contribute empty chunks while the rest finish; blocks must tolerate
+    /// shorter/empty inputs in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::run`], plus any [`Block::stream_chunk`]
+    /// or [`Block::end_stream`] failure.
+    pub fn run_streaming(&mut self, chunk_len: usize) -> Result<(), SimError> {
+        assert!(chunk_len > 0, "chunk length must be nonzero");
+        for node in &self.nodes {
+            for (port, src) in node.inputs.iter().enumerate() {
+                if src.is_none() {
+                    return Err(SimError::MissingInput {
+                        block: node.block.name().to_owned(),
+                        port,
+                    });
+                }
+            }
+        }
+        let order = self.topological_order()?;
+        let n = self.nodes.len();
+
+        for node in &mut self.nodes {
+            node.output = None;
+            node.block.begin_stream();
+        }
+
+        let mut feeds: Vec<Option<Feed>> = Vec::with_capacity(n);
+        for node in &mut self.nodes {
+            feeds.push(if node.inputs.is_empty() {
+                if node.block.supports_streaming() {
+                    Some(Feed::Stream)
+                } else {
+                    let signal = node.block.process(&[])?;
+                    Some(Feed::Cached { signal, pos: 0 })
+                }
+            } else {
+                None
+            });
+        }
+
+        // Per-edge chunk buffers, reused across rounds: after the first
+        // round each holds its warm allocation and no further growth
+        // happens for constant chunk sizes.
+        let mut bufs: Vec<Signal> = (0..n).map(|_| Signal::default()).collect();
+
+        loop {
+            // Pull one chunk from every source.
+            let mut produced = false;
+            for (i, feed) in feeds.iter_mut().enumerate() {
+                let Some(feed) = feed else { continue };
+                match feed {
+                    Feed::Stream => {
+                        let got = self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?;
+                        produced |= got > 0;
+                    }
+                    Feed::Cached { signal, pos } => {
+                        let take = chunk_len.min(signal.len() - *pos);
+                        bufs[i].assign(&signal.samples()[*pos..*pos + take], signal.sample_rate());
+                        *pos += take;
+                        produced |= take > 0;
+                    }
+                }
+            }
+            if !produced {
+                break;
+            }
+
+            // Push the chunks through the interior of the graph.
+            for &BlockId(i) in &order {
+                if self.nodes[i].inputs.is_empty() {
+                    accumulate_probe(&mut self.nodes[i], &bufs[i]);
+                    continue;
+                }
+                let mut out = std::mem::take(&mut bufs[i]);
+                {
+                    let node = &mut self.nodes[i];
+                    let inputs: Vec<&Signal> = node
+                        .inputs
+                        .iter()
+                        .map(|src| &bufs[src.expect("verified above").0])
+                        .collect();
+                    node.block.process_chunk(&inputs, &mut out)?;
+                }
+                accumulate_probe(&mut self.nodes[i], &out);
+                bufs[i] = out;
+            }
+        }
+
+        for node in &mut self.nodes {
+            node.block.end_stream()?;
+        }
+        Ok(())
+    }
+
     /// Kahn's algorithm over the connection edges.
     fn topological_order(&self) -> Result<Vec<BlockId>, SimError> {
         let n = self.nodes.len();
@@ -198,6 +354,17 @@ impl Graph {
             node.block.reset();
             node.output = None;
         }
+    }
+}
+
+/// Appends a chunk to a probed node's retained output.
+fn accumulate_probe(node: &mut Node, chunk: &Signal) {
+    if !node.probed || chunk.is_empty() {
+        return;
+    }
+    match &mut node.output {
+        Some(acc) => acc.append_samples(chunk.samples()),
+        None => node.output = Some(chunk.clone()),
     }
 }
 
@@ -322,7 +489,14 @@ mod tests {
         let c = g.add(Const(1.0));
         let gain = g.add(Gain(1.0));
         let err = g.connect(c, gain, 5).unwrap_err();
-        assert!(matches!(err, SimError::InvalidPort { port: 5, inputs: 1, .. }));
+        assert!(matches!(
+            err,
+            SimError::InvalidPort {
+                port: 5,
+                inputs: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -334,7 +508,10 @@ mod tests {
         let _ = other.add(Const(1.0));
         let foreign2 = other.add(Const(1.0));
         // foreign2 has index 2 which does not exist in g.
-        assert_eq!(g.connect(c, foreign2, 0).unwrap_err(), SimError::UnknownBlock);
+        assert_eq!(
+            g.connect(c, foreign2, 0).unwrap_err(),
+            SimError::UnknownBlock
+        );
         let _ = foreign;
     }
 
@@ -348,6 +525,129 @@ mod tests {
         assert!(g.output(c).is_none());
         assert_eq!(g.len(), 1);
         assert!(!g.is_empty());
+    }
+
+    /// A source that emits `len` ramp samples, in chunks when streamed.
+    struct Ramp {
+        len: usize,
+        pos: usize,
+    }
+    impl Ramp {
+        fn new(len: usize) -> Self {
+            Ramp { len, pos: 0 }
+        }
+    }
+    impl Block for Ramp {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn input_count(&self) -> usize {
+            0
+        }
+        fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+            let samples = (0..self.len)
+                .map(|i| Complex64::new(i as f64, 0.0))
+                .collect();
+            Ok(Signal::new(samples, 1.0))
+        }
+        fn supports_streaming(&self) -> bool {
+            true
+        }
+        fn begin_stream(&mut self) {
+            self.pos = 0;
+        }
+        fn stream_chunk(&mut self, max: usize, out: &mut Signal) -> Result<usize, SimError> {
+            let take = max.min(self.len - self.pos);
+            out.clear();
+            out.set_sample_rate(1.0);
+            for i in 0..take {
+                out.samples_vec_mut()
+                    .push(Complex64::new((self.pos + i) as f64, 0.0));
+            }
+            self.pos += take;
+            Ok(take)
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_diamond() {
+        // Batch reference.
+        let build = |streaming_source: bool| {
+            let mut g = Graph::new();
+            let src: BlockId = if streaming_source {
+                g.add(Ramp::new(100))
+            } else {
+                g.add(Const(1.0))
+            };
+            let a = g.add(Gain(2.0));
+            let b = g.add(Gain(5.0));
+            let sum = g.add(Adder);
+            g.connect(src, a, 0).unwrap();
+            g.connect(src, b, 0).unwrap();
+            g.connect(a, sum, 0).unwrap();
+            g.connect(b, sum, 1).unwrap();
+            (g, sum)
+        };
+        for streaming_source in [false, true] {
+            let (mut batch, sum_b) = build(streaming_source);
+            batch.run().unwrap();
+            let reference = batch.output(sum_b).unwrap().clone();
+            // Divisor and non-divisor chunk sizes.
+            for chunk in [1usize, 7, 100, 1000] {
+                let (mut g, sum) = build(streaming_source);
+                g.probe(sum).unwrap();
+                g.run_streaming(chunk).unwrap();
+                assert_eq!(
+                    g.output(sum).unwrap(),
+                    &reference,
+                    "chunk={chunk} streaming_source={streaming_source}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_retains_only_probed_outputs() {
+        let mut g = Graph::new();
+        let src = g.add(Ramp::new(32));
+        let gain = g.add(Gain(2.0));
+        g.chain(&[src, gain]).unwrap();
+        g.probe(gain).unwrap();
+        g.run_streaming(8).unwrap();
+        assert!(g.output(src).is_none());
+        assert_eq!(g.output(gain).unwrap().len(), 32);
+        // Probing a foreign id fails.
+        let mut other = Graph::new();
+        let a = other.add(Const(0.0));
+        let _ = other.add(Const(0.0));
+        let foreign = other.add(Const(0.0));
+        let _ = (a, foreign);
+        assert_eq!(g.probe(foreign).unwrap_err(), SimError::UnknownBlock);
+    }
+
+    #[test]
+    fn streaming_validates_graph() {
+        let mut g = Graph::new();
+        let _ = g.add(Const(1.0));
+        let _unconnected = g.add(Gain(1.0));
+        assert!(matches!(
+            g.run_streaming(4).unwrap_err(),
+            SimError::MissingInput { .. }
+        ));
+        let mut cyc = Graph::new();
+        let a = cyc.add(Gain(1.0));
+        let b = cyc.add(Gain(1.0));
+        cyc.connect(a, b, 0).unwrap();
+        cyc.connect(b, a, 0).unwrap();
+        assert_eq!(cyc.run_streaming(4).unwrap_err(), SimError::GraphCycle);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length")]
+    fn zero_chunk_len_panics() {
+        let mut g = Graph::new();
+        let _ = g.add(Const(1.0));
+        let _ = g.run_streaming(0);
     }
 
     #[test]

@@ -10,11 +10,18 @@ use crate::signal::Signal;
 use ofdm_dsp::spectrum::{band_power, WelchPsd};
 use ofdm_dsp::stats;
 use ofdm_dsp::window::Window;
+use ofdm_dsp::Complex64;
 
 /// Measures mean power (linear and dB) of the signal passing through.
+///
+/// In a streaming run the meter accumulates `Σ|x|²` chunk by chunk in the
+/// same left-to-right order as [`ofdm_dsp::stats::mean_power`], so the
+/// finalized reading is bit-identical to the batch one.
 #[derive(Debug, Clone, Default)]
 pub struct PowerMeter {
     last_power: Option<f64>,
+    stream_sum: f64,
+    stream_count: usize,
 }
 
 impl PowerMeter {
@@ -44,16 +51,48 @@ impl Block for PowerMeter {
         Ok(inputs[0].clone())
     }
 
+    fn begin_stream(&mut self) {
+        self.stream_sum = 0.0;
+        self.stream_count = 0;
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        for z in inputs[0].samples() {
+            self.stream_sum += z.norm_sqr();
+        }
+        self.stream_count += inputs[0].len();
+        Ok(())
+    }
+
+    fn end_stream(&mut self) -> Result<(), SimError> {
+        self.last_power = Some(if self.stream_count == 0 {
+            0.0
+        } else {
+            self.stream_sum / self.stream_count as f64
+        });
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.last_power = None;
+        self.stream_sum = 0.0;
+        self.stream_count = 0;
     }
 }
 
 /// A Welch-method spectrum analyzer.
+///
+/// A PSD estimate needs the whole pass, so in a streaming run the analyzer
+/// buffers every chunk and estimates once in [`Block::end_stream`] — memory
+/// is O(pass length), not O(chunk), for this instrument (probe sparingly on
+/// long runs). The finalized estimate is bit-identical to the batch one.
 #[derive(Debug, Clone)]
 pub struct SpectrumAnalyzer {
     psd: WelchPsd,
     last: Option<(Vec<f64>, f64)>, // (DC-first PSD, sample rate)
+    stream_buf: Vec<Complex64>,
+    stream_rate: f64, // 0.0 = no streaming pass in flight
 }
 
 impl SpectrumAnalyzer {
@@ -63,7 +102,34 @@ impl SpectrumAnalyzer {
         SpectrumAnalyzer {
             psd: WelchPsd::new(segment_len, Window::Blackman),
             last: None,
+            stream_buf: Vec::new(),
+            stream_rate: 0.0,
         }
+    }
+
+    /// Arms the streaming accumulator (also used by the instruments that
+    /// wrap an analyzer: ACPR meter, mask checker).
+    fn stream_begin(&mut self) {
+        self.stream_buf.clear();
+        self.stream_rate = 0.0;
+    }
+
+    /// Buffers one chunk of the streaming pass.
+    fn stream_accumulate(&mut self, chunk: &Signal) {
+        self.stream_buf.extend_from_slice(chunk.samples());
+        self.stream_rate = chunk.sample_rate();
+    }
+
+    /// Estimates the PSD over the buffered pass. Returns `true` if an
+    /// estimate was produced (at least one chunk was seen).
+    fn stream_finalize(&mut self) -> bool {
+        if self.stream_rate <= 0.0 {
+            return false;
+        }
+        self.last = Some((self.psd.estimate(&self.stream_buf), self.stream_rate));
+        self.stream_buf.clear();
+        self.stream_rate = 0.0;
+        true
     }
 
     /// The last PSD estimate, DC-first ordering, linear power per bin.
@@ -118,12 +184,32 @@ impl Block for SpectrumAnalyzer {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        self.last = Some((self.psd.estimate(inputs[0].samples()), inputs[0].sample_rate()));
+        self.last = Some((
+            self.psd.estimate(inputs[0].samples()),
+            inputs[0].sample_rate(),
+        ));
         Ok(inputs[0].clone())
+    }
+
+    fn begin_stream(&mut self) {
+        self.stream_begin();
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        self.stream_accumulate(inputs[0]);
+        Ok(())
+    }
+
+    fn end_stream(&mut self) -> Result<(), SimError> {
+        self.stream_finalize();
+        Ok(())
     }
 
     fn reset(&mut self) {
         self.last = None;
+        self.stream_buf.clear();
+        self.stream_rate = 0.0;
     }
 }
 
@@ -167,15 +253,9 @@ impl AcprMeter {
     pub fn worst_acpr_db(&self) -> Option<f64> {
         self.last.map(|(l, u)| l.max(u))
     }
-}
 
-impl Block for AcprMeter {
-    fn name(&self) -> &str {
-        "acpr-meter"
-    }
-
-    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let out = self.analyzer.process(inputs)?;
+    /// Derives the ACPR figures from the analyzer's current PSD estimate.
+    fn update_from_analyzer(&mut self) {
         let half = self.channel_bw / 2.0;
         let main = self.analyzer.band_power(-half, half).unwrap_or(0.0);
         let lower = self
@@ -194,7 +274,35 @@ impl Block for AcprMeter {
             }
         };
         self.last = Some((to_db(lower), to_db(upper)));
+    }
+}
+
+impl Block for AcprMeter {
+    fn name(&self) -> &str {
+        "acpr-meter"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let out = self.analyzer.process(inputs)?;
+        self.update_from_analyzer();
         Ok(out)
+    }
+
+    fn begin_stream(&mut self) {
+        self.analyzer.stream_begin();
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        self.analyzer.stream_accumulate(inputs[0]);
+        Ok(())
+    }
+
+    fn end_stream(&mut self) -> Result<(), SimError> {
+        if self.analyzer.stream_finalize() {
+            self.update_from_analyzer();
+        }
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -204,11 +312,17 @@ impl Block for AcprMeter {
 }
 
 /// Records the CCDF of instantaneous power (the PAPR distribution probe).
+///
+/// The thresholds are relative to the pass's mean power, so a streaming run
+/// buffers the whole pass and evaluates in [`Block::end_stream`] — O(pass)
+/// memory, like the spectrum analyzer.
 #[derive(Debug, Clone)]
 pub struct CcdfProbe {
     thresholds_db: Vec<f64>,
     last: Option<Vec<f64>>,
     last_papr_db: Option<f64>,
+    stream_buf: Vec<Complex64>,
+    stream_active: bool,
 }
 
 impl CcdfProbe {
@@ -224,14 +338,20 @@ impl CcdfProbe {
             thresholds_db,
             last: None,
             last_papr_db: None,
+            stream_buf: Vec::new(),
+            stream_active: false,
         }
     }
 
     /// `(threshold_db, probability)` pairs from the last pass.
     pub fn ccdf(&self) -> Option<Vec<(f64, f64)>> {
-        self.last
-            .as_ref()
-            .map(|p| self.thresholds_db.iter().copied().zip(p.iter().copied()).collect())
+        self.last.as_ref().map(|p| {
+            self.thresholds_db
+                .iter()
+                .copied()
+                .zip(p.iter().copied())
+                .collect()
+        })
     }
 
     /// PAPR of the last pass in dB.
@@ -257,9 +377,32 @@ impl Block for CcdfProbe {
         Ok(inputs[0].clone())
     }
 
+    fn begin_stream(&mut self) {
+        self.stream_buf.clear();
+        self.stream_active = true;
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        self.stream_buf.extend_from_slice(inputs[0].samples());
+        Ok(())
+    }
+
+    fn end_stream(&mut self) -> Result<(), SimError> {
+        if self.stream_active {
+            self.last = Some(stats::power_ccdf(&self.stream_buf, &self.thresholds_db));
+            self.last_papr_db = Some(stats::papr_db(&self.stream_buf));
+            self.stream_buf.clear();
+            self.stream_active = false;
+        }
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.last = None;
         self.last_papr_db = None;
+        self.stream_buf.clear();
+        self.stream_active = false;
     }
 }
 
@@ -332,15 +475,9 @@ impl MaskChecker {
         }
         Some(lim)
     }
-}
 
-impl Block for MaskChecker {
-    fn name(&self) -> &str {
-        "mask-checker"
-    }
-
-    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let out = self.analyzer.process(inputs)?;
+    /// Checks the analyzer's current PSD estimate against the mask.
+    fn evaluate(&mut self) -> Result<(), SimError> {
         let shifted = self
             .analyzer
             .psd_shifted_db()
@@ -364,7 +501,36 @@ impl Block for MaskChecker {
             }
         }
         self.last_margin_db = Some(margin);
+        Ok(())
+    }
+}
+
+impl Block for MaskChecker {
+    fn name(&self) -> &str {
+        "mask-checker"
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let out = self.analyzer.process(inputs)?;
+        self.evaluate()?;
         Ok(out)
+    }
+
+    fn begin_stream(&mut self) {
+        self.analyzer.stream_begin();
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        self.analyzer.stream_accumulate(inputs[0]);
+        Ok(())
+    }
+
+    fn end_stream(&mut self) -> Result<(), SimError> {
+        if self.analyzer.stream_finalize() {
+            self.evaluate()?;
+        }
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -381,16 +547,109 @@ mod tests {
 
     fn tone(f: f64, fs: f64, n: usize) -> Signal {
         Signal::new(
-            (0..n).map(|i| Complex64::cis(TAU * f * i as f64 / fs)).collect(),
+            (0..n)
+                .map(|i| Complex64::cis(TAU * f * i as f64 / fs))
+                .collect(),
             fs,
         )
+    }
+
+    /// Streams `signal` through `block` in `chunk_len`-sized chunks,
+    /// bracketing with the stream hooks, and returns the concatenated
+    /// output.
+    fn run_chunked(block: &mut dyn Block, signal: &Signal, chunk_len: usize) -> Signal {
+        block.begin_stream();
+        let mut out = Signal::empty(signal.sample_rate());
+        let mut chunk_out = Signal::default();
+        let mut pos = 0;
+        while pos < signal.len() {
+            let take = chunk_len.min(signal.len() - pos);
+            let chunk = Signal::new(
+                signal.samples()[pos..pos + take].to_vec(),
+                signal.sample_rate(),
+            );
+            block.process_chunk(&[&chunk], &mut chunk_out).unwrap();
+            out.extend_from(&chunk_out);
+            pos += take;
+        }
+        block.end_stream().unwrap();
+        out
+    }
+
+    #[test]
+    fn power_meter_streaming_matches_batch_exactly() {
+        let s = tone(0.03e6, 1e6, 1000);
+        let mut batch = PowerMeter::new();
+        batch.process(std::slice::from_ref(&s)).unwrap();
+        let want = batch.power().unwrap();
+        for chunk_len in [1usize, 7, 128, 2048] {
+            let mut m = PowerMeter::new();
+            let out = run_chunked(&mut m, &s, chunk_len);
+            assert_eq!(out, s, "pass-through");
+            assert_eq!(m.power().unwrap(), want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn analyzer_streaming_matches_batch_exactly() {
+        let s = tone(0.125e6, 1e6, 2048);
+        let mut batch = SpectrumAnalyzer::new(256);
+        batch.process(std::slice::from_ref(&s)).unwrap();
+        let want = batch.psd().unwrap().to_vec();
+        for chunk_len in [33usize, 256, 5000] {
+            let mut sa = SpectrumAnalyzer::new(256);
+            let out = run_chunked(&mut sa, &s, chunk_len);
+            assert_eq!(out, s);
+            assert_eq!(sa.psd().unwrap(), &want[..], "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn acpr_and_ccdf_and_mask_streaming_match_batch() {
+        let fs = 2e6;
+        let n = 1 << 13;
+        let mut samples = tone(0.0, fs, n).into_samples();
+        for (i, z) in samples.iter_mut().enumerate() {
+            *z += Complex64::cis(TAU * 400e3 * i as f64 / fs).scale(0.1);
+        }
+        let s = Signal::new(samples, fs);
+
+        let mut acpr_b = AcprMeter::new(200e3, 400e3, 512);
+        acpr_b.process(std::slice::from_ref(&s)).unwrap();
+        let mut acpr_s = AcprMeter::new(200e3, 400e3, 512);
+        run_chunked(&mut acpr_s, &s, 777);
+        assert_eq!(acpr_s.acpr_db(), acpr_b.acpr_db());
+
+        let mut ccdf_b = CcdfProbe::new();
+        ccdf_b.process(std::slice::from_ref(&s)).unwrap();
+        let mut ccdf_s = CcdfProbe::new();
+        run_chunked(&mut ccdf_s, &s, 100);
+        assert_eq!(ccdf_s.ccdf(), ccdf_b.ccdf());
+        assert_eq!(ccdf_s.papr_db(), ccdf_b.papr_db());
+
+        let mask = vec![
+            MaskPoint {
+                offset_hz: 150e3,
+                limit_dbr: -30.0,
+            },
+            MaskPoint {
+                offset_hz: 300e3,
+                limit_dbr: -50.0,
+            },
+        ];
+        let mut chk_b = MaskChecker::new(mask.clone(), 100e3, 512);
+        chk_b.process(std::slice::from_ref(&s)).unwrap();
+        let mut chk_s = MaskChecker::new(mask, 100e3, 512);
+        run_chunked(&mut chk_s, &s, 999);
+        assert_eq!(chk_s.margin_db(), chk_b.margin_db());
     }
 
     #[test]
     fn power_meter_reads_power() {
         let mut m = PowerMeter::new();
         assert!(m.power().is_none());
-        m.process(&[Signal::new(vec![Complex64::new(2.0, 0.0); 8], 1.0)]).unwrap();
+        m.process(&[Signal::new(vec![Complex64::new(2.0, 0.0); 8], 1.0)])
+            .unwrap();
         assert!((m.power().unwrap() - 4.0).abs() < 1e-12);
         assert!((m.power_db().unwrap() - 6.0206).abs() < 1e-3);
         m.reset();
@@ -461,8 +720,14 @@ mod tests {
     #[test]
     fn mask_checker_passes_narrowband_and_fails_wideband() {
         let mask = vec![
-            MaskPoint { offset_hz: 150e3, limit_dbr: -30.0 },
-            MaskPoint { offset_hz: 300e3, limit_dbr: -50.0 },
+            MaskPoint {
+                offset_hz: 150e3,
+                limit_dbr: -30.0,
+            },
+            MaskPoint {
+                offset_hz: 300e3,
+                limit_dbr: -50.0,
+            },
         ];
         // Narrowband tone at DC: complies.
         let mut chk = MaskChecker::new(mask.clone(), 100e3, 512);
@@ -487,8 +752,14 @@ mod tests {
     fn unsorted_mask_panics() {
         let _ = MaskChecker::new(
             vec![
-                MaskPoint { offset_hz: 2.0, limit_dbr: -10.0 },
-                MaskPoint { offset_hz: 1.0, limit_dbr: -20.0 },
+                MaskPoint {
+                    offset_hz: 2.0,
+                    limit_dbr: -10.0,
+                },
+                MaskPoint {
+                    offset_hz: 1.0,
+                    limit_dbr: -20.0,
+                },
             ],
             1.0,
             64,

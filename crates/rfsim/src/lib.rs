@@ -40,11 +40,13 @@ pub mod graph;
 pub mod instruments;
 pub mod pa;
 pub mod rate;
+pub mod scenario;
 pub mod signal;
 pub mod source;
 
 pub use block::{Block, SimError};
 pub use graph::{BlockId, Graph};
+pub use scenario::{run_scenarios, scenario_seed, Scenarios};
 pub use signal::Signal;
 
 /// Convenient glob-import surface for simulator users.
@@ -61,6 +63,7 @@ pub mod prelude {
     };
     pub use crate::pa::{RappPa, SalehPa, SoftClipPa};
     pub use crate::rate::{Downsampler, GainBlock, Upsampler};
+    pub use crate::scenario::{run_scenarios, scenario_seed, Scenarios};
     pub use crate::signal::Signal;
     pub use crate::source::{SamplePlayback, ToneSource};
 }

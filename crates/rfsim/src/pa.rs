@@ -9,6 +9,20 @@ use crate::block::{Block, SimError};
 use crate::signal::Signal;
 use ofdm_dsp::Complex64;
 
+fn distort(
+    z: Complex64,
+    gain: f64,
+    am_am: &impl Fn(f64) -> f64,
+    am_pm: &impl Fn(f64) -> f64,
+) -> Complex64 {
+    let r = z.abs() * gain;
+    if r == 0.0 {
+        Complex64::ZERO
+    } else {
+        Complex64::from_polar(am_am(r), z.arg() + am_pm(r))
+    }
+}
+
 fn apply_am_am_pm(
     signal: &Signal,
     gain: f64,
@@ -18,16 +32,30 @@ fn apply_am_am_pm(
     let samples = signal
         .samples()
         .iter()
-        .map(|z| {
-            let r = z.abs() * gain;
-            if r == 0.0 {
-                Complex64::ZERO
-            } else {
-                Complex64::from_polar(am_am(r), z.arg() + am_pm(r))
-            }
-        })
+        .map(|&z| distort(z, gain, &am_am, &am_pm))
         .collect();
     Signal::new(samples, signal.sample_rate())
+}
+
+/// In-place variant for streaming chunks: the nonlinearity is memoryless,
+/// so per-chunk application is trivially identical to batch.
+fn apply_am_am_pm_into(
+    chunk: &Signal,
+    out: &mut Signal,
+    gain: f64,
+    am_am: impl Fn(f64) -> f64,
+    am_pm: impl Fn(f64) -> f64,
+) {
+    out.clear();
+    out.set_sample_rate(chunk.sample_rate());
+    let buf = out.samples_vec_mut();
+    buf.reserve(chunk.len());
+    buf.extend(
+        chunk
+            .samples()
+            .iter()
+            .map(|&z| distort(z, gain, &am_am, &am_pm)),
+    );
 }
 
 /// Rapp (solid-state) PA model.
@@ -105,6 +133,18 @@ impl Block for RappPa {
             |_| 0.0,
         ))
     }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        let (a, p) = (self.saturation, self.smoothness);
+        apply_am_am_pm_into(
+            inputs[0],
+            out,
+            self.gain,
+            |r| r / (1.0 + (r / a).powf(2.0 * p)).powf(1.0 / (2.0 * p)),
+            |_| 0.0,
+        );
+        Ok(())
+    }
 }
 
 /// Saleh (traveling-wave-tube) PA model with both AM/AM and AM/PM.
@@ -164,6 +204,18 @@ impl Block for SalehPa {
             |r| ap * r * r / (1.0 + bp * r * r),
         ))
     }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        let (aa, ba, ap, bp) = (self.alpha_a, self.beta_a, self.alpha_phi, self.beta_phi);
+        apply_am_am_pm_into(
+            inputs[0],
+            out,
+            self.gain,
+            |r| aa * r / (1.0 + ba * r * r),
+            |r| ap * r * r / (1.0 + bp * r * r),
+        );
+        Ok(())
+    }
 }
 
 /// An ideal soft limiter: linear below the clip level, hard-limited above.
@@ -198,12 +250,13 @@ impl Block for SoftClipPa {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let c = self.clip;
-        Ok(apply_am_am_pm(
-            &inputs[0],
-            self.gain,
-            |r| r.min(c),
-            |_| 0.0,
-        ))
+        Ok(apply_am_am_pm(&inputs[0], self.gain, |r| r.min(c), |_| 0.0))
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        let c = self.clip;
+        apply_am_am_pm_into(inputs[0], out, self.gain, |r| r.min(c), |_| 0.0);
+        Ok(())
     }
 }
 
@@ -212,10 +265,41 @@ mod tests {
     use super::*;
 
     fn sig(vals: &[f64]) -> Signal {
-        Signal::new(
-            vals.iter().map(|&v| Complex64::new(v, 0.0)).collect(),
+        Signal::new(vals.iter().map(|&v| Complex64::new(v, 0.0)).collect(), 1.0)
+    }
+
+    #[test]
+    fn pa_chunked_matches_batch() {
+        let s = Signal::new(
+            (0..101)
+                .map(|i| Complex64::cis(0.13 * i as f64).scale(0.02 * i as f64))
+                .collect::<Vec<_>>(),
             1.0,
-        )
+        );
+        let models: Vec<Box<dyn Fn() -> Box<dyn Block>>> = vec![
+            Box::new(|| Box::new(RappPa::new(1.0, 3.0).with_gain_db(3.0))),
+            Box::new(|| Box::new(SalehPa::classic())),
+            Box::new(|| Box::new(SoftClipPa::new(0.8))),
+        ];
+        for make in &models {
+            let want = make().process(std::slice::from_ref(&s)).unwrap();
+            for chunk_len in [1usize, 7, 50, 1000] {
+                let mut pa = make();
+                pa.begin_stream();
+                let mut got = Signal::empty(s.sample_rate());
+                let mut chunk_out = Signal::default();
+                let mut pos = 0;
+                while pos < s.len() {
+                    let take = chunk_len.min(s.len() - pos);
+                    let chunk = Signal::new(s.samples()[pos..pos + take].to_vec(), s.sample_rate());
+                    pa.process_chunk(&[&chunk], &mut chunk_out).unwrap();
+                    got.extend_from(&chunk_out);
+                    pos += take;
+                }
+                pa.end_stream().unwrap();
+                assert_eq!(got, want, "chunk_len {chunk_len}");
+            }
+        }
     }
 
     #[test]

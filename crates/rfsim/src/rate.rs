@@ -41,7 +41,10 @@ impl Block for Upsampler {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let out = self.resampler.process(inputs[0].samples());
-        Ok(Signal::new(out, inputs[0].sample_rate() * self.factor as f64))
+        Ok(Signal::new(
+            out,
+            inputs[0].sample_rate() * self.factor as f64,
+        ))
     }
 
     fn reset(&mut self) {
@@ -82,7 +85,10 @@ impl Block for Downsampler {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let out = self.resampler.process(inputs[0].samples());
-        Ok(Signal::new(out, inputs[0].sample_rate() / self.factor as f64))
+        Ok(Signal::new(
+            out,
+            inputs[0].sample_rate() / self.factor as f64,
+        ))
     }
 
     fn reset(&mut self) {
@@ -123,6 +129,14 @@ impl Block for GainBlock {
             *z = z.scale(self.gain_linear);
         }
         Ok(s)
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        for z in out.samples_mut() {
+            *z = z.scale(self.gain_linear);
+        }
+        Ok(())
     }
 }
 

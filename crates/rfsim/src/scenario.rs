@@ -1,0 +1,260 @@
+//! A parallel scenario runner: N independent graph simulations over a
+//! thread pool.
+//!
+//! RF system exploration is embarrassingly parallel across *scenarios* —
+//! back-off sweeps, SNR sweeps, Monte-Carlo seeds — while each individual
+//! graph pass is sequential. [`run_scenarios`] exploits exactly that
+//! structure: each scenario builds its own [`crate::Graph`] (blocks are not
+//! `Sync`, so nothing is shared), runs it, and returns a result; a fixed
+//! pool of `std::thread` workers pulls scenario indices off an atomic
+//! counter.
+//!
+//! Determinism: results are returned in scenario order regardless of which
+//! worker ran them, and [`scenario_seed`] derives a stable per-scenario RNG
+//! seed from a base seed, so a parallel sweep reproduces the sequential one
+//! bit for bit.
+//!
+//! # Example
+//!
+//! ```
+//! use rfsim::prelude::*;
+//! use rfsim::scenario::{run_scenarios, Scenarios};
+//!
+//! // Mean output power of a tone through a soft limiter, for three drive
+//! // levels, computed on up to 3 threads.
+//! let drives = [0.5, 1.0, 2.0];
+//! let powers = run_scenarios(
+//!     Scenarios::new(drives.len()).threads(3),
+//!     |i| -> Result<f64, SimError> {
+//!         let mut g = Graph::new();
+//!         let src = g.add(ToneSource::new(1.0e3, 1.0e6, 512).with_amplitude(drives[i]));
+//!         let pa = g.add(SoftClipPa::new(1.0));
+//!         let meter = g.add(PowerMeter::new());
+//!         g.connect(src, pa, 0)?;
+//!         g.connect(pa, meter, 0)?;
+//!         g.run()?;
+//!         Ok(g.block::<PowerMeter>(meter).unwrap().power().unwrap())
+//!     },
+//! )
+//! .unwrap();
+//! assert_eq!(powers.len(), 3);
+//! assert!(powers[0] < powers[2]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration for [`run_scenarios`]: how many scenarios to run and how
+/// many worker threads to use.
+#[derive(Debug, Clone)]
+pub struct Scenarios {
+    count: usize,
+    threads: usize,
+}
+
+impl Scenarios {
+    /// `count` scenarios on a default worker pool
+    /// (`std::thread::available_parallelism`, capped at the scenario
+    /// count).
+    pub fn new(count: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Scenarios { count, threads }
+    }
+
+    /// Builder: use exactly `threads` workers (`1` forces a fully
+    /// sequential run on the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be nonzero");
+        self.threads = threads;
+        self
+    }
+
+    /// Number of scenarios.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Effective worker count (never more than the scenario count).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.min(self.count).max(1)
+    }
+}
+
+/// A deterministic per-scenario seed: SplitMix64 of `base_seed ⊕ index`.
+///
+/// Gives well-separated RNG streams for Monte-Carlo scenarios while staying
+/// reproducible — the same `(base_seed, index)` pair always yields the same
+/// seed, whether the sweep runs sequentially or in parallel.
+pub fn scenario_seed(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `scenario(0..count)` across a worker pool and returns the results
+/// in scenario order.
+///
+/// `scenario` is called once per index; each call should build, run and
+/// measure its own graph. The first error aborts the sweep (workers finish
+/// their current scenario, pending ones are skipped) and is returned.
+///
+/// With `threads(1)` the closure runs sequentially on the calling thread —
+/// useful as the reference when validating that a parallel sweep reproduces
+/// the sequential one.
+///
+/// # Errors
+///
+/// The first scenario error, if any scenario fails.
+pub fn run_scenarios<R, E, F>(config: Scenarios, scenario: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let count = config.count();
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = config.effective_threads();
+    if workers == 1 {
+        return (0..count).map(&scenario).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let results = Mutex::new(slots);
+    let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count || aborted.load(Ordering::Relaxed) != 0 {
+                    break;
+                }
+                match scenario(i) {
+                    Ok(r) => {
+                        results.lock().expect("results lock").as_mut_slice()[i] = Some(r);
+                    }
+                    Err(e) => {
+                        aborted.store(1, Ordering::Relaxed);
+                        // Keep the error from the lowest-indexed failing
+                        // scenario so parallel runs fail deterministically.
+                        let mut guard = error.lock().expect("error lock");
+                        if guard.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *guard = Some((i, e));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, e)) = error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    let slots = results.into_inner().expect("results lock");
+    Ok(slots
+        .into_iter()
+        .map(|r| r.expect("every scenario ran"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AwgnChannel;
+    use crate::instruments::PowerMeter;
+    use crate::source::ToneSource;
+    use crate::{Graph, SimError};
+
+    fn sweep(threads: usize) -> Vec<f64> {
+        run_scenarios(
+            Scenarios::new(8).threads(threads),
+            |i| -> Result<f64, SimError> {
+                let mut g = Graph::new();
+                let src = g.add(ToneSource::new(1.0e3, 1.0e6, 256));
+                let ch = g.add(AwgnChannel::from_snr_db(
+                    5.0 + i as f64,
+                    scenario_seed(42, i),
+                ));
+                let meter = g.add(PowerMeter::new());
+                g.connect(src, ch, 0)?;
+                g.connect(ch, meter, 0)?;
+                g.run()?;
+                Ok(g.block::<PowerMeter>(meter).unwrap().power().unwrap())
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_reproduces_sequential() {
+        let seq = sweep(1);
+        let par = sweep(4);
+        assert_eq!(seq, par);
+        // Sanity: higher SNR scenarios carry less noise power.
+        assert!(seq[0] > seq[7]);
+    }
+
+    #[test]
+    fn results_are_in_scenario_order() {
+        let out = run_scenarios(
+            Scenarios::new(100).threads(8),
+            |i| -> Result<usize, SimError> { Ok(i * i) },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let out = run_scenarios(Scenarios::new(0), |_| -> Result<(), SimError> { Ok(()) }).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn error_propagates() {
+        let res = run_scenarios(
+            Scenarios::new(16).threads(4),
+            |i| -> Result<usize, String> {
+                if i == 5 {
+                    Err("scenario 5 exploded".into())
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+        assert_eq!(res.unwrap_err(), "scenario 5 exploded");
+    }
+
+    #[test]
+    fn scenario_seed_is_stable_and_spread() {
+        assert_eq!(scenario_seed(1, 0), scenario_seed(1, 0));
+        assert_ne!(scenario_seed(1, 0), scenario_seed(1, 1));
+        assert_ne!(scenario_seed(1, 0), scenario_seed(2, 0));
+        let s = Scenarios::new(4).threads(16);
+        assert_eq!(s.effective_threads(), 4);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_threads_panics() {
+        let _ = Scenarios::new(1).threads(0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Sampled complex-baseband signals.
 
-use ofdm_dsp::Complex64;
 use ofdm_dsp::stats;
+use ofdm_dsp::Complex64;
 
 /// A block of complex baseband samples tagged with its sample rate.
 ///
@@ -121,6 +121,65 @@ impl Signal {
         )
     }
 
+    /// Clears the samples, keeping the allocation (rate unchanged).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Current heap capacity in samples (diagnostic; lets tests assert a
+    /// reused buffer stops allocating after warm-up).
+    pub fn capacity(&self) -> usize {
+        self.samples.capacity()
+    }
+
+    /// Replaces the contents with a copy of `samples` at `sample_rate`,
+    /// reusing the existing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive and finite.
+    pub fn assign(&mut self, samples: &[Complex64], sample_rate: f64) {
+        assert!(
+            sample_rate > 0.0 && sample_rate.is_finite(),
+            "sample rate must be positive and finite"
+        );
+        self.samples.clear();
+        self.samples.extend_from_slice(samples);
+        self.sample_rate = sample_rate;
+    }
+
+    /// Copies another signal's contents into this one, reusing the
+    /// existing allocation (the streaming scheduler's per-edge move).
+    pub fn copy_from(&mut self, other: &Signal) {
+        self.samples.clone_from(&other.samples);
+        self.sample_rate = other.sample_rate;
+    }
+
+    /// Re-tags the sample rate without touching the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive and finite.
+    pub fn set_sample_rate(&mut self, sample_rate: f64) {
+        assert!(
+            sample_rate > 0.0 && sample_rate.is_finite(),
+            "sample rate must be positive and finite"
+        );
+        self.sample_rate = sample_rate;
+    }
+
+    /// Appends raw samples (rate unchanged).
+    pub fn append_samples(&mut self, samples: &[Complex64]) {
+        self.samples.extend_from_slice(samples);
+    }
+
+    /// Mutable access to the sample vector for producers that write
+    /// variable-length chunks in place (length may change; rate stays).
+    #[inline]
+    pub fn samples_vec_mut(&mut self) -> &mut Vec<Complex64> {
+        &mut self.samples
+    }
+
     /// Appends another signal's samples.
     ///
     /// # Panics
@@ -138,6 +197,14 @@ impl Signal {
 impl AsRef<[Complex64]> for Signal {
     fn as_ref(&self) -> &[Complex64] {
         &self.samples
+    }
+}
+
+/// An empty signal at 1 Hz — the placeholder the streaming scheduler uses
+/// for not-yet-filled edge buffers.
+impl Default for Signal {
+    fn default() -> Self {
+        Signal::empty(1.0)
     }
 }
 
@@ -186,6 +253,31 @@ mod tests {
         assert_eq!(s.samples()[0], Complex64::ONE);
         let v = s.into_samples();
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn reuse_helpers_keep_allocation() {
+        let mut s = Signal::new(vec![Complex64::ONE; 64], 1.0e6);
+        let cap = s.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), cap);
+        s.assign(&[Complex64::ZERO; 32], 2.0e6);
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.sample_rate(), 2.0e6);
+        assert_eq!(s.capacity(), cap);
+        let other = Signal::new(vec![Complex64::ONE; 10], 3.0e6);
+        s.copy_from(&other);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.sample_rate(), 3.0e6);
+        assert_eq!(s.capacity(), cap);
+        s.append_samples(&[Complex64::ZERO; 2]);
+        assert_eq!(s.len(), 12);
+        s.set_sample_rate(5.0);
+        assert_eq!(s.sample_rate(), 5.0);
+        s.samples_vec_mut().push(Complex64::ONE);
+        assert_eq!(s.len(), 13);
+        assert_eq!(Signal::default().sample_rate(), 1.0);
     }
 
     #[test]

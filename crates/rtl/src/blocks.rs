@@ -215,7 +215,9 @@ impl MapperRomRtl {
     /// Panics if `bits.len() != self.bits_per_symbol()`.
     pub fn step(&self, bits: &[u8]) -> FxComplex {
         assert_eq!(bits.len(), self.bits, "wrong bit-group width");
-        let addr = bits.iter().fold(0usize, |acc, &b| (acc << 1) | (b as usize & 1));
+        let addr = bits
+            .iter()
+            .fold(0usize, |acc, &b| (acc << 1) | (b as usize & 1));
         self.points[addr]
     }
 

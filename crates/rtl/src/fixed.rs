@@ -177,7 +177,13 @@ impl Fx {
 
 impl fmt::Display for Fx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}q{}.{}", self.to_f64(), self.format.width, self.format.frac)
+        write!(
+            f,
+            "{:.6}q{}.{}",
+            self.to_f64(),
+            self.format.width,
+            self.format.frac
+        )
     }
 }
 
@@ -255,7 +261,10 @@ impl FxComplex {
 mod tests {
     use super::*;
 
-    const Q15: FxFormat = FxFormat { width: 16, frac: 15 };
+    const Q15: FxFormat = FxFormat {
+        width: 16,
+        frac: 15,
+    };
 
     #[test]
     fn format_limits() {

@@ -27,7 +27,10 @@ impl FxIfft {
     ///
     /// Panics if `n` is not a power of two ≥ 2.
     pub fn new(n: usize, format: FxFormat) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "length must be a power of two"
+        );
         let bits = n.trailing_zeros();
         let twiddles = (0..n / 2)
             .map(|k| {
@@ -35,8 +38,15 @@ impl FxIfft {
                 FxComplex::from_f64(theta.cos(), theta.sin(), format)
             })
             .collect();
-        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
-        FxIfft { n, format, twiddles, rev }
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        FxIfft {
+            n,
+            format,
+            twiddles,
+            rev,
+        }
     }
 
     /// Transform length.
@@ -285,7 +295,13 @@ mod tests {
         let fmt = FxFormat::new(18, 15);
         let n = 64;
         let grid: Vec<FxComplex> = (0..n)
-            .map(|k| FxComplex::from_f64((k as f64 * 0.3).sin() * 0.4, (k as f64 * 0.9).cos() * 0.4, fmt))
+            .map(|k| {
+                FxComplex::from_f64(
+                    (k as f64 * 0.3).sin() * 0.4,
+                    (k as f64 * 0.9).cos() * 0.4,
+                    fmt,
+                )
+            })
             .collect();
         let engine = FxIfft::new(n, fmt);
         let mut batch = grid.clone();

@@ -12,11 +12,11 @@ use crate::cycle::{Clocked, Scheduler};
 use crate::fixed::{FxComplex, FxFormat};
 use crate::ifft::{FxIfft, IfftStepper};
 use crate::trace::Trace;
-use std::hint::black_box;
 use ofdm_core::pilots::{ieee80211a_pilots, PilotGenerator};
 use ofdm_dsp::Complex64;
 use ofdm_standards::ieee80211a::{self, WlanRate};
 use std::collections::VecDeque;
+use std::hint::black_box;
 
 /// One transmitted RT-level frame.
 #[derive(Debug, Clone)]
@@ -104,7 +104,10 @@ impl Tx80211aRtl {
                 }
             }
         }
-        assert!(machine.done(), "FSM failed to finish within the cycle bound");
+        assert!(
+            machine.done(),
+            "FSM failed to finish within the cycle bound"
+        );
         let frame = RtlFrame {
             samples: machine.into_output(),
             cycles: scheduler.cycles(),
@@ -317,8 +320,13 @@ impl Clocked for TxMachine {
                 let n_data = self.data_carriers.len();
                 if self.sub < n_data {
                     let k = self.data_carriers[self.sub];
-                    let group = &self.read_bits[self.sub * self.n_bpsc..(self.sub + 1) * self.n_bpsc];
-                    let bin = if k >= 0 { k as usize } else { (64 + k) as usize };
+                    let group =
+                        &self.read_bits[self.sub * self.n_bpsc..(self.sub + 1) * self.n_bpsc];
+                    let bin = if k >= 0 {
+                        k as usize
+                    } else {
+                        (64 + k) as usize
+                    };
                     self.grid[bin] = self.mapper.step(group);
                     self.sub += 1;
                 } else {
@@ -326,7 +334,11 @@ impl Clocked for TxMachine {
                     let pilot_idx = self.sub - n_data;
                     let cells = self.pilots.cells(self.symbol_index);
                     let (k, v) = cells[pilot_idx];
-                    let bin = if k >= 0 { k as usize } else { (64 + k) as usize };
+                    let bin = if k >= 0 {
+                        k as usize
+                    } else {
+                        (64 + k) as usize
+                    };
                     self.grid[bin] = FxComplex::from_f64(v.re, v.im, self.format);
                     self.sub += 1;
                     if pilot_idx + 1 == cells.len() {
@@ -334,8 +346,7 @@ impl Clocked for TxMachine {
                         self.phase = Phase::Ifft;
                         // Hand the grid to the stepping IFFT datapath:
                         // one load/butterfly per subsequent clock edge.
-                        self.stepper =
-                            Some(IfftStepper::new(self.ifft.clone(), self.grid.clone()));
+                        self.stepper = Some(IfftStepper::new(self.ifft.clone(), self.grid.clone()));
                     }
                 }
                 true
@@ -344,11 +355,7 @@ impl Clocked for TxMachine {
                 // The stepper advanced in evaluate_all_processes; the FSM
                 // just watches for completion.
                 if self.stepper.as_ref().is_some_and(IfftStepper::is_done) {
-                    self.body = self
-                        .stepper
-                        .take()
-                        .expect("checked above")
-                        .into_result();
+                    self.body = self.stepper.take().expect("checked above").into_result();
                     self.phase = Phase::Output;
                     self.sub = 0;
                 }
@@ -356,10 +363,13 @@ impl Clocked for TxMachine {
             }
             Phase::Output => {
                 // 16 CP samples (body tail) then the 64-sample body.
-                let idx = if self.sub < 16 { 48 + self.sub } else { self.sub - 16 };
+                let idx = if self.sub < 16 {
+                    48 + self.sub
+                } else {
+                    self.sub - 16
+                };
                 let (re, im) = self.body[idx].to_f64();
-                self.out
-                    .push(Complex64::new(re, im).scale(self.out_scale));
+                self.out.push(Complex64::new(re, im).scale(self.out_scale));
                 self.sub += 1;
                 if self.sub == 80 {
                     self.sub = 0;
@@ -419,7 +429,12 @@ mod tests {
         let tx = Tx80211aRtl::new(WlanRate::Mbps12);
         let short = tx.transmit(&payload(96));
         let long = tx.transmit(&payload(960));
-        assert!(long.cycles > 5 * short.cycles / 2, "{} vs {}", long.cycles, short.cycles);
+        assert!(
+            long.cycles > 5 * short.cycles / 2,
+            "{} vs {}",
+            long.cycles,
+            short.cycles
+        );
     }
 
     #[test]
@@ -459,7 +474,10 @@ mod tests {
         let phases = trace.changes("phase").expect("phase traced");
         assert_eq!(phases[0], (0, 0)); // Preamble at cycle 0
         let sequence: Vec<i64> = phases.iter().map(|&(_, v)| v).collect();
-        assert!(sequence.windows(2).all(|w| w[0] != w[1]), "only changes stored");
+        assert!(
+            sequence.windows(2).all(|w| w[0] != w[1]),
+            "only changes stored"
+        );
         assert!(sequence.contains(&4), "IFFT phase visited");
         // Output count is monotone.
         let outs = trace.changes("out_samples").expect("outputs traced");

@@ -25,10 +25,7 @@ impl ChannelEstimate {
     /// Least-squares estimation: `H(k) = received(k) / reference(k)` at
     /// each known cell. Reference cells with (near-)zero magnitude are
     /// skipped.
-    pub fn from_reference(
-        received: &[(i32, Complex64)],
-        reference: &[(i32, Complex64)],
-    ) -> Self {
+    pub fn from_reference(received: &[(i32, Complex64)], reference: &[(i32, Complex64)]) -> Self {
         let ref_map: BTreeMap<i32, Complex64> = reference.iter().copied().collect();
         let mut gains = BTreeMap::new();
         for &(k, r) in received {
@@ -153,15 +150,17 @@ mod tests {
     use super::*;
 
     fn cells(pairs: &[(i32, f64, f64)]) -> Vec<(i32, Complex64)> {
-        pairs.iter().map(|&(k, re, im)| (k, Complex64::new(re, im))).collect()
+        pairs
+            .iter()
+            .map(|&(k, re, im)| (k, Complex64::new(re, im)))
+            .collect()
     }
 
     #[test]
     fn ls_estimate_exact_on_known_cells() {
         let reference = cells(&[(1, 1.0, 0.0), (5, 0.0, 1.0)]);
         let h = Complex64::new(0.5, 0.5);
-        let received: Vec<(i32, Complex64)> =
-            reference.iter().map(|&(k, x)| (k, x * h)).collect();
+        let received: Vec<(i32, Complex64)> = reference.iter().map(|&(k, x)| (k, x * h)).collect();
         let est = ChannelEstimate::from_reference(&received, &reference);
         assert_eq!(est.len(), 2);
         assert!((est.gain_at(1) - h).abs() < 1e-12);
@@ -199,8 +198,7 @@ mod tests {
     fn equalization_inverts_channel() {
         let reference = cells(&[(1, 1.0, 0.0), (2, 0.0, 1.0), (3, -1.0, 0.0)]);
         let h = Complex64::from_polar(2.0, 0.7);
-        let received: Vec<(i32, Complex64)> =
-            reference.iter().map(|&(k, x)| (k, x * h)).collect();
+        let received: Vec<(i32, Complex64)> = reference.iter().map(|&(k, x)| (k, x * h)).collect();
         let est = ChannelEstimate::from_reference(&received, &reference);
         let eq = equalize(&received, &est);
         for (e, r) in eq.iter().zip(&reference) {
@@ -226,9 +224,8 @@ mod tests {
         // two observations cancels it exactly; a single one would not.
         let h = Complex64::new(0.8, -0.3);
         let reference = cells(&[(4, 1.0, 0.0)]);
-        let noisy = |sign: f64| -> Vec<(i32, Complex64)> {
-            vec![(4, h + Complex64::new(sign * 0.2, 0.0))]
-        };
+        let noisy =
+            |sign: f64| -> Vec<(i32, Complex64)> { vec![(4, h + Complex64::new(sign * 0.2, 0.0))] };
         let mut est = ChannelEstimator::new();
         assert!(est.is_empty());
         est.accumulate(&noisy(1.0), &reference);
@@ -257,10 +254,8 @@ mod tests {
 
     #[test]
     fn merge_overwrites_and_extends() {
-        let mut a = ChannelEstimate::from_reference(
-            &cells(&[(1, 2.0, 0.0)]),
-            &cells(&[(1, 1.0, 0.0)]),
-        );
+        let mut a =
+            ChannelEstimate::from_reference(&cells(&[(1, 2.0, 0.0)]), &cells(&[(1, 1.0, 0.0)]));
         let b = ChannelEstimate::from_reference(
             &cells(&[(1, 4.0, 0.0), (3, 6.0, 0.0)]),
             &cells(&[(1, 1.0, 0.0), (3, 1.0, 0.0)]),

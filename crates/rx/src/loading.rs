@@ -26,11 +26,7 @@ impl ToneSnr {
 
     /// Accumulates one symbol's received cells against the known
     /// transmitted reference (matched by carrier).
-    pub fn accumulate(
-        &mut self,
-        received: &[(i32, Complex64)],
-        reference: &[(i32, Complex64)],
-    ) {
+    pub fn accumulate(&mut self, received: &[(i32, Complex64)], reference: &[(i32, Complex64)]) {
         let ref_map: BTreeMap<i32, Complex64> = reference.iter().copied().collect();
         for &(k, r) in received {
             if let Some(&x) = ref_map.get(&k) {
@@ -117,7 +113,10 @@ mod tests {
     use super::*;
 
     fn cells(values: &[(i32, f64)]) -> Vec<(i32, Complex64)> {
-        values.iter().map(|&(k, re)| (k, Complex64::new(re, 0.0))).collect()
+        values
+            .iter()
+            .map(|&(k, re)| (k, Complex64::new(re, 0.0)))
+            .collect()
     }
 
     #[test]
@@ -125,10 +124,7 @@ mod tests {
         let mut snr = ToneSnr::new();
         // Tone 5: unit signal, error amplitude 0.1 → SNR = 100 (20 dB).
         for _ in 0..50 {
-            snr.accumulate(
-                &cells(&[(5, 1.1)]),
-                &cells(&[(5, 1.0)]),
-            );
+            snr.accumulate(&cells(&[(5, 1.1)]), &cells(&[(5, 1.0)]));
         }
         assert_eq!(snr.tone_count(), 1);
         assert!((snr.snr(5).unwrap() - 100.0).abs() < 1e-9);
@@ -154,7 +150,10 @@ mod tests {
     fn gap_loading_formula() {
         let mut snr = ToneSnr::new();
         // SNR exactly 30 dB with a 9.8 dB gap: b = ⌊log2(1 + 10^2.02)⌋ = ⌊6.72⌋ = 6.
-        for (tone, err) in [(1i32, 10f64.powf(-30.0 / 20.0)), (2, 10f64.powf(-10.0 / 20.0))] {
+        for (tone, err) in [
+            (1i32, 10f64.powf(-30.0 / 20.0)),
+            (2, 10f64.powf(-10.0 / 20.0)),
+        ] {
             for _ in 0..10 {
                 snr.accumulate(&cells(&[(tone, 1.0 + err)]), &cells(&[(tone, 1.0)]));
             }

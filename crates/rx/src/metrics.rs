@@ -128,6 +128,9 @@ mod tests {
 
     #[test]
     fn evm_empty_overlap_is_zero() {
-        assert_eq!(cell_evm(&[(1, Complex64::ONE)], &[(2, Complex64::ONE)]), 0.0);
+        assert_eq!(
+            cell_evm(&[(1, Complex64::ONE)], &[(2, Complex64::ONE)]),
+            0.0
+        );
     }
 }

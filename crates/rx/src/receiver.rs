@@ -81,7 +81,9 @@ impl ReferenceReceiver {
     ///
     /// [`RxError::BadConfig`] if the parameter set is invalid.
     pub fn new(params: OfdmParams) -> Result<Self, RxError> {
-        params.validate().map_err(|e| RxError::BadConfig(e.to_string()))?;
+        params
+            .validate()
+            .map_err(|e| RxError::BadConfig(e.to_string()))?;
         let modulator = SymbolModulator::new(
             params.map.fft_size(),
             params.guard,
@@ -380,7 +382,10 @@ mod tests {
         for (rs, cc) in [
             (None, None),
             (Some(ofdm_core::params::RsOuterSpec { n: 20, k: 12 }), None),
-            (None, Some(ofdm_core::fec::ConvSpec::k7_rate_three_quarters())),
+            (
+                None,
+                Some(ofdm_core::fec::ConvSpec::k7_rate_three_quarters()),
+            ),
             (
                 Some(ofdm_core::params::RsOuterSpec { n: 20, k: 12 }),
                 Some(ofdm_core::fec::ConvSpec::k7_rate_half()),
@@ -439,12 +444,13 @@ mod tests {
         let noisy: Vec<Complex64> = frame
             .samples()
             .iter()
-            .map(|&z| {
-                z + Complex64::new(rng.gen_range(-0.05..0.05), rng.gen_range(-0.05..0.05))
-            })
+            .map(|&z| z + Complex64::new(rng.gen_range(-0.05..0.05), rng.gen_range(-0.05..0.05)))
             .collect();
         let got = rx
-            .receive(&Signal::new(noisy, frame.signal().sample_rate()), sent.len())
+            .receive(
+                &Signal::new(noisy, frame.signal().sample_rate()),
+                sent.len(),
+            )
             .unwrap();
         assert_eq!(got, sent);
     }

@@ -28,7 +28,11 @@ pub fn schmidl_cox_metric(signal: &[Complex64], half_len: usize) -> Vec<f64> {
         r += signal[m + half_len].norm_sqr();
     }
     for d in 0..n {
-        out.push(if r > 1e-30 { p.norm_sqr() / (r * r) } else { 0.0 });
+        out.push(if r > 1e-30 {
+            p.norm_sqr() / (r * r)
+        } else {
+            0.0
+        });
         // Slide the window by one.
         p -= signal[d].conj() * signal[d + half_len];
         p += signal[d + half_len].conj() * signal[d + 2 * half_len];

@@ -124,8 +124,8 @@ impl WlanPacketReceiver {
             .ok_or(WlanRxError::NoPreamble)?;
 
         // 3. Fine CFO from the two LTF bodies (range ±156 kHz).
-        let fine_cfo = sync::estimate_cfo(&corrected, ltf_start, 64, fs)
-            .ok_or(WlanRxError::NoPreamble)?;
+        let fine_cfo =
+            sync::estimate_cfo(&corrected, ltf_start, 64, fs).ok_or(WlanRxError::NoPreamble)?;
         let corrected = sync::correct_cfo(&corrected, fine_cfo, fs);
 
         // 4. Channel estimation from the averaged LTF bodies.
@@ -215,7 +215,11 @@ fn ltf_channel_estimate(samples: &[Complex64], ltf_start: usize) -> ChannelEstim
     let received: Vec<(i32, Complex64)> = ieee80211a::ltf_sequence()
         .iter()
         .map(|&(k, _)| {
-            let bin = if k >= 0 { k as usize } else { (64 + k) as usize };
+            let bin = if k >= 0 {
+                k as usize
+            } else {
+                (64 + k) as usize
+            };
             (k, avg[bin].scale(scale))
         })
         .collect();
@@ -258,16 +262,18 @@ mod tests {
                 .samples()
                 .iter()
                 .enumerate()
-                .map(|(n, &z)| {
-                    z * Complex64::cis(std::f64::consts::TAU * cfo * n as f64 / fs)
-                })
+                .map(|(n, &z)| z * Complex64::cis(std::f64::consts::TAU * cfo * n as f64 / fs))
                 .collect();
             let rx = WlanPacketReceiver::new();
             let packet = rx
                 .receive(&Signal::new(shifted, fs))
                 .unwrap_or_else(|e| panic!("cfo {cfo}: {e}"));
             assert_eq!(packet.psdu, psdu(60), "cfo {cfo}");
-            assert!((packet.cfo_hz - cfo).abs() < 2e3, "estimated {}", packet.cfo_hz);
+            assert!(
+                (packet.cfo_hz - cfo).abs() < 2e3,
+                "estimated {}",
+                packet.cfo_hz
+            );
         }
     }
 
@@ -291,7 +297,11 @@ mod tests {
         let packet = rx.receive(&received).expect("decodes through channel");
         assert_eq!(packet.psdu, psdu(100));
         // Timing found the delayed LTF (133 pad + 160 STF + 32 CP ≈ 325).
-        assert!((packet.ltf_start as i64 - 325).unsigned_abs() < 4, "ltf at {}", packet.ltf_start);
+        assert!(
+            (packet.ltf_start as i64 - 325).unsigned_abs() < 4,
+            "ltf at {}",
+            packet.ltf_start
+        );
     }
 
     #[test]
@@ -305,7 +315,10 @@ mod tests {
         let rx = WlanPacketReceiver::new();
         let err = rx.receive(&Signal::new(noise, 20e6)).unwrap_err();
         assert!(
-            matches!(err, WlanRxError::NoPreamble | WlanRxError::InvalidSignalField),
+            matches!(
+                err,
+                WlanRxError::NoPreamble | WlanRxError::InvalidSignalField
+            ),
             "{err}"
         );
     }

@@ -1,0 +1,275 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! compact wall-clock benchmarking harness over the criterion API subset the
+//! workspace's benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId` and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! adaptively sized batches until a fixed measurement budget elapses; the
+//! per-iteration mean and (when a [`Throughput`] is set) the element/byte
+//! rate are printed as one line per benchmark:
+//!
+//! ```text
+//! fft_engine/radix2/256    time: 1.234 µs/iter   thrpt: 207.5 Melem/s
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+/// Target wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+impl Bencher {
+    /// Times `f`, recording the mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+        }
+        // Measure in geometrically growing batches until the budget is
+        // spent, so very fast bodies are timed over many calls.
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        while total_time < MEASURE_BUDGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        self.mean_secs = total_time.as_secs_f64() / total_iters as f64;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+fn report(path: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("   thrpt: {}", fmt_rate(n as f64 / mean_secs, "elem"))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("   thrpt: {}", fmt_rate(n as f64 / mean_secs, "B"))
+        }
+        None => String::new(),
+    };
+    println!("{path:<48} time: {}/iter{thrpt}", fmt_time(mean_secs));
+}
+
+/// The top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b);
+        report(&id.id, b.mean_secs, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the harness
+    /// sizes its measurement by wall-clock budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.mean_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Times one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.mean_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-5).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with(" s"));
+        assert!(fmt_rate(3.0e9, "elem").starts_with("3.00 G"));
+        assert!(fmt_rate(5.0e4, "B").starts_with("50.00 K"));
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("fft", 256).id, "fft/256");
+        assert_eq!(BenchmarkId::from_parameter("dab_2048").id, "dab_2048");
+        assert_eq!(BenchmarkId::from("x").id, "x");
+    }
+}

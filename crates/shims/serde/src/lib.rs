@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker traits named `Serialize`/`Deserialize` and (behind the
+//! `derive` feature) re-exports the no-op derives, so parameter structs can
+//! keep their serde annotations without network access to crates.io. No
+//! actual serialization machinery exists — none is used in this workspace.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -30,7 +30,9 @@ pub const PILOT_TONE: i32 = 64;
 
 /// Downstream tone set: 33..=255 excluding the pilot.
 pub fn subcarrier_map() -> SubcarrierMap {
-    let tones: Vec<i32> = (FIRST_TONE..=LAST_TONE).filter(|&t| t != PILOT_TONE).collect();
+    let tones: Vec<i32> = (FIRST_TONE..=LAST_TONE)
+        .filter(|&t| t != PILOT_TONE)
+        .collect();
     SubcarrierMap::new(FFT_SIZE, tones, true).expect("static ADSL map is valid")
 }
 

@@ -30,7 +30,9 @@ pub const PILOT_TONE: i32 = 64;
 
 /// Downstream tone set: 33..=511 excluding the pilot.
 pub fn subcarrier_map() -> SubcarrierMap {
-    let tones: Vec<i32> = (FIRST_TONE..=LAST_TONE).filter(|&t| t != PILOT_TONE).collect();
+    let tones: Vec<i32> = (FIRST_TONE..=LAST_TONE)
+        .filter(|&t| t != PILOT_TONE)
+        .collect();
     SubcarrierMap::new(FFT_SIZE, tones, true).expect("static ADSL2+ map is valid")
 }
 
@@ -44,7 +46,9 @@ pub fn bit_loading() -> Vec<Modulation> {
         .map(|&t| {
             let span = (LAST_TONE - FIRST_TONE) as f64;
             let frac = (t - FIRST_TONE) as f64 / span;
-            let bits = (14.0 - 12.0 * frac * frac.sqrt().max(0.5)).round().clamp(2.0, 14.0) as u8;
+            let bits = (14.0 - 12.0 * frac * frac.sqrt().max(0.5))
+                .round()
+                .clamp(2.0, 14.0) as u8;
             Modulation::from_bits(bits)
         })
         .collect()

@@ -86,8 +86,7 @@ impl TxMode {
 /// The used-carrier map: ±carriers/2 around (and excluding) DC.
 pub fn subcarrier_map(mode: TxMode) -> SubcarrierMap {
     let half = (mode.carriers() / 2) as i32;
-    SubcarrierMap::contiguous(mode.fft_size(), -half, half, false)
-        .expect("static DAB map is valid")
+    SubcarrierMap::contiguous(mode.fft_size(), -half, half, false).expect("static DAB map is valid")
 }
 
 /// The phase-reference cells: unit-magnitude quadratic-phase (CAZAC-like)
@@ -97,8 +96,7 @@ pub fn phase_reference(mode: TxMode) -> Vec<(i32, Complex64)> {
     (-half..=half)
         .filter(|&k| k != 0)
         .map(|k| {
-            let phase = std::f64::consts::PI * (k as f64) * (k as f64)
-                / mode.carriers() as f64;
+            let phase = std::f64::consts::PI * (k as f64) * (k as f64) / mode.carriers() as f64;
             (k, Complex64::cis(phase))
         })
         .collect()

@@ -58,9 +58,9 @@ impl DvbtMode {
 /// from 0-based carrier numbers to signed indices around the band center.
 pub fn continual_pilots_2k() -> Vec<i32> {
     const RAW: [i32; 45] = [
-        0, 48, 54, 87, 141, 156, 192, 201, 255, 279, 282, 333, 432, 450, 483, 525, 531, 618,
-        636, 714, 759, 765, 780, 804, 873, 888, 918, 939, 942, 969, 984, 1050, 1101, 1107,
-        1110, 1137, 1140, 1146, 1206, 1269, 1323, 1377, 1491, 1683, 1704,
+        0, 48, 54, 87, 141, 156, 192, 201, 255, 279, 282, 333, 432, 450, 483, 525, 531, 618, 636,
+        714, 759, 765, 780, 804, 873, 888, 918, 939, 942, 969, 984, 1050, 1101, 1107, 1110, 1137,
+        1140, 1146, 1206, 1269, 1323, 1377, 1491, 1683, 1704,
     ];
     RAW.iter().map(|&k| k - 852).collect()
 }
@@ -153,7 +153,7 @@ mod tests {
         assert_eq!(cp.len(), 45);
         assert_eq!(cp[0], -852); // carrier 0 → −852
         assert_eq!(*cp.last().unwrap(), 852); // carrier 1704 → +852
-        // All within the used band.
+                                              // All within the used band.
         assert!(cp.iter().all(|&k| (-852..=852).contains(&k)));
     }
 

@@ -113,10 +113,10 @@ pub fn subcarrier_map() -> SubcarrierMap {
 /// Table 17-8), DC omitted.
 pub fn ltf_sequence() -> Vec<(i32, Complex64)> {
     const L: [f64; 53] = [
-        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0,
-        -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 1.0, -1.0, -1.0, 1.0, 1.0,
-        -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0,
-        1.0, -1.0, 1.0, 1.0, 1.0, 1.0,
+        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0,
+        1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+        -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0,
+        1.0, 1.0, 1.0,
     ];
     (-26..=26)
         .zip(L.iter())
@@ -154,7 +154,11 @@ fn render_training_body(cells: &[(i32, Complex64)]) -> Vec<Complex64> {
     let fft = Fft::new(FFT_SIZE);
     let mut grid = vec![Complex64::ZERO; FFT_SIZE];
     for &(k, v) in cells {
-        let bin = if k >= 0 { k as usize } else { (FFT_SIZE as i32 + k) as usize };
+        let bin = if k >= 0 {
+            k as usize
+        } else {
+            (FFT_SIZE as i32 + k) as usize
+        };
         grid[bin] = v;
     }
     fft.inverse(&mut grid);

@@ -75,24 +75,26 @@ pub fn long_preamble_cells() -> Vec<(i32, ofdm_dsp::Complex64)> {
 /// code family.
 pub fn params(modulation: Modulation, guard_fraction: u32) -> OfdmParams {
     let n_bpsc = modulation.bits_per_symbol();
-    OfdmParams::builder(format!("IEEE 802.16a OFDM-256 {modulation} Δ=1/{guard_fraction}"))
-        .sample_rate(SAMPLE_RATE)
-        .map(subcarrier_map())
-        .guard(GuardInterval::Fraction(1, guard_fraction))
-        .modulation(modulation)
-        .pilots(pilot_spec())
-        .scrambler(ScramblerSpec::dvb())
-        .rs_outer(120, 108)
-        .conv_code(ConvSpec::k7_rate_two_thirds())
-        .interleaver(InterleaverSpec::Ieee80211 {
-            n_cbps: N_DATA * n_bpsc,
-            n_bpsc,
-        })
-        .preamble_element(PreambleElement::FreqDomain {
-            cells: long_preamble_cells(),
-        })
-        .build()
-        .expect("802.16a preset is valid")
+    OfdmParams::builder(format!(
+        "IEEE 802.16a OFDM-256 {modulation} Δ=1/{guard_fraction}"
+    ))
+    .sample_rate(SAMPLE_RATE)
+    .map(subcarrier_map())
+    .guard(GuardInterval::Fraction(1, guard_fraction))
+    .modulation(modulation)
+    .pilots(pilot_spec())
+    .scrambler(ScramblerSpec::dvb())
+    .rs_outer(120, 108)
+    .conv_code(ConvSpec::k7_rate_two_thirds())
+    .interleaver(InterleaverSpec::Ieee80211 {
+        n_cbps: N_DATA * n_bpsc,
+        n_bpsc,
+    })
+    .preamble_element(PreambleElement::FreqDomain {
+        cells: long_preamble_cells(),
+    })
+    .build()
+    .expect("802.16a preset is valid")
 }
 
 /// The registry default: 16-QAM, guard 1/8.
@@ -152,7 +154,10 @@ mod tests {
         };
         let signs: Vec<f64> = (0..frame.symbol_count()).map(pilot_at).collect();
         assert!(signs.iter().any(|&s| s > 0.0));
-        assert!(signs.iter().any(|&s| s < 0.0), "polarity must vary: {signs:?}");
+        assert!(
+            signs.iter().any(|&s| s < 0.0),
+            "polarity must vary: {signs:?}"
+        );
     }
 
     #[test]

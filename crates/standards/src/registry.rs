@@ -129,7 +129,8 @@ mod tests {
         // The paper's headline claim, as a test.
         let mut tx = MotherModel::new(default_params(StandardId::Ieee80211a)).unwrap();
         for id in StandardId::ALL {
-            tx.reconfigure(default_params(id)).unwrap_or_else(|e| panic!("{id}: {e}"));
+            tx.reconfigure(default_params(id))
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
             assert_eq!(tx.params().name, default_params(id).name);
         }
     }
@@ -139,7 +140,10 @@ mod tests {
         // Any two standards differ in at least one core dimension — except
         // 802.11a/802.11g, whose basebands are intentionally identical
         // (ERP-OFDM reuses the 11a PHY; only the RF carrier differs).
-        let all: Vec<_> = StandardId::ALL.iter().map(|&id| default_params(id)).collect();
+        let all: Vec<_> = StandardId::ALL
+            .iter()
+            .map(|&id| default_params(id))
+            .collect();
         for i in 0..all.len() {
             for j in (i + 1)..all.len() {
                 let (a, b) = (&all[i], &all[j]);

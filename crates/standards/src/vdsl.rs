@@ -29,7 +29,9 @@ pub const PILOT_TONE: i32 = 64;
 
 /// The DS1 downstream tone set.
 pub fn subcarrier_map() -> SubcarrierMap {
-    let tones: Vec<i32> = (FIRST_TONE..=LAST_TONE).filter(|&t| t != PILOT_TONE).collect();
+    let tones: Vec<i32> = (FIRST_TONE..=LAST_TONE)
+        .filter(|&t| t != PILOT_TONE)
+        .collect();
     SubcarrierMap::new(FFT_SIZE, tones, true).expect("static VDSL map is valid")
 }
 

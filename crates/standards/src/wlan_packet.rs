@@ -41,7 +41,9 @@ pub fn rate_code(rate: WlanRate) -> [u8; 4] {
 
 /// Inverse of [`rate_code`].
 pub fn rate_from_code(code: &[u8]) -> Option<WlanRate> {
-    WlanRate::ALL.into_iter().find(|&r| rate_code(r) == code[..4])
+    WlanRate::ALL
+        .into_iter()
+        .find(|&r| rate_code(r) == code[..4])
 }
 
 /// Builds the 18 information bits of the SIGNAL field (RATE, reserved,
@@ -56,7 +58,7 @@ pub fn signal_field_bits(rate: WlanRate, length: usize) -> Vec<u8> {
     let mut bits = Vec::with_capacity(18);
     bits.extend_from_slice(&rate_code(rate));
     bits.push(0); // reserved
-    // LENGTH, LSB first.
+                  // LENGTH, LSB first.
     for i in 0..12 {
         bits.push(((length >> i) & 1) as u8);
     }

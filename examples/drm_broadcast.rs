@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  Tu = {} samples ({}), guard = {}, carriers = {}",
             mode.fft_size(),
-            if mode.fft_size().is_power_of_two() { "radix-2" } else { "Bluestein" },
+            if mode.fft_size().is_power_of_two() {
+                "radix-2"
+            } else {
+                "Bluestein"
+            },
             mode.guard_samples(),
             params.map.data_count(),
         );

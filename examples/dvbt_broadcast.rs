@@ -10,12 +10,12 @@
 //!
 //! Run with: `cargo run --release --example dvbt_broadcast`
 
+use ofdm_core::constellation::Modulation;
 use ofdm_core::MotherModel;
 use ofdm_rx::demod::OfdmDemodulator;
 use ofdm_rx::eq::ChannelEstimator;
 use ofdm_rx::receiver::ReferenceReceiver;
 use ofdm_standards::dvbt::{self, DvbtMode};
-use ofdm_core::constellation::Modulation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfsim::prelude::*;

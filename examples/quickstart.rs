@@ -34,11 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Decode it back — the loopback is bit-exact.
     let mut rx = ReferenceReceiver::new(params)?;
     let decoded = rx.receive(frame.signal(), payload.len())?;
-    let errors = payload
-        .iter()
-        .zip(&decoded)
-        .filter(|(a, b)| a != b)
-        .count();
+    let errors = payload.iter().zip(&decoded).filter(|(a, b)| a != b).count();
     println!("\nloopback BER  : {errors}/{} errors", payload.len());
     assert_eq!(errors, 0, "loopback must be error-free");
     println!("OK — transmit/receive chain verified");

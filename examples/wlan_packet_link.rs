@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if ok { "yes" } else { "NO" },
         );
         assert!(ok, "PSDU must decode bit-exactly");
-        assert_eq!(packet.rate, rate, "SIGNAL field must announce the right rate");
+        assert_eq!(
+            packet.rate, rate,
+            "SIGNAL field must announce the right rate"
+        );
     }
     println!("\nOK — full PHY link (blind sync + rate-adaptive decode) verified");
     Ok(())

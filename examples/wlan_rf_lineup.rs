@@ -30,9 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (offsets in Hz, limits in dBr).
     let mask = g.add(MaskChecker::new(
         vec![
-            MaskPoint { offset_hz: 11e6, limit_dbr: -20.0 },
-            MaskPoint { offset_hz: 20e6, limit_dbr: -28.0 },
-            MaskPoint { offset_hz: 30e6, limit_dbr: -40.0 },
+            MaskPoint {
+                offset_hz: 11e6,
+                limit_dbr: -20.0,
+            },
+            MaskPoint {
+                offset_hz: 20e6,
+                limit_dbr: -28.0,
+            },
+            MaskPoint {
+                offset_hz: 30e6,
+                limit_dbr: -40.0,
+            },
         ],
         16.6e6,
         256,
@@ -53,12 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mask_ref = g.block::<MaskChecker>(mask).expect("checker present");
     println!(
         "spectral mask            : {} (margin {:+.1} dB)",
-        if mask_ref.passed().expect("ran") { "PASS" } else { "FAIL" },
+        if mask_ref.passed().expect("ran") {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         mask_ref.margin_db().expect("ran")
     );
 
     let p = g.block::<PowerMeter>(meter).expect("meter present");
-    println!("PA output power          : {:.2} dB", p.power_db().expect("ran"));
+    println!(
+        "PA output power          : {:.2} dB",
+        p.power_db().expect("ran")
+    );
 
     // A coarse spectrum plot on the terminal.
     println!("\nPSD at the PA output (dB, 2 MHz bins):");

@@ -84,7 +84,10 @@ fn cmd_info(id: StandardId) -> Result<(), Box<dyn std::error::Error>> {
     println!("name               : {}", p.name);
     println!("sample rate        : {} Hz", p.sample_rate);
     println!("FFT size           : {}", p.map.fft_size());
-    println!("guard interval     : {} samples", p.guard.samples(p.map.fft_size()));
+    println!(
+        "guard interval     : {} samples",
+        p.guard.samples(p.map.fft_size())
+    );
     println!("data carriers      : {}", p.map.data_count());
     println!("carrier spacing    : {:.3} Hz", p.subcarrier_spacing());
     println!("symbol duration    : {:.3} µs", p.symbol_duration() * 1e6);
@@ -112,7 +115,10 @@ fn cmd_info(id: StandardId) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn frame_for(id: StandardId, seed: u64) -> Result<(ofdm_core::tx::Frame, Vec<u8>), Box<dyn std::error::Error>> {
+fn frame_for(
+    id: StandardId,
+    seed: u64,
+) -> Result<(ofdm_core::tx::Frame, Vec<u8>), Box<dyn std::error::Error>> {
     let p = default_params(id);
     let mut rng = StdRng::seed_from_u64(seed);
     let bits: Vec<u8> = (0..4 * p.nominal_bits_per_symbol().max(100))

@@ -10,7 +10,8 @@ use rfsim::prelude::*;
 #[test]
 fn ofdm_source_drives_full_rf_lineup() {
     let mut g = Graph::new();
-    let src = g.add(OfdmSource::new(default_params(StandardId::Ieee80211a), 5000, 1).expect("valid"));
+    let src =
+        g.add(OfdmSource::new(default_params(StandardId::Ieee80211a), 5000, 1).expect("valid"));
     let dac = g.add(Dac::new(12, 4.0));
     let iq = g.add(IqImbalance::new(0.2, 1.0));
     let lo = g.add(LocalOscillator::new(0.0, 100.0, 2));
@@ -18,7 +19,8 @@ fn ofdm_source_drives_full_rf_lineup() {
     let ch = g.add(AwgnChannel::from_snr_db(25.0, 3));
     let sa = g.add(SpectrumAnalyzer::new(256));
     let meter = g.add(PowerMeter::new());
-    g.chain(&[src, dac, iq, lo, pa, ch, sa, meter]).expect("wiring");
+    g.chain(&[src, dac, iq, lo, pa, ch, sa, meter])
+        .expect("wiring");
     g.run().expect("simulation runs");
 
     // The waveform flowed end to end at the right rate.
@@ -27,7 +29,11 @@ fn ofdm_source_drives_full_rf_lineup() {
     assert!(out.len() > 320);
 
     // Instruments saw a real signal.
-    let p = g.block::<PowerMeter>(meter).expect("present").power().expect("ran");
+    let p = g
+        .block::<PowerMeter>(meter)
+        .expect("present")
+        .power()
+        .expect("ran");
     assert!(p > 0.0);
     let obw = g
         .block::<SpectrumAnalyzer>(sa)
@@ -46,13 +52,15 @@ fn reconfiguring_the_embedded_source_switches_standards() {
     let out_wlan = src.process(&[]).expect("runs");
     assert_eq!(out_wlan.sample_rate(), 20e6);
 
-    src.reconfigure(default_params(StandardId::Dab)).expect("reconfigures");
+    src.reconfigure(default_params(StandardId::Dab))
+        .expect("reconfigures");
     let out_dab = src.process(&[]).expect("runs");
     assert_eq!(out_dab.sample_rate(), 2.048e6);
     // DAB frames open with the null symbol: leading silence.
     assert_eq!(out_dab.samples()[0].abs(), 0.0);
 
-    src.reconfigure(default_params(StandardId::Adsl)).expect("reconfigures");
+    src.reconfigure(default_params(StandardId::Adsl))
+        .expect("reconfigures");
     let out_adsl = src.process(&[]).expect("runs");
     assert!(out_adsl.samples().iter().all(|z| z.im.abs() < 1e-9));
 }
@@ -78,7 +86,12 @@ fn pa_nonlinearity_causes_spectral_regrowth() {
         let sa = g.add(SpectrumAnalyzer::new(512));
         g.chain(&[src, pa, sa]).expect("wiring");
         g.run().expect("runs");
-        let psd = g.block::<SpectrumAnalyzer>(sa).expect("present").psd().expect("ran").to_vec();
+        let psd = g
+            .block::<SpectrumAnalyzer>(sa)
+            .expect("present")
+            .psd()
+            .expect("ran")
+            .to_vec();
         let fs = params.sample_rate * 4.0;
         let total = band_power(&psd, fs, -fs / 2.0, fs / 2.0);
         let inband = band_power(&psd, fs, -8.5e6, 8.5e6);

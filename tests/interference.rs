@@ -25,9 +25,7 @@ fn ber_with_interferer(cir_db: f64) -> f64 {
 
     let mut g = Graph::new();
     let desired = g.add(SamplePlayback::new(frame.signal().clone()));
-    let jammer = g.add(
-        ToneSource::new(3.2e6, 20e6, n).with_amplitude(10f64.powf(-cir_db / 20.0)),
-    );
+    let jammer = g.add(ToneSource::new(3.2e6, 20e6, n).with_amplitude(10f64.powf(-cir_db / 20.0)));
     let sum = g.add(Combiner::new());
     let noise = g.add(AwgnChannel::from_snr_db(25.0, 5));
     g.connect(desired, sum, 0).expect("wiring");

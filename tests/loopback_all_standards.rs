@@ -22,7 +22,9 @@ fn every_standard_loops_back_bit_exact() {
 
         let mut tx = MotherModel::new(params.clone())
             .unwrap_or_else(|e| panic!("{id}: config rejected: {e}"));
-        let frame = tx.transmit(&sent).unwrap_or_else(|e| panic!("{id}: tx failed: {e}"));
+        let frame = tx
+            .transmit(&sent)
+            .unwrap_or_else(|e| panic!("{id}: tx failed: {e}"));
         let mut rx = ReferenceReceiver::new(params)
             .unwrap_or_else(|e| panic!("{id}: rx config rejected: {e}"));
         let got = rx
@@ -41,7 +43,8 @@ fn single_engine_survives_rapid_reconfiguration() {
     for round in 0..3 {
         for id in StandardId::ALL {
             let params = default_params(id);
-            tx.reconfigure(params.clone()).expect("reconfigure succeeds");
+            tx.reconfigure(params.clone())
+                .expect("reconfigure succeeds");
             let sent = random_bits(300, round * 31 + id as u64);
             let frame = tx.transmit(&sent).expect("transmit succeeds");
             let mut rx = ReferenceReceiver::new(params).expect("valid");
@@ -87,7 +90,10 @@ fn dmt_members_emit_real_signals_and_wireless_members_do_not() {
             .map(|z| z.im.abs())
             .fold(0.0f64, f64::max);
         if expect_real {
-            assert!(max_im < 1e-9, "{id}: DMT output must be real (got {max_im:.2e})");
+            assert!(
+                max_im < 1e-9,
+                "{id}: DMT output must be real (got {max_im:.2e})"
+            );
         } else {
             assert!(max_im > 1e-3, "{id}: wireless output must be complex");
         }

@@ -17,7 +17,11 @@ fn max_deviation(rate: WlanRate, format: FxFormat, bits: &[u8]) -> f64 {
     let mut beh = MotherModel::new(ieee80211a::params(rate)).expect("valid preset");
     let frame_b = beh.transmit(bits).expect("tx");
     let frame_r = Tx80211aRtl::new(rate).with_format(format).transmit(bits);
-    assert_eq!(frame_b.samples().len(), frame_r.samples.len(), "same frame layout");
+    assert_eq!(
+        frame_b.samples().len(),
+        frame_r.samples.len(),
+        "same frame layout"
+    );
     frame_b
         .samples()
         .iter()
@@ -29,7 +33,12 @@ fn max_deviation(rate: WlanRate, format: FxFormat, bits: &[u8]) -> f64 {
 #[test]
 fn waveforms_agree_at_16_bits() {
     let bits = payload(480);
-    for rate in [WlanRate::Mbps6, WlanRate::Mbps12, WlanRate::Mbps24, WlanRate::Mbps54] {
+    for rate in [
+        WlanRate::Mbps6,
+        WlanRate::Mbps12,
+        WlanRate::Mbps24,
+        WlanRate::Mbps54,
+    ] {
         let dev = max_deviation(rate, FxFormat::new(16, 12), &bits);
         assert!(dev < 0.02, "{rate:?}: deviation {dev}");
     }
@@ -43,9 +52,15 @@ fn accuracy_improves_monotonically_with_wordlength() {
         .map(|&(w, f)| max_deviation(WlanRate::Mbps12, FxFormat::new(w, f), &bits))
         .collect();
     for pair in devs.windows(2) {
-        assert!(pair[1] < pair[0], "wordlength up must not worsen accuracy: {devs:?}");
+        assert!(
+            pair[1] < pair[0],
+            "wordlength up must not worsen accuracy: {devs:?}"
+        );
     }
-    assert!(devs.last().expect("nonempty") < &1e-4, "24-bit datapath is near-exact");
+    assert!(
+        devs.last().expect("nonempty") < &1e-4,
+        "24-bit datapath is near-exact"
+    );
 }
 
 #[test]
@@ -76,5 +91,8 @@ fn cycle_cost_structure_matches_rt_level_expectations() {
     // per symbol).
     let frame_bpsk = Tx80211aRtl::new(WlanRate::Mbps6).transmit(&payload(2160));
     let ratio_bpsk = frame_bpsk.cycles as f64 / frame_bpsk.samples.len() as f64;
-    assert!(ratio > ratio_bpsk, "64-QAM {ratio:.2} vs BPSK {ratio_bpsk:.2}");
+    assert!(
+        ratio > ratio_bpsk,
+        "64-QAM {ratio:.2} vs BPSK {ratio_bpsk:.2}"
+    );
 }

@@ -46,7 +46,11 @@ fn link_survives_combined_impairments() {
         .expect("packet decodes under combined impairments");
     assert_eq!(packet.psdu, data);
     assert_eq!(packet.rate, WlanRate::Mbps24);
-    assert!((packet.cfo_hz - cfo).abs() < 3e3, "cfo estimate {}", packet.cfo_hz);
+    assert!(
+        (packet.cfo_hz - cfo).abs() < 3e3,
+        "cfo estimate {}",
+        packet.cfo_hz
+    );
 }
 
 #[test]
@@ -72,7 +76,10 @@ fn search_window_limits_acquisition() {
     padded.extend_from_slice(ppdu.waveform.samples());
     let rx = WlanPacketReceiver::new().with_search_window(400);
     let err = rx.receive(&Signal::new(padded.clone(), fs)).unwrap_err();
-    assert!(matches!(err, WlanRxError::NoPreamble | WlanRxError::InvalidSignalField));
+    assert!(matches!(
+        err,
+        WlanRxError::NoPreamble | WlanRxError::InvalidSignalField
+    ));
     // Wider window → found.
     let rx = WlanPacketReceiver::new().with_search_window(2000);
     let packet = rx.receive(&Signal::new(padded, fs)).expect("decodes");
