@@ -14,4 +14,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> telemetry smoke: experiments --emit-bench / --check-bench"
+# A tiny instrumented sweep over all ten standards; --check-bench fails the
+# gate if the emitted JSON is missing any per-block or per-stage key.
+cargo run --release -q -p ofdm-bench --bin experiments -- \
+    --emit-bench BENCH_ofdm.json --bench-symbols 4
+cargo run --release -q -p ofdm-bench --bin experiments -- \
+    --check-bench BENCH_ofdm.json
+
 echo "==> ci.sh: all gates passed"

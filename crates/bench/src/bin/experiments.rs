@@ -7,30 +7,71 @@
 //! ```
 //!
 //! or a subset: `… --bin experiments -- e1 e3 e6`.
+//!
+//! Machine-readable telemetry (the C3 claim, decomposed per block and per
+//! transmitter stage):
+//!
+//! ```text
+//! … --bin experiments -- --emit-bench BENCH_ofdm.json [--bench-symbols N]
+//! … --bin experiments -- --check-bench BENCH_ofdm.json
+//! ```
 
 use ofdm_bench::{
     evm_after_gain_correction, fmt_secs, loopback_errors, payload_bits, time_per_run,
     transmit_frame,
 };
 use ofdm_core::source::OfdmSource;
-use ofdm_core::MotherModel;
+use ofdm_core::{MotherModel, StreamState};
 use ofdm_rtl::{FxFormat, Tx80211aRtl};
 use ofdm_standards::ieee80211a::{self, WlanRate};
 use ofdm_standards::{default_params, StandardId};
 use rfsim::prelude::*;
+use serde::json::Value;
 
 const EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| !EXPERIMENTS.contains(&a.as_str())) {
-        eprintln!(
-            "error: unknown experiment `{bad}`; one of: {}",
-            EXPERIMENTS.join(", ")
-        );
-        std::process::exit(2);
+    let mut emit_bench: Option<String> = None;
+    let mut check_bench: Option<String> = None;
+    let mut bench_symbols = 50usize;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--emit-bench" => {
+                emit_bench = Some(it.next().ok_or("--emit-bench needs a file path")?);
+            }
+            "--check-bench" => {
+                check_bench = Some(it.next().ok_or("--check-bench needs a file path")?);
+            }
+            "--bench-symbols" => {
+                bench_symbols = it
+                    .next()
+                    .ok_or("--bench-symbols needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--bench-symbols: {e}"))?;
+            }
+            name if EXPERIMENTS.contains(&name) => names.push(arg),
+            bad => {
+                eprintln!(
+                    "error: unknown argument `{bad}`; experiments: {}; flags: \
+                     --emit-bench FILE, --check-bench FILE, --bench-symbols N",
+                    EXPERIMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
     }
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    if let Some(path) = &emit_bench {
+        emit_bench_json(path, bench_symbols)?;
+    }
+    if let Some(path) = &check_bench {
+        check_bench_json(path)?;
+    }
+    if (emit_bench.is_some() || check_bench.is_some()) && names.is_empty() {
+        return Ok(());
+    }
+    let want = |name: &str| names.is_empty() || names.iter().any(|a| a == name);
 
     if want("e1") {
         e1_reconfiguration_matrix()?;
@@ -464,6 +505,189 @@ fn e7_ber_waterfall() -> Result<(), Box<dyn std::error::Error>> {
         coded8 < raw8 / 20.0,
         "coding gain at 8 dB: {raw8:.2e} vs {coded8:.2e}"
     );
+    Ok(())
+}
+
+/// The streaming telemetry chain used for `--emit-bench`: OFDM source →
+/// PA → power meter, the same shape E3 times.
+fn bench_chain(params: &ofdm_core::params::OfdmParams, bits: usize) -> Graph {
+    let mut g = Graph::new();
+    let src = g.add(OfdmSource::new(params.clone(), bits, 1).expect("valid preset"));
+    let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(8.0));
+    let meter = g.add(PowerMeter::new());
+    g.chain(&[src, pa, meter]).expect("wires");
+    g
+}
+
+/// `--emit-bench FILE` — writes `BENCH_ofdm.json`: per-block nanoseconds,
+/// throughput and transmitter stage split for every standard, plus the
+/// behavioral-vs-RTL ratio (the paper's C3 claim) and the instrumentation
+/// overhead ratio.
+fn emit_bench_json(path: &str, n_symbols: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let n_symbols = n_symbols.max(1);
+    const CHUNK: usize = 256;
+    let mut standards: Vec<(String, Value)> = Vec::new();
+    for id in StandardId::ALL {
+        let p = default_params(id);
+        let bits = n_symbols * p.nominal_bits_per_symbol().max(100);
+        let report = bench_chain(&p, bits).run_streaming_instrumented(CHUNK)?;
+        let per_block: Vec<(String, Value)> = report
+            .blocks
+            .iter()
+            .map(|b| (b.name.clone(), Value::from(b.nanos)))
+            .collect();
+
+        // The stage split (pilot/map/IFFT/CP) comes straight from the
+        // transmitter's own stream state, outside the graph.
+        let mut tx = MotherModel::new(p.clone())?;
+        let mut state = StreamState::new();
+        state.set_stage_timing(true);
+        let payload = payload_bits(bits, 1);
+        tx.begin_stream(&payload, &mut state)?;
+        let mut out = Vec::new();
+        while tx.stream_into(&mut state, CHUNK, &mut out) > 0 {}
+        let stages = state.stage_nanos();
+
+        standards.push((
+            id.key().to_string(),
+            Value::Object(vec![
+                ("total_ns".into(), report.total_nanos.into()),
+                ("samples".into(), report.source_samples().into()),
+                ("throughput_msps".into(), report.throughput_msps().into()),
+                ("per_block_ns".into(), Value::Object(per_block)),
+                (
+                    "stages_ns".into(),
+                    Value::Object(vec![
+                        ("pilot".into(), stages.pilot.into()),
+                        ("map".into(), stages.map.into()),
+                        ("ifft".into(), stages.ifft.into()),
+                        ("cp".into(), stages.cp.into()),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+
+    // Behavioral vs RTL transmitter wall time (802.11a, as in E3).
+    let rate = WlanRate::Mbps12;
+    let wlan_bits = n_symbols.max(4) * rate.n_cbps() / 2 - 6;
+    let payload = payload_bits(wlan_bits, 3);
+    let mut beh = MotherModel::new(ieee80211a::params(rate))?;
+    let t_beh = time_per_run(
+        || {
+            beh.transmit(&payload).expect("transmits");
+        },
+        3,
+    );
+    let rtl = Tx80211aRtl::new(rate);
+    let t_rtl = time_per_run(
+        || {
+            rtl.transmit(&payload);
+        },
+        3,
+    );
+
+    // Instrumented vs uninstrumented streaming on the same chain.
+    let wlan = ieee80211a::params(rate);
+    let t_plain = time_per_run(
+        || {
+            bench_chain(&wlan, wlan_bits)
+                .run_streaming(CHUNK)
+                .expect("runs");
+        },
+        3,
+    );
+    let t_inst = time_per_run(
+        || {
+            bench_chain(&wlan, wlan_bits)
+                .run_streaming_instrumented(CHUNK)
+                .expect("runs");
+        },
+        3,
+    );
+
+    let doc = Value::Object(vec![
+        ("schema".into(), "bench-ofdm/v1".into()),
+        ("symbols".into(), n_symbols.into()),
+        (
+            "behavioral_vs_rtl_ratio".into(),
+            (t_rtl / t_beh.max(1e-12)).into(),
+        ),
+        (
+            "instrumented_overhead_ratio".into(),
+            (t_inst / t_plain.max(1e-12)).into(),
+        ),
+        ("standards".into(), Value::Object(standards)),
+    ]);
+    std::fs::write(path, format!("{doc}\n"))?;
+    println!(
+        "wrote {path}: {} standards, RTL/behavioral {:.1}x, instrumentation overhead {:.3}x",
+        StandardId::ALL.len(),
+        t_rtl / t_beh.max(1e-12),
+        t_inst / t_plain.max(1e-12),
+    );
+    Ok(())
+}
+
+/// `--check-bench FILE` — parses an emitted `BENCH_ofdm.json` and fails
+/// (nonzero exit) unless every required key is present and well-typed for
+/// all ten standards. This is the CI gate on the telemetry pipeline.
+fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = serde::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let fail = |msg: String| -> Box<dyn std::error::Error> { format!("{path}: {msg}").into() };
+
+    if doc.get("schema").and_then(Value::as_str) != Some("bench-ofdm/v1") {
+        return Err(fail(
+            "missing or wrong `schema` (want \"bench-ofdm/v1\")".into(),
+        ));
+    }
+    for key in [
+        "symbols",
+        "behavioral_vs_rtl_ratio",
+        "instrumented_overhead_ratio",
+    ] {
+        let v = doc
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| fail(format!("missing numeric `{key}`")))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(fail(format!(
+                "`{key}` must be finite and positive, got {v}"
+            )));
+        }
+    }
+    let standards = doc
+        .get("standards")
+        .ok_or_else(|| fail("missing `standards`".into()))?;
+    for id in StandardId::ALL {
+        let key = id.key();
+        let s = standards
+            .get(key)
+            .ok_or_else(|| fail(format!("missing standard `{key}`")))?;
+        for field in ["total_ns", "samples", "throughput_msps"] {
+            s.get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(format!("`{key}` missing numeric `{field}`")))?;
+        }
+        let per_block = s
+            .get("per_block_ns")
+            .and_then(Value::as_object)
+            .ok_or_else(|| fail(format!("`{key}` missing object `per_block_ns`")))?;
+        if per_block.is_empty() {
+            return Err(fail(format!("`{key}`: `per_block_ns` is empty")));
+        }
+        let stages = s
+            .get("stages_ns")
+            .ok_or_else(|| fail(format!("`{key}` missing `stages_ns`")))?;
+        for stage in ["pilot", "map", "ifft", "cp"] {
+            stages
+                .get(stage)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(format!("`{key}` missing stage `{stage}`")))?;
+        }
+    }
+    println!("{path}: ok ({} standards)", StandardId::ALL.len());
     Ok(())
 }
 

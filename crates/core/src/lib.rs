@@ -59,4 +59,4 @@ pub mod tx;
 
 pub use error::{ConfigError, TxError};
 pub use params::OfdmParams;
-pub use tx::{Frame, FrameStream, MotherModel, StreamState};
+pub use tx::{Frame, FrameStream, MotherModel, StageNanos, StreamState};

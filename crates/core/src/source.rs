@@ -7,7 +7,7 @@
 
 use crate::error::ConfigError;
 use crate::params::OfdmParams;
-use crate::tx::{MotherModel, StreamState};
+use crate::tx::{MotherModel, StageNanos, StreamState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfsim::{Block, Signal, SimError};
@@ -108,6 +108,24 @@ impl OfdmSource {
     pub fn payload_bits(&self) -> usize {
         self.payload_bits
     }
+
+    /// Enables or disables per-stage timing of the wrapped transmitter
+    /// (pilot / map / IFFT / cyclic-prefix split). Off by default; the
+    /// setting survives [`Block::reset`].
+    pub fn set_stage_timing(&mut self, enabled: bool) {
+        self.stream.set_stage_timing(enabled);
+    }
+
+    /// Stage timing accumulated since construction, reset, or the last
+    /// [`Self::take_stage_nanos`]. All zero unless stage timing is enabled.
+    pub fn stage_nanos(&self) -> StageNanos {
+        self.stream.stage_nanos()
+    }
+
+    /// Returns the accumulated stage timing and zeroes the accumulator.
+    pub fn take_stage_nanos(&mut self) -> StageNanos {
+        self.stream.take_stage_nanos()
+    }
 }
 
 impl Block for OfdmSource {
@@ -165,7 +183,11 @@ impl Block for OfdmSource {
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.model.reset();
+        // Stage timing is configuration, not state: keep the flag but drop
+        // the accumulated counters along with the rest of the stream state.
+        let timing = self.stream.stage_timing_enabled();
         self.stream = StreamState::new();
+        self.stream.set_stage_timing(timing);
         self.needs_frame = false;
     }
 }
@@ -247,6 +269,28 @@ mod tests {
         src.reconfigure(p).unwrap();
         assert!(src.name().contains("other"));
         assert_eq!(src.model().params().name, "other");
+    }
+
+    #[test]
+    fn stage_timing_passthrough_survives_reset() {
+        let mut src = OfdmSource::new(minimal_test_params(), 240, 9).unwrap();
+        assert_eq!(src.stage_nanos(), StageNanos::default());
+        src.set_stage_timing(true);
+        let _ = src.process(&[]).unwrap();
+        let stages = src.stage_nanos();
+        assert_eq!(stages.symbols, 10);
+        assert!(
+            stages.map > 0 && stages.ifft > 0 && stages.cp > 0,
+            "{stages:?}"
+        );
+        // Reset drops the counters but keeps the timing flag.
+        src.reset();
+        assert_eq!(src.stage_nanos(), StageNanos::default());
+        let _ = src.process(&[]).unwrap();
+        assert!(src.stage_nanos().symbols == 10, "flag lost across reset");
+        let taken = src.take_stage_nanos();
+        assert_eq!(taken.symbols, 10);
+        assert_eq!(src.stage_nanos(), StageNanos::default());
     }
 
     #[test]

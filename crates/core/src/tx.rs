@@ -20,6 +20,35 @@ use ofdm_dsp::bits::{pack_msb_first, unpack_msb_first};
 use ofdm_dsp::Complex64;
 use rfsim::Signal;
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Wall-time decomposition of streamed symbol production, in nanoseconds
+/// (see [`StreamState::set_stage_timing`]).
+///
+/// This is the per-stage telemetry the paper's C3 claim needs to be
+/// *decomposable*: not just "the behavioral source is cheap" but where its
+/// cycles actually go — pilot generation, constellation mapping, the IFFT,
+/// or guard/overlap assembly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Pilot cell generation and data-carrier displacement.
+    pub pilot: u64,
+    /// Bit→constellation mapping, including differential encoding.
+    pub map: u64,
+    /// IFFT plus guard-interval/taper shaping of the symbol.
+    pub ifft: u64,
+    /// Cyclic-prefix/overlap-add assembly into the carry window.
+    pub cp: u64,
+    /// Number of data symbols the timings cover.
+    pub symbols: u64,
+}
+
+impl StageNanos {
+    /// Total nanoseconds across all four stages.
+    pub fn total(&self) -> u64 {
+        self.pilot + self.map + self.ifft + self.cp
+    }
+}
 
 /// One transmitted frame: the waveform plus per-symbol frequency-domain
 /// ground truth (C-INTERMEDIATE: receivers, EVM meters and tests all want
@@ -103,6 +132,10 @@ pub struct StreamState {
     log_cells: bool,
     /// Payload bits accepted by the active frame.
     payload_bits: usize,
+    /// Whether to accumulate per-stage wall times in `stages`.
+    stage_timing: bool,
+    /// Accumulated stage timings (across frames, until taken).
+    stages: StageNanos,
 }
 
 impl StreamState {
@@ -120,6 +153,29 @@ impl StreamState {
     /// Takes the logged ground-truth cells accumulated so far.
     pub fn take_symbol_cells(&mut self) -> Vec<Vec<(i32, Complex64)>> {
         std::mem::take(&mut self.cells_log)
+    }
+
+    /// Enables/disables per-stage wall-time accumulation (disabled by
+    /// default — the two `Instant` reads per stage are only paid when
+    /// enabled, keeping the ordinary hot path untouched).
+    pub fn set_stage_timing(&mut self, enabled: bool) {
+        self.stage_timing = enabled;
+    }
+
+    /// Whether per-stage timing is currently enabled.
+    pub fn stage_timing_enabled(&self) -> bool {
+        self.stage_timing
+    }
+
+    /// The stage timings accumulated since construction or the last
+    /// [`StreamState::take_stage_nanos`].
+    pub fn stage_nanos(&self) -> StageNanos {
+        self.stages
+    }
+
+    /// Takes (and zeroes) the accumulated stage timings.
+    pub fn take_stage_nanos(&mut self) -> StageNanos {
+        std::mem::take(&mut self.stages)
     }
 
     /// Coded bits mapped (or being mapped) for the current frame.
@@ -450,13 +506,19 @@ impl MotherModel {
                 coded,
                 cells,
                 cursor,
+                stage_timing,
+                stages,
                 ..
             } = state;
-            self.build_symbol_into(&coded[*cursor..], cells)
+            self.build_symbol_into(&coded[*cursor..], cells, stage_timing.then_some(stages))
         };
         state.cursor += consumed;
+        let started = state.stage_timing.then(Instant::now);
         self.modulator
             .modulate_into(&state.cells, &mut state.scratch, &mut state.symbol);
+        if let Some(t0) = started {
+            state.stages.ifft += t0.elapsed().as_nanos() as u64;
+        }
         if state.log_cells {
             state.cells_log.push(state.cells.clone());
         }
@@ -467,23 +529,38 @@ impl MotherModel {
             state.cursor = state.coded.len();
         }
         let net = state.symbol.net_len();
+        let started = state.stage_timing.then(Instant::now);
         push_overlap_add(
             &mut state.buf,
             &mut state.finalized,
             &state.symbol.samples,
             net,
         );
+        if let Some(t0) = started {
+            state.stages.cp += t0.elapsed().as_nanos() as u64;
+            state.stages.symbols += 1;
+        }
         true
     }
 
     /// Builds the cell list of the next OFDM symbol from the head of
     /// `bits` into `cells` (cleared first), returning how many bits were
     /// consumed.
-    fn build_symbol_into(&mut self, bits: &[u8], cells: &mut Vec<(i32, Complex64)>) -> usize {
+    fn build_symbol_into(
+        &mut self,
+        bits: &[u8],
+        cells: &mut Vec<(i32, Complex64)>,
+        mut timing: Option<&mut StageNanos>,
+    ) -> usize {
+        let started = timing.as_ref().map(|_| Instant::now());
         let pilot_cells = self.pilots.cells(self.symbol_index);
         let pilot_carriers: Vec<i32> = pilot_cells.iter().map(|c| c.0).collect();
         let data_carriers = self.params.map.data_excluding(&pilot_carriers);
+        if let (Some(t), Some(t0)) = (timing.as_deref_mut(), started) {
+            t.pilot += t0.elapsed().as_nanos() as u64;
+        }
 
+        let started = timing.as_ref().map(|_| Instant::now());
         cells.clear();
         cells.extend_from_slice(&pilot_cells);
         let mut consumed = 0usize;
@@ -512,6 +589,9 @@ impl MotherModel {
             cells.push((k, point));
         }
         cells.sort_by_key(|c| c.0);
+        if let (Some(t), Some(t0)) = (timing, started) {
+            t.map += t0.elapsed().as_nanos() as u64;
+        }
         consumed
     }
 
@@ -898,6 +978,47 @@ mod tests {
         let mut out = Vec::new();
         while stream.next_chunk(11, &mut out) > 0 {}
         assert!(stream.is_finished());
+        assert_eq!(reference.samples(), &out[..]);
+    }
+
+    #[test]
+    fn stage_timing_decomposes_streamed_symbols() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let mut state = StreamState::new();
+        state.set_stage_timing(true);
+        let payload = bits(4 * 24);
+        tx.begin_stream(&payload, &mut state).unwrap();
+        let mut out = Vec::new();
+        while tx.stream_into(&mut state, 64, &mut out) > 0 {}
+        let stages = state.stage_nanos();
+        assert_eq!(stages.symbols, 4);
+        // Every stage actually ran and was measured.
+        assert!(stages.map > 0, "{stages:?}");
+        assert!(stages.ifft > 0, "{stages:?}");
+        assert!(stages.cp > 0, "{stages:?}");
+        assert_eq!(
+            stages.total(),
+            stages.pilot + stages.map + stages.ifft + stages.cp
+        );
+        // take zeroes the accumulator.
+        let taken = state.take_stage_nanos();
+        assert_eq!(taken, stages);
+        assert_eq!(state.stage_nanos(), StageNanos::default());
+    }
+
+    #[test]
+    fn stage_timing_does_not_change_the_waveform() {
+        let payload = bits(2 * 24 + 3);
+        let reference = MotherModel::new(minimal_test_params())
+            .unwrap()
+            .transmit(&payload)
+            .unwrap();
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let mut state = StreamState::new();
+        state.set_stage_timing(true);
+        tx.begin_stream(&payload, &mut state).unwrap();
+        let mut out = Vec::new();
+        while tx.stream_into(&mut state, 7, &mut out) > 0 {}
         assert_eq!(reference.samples(), &out[..]);
     }
 

@@ -14,6 +14,7 @@
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
+use crate::telemetry::{Recorder, RunMode, RunReport};
 
 /// Opaque handle to a block inside a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -57,6 +58,10 @@ enum Feed {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// The report of the most recent instrumented pass, if any. Retained
+    /// so callers can render/serialize after the run; cleared by
+    /// [`Graph::reset`].
+    last_report: Option<RunReport>,
 }
 
 impl Graph {
@@ -137,6 +142,32 @@ impl Graph {
     /// * [`SimError::GraphCycle`] if connections form a loop.
     /// * Any error returned by a block's `process`.
     pub fn run(&mut self) -> Result<(), SimError> {
+        self.run_batch(None)
+    }
+
+    /// Executes one batch pass like [`Graph::run`], recording per-block
+    /// wall time, invocation counts and sample flow into a [`RunReport`].
+    ///
+    /// The report is also retained for [`Graph::last_report`]. Every
+    /// instrumented pass starts from a fresh recorder, so consecutive
+    /// calls never accumulate into each other.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::run`].
+    pub fn run_instrumented(&mut self) -> Result<RunReport, SimError> {
+        let mut recorder = Recorder::new(self.nodes.len());
+        self.run_batch(Some(&mut recorder))?;
+        recorder.rounds = 1;
+        let report = recorder.finish(
+            RunMode::Batch,
+            self.nodes.iter().map(|n| n.block.name().to_owned()),
+        );
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    fn run_batch(&mut self, mut telemetry: Option<&mut Recorder>) -> Result<(), SimError> {
         // Verify all ports are driven.
         for node in &self.nodes {
             for (port, src) in node.inputs.iter().enumerate() {
@@ -161,7 +192,17 @@ impl Graph {
                         .expect("topological order guarantees the source ran")
                 })
                 .collect();
-            let out = self.nodes[id.0].block.process(&inputs)?;
+            let out = match telemetry.as_deref_mut() {
+                Some(t) => {
+                    let samples_in: usize = inputs.iter().map(Signal::len).sum();
+                    let begin = t.begin();
+                    let out = self.nodes[id.0].block.process(&inputs)?;
+                    t.record(id.0, begin, samples_in, out.len());
+                    t.note_buffer(id.0, out.len());
+                    out
+                }
+                None => self.nodes[id.0].block.process(&inputs)?,
+            };
             self.nodes[id.0].output = Some(out);
         }
         Ok(())
@@ -218,6 +259,46 @@ impl Graph {
     /// Same conditions as [`Graph::run`], plus any [`Block::stream_chunk`]
     /// or [`Block::end_stream`] failure.
     pub fn run_streaming(&mut self, chunk_len: usize) -> Result<(), SimError> {
+        self.run_streaming_inner(chunk_len, None)
+    }
+
+    /// Executes one chunked pass like [`Graph::run_streaming`], recording
+    /// per-block wall time, invocation counts, sample flow and per-edge
+    /// buffer high-water marks into a [`RunReport`].
+    ///
+    /// The report is also retained for [`Graph::last_report`]. Every
+    /// instrumented pass starts from a fresh recorder, so consecutive
+    /// calls never accumulate into each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::run_streaming`].
+    pub fn run_streaming_instrumented(&mut self, chunk_len: usize) -> Result<RunReport, SimError> {
+        let mut recorder = Recorder::new(self.nodes.len());
+        self.run_streaming_inner(chunk_len, Some(&mut recorder))?;
+        let report = recorder.finish(
+            RunMode::Streaming { chunk_len },
+            self.nodes.iter().map(|n| n.block.name().to_owned()),
+        );
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// The report of the most recent instrumented pass, if one ran since
+    /// the last [`Graph::reset`].
+    pub fn last_report(&self) -> Option<&RunReport> {
+        self.last_report.as_ref()
+    }
+
+    fn run_streaming_inner(
+        &mut self,
+        chunk_len: usize,
+        mut telemetry: Option<&mut Recorder>,
+    ) -> Result<(), SimError> {
         assert!(chunk_len > 0, "chunk length must be nonzero");
         for node in &self.nodes {
             for (port, src) in node.inputs.iter().enumerate() {
@@ -238,12 +319,22 @@ impl Graph {
         }
 
         let mut feeds: Vec<Option<Feed>> = Vec::with_capacity(n);
-        for node in &mut self.nodes {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
             feeds.push(if node.inputs.is_empty() {
                 if node.block.supports_streaming() {
                     Some(Feed::Stream)
                 } else {
-                    let signal = node.block.process(&[])?;
+                    // Batch-only source: the one up-front evaluation is the
+                    // block's whole cost for the pass.
+                    let signal = match telemetry.as_deref_mut() {
+                        Some(t) => {
+                            let begin = t.begin();
+                            let signal = node.block.process(&[])?;
+                            t.record(i, begin, 0, signal.len());
+                            signal
+                        }
+                        None => node.block.process(&[])?,
+                    };
                     Some(Feed::Cached { signal, pos: 0 })
                 }
             } else {
@@ -263,7 +354,16 @@ impl Graph {
                 let Some(feed) = feed else { continue };
                 match feed {
                     Feed::Stream => {
-                        let got = self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?;
+                        let got = match telemetry.as_deref_mut() {
+                            Some(t) => {
+                                let begin = t.begin();
+                                let got =
+                                    self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?;
+                                t.record(i, begin, 0, got);
+                                got
+                            }
+                            None => self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?,
+                        };
                         produced |= got > 0;
                     }
                     Feed::Cached { signal, pos } => {
@@ -273,9 +373,15 @@ impl Graph {
                         produced |= take > 0;
                     }
                 }
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.note_buffer(i, bufs[i].len());
+                }
             }
             if !produced {
                 break;
+            }
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.rounds += 1;
             }
 
             // Push the chunks through the interior of the graph.
@@ -292,9 +398,20 @@ impl Graph {
                         .iter()
                         .map(|src| &bufs[src.expect("verified above").0])
                         .collect();
-                    node.block.process_chunk(&inputs, &mut out)?;
+                    match telemetry.as_deref_mut() {
+                        Some(t) => {
+                            let samples_in: usize = inputs.iter().map(|s| s.len()).sum();
+                            let begin = t.begin();
+                            node.block.process_chunk(&inputs, &mut out)?;
+                            t.record(i, begin, samples_in, out.len());
+                        }
+                        None => node.block.process_chunk(&inputs, &mut out)?,
+                    }
                 }
                 accumulate_probe(&mut self.nodes[i], &out);
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.note_buffer(i, out.len());
+                }
                 bufs[i] = out;
             }
         }
@@ -348,12 +465,17 @@ impl Graph {
         (node.block.as_ref() as &dyn std::any::Any).downcast_ref::<B>()
     }
 
-    /// Resets every block's internal state and clears retained outputs.
+    /// Resets every block's internal state and clears retained outputs,
+    /// including probe accumulations and the last instrumented-run report
+    /// — after a reset the graph holds no measurement state from previous
+    /// passes. Probe *markings* ([`Graph::probe`]) survive, since they are
+    /// configuration, not state.
     pub fn reset(&mut self) {
         for node in &mut self.nodes {
             node.block.reset();
             node.output = None;
         }
+        self.last_report = None;
     }
 }
 
@@ -648,6 +770,122 @@ mod tests {
         let mut g = Graph::new();
         let _ = g.add(Const(1.0));
         let _ = g.run_streaming(0);
+    }
+
+    #[test]
+    fn instrumented_batch_reports_every_block() {
+        let mut g = Graph::new();
+        let c = g.add(Const(2.0));
+        let gain = g.add(Gain(3.0));
+        g.chain(&[c, gain]).unwrap();
+        let report = g.run_instrumented().unwrap();
+        assert_eq!(report.mode, crate::telemetry::RunMode::Batch);
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.blocks.len(), 2);
+        let src = report.block("const").unwrap();
+        assert_eq!(src.invocations, 1);
+        assert_eq!(src.samples_in, 0);
+        assert_eq!(src.samples_out, 8);
+        let gain_stats = report.block("gain").unwrap();
+        assert_eq!(gain_stats.samples_in, 8);
+        assert_eq!(gain_stats.samples_out, 8);
+        assert_eq!(gain_stats.buffer_high_water, 8);
+        assert_eq!(report.source_samples(), 8);
+        // The ordinary run result is still produced.
+        assert!((g.output(gain).unwrap().samples()[0].re - 6.0).abs() < 1e-12);
+        // And retained for later inspection.
+        assert_eq!(g.last_report(), Some(&report));
+    }
+
+    #[test]
+    fn instrumented_streaming_counts_chunks_and_high_water() {
+        let mut g = Graph::new();
+        let src = g.add(Ramp::new(100));
+        let gain = g.add(Gain(2.0));
+        g.chain(&[src, gain]).unwrap();
+        g.probe(gain).unwrap();
+        let report = g.run_streaming_instrumented(16).unwrap();
+        assert_eq!(
+            report.mode,
+            crate::telemetry::RunMode::Streaming { chunk_len: 16 }
+        );
+        // 100 samples in 16-sample chunks → 7 producing rounds.
+        assert_eq!(report.rounds, 7);
+        let src_stats = report.block("ramp").unwrap();
+        // One extra exhausted pull ends the pass.
+        assert_eq!(src_stats.invocations, 8);
+        assert_eq!(src_stats.samples_out, 100);
+        assert_eq!(src_stats.buffer_high_water, 16);
+        let gain_stats = report.block("gain").unwrap();
+        assert_eq!(gain_stats.invocations, 7);
+        assert_eq!(gain_stats.samples_in, 100);
+        assert_eq!(gain_stats.samples_out, 100);
+        assert_eq!(gain_stats.buffer_high_water, 16);
+        // The instrumented pass produces the same signal as the plain one.
+        assert_eq!(g.output(gain).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn instrumented_streaming_times_batch_only_sources() {
+        let mut g = Graph::new();
+        let c = g.add(Const(1.0)); // no streaming support → cached feed
+        let gain = g.add(Gain(2.0));
+        g.chain(&[c, gain]).unwrap();
+        let report = g.run_streaming_instrumented(3).unwrap();
+        let src = report.block("const").unwrap();
+        // The single up-front batch evaluation is the recorded invocation.
+        assert_eq!(src.invocations, 1);
+        assert_eq!(src.samples_out, 8);
+        assert_eq!(report.source_samples(), 8);
+        // Its edge buffer still only ever held one chunk.
+        assert_eq!(src.buffer_high_water, 3);
+    }
+
+    #[test]
+    fn back_to_back_instrumented_runs_do_not_accumulate() {
+        let mut g = Graph::new();
+        let c = g.add(Const(1.0));
+        let gain = g.add(Gain(2.0));
+        g.chain(&[c, gain]).unwrap();
+        let first = g.run_instrumented().unwrap();
+        let second = g.run_instrumented().unwrap();
+        // Regression: a second instrumented pass must start from zero, not
+        // extend the first one's counters.
+        assert_eq!(first.block("gain").unwrap().invocations, 1);
+        assert_eq!(second.block("gain").unwrap().invocations, 1);
+        assert_eq!(
+            first.block("gain").unwrap().samples_in,
+            second.block("gain").unwrap().samples_in,
+        );
+        // Same for the streaming scheduler.
+        let s1 = g.run_streaming_instrumented(4).unwrap();
+        let s2 = g.run_streaming_instrumented(4).unwrap();
+        assert_eq!(s1.rounds, s2.rounds);
+        assert_eq!(
+            s1.block("const").unwrap().samples_out,
+            s2.block("const").unwrap().samples_out,
+        );
+    }
+
+    #[test]
+    fn reset_clears_probe_and_telemetry_state() {
+        let mut g = Graph::new();
+        let src = g.add(Ramp::new(32));
+        let gain = g.add(Gain(2.0));
+        g.chain(&[src, gain]).unwrap();
+        g.probe(gain).unwrap();
+        g.run_streaming_instrumented(8).unwrap();
+        assert!(g.last_report().is_some());
+        assert_eq!(g.output(gain).unwrap().len(), 32);
+        g.reset();
+        // Regression: reset must drop the retained report and probed
+        // output so the next pass starts clean.
+        assert!(g.last_report().is_none());
+        assert!(g.output(gain).is_none());
+        // Probe marking survives as configuration; a fresh run repopulates
+        // the probed output without doubling it.
+        g.run_streaming(8).unwrap();
+        assert_eq!(g.output(gain).unwrap().len(), 32);
     }
 
     #[test]

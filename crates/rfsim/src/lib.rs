@@ -43,11 +43,13 @@ pub mod rate;
 pub mod scenario;
 pub mod signal;
 pub mod source;
+pub mod telemetry;
 
 pub use block::{Block, SimError};
 pub use graph::{BlockId, Graph};
 pub use scenario::{run_scenarios, scenario_seed, Scenarios};
 pub use signal::Signal;
+pub use telemetry::{BlockStats, RunMode, RunReport, SweepReport};
 
 /// Convenient glob-import surface for simulator users.
 pub mod prelude {
@@ -63,7 +65,10 @@ pub mod prelude {
     };
     pub use crate::pa::{RappPa, SalehPa, SoftClipPa};
     pub use crate::rate::{Downsampler, GainBlock, Upsampler};
-    pub use crate::scenario::{run_scenarios, scenario_seed, Scenarios};
+    pub use crate::scenario::{
+        run_scenarios, run_scenarios_instrumented, scenario_seed, Scenarios,
+    };
     pub use crate::signal::Signal;
     pub use crate::source::{SamplePlayback, ToneSource};
+    pub use crate::telemetry::{BlockStats, RunMode, RunReport, SweepReport};
 }

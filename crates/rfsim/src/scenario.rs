@@ -41,8 +41,10 @@
 //! assert!(powers[0] < powers[2]);
 //! ```
 
+use crate::telemetry::SweepReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration for [`run_scenarios`]: how many scenarios to run and how
 /// many worker threads to use.
@@ -171,6 +173,51 @@ where
         .collect())
 }
 
+/// Runs a sweep like [`run_scenarios`] while measuring per-scenario wall
+/// time and worker utilization.
+///
+/// Returns the in-order results together with a
+/// [`SweepReport`] whose `scenario_nanos` follow scenario
+/// order. The timing wrapper adds two `Instant` reads per scenario —
+/// negligible against any real graph pass — and the scheduling (and thus
+/// the results) is identical to the uninstrumented runner.
+///
+/// # Errors
+///
+/// The first scenario error, if any scenario fails.
+pub fn run_scenarios_instrumented<R, E, F>(
+    config: Scenarios,
+    scenario: F,
+) -> Result<(Vec<R>, SweepReport), E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let workers = config.effective_threads();
+    let sweep_started = Instant::now();
+    let timed = run_scenarios(config, |i| {
+        let started = Instant::now();
+        let result = scenario(i)?;
+        Ok((result, started.elapsed().as_nanos() as u64))
+    })?;
+    let total_nanos = sweep_started.elapsed().as_nanos() as u64;
+    let mut results = Vec::with_capacity(timed.len());
+    let mut scenario_nanos = Vec::with_capacity(timed.len());
+    for (result, nanos) in timed {
+        results.push(result);
+        scenario_nanos.push(nanos);
+    }
+    Ok((
+        results,
+        SweepReport {
+            total_nanos,
+            workers,
+            scenario_nanos,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +303,46 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_threads_panics() {
         let _ = Scenarios::new(1).threads(0);
+    }
+
+    #[test]
+    fn instrumented_sweep_reproduces_results_and_times_scenarios() {
+        let plain = sweep(4);
+        let (instrumented, report) = run_scenarios_instrumented(
+            Scenarios::new(8).threads(4),
+            |i| -> Result<f64, SimError> {
+                let mut g = Graph::new();
+                let src = g.add(ToneSource::new(1.0e3, 1.0e6, 256));
+                let ch = g.add(AwgnChannel::from_snr_db(
+                    5.0 + i as f64,
+                    scenario_seed(42, i),
+                ));
+                let meter = g.add(PowerMeter::new());
+                g.connect(src, ch, 0)?;
+                g.connect(ch, meter, 0)?;
+                g.run()?;
+                Ok(g.block::<PowerMeter>(meter).unwrap().power().unwrap())
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, instrumented);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.scenario_nanos.len(), 8);
+        assert!(report.total_nanos > 0);
+        assert!(report.busy_nanos() > 0);
+        let u = report.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn instrumented_sweep_propagates_errors() {
+        let res = run_scenarios_instrumented(Scenarios::new(4).threads(2), |i| {
+            if i == 2 {
+                Err("boom")
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(res.unwrap_err(), "boom");
     }
 }

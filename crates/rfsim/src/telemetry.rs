@@ -1,0 +1,449 @@
+//! Run instrumentation: per-block timing, sample counters and per-edge
+//! buffer high-water marks for graph passes, plus sweep-level aggregates
+//! for the parallel scenario runner.
+//!
+//! The paper's C3 claim — the behavioral OFDM source has negligible cost
+//! inside a full TX chain — is only honest if it can be *measured per
+//! block*. [`crate::Graph::run_instrumented`] and
+//! [`crate::Graph::run_streaming_instrumented`] thread a recorder through
+//! the ordinary schedulers and return a [`RunReport`]; the uninstrumented
+//! entry points keep their signatures and pay no recording cost.
+//!
+//! Reports render as a markdown table ([`RunReport::summary`]) or as a
+//! machine-readable JSON document ([`RunReport::to_json`]) for the
+//! `BENCH_*.json` perf trajectory.
+
+use serde::json::Value;
+use std::time::Instant;
+
+/// Accumulated measurements for one block over one instrumented pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockStats {
+    /// The block's [`crate::Block::name`].
+    pub name: String,
+    /// How many times the block's process/chunk hook ran.
+    pub invocations: u64,
+    /// Total wall time spent inside the block, in nanoseconds.
+    pub nanos: u64,
+    /// Total samples consumed across all input ports.
+    pub samples_in: u64,
+    /// Total samples produced.
+    pub samples_out: u64,
+    /// Peak number of samples held in this block's output edge buffer at
+    /// any point of the pass (for batch runs: the pass output length).
+    pub buffer_high_water: usize,
+}
+
+impl BlockStats {
+    /// Mean nanoseconds per invocation (0 when the block never ran).
+    pub fn nanos_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.invocations as f64
+        }
+    }
+
+    /// Output throughput in megasamples per second (0 for zero time).
+    pub fn throughput_msps(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.samples_out as f64 * 1e3 / self.nanos as f64
+        }
+    }
+}
+
+/// Which scheduler produced a [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// [`crate::Graph::run_instrumented`] — whole-pass evaluation.
+    Batch,
+    /// [`crate::Graph::run_streaming_instrumented`] with this chunk length.
+    Streaming {
+        /// The chunk length the pass used.
+        chunk_len: usize,
+    },
+}
+
+/// The result of one instrumented graph pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Scheduler that produced the report.
+    pub mode: RunMode,
+    /// End-to-end wall time of the pass in nanoseconds (includes scheduler
+    /// overhead, not just block time).
+    pub total_nanos: u64,
+    /// Scheduler rounds: 1 for batch, the number of chunk rounds for
+    /// streaming.
+    pub rounds: u64,
+    /// Per-block measurements, in block insertion order.
+    pub blocks: Vec<BlockStats>,
+}
+
+impl RunReport {
+    /// Looks a block's stats up by name (first match).
+    pub fn block(&self, name: &str) -> Option<&BlockStats> {
+        self.blocks.iter().find(|b| b.name == name)
+    }
+
+    /// Samples emitted by source blocks (`samples_in == 0`), i.e. the
+    /// pass length the graph processed.
+    pub fn source_samples(&self) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.samples_in == 0)
+            .map(|b| b.samples_out)
+            .sum()
+    }
+
+    /// End-to-end throughput in megasamples per second: source samples
+    /// over total wall time.
+    pub fn throughput_msps(&self) -> f64 {
+        if self.total_nanos == 0 {
+            0.0
+        } else {
+            self.source_samples() as f64 * 1e3 / self.total_nanos as f64
+        }
+    }
+
+    /// Wall time spent inside blocks, in nanoseconds (the remainder of
+    /// [`RunReport::total_nanos`] is scheduler overhead).
+    pub fn block_nanos(&self) -> u64 {
+        self.blocks.iter().map(|b| b.nanos).sum()
+    }
+
+    /// Renders the report as a markdown table, heaviest block first.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut order: Vec<&BlockStats> = self.blocks.iter().collect();
+        order.sort_by_key(|b| std::cmp::Reverse(b.nanos));
+        let mut out = String::new();
+        let mode = match self.mode {
+            RunMode::Batch => "batch".to_owned(),
+            RunMode::Streaming { chunk_len } => format!("streaming(chunk={chunk_len})"),
+        };
+        let _ = writeln!(
+            out,
+            "run: {mode}, {} rounds, {:.3} ms total, {:.2} Msamples/s",
+            self.rounds,
+            self.total_nanos as f64 / 1e6,
+            self.throughput_msps(),
+        );
+        let _ = writeln!(
+            out,
+            "| block | calls | time (µs) | share | in | out | buf HWM |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        let block_total = self.block_nanos().max(1);
+        for b in order {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1} | {:.0}% | {} | {} | {} |",
+                b.name,
+                b.invocations,
+                b.nanos as f64 / 1e3,
+                b.nanos as f64 * 100.0 / block_total as f64,
+                b.samples_in,
+                b.samples_out,
+                b.buffer_high_water,
+            );
+        }
+        out
+    }
+
+    /// The report as a JSON document (see the serde shim's `json` module).
+    pub fn to_json_value(&self) -> Value {
+        let mode = match self.mode {
+            RunMode::Batch => Value::from("batch"),
+            RunMode::Streaming { chunk_len } => Value::Object(vec![
+                ("streaming".into(), Value::from(true)),
+                ("chunk_len".into(), Value::from(chunk_len)),
+            ]),
+        };
+        Value::Object(vec![
+            ("mode".into(), mode),
+            ("total_ns".into(), Value::from(self.total_nanos)),
+            ("rounds".into(), Value::from(self.rounds)),
+            (
+                "throughput_msps".into(),
+                Value::from(self.throughput_msps()),
+            ),
+            (
+                "blocks".into(),
+                Value::Array(
+                    self.blocks
+                        .iter()
+                        .map(|b| {
+                            Value::Object(vec![
+                                ("name".into(), Value::from(b.name.as_str())),
+                                ("invocations".into(), Value::from(b.invocations)),
+                                ("ns".into(), Value::from(b.nanos)),
+                                ("samples_in".into(), Value::from(b.samples_in)),
+                                ("samples_out".into(), Value::from(b.samples_out)),
+                                ("buffer_high_water".into(), Value::from(b.buffer_high_water)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The report serialized as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}
+
+/// The in-flight recorder the instrumented schedulers write into.
+///
+/// One slot per graph node; built fresh at the start of every instrumented
+/// pass, so back-to-back instrumented runs never accumulate into each
+/// other (see the `Graph::reset` regression tests).
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    started: Instant,
+    pub(crate) rounds: u64,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    invocations: u64,
+    nanos: u64,
+    samples_in: u64,
+    samples_out: u64,
+    buffer_high_water: usize,
+}
+
+impl Recorder {
+    /// A recorder for a graph of `n` nodes; starts the wall clock.
+    pub(crate) fn new(n: usize) -> Self {
+        Recorder {
+            started: Instant::now(),
+            rounds: 0,
+            slots: vec![Slot::default(); n],
+        }
+    }
+
+    /// Starts one timed block invocation; pass the result to
+    /// [`Recorder::record`].
+    pub(crate) fn begin(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Records one block invocation: elapsed time since `begin` plus
+    /// sample counts.
+    pub(crate) fn record(
+        &mut self,
+        node: usize,
+        begin: Instant,
+        samples_in: usize,
+        samples_out: usize,
+    ) {
+        let slot = &mut self.slots[node];
+        slot.invocations += 1;
+        slot.nanos += begin.elapsed().as_nanos() as u64;
+        slot.samples_in += samples_in as u64;
+        slot.samples_out += samples_out as u64;
+    }
+
+    /// Notes the current fill level of a node's output edge buffer.
+    pub(crate) fn note_buffer(&mut self, node: usize, held: usize) {
+        let slot = &mut self.slots[node];
+        slot.buffer_high_water = slot.buffer_high_water.max(held);
+    }
+
+    /// Finalizes into a [`RunReport`], attaching block names.
+    pub(crate) fn finish(self, mode: RunMode, names: impl Iterator<Item = String>) -> RunReport {
+        let total_nanos = self.started.elapsed().as_nanos() as u64;
+        RunReport {
+            mode,
+            total_nanos,
+            rounds: self.rounds.max(1),
+            blocks: names
+                .zip(self.slots)
+                .map(|(name, s)| BlockStats {
+                    name,
+                    invocations: s.invocations,
+                    nanos: s.nanos,
+                    samples_in: s.samples_in,
+                    samples_out: s.samples_out,
+                    buffer_high_water: s.buffer_high_water,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Aggregates for one instrumented scenario sweep
+/// ([`crate::scenario::run_scenarios_instrumented`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Wall time of the whole sweep in nanoseconds.
+    pub total_nanos: u64,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// Per-scenario duration in nanoseconds, in scenario order.
+    pub scenario_nanos: Vec<u64>,
+}
+
+impl SweepReport {
+    /// Total busy time across all scenarios (the sequential-equivalent
+    /// cost), in nanoseconds.
+    pub fn busy_nanos(&self) -> u64 {
+        self.scenario_nanos.iter().sum()
+    }
+
+    /// Worker utilization in `[0, 1]`: busy time over `workers × wall`.
+    /// 1.0 means every worker was saturated for the whole sweep.
+    pub fn utilization(&self) -> f64 {
+        if self.total_nanos == 0 || self.workers == 0 {
+            0.0
+        } else {
+            (self.busy_nanos() as f64 / (self.workers as u64 * self.total_nanos) as f64).min(1.0)
+        }
+    }
+
+    /// Parallel speedup over the sequential-equivalent cost.
+    pub fn speedup(&self) -> f64 {
+        if self.total_nanos == 0 {
+            0.0
+        } else {
+            self.busy_nanos() as f64 / self.total_nanos as f64
+        }
+    }
+
+    /// One-line human-readable digest.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenarios on {} workers: {:.3} ms wall, {:.3} ms busy, {:.2}× speedup, {:.0}% utilization",
+            self.scenario_nanos.len(),
+            self.workers,
+            self.total_nanos as f64 / 1e6,
+            self.busy_nanos() as f64 / 1e6,
+            self.speedup(),
+            self.utilization() * 100.0,
+        )
+    }
+
+    /// The sweep aggregates as a JSON document.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("total_ns".into(), Value::from(self.total_nanos)),
+            ("workers".into(), Value::from(self.workers)),
+            ("busy_ns".into(), Value::from(self.busy_nanos())),
+            ("utilization".into(), Value::from(self.utilization())),
+            ("speedup".into(), Value::from(self.speedup())),
+            (
+                "scenario_ns".into(),
+                Value::Array(
+                    self.scenario_nanos
+                        .iter()
+                        .map(|&n| Value::from(n))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            mode: RunMode::Streaming { chunk_len: 80 },
+            total_nanos: 2_000_000,
+            rounds: 10,
+            blocks: vec![
+                BlockStats {
+                    name: "src".into(),
+                    invocations: 10,
+                    nanos: 1_200_000,
+                    samples_in: 0,
+                    samples_out: 800,
+                    buffer_high_water: 80,
+                },
+                BlockStats {
+                    name: "pa".into(),
+                    invocations: 10,
+                    nanos: 300_000,
+                    samples_in: 800,
+                    samples_out: 800,
+                    buffer_high_water: 80,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = report();
+        assert_eq!(r.source_samples(), 800);
+        assert_eq!(r.block_nanos(), 1_500_000);
+        assert!((r.throughput_msps() - 0.4).abs() < 1e-12);
+        let src = r.block("src").expect("present");
+        assert!((src.nanos_per_invocation() - 120_000.0).abs() < 1e-9);
+        assert!((src.throughput_msps() - 800.0 * 1e3 / 1.2e6).abs() < 1e-9);
+        assert!(r.block("missing").is_none());
+    }
+
+    #[test]
+    fn summary_lists_heaviest_block_first() {
+        let s = report().summary();
+        let src_at = s.find("| src |").expect("src row");
+        let pa_at = s.find("| pa |").expect("pa row");
+        assert!(src_at < pa_at, "heavier block first:\n{s}");
+        assert!(s.contains("streaming(chunk=80)"));
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_shim_parser() {
+        let r = report();
+        let doc = serde::json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("rounds").and_then(Value::as_f64), Some(10.0));
+        let blocks = doc.get("blocks").and_then(Value::as_array).expect("array");
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].get("name").and_then(Value::as_str), Some("src"));
+        assert_eq!(blocks[0].get("ns").and_then(Value::as_f64), Some(1.2e6));
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let empty = BlockStats::default();
+        assert_eq!(empty.nanos_per_invocation(), 0.0);
+        assert_eq!(empty.throughput_msps(), 0.0);
+        let r = RunReport {
+            mode: RunMode::Batch,
+            total_nanos: 0,
+            rounds: 1,
+            blocks: vec![],
+        };
+        assert_eq!(r.throughput_msps(), 0.0);
+    }
+
+    #[test]
+    fn sweep_report_aggregates() {
+        let s = SweepReport {
+            total_nanos: 1_000_000,
+            workers: 2,
+            scenario_nanos: vec![600_000, 800_000],
+        };
+        assert_eq!(s.busy_nanos(), 1_400_000);
+        assert!((s.utilization() - 0.7).abs() < 1e-12);
+        assert!((s.speedup() - 1.4).abs() < 1e-12);
+        assert!(s.summary().contains("2 workers"));
+        let doc = serde::json::parse(&s.to_json_value().to_string()).expect("valid");
+        assert_eq!(doc.get("workers").and_then(Value::as_f64), Some(2.0));
+        let degenerate = SweepReport {
+            total_nanos: 0,
+            workers: 0,
+            scenario_nanos: vec![],
+        };
+        assert_eq!(degenerate.utilization(), 0.0);
+        assert_eq!(degenerate.speedup(), 0.0);
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! Provides marker traits named `Serialize`/`Deserialize` and (behind the
 //! `derive` feature) re-exports the no-op derives, so parameter structs can
-//! keep their serde annotations without network access to crates.io. No
-//! actual serialization machinery exists — none is used in this workspace.
+//! keep their serde annotations without network access to crates.io. The
+//! [`json`] module additionally carries a minimal JSON value type with a
+//! writer and parser — the subset the telemetry layer needs to emit and
+//! verify `BENCH_*.json` artifacts.
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -13,3 +15,376 @@ pub trait Serialize {}
 
 /// Marker trait standing in for `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
+
+pub mod json {
+    //! A minimal JSON document model: build with [`Value`], serialize with
+    //! `Display`, read back with [`parse`].
+    //!
+    //! Object member order is preserved (members are a `Vec`, not a map),
+    //! so emitted documents are deterministic and diff-friendly.
+
+    use std::fmt;
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null` (also produced when serializing non-finite numbers).
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number; stored as `f64` like JavaScript's number type.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An ordered array.
+        Array(Vec<Value>),
+        /// An object with insertion-ordered members.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object member lookup; `None` for non-objects or missing keys.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The members, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(members) => Some(members),
+                _ => None,
+            }
+        }
+    }
+
+    impl From<f64> for Value {
+        fn from(x: f64) -> Self {
+            Value::Number(x)
+        }
+    }
+    impl From<u64> for Value {
+        fn from(x: u64) -> Self {
+            Value::Number(x as f64)
+        }
+    }
+    impl From<usize> for Value {
+        fn from(x: usize) -> Self {
+            Value::Number(x as f64)
+        }
+    }
+    impl From<bool> for Value {
+        fn from(b: bool) -> Self {
+            Value::Bool(b)
+        }
+    }
+    impl From<&str> for Value {
+        fn from(s: &str) -> Self {
+            Value::String(s.to_owned())
+        }
+    }
+    impl From<String> for Value {
+        fn from(s: String) -> Self {
+            Value::String(s)
+        }
+    }
+
+    fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+        f.write_str("\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        f.write_str("\"")
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Value::Null => f.write_str("null"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::Number(x) => {
+                    if !x.is_finite() {
+                        f.write_str("null")
+                    } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                        write!(f, "{}", *x as i64)
+                    } else {
+                        // Rust's shortest-roundtrip Display is valid JSON
+                        // for finite values.
+                        write!(f, "{x}")
+                    }
+                }
+                Value::String(s) => write_escaped(f, s),
+                Value::Array(items) => {
+                    f.write_str("[")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str("]")
+                }
+                Value::Object(members) => {
+                    f.write_str("{")?;
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write_escaped(f, k)?;
+                        f.write_str(":")?;
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str("}")
+                }
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut members = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    members.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(members));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (JSON strings are UTF-8).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrips_nested_document() {
+            let doc = Value::Object(vec![
+                ("name".into(), Value::from("bench \"v1\"\n")),
+                ("count".into(), Value::from(3u64)),
+                ("ratio".into(), Value::from(1.25)),
+                ("ok".into(), Value::from(true)),
+                ("none".into(), Value::Null),
+                (
+                    "items".into(),
+                    Value::Array(vec![Value::from(1u64), Value::from(2.5)]),
+                ),
+            ]);
+            let text = doc.to_string();
+            let back = parse(&text).expect("parses");
+            assert_eq!(back, doc);
+            assert_eq!(back.get("count").and_then(Value::as_f64), Some(3.0));
+            assert_eq!(
+                back.get("name").and_then(Value::as_str),
+                Some("bench \"v1\"\n")
+            );
+            assert_eq!(
+                back.get("items")
+                    .and_then(Value::as_array)
+                    .map(<[Value]>::len),
+                Some(2)
+            );
+            assert_eq!(back.get("missing"), None);
+        }
+
+        #[test]
+        fn integers_serialize_without_fraction() {
+            assert_eq!(Value::from(42u64).to_string(), "42");
+            assert_eq!(Value::from(1.5).to_string(), "1.5");
+            assert_eq!(Value::Number(f64::NAN).to_string(), "null");
+        }
+
+        #[test]
+        fn parse_rejects_garbage() {
+            assert!(parse("{\"a\":}").is_err());
+            assert!(parse("[1,2").is_err());
+            assert!(parse("true false").is_err());
+            assert!(parse("").is_err());
+            assert!(parse("\"unterminated").is_err());
+        }
+
+        #[test]
+        fn parses_escapes_and_unicode() {
+            let v = parse("\"a\\n\\t\\u0041β\"").expect("parses");
+            assert_eq!(v.as_str(), Some("a\n\tAβ"));
+        }
+    }
+}

@@ -3,10 +3,13 @@
 //! at two abstraction levels — their waveforms must agree to fixed-point
 //! accuracy, and accuracy must improve with datapath wordlength.
 
+use ofdm_bench::{payload_bits, time_per_run};
+use ofdm_core::source::OfdmSource;
 use ofdm_core::MotherModel;
 use ofdm_rtl::{FxFormat, Tx80211aRtl};
 use ofdm_rx::receiver::ReferenceReceiver;
 use ofdm_standards::ieee80211a::{self, WlanRate};
+use rfsim::prelude::*;
 use rfsim::Signal;
 
 fn payload(n: usize) -> Vec<u8> {
@@ -77,6 +80,53 @@ fn rtl_waveform_decodes_in_the_reference_receiver() {
     let signal = Signal::new(frame.samples, params.sample_rate);
     let got = rx.receive(&signal, bits.len()).expect("decodes");
     assert_eq!(got, bits);
+}
+
+#[test]
+fn telemetry_confirms_behavioral_speedup_over_rtl() {
+    // C3, checked in-test through the telemetry layer: the behavioral
+    // transmitter's cost — as recorded per block by an instrumented
+    // streaming run — must undercut the cycle-scheduled RT-level model on
+    // the same workload. Measured ratios are ~2× in debug and ~4× in
+    // release; the bar is far below both so the assertion never flakes on
+    // a loaded machine (both sides take the best of three runs).
+    let rate = WlanRate::Mbps12;
+    let n_symbols = 50usize;
+    let n_bits = n_symbols * rate.n_cbps() / 2 - 6;
+
+    let mut g = Graph::new();
+    let src = g.add(OfdmSource::new(ieee80211a::params(rate), n_bits, 1).expect("valid preset"));
+    let meter = g.add(PowerMeter::new());
+    g.chain(&[src, meter]).expect("wires");
+    let mut beh_nanos = u64::MAX;
+    let mut beh_samples = 0u64;
+    for _ in 0..3 {
+        let report = g.run_streaming_instrumented(256).expect("runs");
+        let stats = report
+            .blocks
+            .iter()
+            .find(|b| b.name.starts_with("ofdm-source"))
+            .expect("source instrumented");
+        beh_nanos = beh_nanos.min(stats.nanos);
+        beh_samples = stats.samples_out;
+    }
+    assert_eq!(beh_samples, (320 + n_symbols * 80) as u64, "frame layout");
+
+    let rtl = Tx80211aRtl::new(rate);
+    let payload = payload_bits(n_bits, 3);
+    let rtl_nanos = time_per_run(
+        || {
+            rtl.transmit(&payload);
+        },
+        3,
+    ) * 1e9;
+
+    let ratio = rtl_nanos / beh_nanos.max(1) as f64;
+    assert!(
+        ratio > 1.2,
+        "RT-level must cost more than behavioral: RTL {rtl_nanos:.0} ns vs \
+         behavioral {beh_nanos} ns (ratio {ratio:.2})"
+    );
 }
 
 #[test]
