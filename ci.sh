@@ -10,6 +10,14 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy fault-path gate: no unwrap/panic in rfsim + core lib code"
+# Execution paths through Graph::run / run_streaming / run_scenarios must
+# degrade via typed SimError values, never unwind. Only the library
+# targets are gated (--lib skips #[cfg(test)] modules, integration tests
+# and benches, which are free to unwrap/assert).
+cargo clippy -p rfsim -p ofdm-core --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::panic
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -21,5 +29,10 @@ cargo run --release -q -p ofdm-bench --bin experiments -- \
     --emit-bench BENCH_ofdm.json --bench-symbols 4
 cargo run --release -q -p ofdm-bench --bin experiments -- \
     --check-bench BENCH_ofdm.json
+
+echo "==> fault smoke: experiments --faults"
+# The 64-scenario adversarial sweep (E9): injected panics, NaNs and
+# dropped samples must yield exact per-outcome counts, never an abort.
+cargo run --release -q -p ofdm-bench --bin experiments -- --faults
 
 echo "==> ci.sh: all gates passed"

@@ -15,6 +15,8 @@
 //! … --bin experiments -- --emit-bench BENCH_ofdm.json [--bench-symbols N]
 //! … --bin experiments -- --check-bench BENCH_ofdm.json
 //! ```
+//!
+//! Fault-injection smoke sweep (E9 alone): `… --bin experiments -- --faults`.
 
 use ofdm_bench::{
     evm_after_gain_correction, fmt_secs, loopback_errors, payload_bits, time_per_run,
@@ -28,7 +30,7 @@ use ofdm_standards::{default_params, StandardId};
 use rfsim::prelude::*;
 use serde::json::Value;
 
-const EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+const EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut emit_bench: Option<String> = None;
@@ -51,11 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .parse()
                     .map_err(|e| format!("--bench-symbols: {e}"))?;
             }
+            // The fault smoke sweep is experiment E9 under a flag name.
+            "--faults" => names.push("e9".into()),
             name if EXPERIMENTS.contains(&name) => names.push(arg),
             bad => {
                 eprintln!(
                     "error: unknown argument `{bad}`; experiments: {}; flags: \
-                     --emit-bench FILE, --check-bench FILE, --bench-symbols N",
+                     --emit-bench FILE, --check-bench FILE, --bench-symbols N, --faults",
                     EXPERIMENTS.join(", ")
                 );
                 std::process::exit(2);
@@ -97,6 +101,109 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if want("e8") {
         e8_dab_mobile()?;
     }
+    if want("e9") {
+        e9_fault_sweep()?;
+    }
+    Ok(())
+}
+
+/// The 64-scenario fault-injection sweep behind E9 and the bench JSON: a
+/// deterministic mix of clean, panicking, NaN-emitting and sample-dropping
+/// scenarios, with the [`FaultPlan`] rotating over three wrapped block
+/// types (soft-clip PA, Rapp PA, AWGN channel). Panicking scenarios
+/// recover on their retry (reseeded with a zero panic rate); NaN scenarios
+/// trip the graph's non-finite guard on every attempt and end `Faulted`.
+fn run_fault_sweep() -> (Vec<ScenarioOutcome<f64>>, SweepReport) {
+    // The injected panics are caught and accounted by the runner; the
+    // default hook would still print 16 backtraces into the report. Mute
+    // it for the sweep (the worker threads are the only panickers here).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = run_scenarios_resilient(
+        Scenarios::new(64),
+        RetryPolicy::retries(1),
+        |i, attempt| -> Result<f64, SimError> {
+            let seed = scenario_seed(0xFA17, i) ^ u64::from(attempt);
+            let plan = match i % 4 {
+                0 => FaultPlan::new(),
+                1 => FaultPlan::new().with_panic_rate(if attempt == 0 { 1.0 } else { 0.0 }),
+                2 => FaultPlan::new().with_nan_rate(1.0),
+                _ => FaultPlan::new().with_drop_rate(0.25),
+            };
+            let mut g = Graph::new();
+            g.guard_non_finite(true);
+            let src = g.add(ToneSource::new(1.0e6, 20.0e6, 2048));
+            let impaired = match (i / 4) % 3 {
+                0 => g.add(plan.wrap(seed, SoftClipPa::new(1.0))),
+                1 => g.add(plan.wrap(seed, RappPa::new(1.0, 3.0))),
+                _ => g.add(plan.wrap(seed, AwgnChannel::from_snr_db(30.0, seed))),
+            };
+            let meter = g.add(PowerMeter::new());
+            g.chain(&[src, impaired, meter])?;
+            g.run()?;
+            Ok(g.block::<PowerMeter>(meter)
+                .expect("present")
+                .power()
+                .expect("ran"))
+        },
+    );
+    std::panic::set_hook(prev_hook);
+    result
+}
+
+/// E9 — fault-injection sweep (graceful degradation): survival rate of a
+/// 64-scenario sweep under injected panics/NaNs/erasures, and degraded-mode
+/// EVM vs sample-drop rate.
+fn e9_fault_sweep() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## E9 — Fault-injection sweep: survival & degraded-mode EVM\n");
+    let (outcomes, report) = run_fault_sweep();
+    let faults = report.faults.expect("resilient sweep reports faults");
+    println!("| outcome | scenarios |");
+    println!("|---|---|");
+    println!("| succeeded first try | {} |", faults.succeeded);
+    println!("| retried then succeeded | {} |", faults.retried);
+    println!("| faulted (all attempts) | {} |", faults.faulted);
+    println!(
+        "\ncaught: {} panics, {} typed errors; survival rate {:.1}%",
+        faults.panics_caught,
+        faults.errors_caught,
+        faults.survival_rate() * 100.0,
+    );
+    // The injected-fault pattern (i % 4 over 64 scenarios, one retry) fixes
+    // the outcome counts exactly; anything else is a regression in the
+    // fault layer or the runner.
+    assert_eq!(outcomes.len(), 64, "sweep must complete every scenario");
+    assert_eq!(faults.succeeded, 32, "clean + dropper scenarios");
+    assert_eq!(faults.retried, 16, "panic scenarios recover on retry");
+    assert_eq!(faults.faulted, 16, "NaN scenarios fault on both attempts");
+    assert_eq!(faults.panics_caught, 16);
+    assert_eq!(faults.errors_caught, 32);
+
+    println!("\nEVM vs sample-drop rate (802.11a QPSK through a SampleDropper):\n");
+    println!("| drop rate | EVM (dB) |");
+    println!("|---|---|");
+    let p = ieee80211a::params(WlanRate::Mbps12);
+    let frame = transmit_frame(&p, 4800, 9);
+    let rates = [0.001f64, 0.005, 0.02, 0.08];
+    let evms = run_scenarios(Scenarios::new(rates.len()), |i| -> Result<f64, String> {
+        let mut g = Graph::new();
+        let src = g.add(SamplePlayback::new(frame.signal().clone()));
+        let dropper = g.add(SampleDropper::new(rates[i], 7));
+        g.chain(&[src, dropper]).map_err(|e| e.to_string())?;
+        g.run().map_err(|e| e.to_string())?;
+        let out = g.output(dropper).expect("ran");
+        // Average over the whole frame: at the lowest drop rate only a
+        // handful of samples are erased, and a short measurement window
+        // could miss them all.
+        Ok(evm_after_gain_correction(&p, &frame, out, 50))
+    })?;
+    for (&rate, &evm) in rates.iter().zip(&evms) {
+        println!("| {rate} | {evm:.1} |");
+    }
+    assert!(
+        evms.windows(2).all(|w| w[1] > w[0]),
+        "EVM must degrade as the drop rate rises: {evms:?}"
+    );
     Ok(())
 }
 
@@ -508,6 +615,13 @@ fn e7_ber_waterfall() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// A finite, positive ratio for the bench JSON: both terms are floored
+/// away from zero so a zero-duration timing (coarse clock, trivial run)
+/// can never emit NaN or infinity into the trajectory file.
+fn finite_ratio(num: f64, den: f64) -> f64 {
+    (num.max(1e-12) / den.max(1e-12)).clamp(1e-9, 1e9)
+}
+
 /// The streaming telemetry chain used for `--emit-bench`: OFDM source →
 /// PA → power meter, the same shape E3 times.
 fn bench_chain(params: &ofdm_core::params::OfdmParams, bits: usize) -> Graph {
@@ -606,25 +720,33 @@ fn emit_bench_json(path: &str, n_symbols: usize) -> Result<(), Box<dyn std::erro
         3,
     );
 
+    // Fault-injection sweep outcome counts (the graceful-degradation gate
+    // rides along in the trajectory file).
+    let (_, fault_sweep) = run_fault_sweep();
+    let faults = fault_sweep.faults.expect("resilient sweep reports faults");
+
     let doc = Value::Object(vec![
         ("schema".into(), "bench-ofdm/v1".into()),
         ("symbols".into(), n_symbols.into()),
         (
             "behavioral_vs_rtl_ratio".into(),
-            (t_rtl / t_beh.max(1e-12)).into(),
+            finite_ratio(t_rtl, t_beh).into(),
         ),
         (
             "instrumented_overhead_ratio".into(),
-            (t_inst / t_plain.max(1e-12)).into(),
+            finite_ratio(t_inst, t_plain).into(),
         ),
         ("standards".into(), Value::Object(standards)),
+        ("fault_sweep".into(), faults.to_json_value()),
     ]);
     std::fs::write(path, format!("{doc}\n"))?;
     println!(
-        "wrote {path}: {} standards, RTL/behavioral {:.1}x, instrumentation overhead {:.3}x",
+        "wrote {path}: {} standards, RTL/behavioral {:.1}x, instrumentation overhead {:.3}x, \
+         fault survival {:.0}%",
         StandardId::ALL.len(),
-        t_rtl / t_beh.max(1e-12),
-        t_inst / t_plain.max(1e-12),
+        finite_ratio(t_rtl, t_beh),
+        finite_ratio(t_inst, t_plain),
+        faults.survival_rate() * 100.0,
     );
     Ok(())
 }
@@ -660,15 +782,26 @@ fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let standards = doc
         .get("standards")
         .ok_or_else(|| fail("missing `standards`".into()))?;
+    // The shim serializes non-finite f64 as `null` (caught above as a
+    // missing numeric), but a hand-edited or foreign file can still carry
+    // garbage — reject any non-finite number explicitly.
+    let finite = |v: Option<f64>, what: String| -> Result<f64, Box<dyn std::error::Error>> {
+        let v = v.ok_or_else(|| fail(format!("missing numeric {what}")))?;
+        if !v.is_finite() {
+            return Err(fail(format!("{what} is not finite: {v}")));
+        }
+        Ok(v)
+    };
     for id in StandardId::ALL {
         let key = id.key();
         let s = standards
             .get(key)
             .ok_or_else(|| fail(format!("missing standard `{key}`")))?;
         for field in ["total_ns", "samples", "throughput_msps"] {
-            s.get(field)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| fail(format!("`{key}` missing numeric `{field}`")))?;
+            finite(
+                s.get(field).and_then(Value::as_f64),
+                format!("`{key}`.`{field}`"),
+            )?;
         }
         let per_block = s
             .get("per_block_ns")
@@ -677,14 +810,42 @@ fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         if per_block.is_empty() {
             return Err(fail(format!("`{key}`: `per_block_ns` is empty")));
         }
+        for (block, ns) in per_block {
+            finite(ns.as_f64(), format!("`{key}` block `{block}` ns"))?;
+        }
         let stages = s
             .get("stages_ns")
             .ok_or_else(|| fail(format!("`{key}` missing `stages_ns`")))?;
         for stage in ["pilot", "map", "ifft", "cp"] {
-            stages
-                .get(stage)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| fail(format!("`{key}` missing stage `{stage}`")))?;
+            finite(
+                stages.get(stage).and_then(Value::as_f64),
+                format!("`{key}` stage `{stage}`"),
+            )?;
+        }
+    }
+    // The fault sweep is optional (older files predate it) but must be
+    // sound when present.
+    if let Some(fs) = doc.get("fault_sweep") {
+        for field in [
+            "succeeded",
+            "retried",
+            "faulted",
+            "panics_caught",
+            "errors_caught",
+        ] {
+            finite(
+                fs.get(field).and_then(Value::as_f64),
+                format!("`fault_sweep`.`{field}`"),
+            )?;
+        }
+        let rate = finite(
+            fs.get("survival_rate").and_then(Value::as_f64),
+            "`fault_sweep`.`survival_rate`".into(),
+        )?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(fail(format!(
+                "`fault_sweep`.`survival_rate` must be in [0, 1], got {rate}"
+            )));
         }
     }
     println!("{path}: ok ({} standards)", StandardId::ALL.len());

@@ -40,18 +40,26 @@ pub enum Modulation {
 }
 
 impl Modulation {
+    /// Builds the modulation carrying `bits` bits per symbol, or `None`
+    /// for unusable bit loadings (0 or > 15) — the fallible entry for
+    /// untrusted loading tables.
+    pub fn try_from_bits(bits: u8) -> Option<Self> {
+        match bits {
+            1 => Some(Modulation::Bpsk),
+            2 => Some(Modulation::Qpsk),
+            3..=15 => Some(Modulation::Qam(bits)),
+            _ => None,
+        }
+    }
+
     /// Builds the modulation carrying `bits` bits per symbol.
     ///
     /// # Panics
     ///
-    /// Panics if `bits` is 0 or greater than 15.
+    /// Panics if `bits` is 0 or greater than 15; use
+    /// [`Modulation::try_from_bits`] for untrusted input.
     pub fn from_bits(bits: u8) -> Self {
-        match bits {
-            1 => Modulation::Bpsk,
-            2 => Modulation::Qpsk,
-            3..=15 => Modulation::Qam(bits),
-            _ => panic!("bit loading must be in 1..=15, got {bits}"),
-        }
+        Modulation::try_from_bits(bits).expect("bit loading must be in 1..=15")
     }
 
     /// Bits carried per constellation symbol.
@@ -194,6 +202,16 @@ mod tests {
         for b in 1..=15u8 {
             assert_eq!(Modulation::from_bits(b).bits_per_symbol(), b as usize);
         }
+    }
+
+    #[test]
+    fn try_from_bits_rejects_without_panicking() {
+        assert_eq!(Modulation::try_from_bits(0), None);
+        assert_eq!(Modulation::try_from_bits(16), None);
+        assert_eq!(Modulation::try_from_bits(255), None);
+        assert_eq!(Modulation::try_from_bits(1), Some(Modulation::Bpsk));
+        assert_eq!(Modulation::try_from_bits(2), Some(Modulation::Qpsk));
+        assert_eq!(Modulation::try_from_bits(15), Some(Modulation::Qam(15)));
     }
 
     #[test]

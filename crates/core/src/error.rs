@@ -101,12 +101,27 @@ impl Error for ConfigError {}
 pub enum TxError {
     /// The payload cannot be empty.
     EmptyPayload,
+    /// A payload byte is not a bare bit (`0` or `1`).
+    ///
+    /// The bit pipeline (scrambler, coder, interleaver, mapper) assumes
+    /// unpacked bits; any other value would be silently masked into a
+    /// wrong constellation point, so it is rejected up front.
+    InvalidBit {
+        /// Index of the offending byte within the payload.
+        index: usize,
+        /// The value found there.
+        value: u8,
+    },
 }
 
 impl fmt::Display for TxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TxError::EmptyPayload => write!(f, "payload must contain at least one bit"),
+            TxError::InvalidBit { index, value } => write!(
+                f,
+                "payload byte {index} is {value}; payload must be unpacked bits (0 or 1)"
+            ),
         }
     }
 }
@@ -147,6 +162,9 @@ mod tests {
         }
         assert!(!TxError::EmptyPayload.to_string().is_empty());
         let _: &dyn Error = &TxError::EmptyPayload;
+        let bad = TxError::InvalidBit { index: 3, value: 7 };
+        assert!(bad.to_string().contains('3'));
+        assert!(bad.to_string().contains('7'));
     }
 
     #[test]

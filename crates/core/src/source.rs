@@ -143,9 +143,9 @@ impl Block for OfdmSource {
         // samples as `transmit`, without its per-call allocations.
         self.model
             .begin_stream(&self.bits, &mut self.stream)
-            .map_err(|e| SimError::BlockFailure {
+            .map_err(|e| SimError::BlockFault {
                 block: self.name.clone(),
-                message: e.to_string(),
+                fault: e.to_string(),
             })?;
         let mut samples = Vec::new();
         self.model
@@ -166,9 +166,9 @@ impl Block for OfdmSource {
             self.fill_bits();
             self.model
                 .begin_stream(&self.bits, &mut self.stream)
-                .map_err(|e| SimError::BlockFailure {
+                .map_err(|e| SimError::BlockFault {
                     block: self.name.clone(),
-                    message: e.to_string(),
+                    fault: e.to_string(),
                 })?;
             self.needs_frame = false;
         }

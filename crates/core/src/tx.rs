@@ -387,7 +387,8 @@ impl MotherModel {
     ///
     /// # Errors
     ///
-    /// [`TxError::EmptyPayload`] if `payload` is empty.
+    /// [`TxError::EmptyPayload`] if `payload` is empty;
+    /// [`TxError::InvalidBit`] if any payload byte is not 0 or 1.
     pub fn transmit(&mut self, payload: &[u8]) -> Result<Frame, TxError> {
         let mut state = StreamState::new();
         state.set_cell_logging(true);
@@ -411,10 +412,19 @@ impl MotherModel {
     ///
     /// # Errors
     ///
-    /// [`TxError::EmptyPayload`] if `payload` is empty.
+    /// [`TxError::EmptyPayload`] if `payload` is empty;
+    /// [`TxError::InvalidBit`] if any payload byte is not 0 or 1 — the bit
+    /// pipeline assumes unpacked bits, and anything else would be silently
+    /// masked into a wrong constellation point.
     pub fn begin_stream(&mut self, payload: &[u8], state: &mut StreamState) -> Result<(), TxError> {
         if payload.is_empty() {
             return Err(TxError::EmptyPayload);
+        }
+        if let Some(index) = payload.iter().position(|&b| b > 1) {
+            return Err(TxError::InvalidBit {
+                index,
+                value: payload[index],
+            });
         }
         state.coded = self.encode_payload(payload);
         state.cursor = 0;
@@ -477,7 +487,8 @@ impl MotherModel {
     ///
     /// # Errors
     ///
-    /// [`TxError::EmptyPayload`] if `payload` is empty.
+    /// [`TxError::EmptyPayload`] if `payload` is empty;
+    /// [`TxError::InvalidBit`] if any payload byte is not 0 or 1.
     pub fn stream(&mut self, payload: &[u8]) -> Result<FrameStream<'_>, TxError> {
         let mut state = StreamState::new();
         self.begin_stream(payload, &mut state)?;
@@ -690,6 +701,30 @@ mod tests {
     fn empty_payload_rejected() {
         let mut tx = MotherModel::new(minimal_test_params()).unwrap();
         assert_eq!(tx.transmit(&[]).unwrap_err(), TxError::EmptyPayload);
+    }
+
+    #[test]
+    fn non_bit_payload_rejected_with_location() {
+        let mut tx = MotherModel::new(minimal_test_params()).unwrap();
+        let mut payload = bits(24);
+        payload[5] = 0xFF;
+        assert_eq!(
+            tx.transmit(&payload).unwrap_err(),
+            TxError::InvalidBit {
+                index: 5,
+                value: 0xFF
+            }
+        );
+        // The model is still usable after the rejection.
+        payload[5] = 1;
+        assert!(tx.transmit(&payload).is_ok());
+        // Streaming entry rejects identically.
+        payload[0] = 2;
+        let mut state = StreamState::new();
+        assert_eq!(
+            tx.begin_stream(&payload, &mut state).unwrap_err(),
+            TxError::InvalidBit { index: 0, value: 2 }
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use crate::complex::Complex64;
 use std::collections::HashMap;
 use std::f64::consts::PI;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// An FFT plan for a fixed transform length.
 ///
@@ -357,19 +357,30 @@ impl PlanCache {
         PlanCache::default()
     }
 
+    /// Locks the plan map, recovering from poisoning.
+    ///
+    /// A thread panicking mid-access must not take the process-wide FFT
+    /// cache down with it: the map only ever holds complete `Arc<Fft>`
+    /// entries (insertion is a single `entry().or_insert_with()`), so a
+    /// poisoned guard's data is still valid and the lock is safe to
+    /// recover.
+    fn lock_plans(&self) -> MutexGuard<'_, HashMap<usize, Arc<Fft>>> {
+        self.plans.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The plan for length `n`, building it on first request.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn plan(&self, n: usize) -> Arc<Fft> {
-        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        let mut plans = self.lock_plans();
         Arc::clone(plans.entry(n).or_insert_with(|| Arc::new(Fft::new(n))))
     }
 
     /// Number of distinct lengths currently cached.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        self.lock_plans().len()
     }
 
     /// Returns `true` if no plans are cached.
@@ -379,7 +390,7 @@ impl PlanCache {
 
     /// Drops all cached plans (outstanding `Arc`s keep their plans alive).
     pub fn clear(&self) {
-        self.plans.lock().expect("plan cache poisoned").clear();
+        self.lock_plans().clear();
     }
 }
 
@@ -593,6 +604,30 @@ mod tests {
         assert!(cache.is_empty());
         // Plans held by callers survive a cache clear.
         assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn cache_survives_a_poisoned_lock() {
+        let cache = PlanCache::new();
+        let first = cache.plan(16);
+        // Poison the mutex: panic on another thread while holding the
+        // guard. The cache must keep serving plans afterwards instead of
+        // cascading the panic into every later FFT in the process.
+        std::thread::scope(|scope| {
+            let poisoner = scope.spawn(|| {
+                let _held = cache.plans.lock().unwrap();
+                panic!("poison the plan cache");
+            });
+            assert!(poisoner.join().is_err());
+        });
+        assert!(cache.plans.is_poisoned());
+        let again = cache.plan(16);
+        assert!(Arc::ptr_eq(&first, &again));
+        let other = cache.plan(48);
+        assert_eq!(other.len(), 48);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

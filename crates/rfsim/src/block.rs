@@ -50,6 +50,25 @@ pub enum SimError {
     },
     /// A block id did not belong to this graph.
     UnknownBlock,
+    /// A streaming pass was requested with a zero chunk length.
+    InvalidChunkLen,
+    /// A block emitted a non-finite (NaN or infinite) sample. Raised by
+    /// the schedulers when [`crate::Graph::guard_non_finite`] is enabled,
+    /// or by blocks that validate their own output.
+    NonFiniteSample {
+        /// Name of the block whose output contained the sample.
+        block: String,
+        /// Index of the first offending sample within the output.
+        index: usize,
+    },
+    /// A fault was injected into — or detected at — a block by the
+    /// [`crate::fault`] layer.
+    BlockFault {
+        /// Name of the faulting block.
+        block: String,
+        /// What fault fired.
+        fault: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -82,6 +101,18 @@ impl fmt::Display for SimError {
                 write!(f, "block `{block}` failed: {message}")
             }
             SimError::UnknownBlock => write!(f, "block id does not belong to this graph"),
+            SimError::InvalidChunkLen => {
+                write!(f, "streaming chunk length must be nonzero")
+            }
+            SimError::NonFiniteSample { block, index } => {
+                write!(
+                    f,
+                    "block `{block}` emitted a non-finite sample at index {index}"
+                )
+            }
+            SimError::BlockFault { block, fault } => {
+                write!(f, "block `{block}` faulted: {fault}")
+            }
         }
     }
 }
@@ -217,6 +248,15 @@ mod tests {
                 message: "no data".into(),
             },
             SimError::UnknownBlock,
+            SimError::InvalidChunkLen,
+            SimError::NonFiniteSample {
+                block: "pa".into(),
+                index: 12,
+            },
+            SimError::BlockFault {
+                block: "pa".into(),
+                fault: "injected panic".into(),
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -62,6 +62,9 @@ pub struct Graph {
     /// so callers can render/serialize after the run; cleared by
     /// [`Graph::reset`].
     last_report: Option<RunReport>,
+    /// When set, every block output is scanned for NaN/inf samples and the
+    /// pass fails with [`SimError::NonFiniteSample`] at the first hit.
+    guard_non_finite: bool,
 }
 
 impl Graph {
@@ -203,7 +206,35 @@ impl Graph {
                 }
                 None => self.nodes[id.0].block.process(&inputs)?,
             };
+            self.check_finite(id.0, &out)?;
             self.nodes[id.0].output = Some(out);
+        }
+        Ok(())
+    }
+
+    /// Enables (or disables) the non-finite sample guard: with the guard
+    /// on, both schedulers scan every block output and fail the pass with
+    /// [`SimError::NonFiniteSample`] instead of letting NaN/inf propagate
+    /// silently into downstream measurements.
+    ///
+    /// Off by default — the scan is O(samples) per block and honest
+    /// signals never need it; fault-injection sweeps
+    /// ([`crate::fault`]) turn it on to convert corruption into typed
+    /// errors. The setting is configuration and survives [`Graph::reset`].
+    pub fn guard_non_finite(&mut self, enabled: bool) {
+        self.guard_non_finite = enabled;
+    }
+
+    /// Fails with [`SimError::NonFiniteSample`] if the guard is enabled
+    /// and `out` holds a NaN/inf sample.
+    fn check_finite(&self, node: usize, out: &Signal) -> Result<(), SimError> {
+        if self.guard_non_finite {
+            if let Some(index) = out.first_non_finite() {
+                return Err(SimError::NonFiniteSample {
+                    block: self.nodes[node].block.name().to_owned(),
+                    index,
+                });
+            }
         }
         Ok(())
     }
@@ -250,14 +281,11 @@ impl Graph {
     /// contribute empty chunks while the rest finish; blocks must tolerate
     /// shorter/empty inputs in that case.
     ///
-    /// # Panics
-    ///
-    /// Panics if `chunk_len` is zero.
-    ///
     /// # Errors
     ///
-    /// Same conditions as [`Graph::run`], plus any [`Block::stream_chunk`]
-    /// or [`Block::end_stream`] failure.
+    /// * [`SimError::InvalidChunkLen`] if `chunk_len` is zero.
+    /// * Same conditions as [`Graph::run`], plus any
+    ///   [`Block::stream_chunk`] or [`Block::end_stream`] failure.
     pub fn run_streaming(&mut self, chunk_len: usize) -> Result<(), SimError> {
         self.run_streaming_inner(chunk_len, None)
     }
@@ -269,10 +297,6 @@ impl Graph {
     /// The report is also retained for [`Graph::last_report`]. Every
     /// instrumented pass starts from a fresh recorder, so consecutive
     /// calls never accumulate into each other.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `chunk_len` is zero.
     ///
     /// # Errors
     ///
@@ -299,7 +323,9 @@ impl Graph {
         chunk_len: usize,
         mut telemetry: Option<&mut Recorder>,
     ) -> Result<(), SimError> {
-        assert!(chunk_len > 0, "chunk length must be nonzero");
+        if chunk_len == 0 {
+            return Err(SimError::InvalidChunkLen);
+        }
         for node in &self.nodes {
             for (port, src) in node.inputs.iter().enumerate() {
                 if src.is_none() {
@@ -335,6 +361,14 @@ impl Graph {
                         }
                         None => node.block.process(&[])?,
                     };
+                    if self.guard_non_finite {
+                        if let Some(index) = signal.first_non_finite() {
+                            return Err(SimError::NonFiniteSample {
+                                block: node.block.name().to_owned(),
+                                index,
+                            });
+                        }
+                    }
                     Some(Feed::Cached { signal, pos: 0 })
                 }
             } else {
@@ -364,6 +398,7 @@ impl Graph {
                             }
                             None => self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?,
                         };
+                        self.check_finite(i, &bufs[i])?;
                         produced |= got > 0;
                     }
                     Feed::Cached { signal, pos } => {
@@ -408,6 +443,7 @@ impl Graph {
                         None => node.block.process_chunk(&inputs, &mut out)?,
                     }
                 }
+                self.check_finite(i, &out)?;
                 accumulate_probe(&mut self.nodes[i], &out);
                 if let Some(t) = telemetry.as_deref_mut() {
                     t.note_buffer(i, out.len());
@@ -765,11 +801,99 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chunk length")]
-    fn zero_chunk_len_panics() {
+    fn zero_chunk_len_is_a_typed_error() {
+        // Regression: this used to be an `assert!` that unwound through
+        // the scheduler and aborted whole scenario sweeps.
         let mut g = Graph::new();
         let _ = g.add(Const(1.0));
-        let _ = g.run_streaming(0);
+        assert_eq!(g.run_streaming(0).unwrap_err(), SimError::InvalidChunkLen);
+        assert_eq!(
+            g.run_streaming_instrumented(0).unwrap_err(),
+            SimError::InvalidChunkLen
+        );
+        // The graph is still usable afterwards.
+        g.run_streaming(4).unwrap();
+    }
+
+    /// A block that corrupts one sample with NaN.
+    struct Corruptor;
+    impl Block for Corruptor {
+        fn name(&self) -> &str {
+            "corruptor"
+        }
+        fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+            let mut s = inputs[0].clone();
+            if let Some(z) = s.samples_mut().get_mut(3) {
+                *z = Complex64::new(f64::NAN, 0.0);
+            }
+            Ok(s)
+        }
+    }
+
+    #[test]
+    fn non_finite_guard_fails_batch_and_streaming() {
+        let build = || {
+            let mut g = Graph::new();
+            let c = g.add(Const(1.0));
+            let bad = g.add(Corruptor);
+            g.chain(&[c, bad]).unwrap();
+            g
+        };
+        // Guard off: NaN propagates silently (the historical behavior).
+        let mut silent = build();
+        silent.run().unwrap();
+        // Guard on: typed error naming block and sample, on both paths.
+        let mut g = build();
+        g.guard_non_finite(true);
+        let err = g.run().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NonFiniteSample {
+                block: "corruptor".into(),
+                index: 3
+            }
+        );
+        let mut s = build();
+        s.guard_non_finite(true);
+        assert!(matches!(
+            s.run_streaming(4).unwrap_err(),
+            SimError::NonFiniteSample { index: 3, .. }
+        ));
+        // Guard survives reset (it is configuration, not state).
+        s.reset();
+        assert!(matches!(
+            s.run().unwrap_err(),
+            SimError::NonFiniteSample { .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_guard_checks_cached_streaming_sources() {
+        /// A batch-only source that emits a NaN.
+        struct BadSource;
+        impl Block for BadSource {
+            fn name(&self) -> &str {
+                "bad-source"
+            }
+            fn input_count(&self) -> usize {
+                0
+            }
+            fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+                Ok(Signal::new(
+                    vec![Complex64::new(f64::INFINITY, 0.0); 2],
+                    1.0,
+                ))
+            }
+        }
+        let mut g = Graph::new();
+        let src = g.add(BadSource);
+        let gain = g.add(Gain(1.0));
+        g.chain(&[src, gain]).unwrap();
+        g.guard_non_finite(true);
+        assert!(matches!(
+            g.run_streaming(8).unwrap_err(),
+            SimError::NonFiniteSample { index: 0, .. }
+        ));
     }
 
     #[test]

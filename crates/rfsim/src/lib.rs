@@ -35,6 +35,7 @@
 pub mod analog;
 pub mod block;
 pub mod channel;
+pub mod fault;
 pub mod filter;
 pub mod graph;
 pub mod instruments;
@@ -46,10 +47,15 @@ pub mod source;
 pub mod telemetry;
 
 pub use block::{Block, SimError};
+pub use fault::{
+    ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
+};
 pub use graph::{BlockId, Graph};
-pub use scenario::{run_scenarios, scenario_seed, Scenarios};
+pub use scenario::{
+    run_scenarios, run_scenarios_resilient, scenario_seed, RetryPolicy, ScenarioOutcome, Scenarios,
+};
 pub use signal::Signal;
-pub use telemetry::{BlockStats, RunMode, RunReport, SweepReport};
+pub use telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
 
 /// Convenient glob-import surface for simulator users.
 pub mod prelude {
@@ -57,6 +63,9 @@ pub mod prelude {
     pub use crate::block::{Block, SimError};
     pub use crate::channel::{
         AwgnChannel, DslLineChannel, ImpulsiveNoiseChannel, MultipathChannel, RayleighChannel,
+    };
+    pub use crate::fault::{
+        ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
     };
     pub use crate::filter::{ButterworthLowpass, FirBlock};
     pub use crate::graph::{BlockId, Graph};
@@ -66,9 +75,10 @@ pub mod prelude {
     pub use crate::pa::{RappPa, SalehPa, SoftClipPa};
     pub use crate::rate::{Downsampler, GainBlock, Upsampler};
     pub use crate::scenario::{
-        run_scenarios, run_scenarios_instrumented, scenario_seed, Scenarios,
+        run_scenarios, run_scenarios_instrumented, run_scenarios_resilient, scenario_seed,
+        RetryPolicy, ScenarioOutcome, Scenarios,
     };
     pub use crate::signal::Signal;
     pub use crate::source::{SamplePlayback, ToneSource};
-    pub use crate::telemetry::{BlockStats, RunMode, RunReport, SweepReport};
+    pub use crate::telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
 }

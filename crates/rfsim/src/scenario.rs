@@ -41,9 +41,11 @@
 //! assert!(powers[0] < powers[2]);
 //! ```
 
-use crate::telemetry::SweepReport;
+use crate::telemetry::{FaultReport, SweepReport};
+use std::fmt::Display;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Configuration for [`run_scenarios`]: how many scenarios to run and how
@@ -147,13 +149,19 @@ where
                 }
                 match scenario(i) {
                     Ok(r) => {
-                        results.lock().expect("results lock").as_mut_slice()[i] = Some(r);
+                        // A sibling worker panicking while holding the lock
+                        // must not poison the whole sweep — recover the
+                        // guard; the slot data stays index-disjoint.
+                        results
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .as_mut_slice()[i] = Some(r);
                     }
                     Err(e) => {
                         aborted.store(1, Ordering::Relaxed);
                         // Keep the error from the lowest-indexed failing
                         // scenario so parallel runs fail deterministically.
-                        let mut guard = error.lock().expect("error lock");
+                        let mut guard = error.lock().unwrap_or_else(PoisonError::into_inner);
                         if guard.as_ref().is_none_or(|(j, _)| i < *j) {
                             *guard = Some((i, e));
                         }
@@ -163,10 +171,10 @@ where
         }
     });
 
-    if let Some((_, e)) = error.into_inner().expect("error lock") {
+    if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(e);
     }
-    let slots = results.into_inner().expect("results lock");
+    let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     Ok(slots
         .into_iter()
         .map(|r| r.expect("every scenario ran"))
@@ -214,8 +222,209 @@ where
             total_nanos,
             workers,
             scenario_nanos,
+            faults: None,
         },
     ))
+}
+
+/// How many times [`run_scenarios_resilient`] re-attempts a scenario whose
+/// attempt panicked or returned an error.
+///
+/// Every retry passes a fresh attempt number to the scenario closure, so
+/// deterministic scenarios can reseed (`scenario_seed(base ^ attempt, i)`)
+/// and flaky ones get a genuinely different run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Fail a scenario on its first panic/error (one attempt, no retries).
+    pub fn none() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// Allow up to `max_retries` re-attempts after the first failure.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries }
+    }
+
+    /// Total attempts a scenario may consume (`1 + max_retries`).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+}
+
+/// What one scenario of a fault-tolerant sweep produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioOutcome<R> {
+    /// The first attempt returned a result.
+    Succeeded(R),
+    /// A retry returned a result after earlier attempts failed.
+    Retried {
+        /// The successful attempt's result.
+        result: R,
+        /// Attempts consumed, including the successful one (≥ 2).
+        attempts: u32,
+    },
+    /// Every allowed attempt panicked or errored; the sweep carried on
+    /// without this scenario.
+    Faulted {
+        /// Attempts consumed.
+        attempts: u32,
+        /// The last attempt's panic message or error rendering.
+        error: String,
+    },
+}
+
+impl<R> ScenarioOutcome<R> {
+    /// The scenario's result, if any attempt produced one.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            ScenarioOutcome::Succeeded(r) | ScenarioOutcome::Retried { result: r, .. } => Some(r),
+            ScenarioOutcome::Faulted { .. } => None,
+        }
+    }
+
+    /// Returns `true` if no attempt produced a result.
+    pub fn is_faulted(&self) -> bool {
+        matches!(self, ScenarioOutcome::Faulted { .. })
+    }
+
+    /// Attempts consumed by this scenario.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            ScenarioOutcome::Succeeded(_) => 1,
+            ScenarioOutcome::Retried { attempts, .. }
+            | ScenarioOutcome::Faulted { attempts, .. } => *attempts,
+        }
+    }
+}
+
+/// Renders a caught panic payload (`&str` or `String` payloads; anything
+/// else gets a generic tag).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Per-attempt bookkeeping shared by the resilient sweep's workers.
+#[derive(Default)]
+struct FaultCounters {
+    panics: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+/// Runs `scenario(0..count)` like [`run_scenarios`], but never lets one
+/// scenario kill the sweep: panics are caught per attempt, errors and
+/// panics are retried under `policy` (the closure receives the attempt
+/// number so it can reseed), and scenarios that exhaust their attempts are
+/// recorded as [`ScenarioOutcome::Faulted`] while the rest of the sweep
+/// completes.
+///
+/// The return is infallible by design — graceful degradation means partial
+/// results plus an honest account, not an `Err`. The account is the
+/// [`SweepReport`] with [`SweepReport::faults`] populated
+/// (succeeded/retried/faulted counts, panics and errors caught); outcomes
+/// are in scenario order.
+///
+/// The closure must be `RefUnwindSafe`-in-spirit: each attempt should
+/// build its own graph from scratch (the [`run_scenarios`] contract
+/// already requires this), so a caught panic cannot leave shared state
+/// half-updated.
+pub fn run_scenarios_resilient<R, E, F>(
+    config: Scenarios,
+    policy: RetryPolicy,
+    scenario: F,
+) -> (Vec<ScenarioOutcome<R>>, SweepReport)
+where
+    R: Send,
+    E: Send + Display,
+    F: Fn(usize, u32) -> Result<R, E> + Sync,
+{
+    let workers = config.effective_threads();
+    let counters = FaultCounters::default();
+    let sweep_started = Instant::now();
+
+    let attempt_scenario = |i: usize| -> (ScenarioOutcome<R>, u64) {
+        let started = Instant::now();
+        let mut last_error = String::new();
+        let mut attempts = 0;
+        while attempts < policy.max_attempts() {
+            attempts += 1;
+            // AssertUnwindSafe: the closure builds per-scenario state from
+            // scratch each attempt, so an unwound attempt leaves nothing
+            // torn for the next one to observe.
+            match catch_unwind(AssertUnwindSafe(|| scenario(i, attempts - 1))) {
+                Ok(Ok(result)) => {
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    let outcome = if attempts == 1 {
+                        ScenarioOutcome::Succeeded(result)
+                    } else {
+                        ScenarioOutcome::Retried { result, attempts }
+                    };
+                    return (outcome, nanos);
+                }
+                Ok(Err(e)) => {
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    last_error = e.to_string();
+                }
+                Err(payload) => {
+                    counters.panics.fetch_add(1, Ordering::Relaxed);
+                    last_error = format!("panic: {}", panic_message(payload));
+                }
+            }
+        }
+        let nanos = started.elapsed().as_nanos() as u64;
+        (
+            ScenarioOutcome::Faulted {
+                attempts,
+                error: last_error,
+            },
+            nanos,
+        )
+    };
+
+    // The inner runner's error type is uninhabited-in-practice: every
+    // attempt outcome is data. Run it with an infallible signature.
+    let timed = match run_scenarios(config, |i| {
+        Ok::<_, std::convert::Infallible>(attempt_scenario(i))
+    }) {
+        Ok(t) => t,
+        Err(never) => match never {},
+    };
+
+    let total_nanos = sweep_started.elapsed().as_nanos() as u64;
+    let mut outcomes = Vec::with_capacity(timed.len());
+    let mut scenario_nanos = Vec::with_capacity(timed.len());
+    let mut faults = FaultReport {
+        panics_caught: counters.panics.load(Ordering::Relaxed),
+        errors_caught: counters.errors.load(Ordering::Relaxed),
+        ..FaultReport::default()
+    };
+    for (outcome, nanos) in timed {
+        match &outcome {
+            ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
+            ScenarioOutcome::Retried { .. } => faults.retried += 1,
+            ScenarioOutcome::Faulted { .. } => faults.faulted += 1,
+        }
+        outcomes.push(outcome);
+        scenario_nanos.push(nanos);
+    }
+    (
+        outcomes,
+        SweepReport {
+            total_nanos,
+            workers,
+            scenario_nanos,
+            faults: Some(faults),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -344,5 +553,133 @@ mod tests {
             }
         });
         assert_eq!(res.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn resilient_sweep_survives_panics_and_errors() {
+        // Scenario kinds by index: 0 mod 3 clean, 1 mod 3 panics always,
+        // 2 mod 3 errors always. No retries: one attempt each.
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(9).threads(3),
+            RetryPolicy::none(),
+            |i, _attempt| -> Result<usize, SimError> {
+                match i % 3 {
+                    0 => Ok(i),
+                    1 => panic!("scenario {i} exploded"),
+                    _ => Err(SimError::InvalidChunkLen),
+                }
+            },
+        );
+        assert_eq!(outcomes.len(), 9);
+        let faults = report.faults.expect("resilient sweep reports faults");
+        assert_eq!(faults.succeeded, 3);
+        assert_eq!(faults.retried, 0);
+        assert_eq!(faults.faulted, 6);
+        assert_eq!(faults.panics_caught, 3);
+        assert_eq!(faults.errors_caught, 3);
+        assert!((faults.survival_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // Outcomes stay in scenario order with faithful payloads.
+        for (i, o) in outcomes.iter().enumerate() {
+            match i % 3 {
+                0 => assert_eq!(o.result(), Some(&i)),
+                1 => {
+                    assert!(o.is_faulted());
+                    match o {
+                        ScenarioOutcome::Faulted { error, attempts } => {
+                            assert_eq!(*attempts, 1);
+                            assert!(error.contains("panic"), "{error}");
+                            assert!(error.contains("exploded"), "{error}");
+                        }
+                        other => panic!("expected fault, got {other:?}"),
+                    }
+                }
+                _ => match o {
+                    ScenarioOutcome::Faulted { error, .. } => {
+                        assert!(error.contains("chunk length"), "{error}");
+                    }
+                    other => panic!("expected fault, got {other:?}"),
+                },
+            }
+        }
+        assert_eq!(report.scenario_nanos.len(), 9);
+        assert!(
+            report.summary().contains("survival"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn resilient_sweep_retries_with_fresh_attempt_numbers() {
+        // Fails on attempt 0, succeeds on attempt 1 — a retry-with-reseed
+        // scenario. One retry allowed.
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(4).threads(2),
+            RetryPolicy::retries(1),
+            |i, attempt| -> Result<u32, String> {
+                if attempt == 0 {
+                    if i % 2 == 0 {
+                        panic!("first attempt panics");
+                    }
+                    return Err("first attempt errors".into());
+                }
+                Ok(attempt)
+            },
+        );
+        let faults = report.faults.expect("faults present");
+        assert_eq!(faults.succeeded, 0);
+        assert_eq!(faults.retried, 4);
+        assert_eq!(faults.faulted, 0);
+        assert_eq!(faults.panics_caught, 2);
+        assert_eq!(faults.errors_caught, 2);
+        assert_eq!(faults.survival_rate(), 1.0);
+        for o in &outcomes {
+            assert_eq!(o.result(), Some(&1));
+            assert_eq!(o.attempts(), 2);
+            assert!(matches!(o, ScenarioOutcome::Retried { attempts: 2, .. }));
+        }
+    }
+
+    #[test]
+    fn resilient_sweep_exhausts_retries_then_faults() {
+        let calls = AtomicUsize::new(0);
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(1).threads(1),
+            RetryPolicy::retries(2),
+            |_, _| -> Result<(), String> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err("always down".into())
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert!(outcomes[0].is_faulted());
+        assert_eq!(outcomes[0].attempts(), 3);
+        let faults = report.faults.expect("faults present");
+        assert_eq!(faults.faulted, 1);
+        assert_eq!(faults.errors_caught, 3);
+        assert_eq!(RetryPolicy::retries(2).max_attempts(), 3);
+        assert_eq!(RetryPolicy::none().max_attempts(), 1);
+    }
+
+    #[test]
+    fn resilient_sweep_handles_empty_and_clean_sweeps() {
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(0),
+            RetryPolicy::none(),
+            |i, _| -> Result<usize, SimError> { Ok(i) },
+        );
+        assert!(outcomes.is_empty());
+        assert_eq!(report.faults.expect("present").survival_rate(), 1.0);
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(6).threads(2),
+            RetryPolicy::retries(3),
+            |i, _| -> Result<usize, SimError> { Ok(i * 10) },
+        );
+        let faults = report.faults.expect("present");
+        assert_eq!(faults.succeeded, 6);
+        assert_eq!(faults.panics_caught + faults.errors_caught, 0);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(matches!(o, ScenarioOutcome::Succeeded(v) if *v == i * 10));
+        }
     }
 }

@@ -180,6 +180,15 @@ impl Signal {
         &mut self.samples
     }
 
+    /// Index of the first sample whose real or imaginary part is NaN or
+    /// infinite, if any — the scan the scheduler's non-finite guard
+    /// ([`crate::Graph::guard_non_finite`]) runs on block outputs.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        self.samples
+            .iter()
+            .position(|z| !z.re.is_finite() || !z.im.is_finite())
+    }
+
     /// Appends another signal's samples.
     ///
     /// # Panics
@@ -278,6 +287,17 @@ mod tests {
         s.samples_vec_mut().push(Complex64::ONE);
         assert_eq!(s.len(), 13);
         assert_eq!(Signal::default().sample_rate(), 1.0);
+    }
+
+    #[test]
+    fn first_non_finite_scans_both_parts() {
+        let mut s = Signal::new(vec![Complex64::ONE; 4], 1.0);
+        assert_eq!(s.first_non_finite(), None);
+        s.samples_mut()[2] = Complex64::new(0.0, f64::NAN);
+        assert_eq!(s.first_non_finite(), Some(2));
+        s.samples_mut()[1] = Complex64::new(f64::INFINITY, 0.0);
+        assert_eq!(s.first_non_finite(), Some(1));
+        assert_eq!(Signal::empty(1.0).first_non_finite(), None);
     }
 
     #[test]

@@ -277,6 +277,87 @@ impl Recorder {
     }
 }
 
+/// Clamps a ratio to a finite value for JSON emission: NaN becomes 0,
+/// infinities saturate to `±f64::MAX`. The `BENCH_*.json` trajectory is
+/// diffed across commits by tooling that treats non-finite numerics as
+/// corruption, so reports must never emit them.
+pub(crate) fn finite_or_zero(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(f64::MIN, f64::MAX)
+    }
+}
+
+/// Outcome counts of a fault-tolerant scenario sweep
+/// ([`crate::scenario::run_scenarios_resilient`]): how the sweep degraded
+/// instead of whether it survived — it always survives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Scenarios that succeeded on their first attempt.
+    pub succeeded: usize,
+    /// Scenarios that succeeded only after one or more retries.
+    pub retried: usize,
+    /// Scenarios that exhausted all attempts and produced no result.
+    pub faulted: usize,
+    /// Worker panics caught (across all attempts of all scenarios).
+    pub panics_caught: usize,
+    /// Typed scenario errors caught (across all attempts).
+    pub errors_caught: usize,
+}
+
+impl FaultReport {
+    /// Total scenarios the sweep attempted.
+    pub fn scenarios(&self) -> usize {
+        self.succeeded + self.retried + self.faulted
+    }
+
+    /// Scenarios that produced a result (first try or after retry).
+    pub fn completed(&self) -> usize {
+        self.succeeded + self.retried
+    }
+
+    /// Fraction of scenarios that produced a result, in `[0, 1]`.
+    /// An empty sweep counts as fully survived.
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.scenarios();
+        if total == 0 {
+            1.0
+        } else {
+            self.completed() as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable digest.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenarios: {} clean, {} retried, {} faulted ({:.0}% survival; caught {} panics, {} errors)",
+            self.scenarios(),
+            self.succeeded,
+            self.retried,
+            self.faulted,
+            self.survival_rate() * 100.0,
+            self.panics_caught,
+            self.errors_caught,
+        )
+    }
+
+    /// The fault counts as a JSON document.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("succeeded".into(), Value::from(self.succeeded)),
+            ("retried".into(), Value::from(self.retried)),
+            ("faulted".into(), Value::from(self.faulted)),
+            ("panics_caught".into(), Value::from(self.panics_caught)),
+            ("errors_caught".into(), Value::from(self.errors_caught)),
+            (
+                "survival_rate".into(),
+                Value::from(finite_or_zero(self.survival_rate())),
+            ),
+        ])
+    }
+}
+
 /// Aggregates for one instrumented scenario sweep
 /// ([`crate::scenario::run_scenarios_instrumented`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -287,6 +368,9 @@ pub struct SweepReport {
     pub workers: usize,
     /// Per-scenario duration in nanoseconds, in scenario order.
     pub scenario_nanos: Vec<u64>,
+    /// Fault-tolerance outcome counts, present when the sweep ran through
+    /// [`crate::scenario::run_scenarios_resilient`].
+    pub faults: Option<FaultReport>,
 }
 
 impl SweepReport {
@@ -317,7 +401,7 @@ impl SweepReport {
 
     /// One-line human-readable digest.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} scenarios on {} workers: {:.3} ms wall, {:.3} ms busy, {:.2}× speedup, {:.0}% utilization",
             self.scenario_nanos.len(),
             self.workers,
@@ -325,17 +409,28 @@ impl SweepReport {
             self.busy_nanos() as f64 / 1e6,
             self.speedup(),
             self.utilization() * 100.0,
-        )
+        );
+        if let Some(f) = &self.faults {
+            line.push_str(" — ");
+            line.push_str(&f.summary());
+        }
+        line
     }
 
     /// The sweep aggregates as a JSON document.
     pub fn to_json_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("total_ns".into(), Value::from(self.total_nanos)),
             ("workers".into(), Value::from(self.workers)),
             ("busy_ns".into(), Value::from(self.busy_nanos())),
-            ("utilization".into(), Value::from(self.utilization())),
-            ("speedup".into(), Value::from(self.speedup())),
+            (
+                "utilization".into(),
+                Value::from(finite_or_zero(self.utilization())),
+            ),
+            (
+                "speedup".into(),
+                Value::from(finite_or_zero(self.speedup())),
+            ),
             (
                 "scenario_ns".into(),
                 Value::Array(
@@ -345,7 +440,11 @@ impl SweepReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults".into(), f.to_json_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -431,6 +530,7 @@ mod tests {
             total_nanos: 1_000_000,
             workers: 2,
             scenario_nanos: vec![600_000, 800_000],
+            faults: None,
         };
         assert_eq!(s.busy_nanos(), 1_400_000);
         assert!((s.utilization() - 0.7).abs() < 1e-12);
@@ -438,12 +538,70 @@ mod tests {
         assert!(s.summary().contains("2 workers"));
         let doc = serde::json::parse(&s.to_json_value().to_string()).expect("valid");
         assert_eq!(doc.get("workers").and_then(Value::as_f64), Some(2.0));
+        assert!(doc.get("faults").is_none());
         let degenerate = SweepReport {
             total_nanos: 0,
             workers: 0,
             scenario_nanos: vec![],
+            faults: None,
         };
         assert_eq!(degenerate.utilization(), 0.0);
         assert_eq!(degenerate.speedup(), 0.0);
+    }
+
+    #[test]
+    fn fault_report_counts_and_rates() {
+        let f = FaultReport {
+            succeeded: 5,
+            retried: 2,
+            faulted: 1,
+            panics_caught: 3,
+            errors_caught: 2,
+        };
+        assert_eq!(f.scenarios(), 8);
+        assert_eq!(f.completed(), 7);
+        assert!((f.survival_rate() - 7.0 / 8.0).abs() < 1e-12);
+        let s = f.summary();
+        assert!(s.contains("5 clean"), "{s}");
+        assert!(s.contains("2 retried"), "{s}");
+        assert!(s.contains("1 faulted"), "{s}");
+        // Empty sweep counts as fully survived.
+        assert_eq!(FaultReport::default().survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn fault_report_threads_through_sweep_json_and_summary() {
+        let s = SweepReport {
+            total_nanos: 1_000,
+            workers: 1,
+            scenario_nanos: vec![500],
+            faults: Some(FaultReport {
+                succeeded: 0,
+                retried: 0,
+                faulted: 1,
+                panics_caught: 2,
+                errors_caught: 0,
+            }),
+        };
+        assert!(s.summary().contains("caught 2 panics"), "{}", s.summary());
+        let doc = serde::json::parse(&s.to_json_value().to_string()).expect("valid");
+        let faults = doc.get("faults").expect("faults object");
+        assert_eq!(faults.get("faulted").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            faults.get("panics_caught").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            faults.get("survival_rate").and_then(Value::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn finite_clamp_never_emits_non_finite() {
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
+        assert_eq!(finite_or_zero(f64::INFINITY), f64::MAX);
+        assert_eq!(finite_or_zero(f64::NEG_INFINITY), f64::MIN);
+        assert_eq!(finite_or_zero(1.25), 1.25);
     }
 }
