@@ -17,6 +17,13 @@ echo "==> clippy fault-path gate: no unwrap/panic in rfsim + core lib code"
 # and benches, which are free to unwrap/assert).
 cargo clippy -p rfsim -p ofdm-core --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::panic
+cargo clippy -p ofdm-bench --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::panic
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+# Broken intra-doc links and malformed doc comments fail the gate; the
+# docs are the contract the supervision/telemetry layers are used by.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
@@ -34,5 +41,11 @@ echo "==> fault smoke: experiments --faults"
 # The 64-scenario adversarial sweep (E9): injected panics, NaNs and
 # dropped samples must yield exact per-outcome counts, never an abort.
 cargo run --release -q -p ofdm-bench --bin experiments -- --faults
+
+echo "==> supervision smoke: experiments --supervise"
+# The supervised-runtime sweep (E10): hung scenarios killed within their
+# budget, a tripped impairment breaker degrading to pass-through, and an
+# interrupted sweep resuming from its checkpoint exactly.
+cargo run --release -q -p ofdm-bench --bin experiments -- --supervise
 
 echo "==> ci.sh: all gates passed"

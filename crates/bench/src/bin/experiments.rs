@@ -17,6 +17,8 @@
 //! ```
 //!
 //! Fault-injection smoke sweep (E9 alone): `… --bin experiments -- --faults`.
+//!
+//! Supervised-runtime smoke sweep (E10 alone): `… --bin experiments -- --supervise`.
 
 use ofdm_bench::{
     evm_after_gain_correction, fmt_secs, loopback_errors, payload_bits, time_per_run,
@@ -29,8 +31,9 @@ use ofdm_standards::ieee80211a::{self, WlanRate};
 use ofdm_standards::{default_params, StandardId};
 use rfsim::prelude::*;
 use serde::json::Value;
+use std::time::Duration;
 
-const EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+const EXPERIMENTS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut emit_bench: Option<String> = None;
@@ -55,11 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             // The fault smoke sweep is experiment E9 under a flag name.
             "--faults" => names.push("e9".into()),
+            // The supervised-runtime smoke sweep is E10 under a flag name.
+            "--supervise" => names.push("e10".into()),
             name if EXPERIMENTS.contains(&name) => names.push(arg),
             bad => {
                 eprintln!(
                     "error: unknown argument `{bad}`; experiments: {}; flags: \
-                     --emit-bench FILE, --check-bench FILE, --bench-symbols N, --faults",
+                     --emit-bench FILE, --check-bench FILE, --bench-symbols N, --faults, \
+                     --supervise",
                     EXPERIMENTS.join(", ")
                 );
                 std::process::exit(2);
@@ -103,6 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if want("e9") {
         e9_fault_sweep()?;
+    }
+    if want("e10") {
+        e10_supervision()?;
     }
     Ok(())
 }
@@ -204,6 +213,197 @@ fn e9_fault_sweep() -> Result<(), Box<dyn std::error::Error>> {
         evms.windows(2).all(|w| w[1] > w[0]),
         "EVM must degrade as the drop rate rises: {evms:?}"
     );
+    Ok(())
+}
+
+/// Mean tone power through an AWGN channel and a soft limiter — the
+/// deterministic per-`(seed, index)` scenario both E10 sweeps share.
+fn e10_scenario_power(seed: u64, i: usize) -> Result<f64, SimError> {
+    let mut g = Graph::new();
+    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 1024));
+    let ch = g.add(AwgnChannel::from_snr_db(
+        10.0 + i as f64,
+        scenario_seed(seed, i),
+    ));
+    let pa = g.add(SoftClipPa::new(1.0));
+    let meter = g.add(PowerMeter::new());
+    g.chain(&[src, ch, pa, meter])?;
+    g.run()?;
+    Ok(g.block::<PowerMeter>(meter)
+        .expect("present")
+        .power()
+        .expect("ran"))
+}
+
+/// E10 — supervised execution runtime: watchdog deadline kills on hung
+/// scenarios, circuit-breaker degraded mode with pass-through output,
+/// essential-block fail-fast, and checkpoint/resume exactness.
+fn e10_supervision() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## E10 — Supervised execution: deadlines, breakers, checkpoint/resume\n");
+
+    // Part A — watchdog. Every 4th scenario hangs on a stalled source and
+    // must be cancelled within the per-scenario budget; the rest compute
+    // real channel powers, undisturbed by their neighbours being killed.
+    let budget = Duration::from_millis(300);
+    let supervisor = SweepSupervisor::new()
+        .with_scenario_budget(budget)
+        .with_poll_interval(Duration::from_millis(2));
+    let started = std::time::Instant::now();
+    let (outcomes, report) = run_scenarios_supervised(
+        Scenarios::new(16).threads(4),
+        RetryPolicy::none(),
+        &supervisor,
+        |i, _attempt, ctx| -> Result<f64, SimError> {
+            if i % 4 == 3 {
+                let mut g = Graph::new();
+                let src = g.add(StalledSource::new(20.0e6, Duration::from_millis(2)));
+                let pa = g.add(SoftClipPa::new(1.0));
+                g.chain(&[src, pa])?;
+                ctx.supervise(&mut g);
+                g.run_streaming(64)?;
+            }
+            e10_scenario_power(0xE10, i)
+        },
+    );
+    let faults = report.faults.expect("supervised sweep reports faults");
+    let sup = report
+        .supervision
+        .expect("supervised sweep reports supervision");
+    println!(
+        "watchdog sweep: 16 scenarios, 4 hung, {} ms budget per scenario\n",
+        budget.as_millis()
+    );
+    println!("| outcome | scenarios |");
+    println!("|---|---|");
+    println!("| succeeded | {} |", faults.succeeded);
+    println!("| killed by deadline, then faulted | {} |", faults.faulted);
+    println!(
+        "\nsweep wall time {} (hung scenarios do not stall the sweep)",
+        fmt_secs(started.elapsed().as_secs_f64())
+    );
+    assert_eq!(outcomes.len(), 16, "sweep must complete every scenario");
+    assert_eq!(faults.succeeded, 12, "healthy scenarios are undisturbed");
+    assert_eq!(faults.faulted, 4, "hung scenarios end Faulted");
+    assert_eq!(
+        sup.deadline_kills, 4,
+        "each hung scenario killed exactly once"
+    );
+
+    // Part B — circuit breaker. An impairment that fails every invocation
+    // trips its breaker on the first chunk; the rest of the streaming pass
+    // bypasses it, completing Degraded with exact pass-through output.
+    let mut clean = Graph::new();
+    let src = clean.add(ToneSource::new(1.0e6, 20.0e6, 4096));
+    let pa = clean.add(SoftClipPa::new(1.0));
+    clean.chain(&[src, pa])?;
+    clean.probe(pa)?;
+    clean.run_streaming(256)?;
+    let clean_out = clean.output(pa).expect("probed").clone();
+
+    let mut g = Graph::new();
+    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 4096));
+    let bad = g.add(
+        FaultPlan::new()
+            .with_error_rate(1.0)
+            .wrap(0xB10, NanInjector::new(1.0, 7)),
+    );
+    let pa = g.add(SoftClipPa::new(1.0));
+    g.chain(&[src, bad, pa])?;
+    g.probe(pa)?;
+    g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(1)));
+    let run = g.run_streaming_instrumented(256)?;
+    println!(
+        "\nbreaker degraded mode: health {}, {} trip(s), {} invocation(s) bypassed",
+        run.health, run.breaker_trips, run.bypassed_invocations
+    );
+    assert_eq!(run.health, Health::Degraded);
+    assert_eq!(run.breaker_trips, 1, "threshold 1 trips on the first chunk");
+    assert!(run.bypassed_invocations >= 8, "remaining chunks bypassed");
+    let out = g.output(pa).expect("probed");
+    assert_eq!(
+        out.samples(),
+        clean_out.samples(),
+        "bypass must be exact pass-through"
+    );
+
+    // An essential block (here the source) is never bypassed: once its
+    // breaker opens, runs fail fast without touching the graph.
+    let mut g = Graph::new();
+    let src = g.add(
+        FaultPlan::new()
+            .with_error_rate(1.0)
+            .wrap(0xE55, ToneSource::new(1.0e6, 20.0e6, 256)),
+    );
+    let pa = g.add(SoftClipPa::new(1.0));
+    g.chain(&[src, pa])?;
+    g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(2)));
+    for _ in 0..2 {
+        assert!(g.run().is_err(), "injector always faults");
+    }
+    match g.run() {
+        Err(SimError::BlockFault { fault, .. }) if fault.contains("circuit breaker open") => {
+            println!("essential fail-fast: {fault}");
+        }
+        other => return Err(format!("expected open-breaker fail-fast, got {other:?}").into()),
+    }
+
+    // Part C — checkpoint/resume exactness. A sweep whose back half fails
+    // (standing in for a killed process) persists its front half; the
+    // restarted sweep re-runs only the missing scenarios, and the merged
+    // report is outcome-for-outcome identical to an uninterrupted one.
+    const COUNT: usize = 12;
+    let path = std::env::temp_dir().join(format!("rfsim-e10-resume-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut reference = SweepCheckpoint::load_or_new("/nonexistent/e10-reference", "e10", COUNT);
+    let (uninterrupted, _) = run_scenarios_checkpointed(
+        Scenarios::new(COUNT).threads(4),
+        RetryPolicy::none(),
+        &SweepSupervisor::new(),
+        &mut reference,
+        |i, _attempt, _ctx| e10_scenario_power(0xC10, i),
+    );
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, "e10", COUNT).with_batch(4);
+    let _ = run_scenarios_checkpointed(
+        Scenarios::new(COUNT).threads(4),
+        RetryPolicy::none(),
+        &SweepSupervisor::new(),
+        &mut ckpt,
+        |i, _attempt, _ctx| {
+            if i >= COUNT / 2 {
+                return Err(SimError::BlockFailure {
+                    block: "e10".into(),
+                    message: "interrupted".into(),
+                });
+            }
+            e10_scenario_power(0xC10, i)
+        },
+    );
+    drop(ckpt);
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, "e10", COUNT);
+    assert_eq!(ckpt.len(), COUNT / 2, "front half persisted to disk");
+    let (resumed, resumed_report) = run_scenarios_checkpointed(
+        Scenarios::new(COUNT).threads(4),
+        RetryPolicy::none(),
+        &SweepSupervisor::new(),
+        &mut ckpt,
+        |i, _attempt, _ctx| e10_scenario_power(0xC10, i),
+    );
+    let resumed_sup = resumed_report
+        .supervision
+        .expect("checkpointed sweep reports supervision");
+    println!(
+        "\ncheckpoint/resume: {} of {COUNT} scenarios restored from disk, {} re-run",
+        resumed_sup.resumed,
+        COUNT - resumed_sup.resumed
+    );
+    assert_eq!(resumed_sup.resumed, COUNT / 2);
+    assert_eq!(resumed_report.faults.expect("present").succeeded, COUNT);
+    assert_eq!(uninterrupted.len(), resumed.len());
+    for (i, (a, b)) in uninterrupted.iter().zip(&resumed).enumerate() {
+        assert_eq!(a.result(), b.result(), "scenario {i} differs after resume");
+    }
+    ckpt.discard()?;
+    println!("resume exactness: merged sweep identical to the uninterrupted reference");
     Ok(())
 }
 
@@ -738,6 +938,7 @@ fn emit_bench_json(path: &str, n_symbols: usize) -> Result<(), Box<dyn std::erro
         ),
         ("standards".into(), Value::Object(standards)),
         ("fault_sweep".into(), faults.to_json_value()),
+        ("supervision".into(), supervision_snapshot()?),
     ]);
     std::fs::write(path, format!("{doc}\n"))?;
     println!(
@@ -749,6 +950,96 @@ fn emit_bench_json(path: &str, n_symbols: usize) -> Result<(), Box<dyn std::erro
         faults.survival_rate() * 100.0,
     );
     Ok(())
+}
+
+/// The supervised-runtime gate riding along in the trajectory file: a
+/// breaker-degraded streaming run (health, trips, bypasses), a tiny
+/// watchdogged sweep with one hung scenario (deadline kills), and a
+/// two-pass checkpointed sweep (resumed count).
+fn supervision_snapshot() -> Result<Value, Box<dyn std::error::Error>> {
+    // Breaker: an always-failing impairment trips on the first chunk and
+    // the rest of the pass bypasses it.
+    let mut g = Graph::new();
+    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 2048));
+    let bad = g.add(
+        FaultPlan::new()
+            .with_error_rate(1.0)
+            .wrap(0xB5, NanInjector::new(1.0, 5)),
+    );
+    let pa = g.add(SoftClipPa::new(1.0));
+    g.chain(&[src, bad, pa])?;
+    g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(1)));
+    let run = g.run_streaming_instrumented(256)?;
+
+    // Watchdog: one of four scenarios hangs and is killed at its budget.
+    let supervisor = SweepSupervisor::new()
+        .with_scenario_budget(Duration::from_millis(150))
+        .with_poll_interval(Duration::from_millis(2));
+    let (_, sweep) = run_scenarios_supervised(
+        Scenarios::new(4).threads(2),
+        RetryPolicy::none(),
+        &supervisor,
+        |i, _attempt, ctx| -> Result<f64, SimError> {
+            if i == 3 {
+                let mut g = Graph::new();
+                let src = g.add(StalledSource::new(20.0e6, Duration::from_millis(2)));
+                let pa = g.add(SoftClipPa::new(1.0));
+                g.chain(&[src, pa])?;
+                ctx.supervise(&mut g);
+                g.run_streaming(64)?;
+            }
+            e10_scenario_power(0xBE, i)
+        },
+    );
+    let watchdog = sweep
+        .supervision
+        .expect("supervised sweep reports supervision");
+
+    // Checkpoint: persist half a sweep, then resume and merge.
+    const COUNT: usize = 6;
+    let path = std::env::temp_dir().join(format!("rfsim-bench-ckpt-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, "bench", COUNT);
+    let _ = run_scenarios_checkpointed(
+        Scenarios::new(COUNT).threads(2),
+        RetryPolicy::none(),
+        &SweepSupervisor::new(),
+        &mut ckpt,
+        |i, _attempt, _ctx| {
+            if i >= COUNT / 2 {
+                return Err(SimError::BlockFailure {
+                    block: "bench".into(),
+                    message: "interrupted".into(),
+                });
+            }
+            e10_scenario_power(0xCB, i)
+        },
+    );
+    drop(ckpt);
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, "bench", COUNT);
+    let (_, resumed_sweep) = run_scenarios_checkpointed(
+        Scenarios::new(COUNT).threads(2),
+        RetryPolicy::none(),
+        &SweepSupervisor::new(),
+        &mut ckpt,
+        |i, _attempt, _ctx| e10_scenario_power(0xCB, i),
+    );
+    let resumed = resumed_sweep
+        .supervision
+        .expect("checkpointed sweep reports supervision")
+        .resumed;
+    ckpt.discard()?;
+
+    Ok(Value::Object(vec![
+        ("health".into(), run.health.as_str().into()),
+        ("breaker_trips".into(), run.breaker_trips.into()),
+        (
+            "bypassed_invocations".into(),
+            run.bypassed_invocations.into(),
+        ),
+        ("deadline_kills".into(), watchdog.deadline_kills.into()),
+        ("resumed".into(), resumed.into()),
+    ]))
 }
 
 /// `--check-bench FILE` — parses an emitted `BENCH_ofdm.json` and fails
@@ -846,6 +1137,33 @@ fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             return Err(fail(format!(
                 "`fault_sweep`.`survival_rate` must be in [0, 1], got {rate}"
             )));
+        }
+    }
+    // Same deal for the supervised-runtime gate: optional in older files,
+    // validated when present.
+    if let Some(sup) = doc.get("supervision") {
+        let health = sup
+            .get("health")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("`supervision` missing string `health`".into()))?;
+        if !["healthy", "degraded", "failed"].contains(&health) {
+            return Err(fail(format!("`supervision`.`health` is `{health}`")));
+        }
+        for field in [
+            "breaker_trips",
+            "bypassed_invocations",
+            "deadline_kills",
+            "resumed",
+        ] {
+            let v = finite(
+                sup.get(field).and_then(Value::as_f64),
+                format!("`supervision`.`{field}`"),
+            )?;
+            if v < 0.0 {
+                return Err(fail(format!(
+                    "`supervision`.`{field}` must be non-negative, got {v}"
+                )));
+            }
         }
     }
     println!("{path}: ok ({} standards)", StandardId::ALL.len());

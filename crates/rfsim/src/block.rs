@@ -1,8 +1,10 @@
 //! The simulator's block abstraction and error type.
 
 use crate::signal::Signal;
+use crate::supervise::BlockRole;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors produced while building or running a simulation graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +71,22 @@ pub enum SimError {
         /// What fault fired.
         fault: String,
     },
+    /// The run exceeded its wall-clock budget
+    /// ([`crate::Graph::set_budget`]). Raised at the first block boundary
+    /// past the deadline.
+    DeadlineExceeded {
+        /// Name of the block about to run when the overrun was detected.
+        block: String,
+        /// Wall time elapsed since the run started.
+        elapsed: Duration,
+    },
+    /// The run was cancelled cooperatively via a
+    /// [`crate::supervise::CancelToken`]. Raised at the first block
+    /// boundary after cancellation.
+    Cancelled {
+        /// Name of the block about to run when cancellation was observed.
+        block: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -113,6 +131,16 @@ impl fmt::Display for SimError {
             SimError::BlockFault { block, fault } => {
                 write!(f, "block `{block}` faulted: {fault}")
             }
+            SimError::DeadlineExceeded { block, elapsed } => {
+                write!(
+                    f,
+                    "run exceeded its deadline at block `{block}` after {:.3} ms",
+                    elapsed.as_secs_f64() * 1e3
+                )
+            }
+            SimError::Cancelled { block } => {
+                write!(f, "run cancelled at block `{block}`")
+            }
         }
     }
 }
@@ -138,6 +166,21 @@ pub trait Block: Send + std::any::Any {
     /// Number of input ports (0 for sources).
     fn input_count(&self) -> usize {
         1
+    }
+
+    /// The block's supervision role, consulted by the circuit-breaker
+    /// layer ([`crate::Graph::set_breaker_policy`]) to decide between
+    /// pass-through bypass and fail-fast when the block fails repeatedly.
+    ///
+    /// Defaults to [`BlockRole::Source`] for input-less blocks and
+    /// [`BlockRole::Essential`] otherwise; impairments and instruments
+    /// override this to opt into degraded-mode bypass.
+    fn role(&self) -> BlockRole {
+        if self.input_count() == 0 {
+            BlockRole::Source
+        } else {
+            BlockRole::Essential
+        }
     }
 
     /// Processes one simulation pass.
@@ -257,6 +300,11 @@ mod tests {
                 block: "pa".into(),
                 fault: "injected panic".into(),
             },
+            SimError::DeadlineExceeded {
+                block: "pa".into(),
+                elapsed: Duration::from_millis(150),
+            },
+            SimError::Cancelled { block: "pa".into() },
         ];
         for e in errs {
             let s = e.to_string();
@@ -316,5 +364,32 @@ mod tests {
         assert_eq!(b.input_count(), 0);
         assert!(b.process(&[]).unwrap().is_empty());
         b.reset();
+    }
+
+    #[test]
+    fn default_role_follows_input_count() {
+        struct Src;
+        impl Block for Src {
+            fn name(&self) -> &str {
+                "src"
+            }
+            fn input_count(&self) -> usize {
+                0
+            }
+            fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+                Ok(Signal::empty(1.0))
+            }
+        }
+        struct Stage;
+        impl Block for Stage {
+            fn name(&self) -> &str {
+                "stage"
+            }
+            fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+                Ok(inputs[0].clone())
+            }
+        }
+        assert_eq!(Src.role(), BlockRole::Source);
+        assert_eq!(Stage.role(), BlockRole::Essential);
     }
 }

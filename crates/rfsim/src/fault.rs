@@ -38,6 +38,7 @@
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
+use crate::supervise::BlockRole;
 use ofdm_dsp::Complex64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,6 +112,10 @@ impl SampleDropper {
 }
 
 impl Block for SampleDropper {
+    fn role(&self) -> BlockRole {
+        BlockRole::Impairment
+    }
+
     fn name(&self) -> &str {
         "sample-dropper"
     }
@@ -181,6 +186,10 @@ impl NanInjector {
 }
 
 impl Block for NanInjector {
+    fn role(&self) -> BlockRole {
+        BlockRole::Impairment
+    }
+
     fn name(&self) -> &str {
         "nan-injector"
     }
@@ -261,6 +270,10 @@ impl ClockDriftJitter {
 }
 
 impl Block for ClockDriftJitter {
+    fn role(&self) -> BlockRole {
+        BlockRole::Impairment
+    }
+
     fn name(&self) -> &str {
         "clock-drift-jitter"
     }
@@ -470,6 +483,10 @@ impl FaultInjector {
 }
 
 impl Block for FaultInjector {
+    fn role(&self) -> BlockRole {
+        self.inner.role()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -525,6 +542,73 @@ impl std::fmt::Debug for FaultInjector {
             .field("plan", &self.plan)
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+/// A hung upstream dependency: a streaming source that dawdles for a
+/// configured stall per chunk and **never exhausts**, so an unsupervised
+/// streaming pass over it runs forever.
+///
+/// This is the adversarial workload for the supervision layer
+/// ([`crate::Graph::set_budget`], [`crate::supervise::CancelToken`], the
+/// sweep watchdog): the stall sits *between* chunks, so every chunk
+/// boundary is a cooperative cancellation point and a supervised graph
+/// kills the pass promptly. A batch pass has no such boundary and is
+/// refused outright with [`SimError::BlockFailure`].
+#[derive(Debug, Clone)]
+pub struct StalledSource {
+    sample_rate: f64,
+    stall: std::time::Duration,
+    chunks: u64,
+}
+
+impl StalledSource {
+    /// A source at `sample_rate` Hz that sleeps `stall` before every
+    /// chunk it emits.
+    pub fn new(sample_rate: f64, stall: std::time::Duration) -> Self {
+        StalledSource {
+            sample_rate,
+            stall,
+            chunks: 0,
+        }
+    }
+
+    /// Chunks emitted since construction or the last reset.
+    pub fn chunks_emitted(&self) -> u64 {
+        self.chunks
+    }
+}
+
+impl Block for StalledSource {
+    fn name(&self) -> &str {
+        "stalled-source"
+    }
+
+    fn input_count(&self) -> usize {
+        0
+    }
+
+    fn process(&mut self, _inputs: &[Signal]) -> Result<Signal, SimError> {
+        Err(SimError::BlockFailure {
+            block: self.name().to_owned(),
+            message: "stalled source never completes a batch pass".into(),
+        })
+    }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn stream_chunk(&mut self, max_samples: usize, out: &mut Signal) -> Result<usize, SimError> {
+        std::thread::sleep(self.stall);
+        let samples = vec![Complex64::ONE; max_samples];
+        out.assign(&samples, self.sample_rate);
+        self.chunks += 1;
+        Ok(max_samples)
+    }
+
+    fn reset(&mut self) {
+        self.chunks = 0;
     }
 }
 

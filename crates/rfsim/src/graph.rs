@@ -14,7 +14,9 @@
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
+use crate::supervise::{BreakerPolicy, BreakerState, CancelToken, Deadline, Health};
 use crate::telemetry::{Recorder, RunMode, RunReport};
+use std::time::Duration;
 
 /// Opaque handle to a block inside a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,6 +29,12 @@ struct Node {
     output: Option<Signal>,
     /// Retain this node's output during streaming runs.
     probed: bool,
+    /// Circuit-breaker state, live only while a
+    /// [`BreakerPolicy`] is enabled. Survives across runs (fail-fast
+    /// depends on it); cleared by [`Graph::reset`].
+    breaker: BreakerState,
+    /// Invocations bypassed during the current run.
+    bypassed: u64,
 }
 
 /// How a source node is fed during a streaming run.
@@ -65,6 +73,19 @@ pub struct Graph {
     /// When set, every block output is scanned for NaN/inf samples and the
     /// pass fails with [`SimError::NonFiniteSample`] at the first hit.
     guard_non_finite: bool,
+    /// Wall-clock budget armed as a [`Deadline`] at the start of every run.
+    budget: Option<Duration>,
+    /// Cooperative cancellation token polled at block boundaries.
+    cancel: Option<CancelToken>,
+    /// When set, per-block circuit breakers are live (see
+    /// [`Graph::set_breaker_policy`]).
+    breaker_policy: Option<BreakerPolicy>,
+    /// Condition of the most recent run.
+    health: Health,
+    /// Breaker trips during the most recent run.
+    breaker_trips: u64,
+    /// Invocations bypassed during the most recent run.
+    bypassed_invocations: u64,
 }
 
 impl Graph {
@@ -91,6 +112,8 @@ impl Graph {
             inputs,
             output: None,
             probed: false,
+            breaker: BreakerState::default(),
+            bypassed: 0,
         });
         BlockId(self.nodes.len() - 1)
     }
@@ -143,6 +166,9 @@ impl Graph {
     ///
     /// * [`SimError::MissingInput`] if a connected block has an undriven port.
     /// * [`SimError::GraphCycle`] if connections form a loop.
+    /// * [`SimError::DeadlineExceeded`] / [`SimError::Cancelled`] when a
+    ///   budget ([`Graph::set_budget`]) or cancellation token
+    ///   ([`Graph::set_cancel_token`]) fires at a block boundary.
     /// * Any error returned by a block's `process`.
     pub fn run(&mut self) -> Result<(), SimError> {
         self.run_batch(None)
@@ -162,15 +188,32 @@ impl Graph {
         let mut recorder = Recorder::new(self.nodes.len());
         self.run_batch(Some(&mut recorder))?;
         recorder.rounds = 1;
-        let report = recorder.finish(
+        let mut report = recorder.finish(
             RunMode::Batch,
             self.nodes.iter().map(|n| n.block.name().to_owned()),
         );
+        self.stamp_supervision(&mut report);
         self.last_report = Some(report.clone());
         Ok(report)
     }
 
-    fn run_batch(&mut self, mut telemetry: Option<&mut Recorder>) -> Result<(), SimError> {
+    /// Copies the run's supervision outcome into a finished report.
+    fn stamp_supervision(&self, report: &mut RunReport) {
+        report.health = self.health;
+        report.breaker_trips = self.breaker_trips;
+        report.bypassed_invocations = self.bypassed_invocations;
+    }
+
+    fn run_batch(&mut self, telemetry: Option<&mut Recorder>) -> Result<(), SimError> {
+        let result = self.run_batch_inner(telemetry);
+        if result.is_err() {
+            self.health = Health::Failed;
+        }
+        result
+    }
+
+    fn run_batch_inner(&mut self, mut telemetry: Option<&mut Recorder>) -> Result<(), SimError> {
+        let deadline = self.begin_run();
         // Verify all ports are driven.
         for node in &self.nodes {
             for (port, src) in node.inputs.iter().enumerate() {
@@ -184,6 +227,7 @@ impl Graph {
         }
         let order = self.topological_order()?;
         for id in order {
+            self.check_supervision(id.0, deadline.as_ref())?;
             let inputs: Vec<Signal> = self.nodes[id.0]
                 .inputs
                 .clone()
@@ -195,21 +239,138 @@ impl Graph {
                         .expect("topological order guarantees the source ran")
                 })
                 .collect();
-            let out = match telemetry.as_deref_mut() {
-                Some(t) => {
-                    let samples_in: usize = inputs.iter().map(Signal::len).sum();
-                    let begin = t.begin();
-                    let out = self.nodes[id.0].block.process(&inputs)?;
-                    t.record(id.0, begin, samples_in, out.len());
-                    t.note_buffer(id.0, out.len());
-                    out
-                }
-                None => self.nodes[id.0].block.process(&inputs)?,
-            };
-            self.check_finite(id.0, &out)?;
+            let out = self.invoke_batch(id.0, &inputs, telemetry.as_deref_mut())?;
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.note_buffer(id.0, out.len());
+            }
             self.nodes[id.0].output = Some(out);
         }
         Ok(())
+    }
+
+    /// Resets per-run supervision state and arms the deadline, if a
+    /// budget is configured.
+    fn begin_run(&mut self) -> Option<Deadline> {
+        self.health = Health::Healthy;
+        self.breaker_trips = 0;
+        self.bypassed_invocations = 0;
+        for node in &mut self.nodes {
+            node.bypassed = 0;
+        }
+        self.budget.map(Deadline::starting_now)
+    }
+
+    /// Polls the cancellation token and the armed deadline at the boundary
+    /// before node `i` runs.
+    fn check_supervision(&self, i: usize, deadline: Option<&Deadline>) -> Result<(), SimError> {
+        if self.cancel.is_none() && deadline.is_none() {
+            return Ok(());
+        }
+        let name = self.nodes[i].block.name();
+        if let Some(token) = &self.cancel {
+            token.check(name)?;
+        }
+        if let Some(d) = deadline {
+            d.check(name)?;
+        }
+        Ok(())
+    }
+
+    /// Whether node `i` may be skipped pass-through by an open breaker: a
+    /// bypassable role with exactly one input to pass through.
+    fn bypassable(&self, i: usize) -> bool {
+        self.nodes[i].block.role().bypassable() && self.nodes[i].inputs.len() == 1
+    }
+
+    /// With breakers enabled: decides whether node `i` may be invoked.
+    /// `Ok(false)` means bypass this invocation without running the block;
+    /// an open breaker on a non-bypassable block fails fast.
+    fn breaker_admits(&mut self, i: usize, policy: &BreakerPolicy) -> Result<bool, SimError> {
+        if !self.nodes[i].breaker.is_open() {
+            return Ok(true);
+        }
+        if self.bypassable(i) {
+            Ok(self.nodes[i].breaker.should_attempt(policy))
+        } else {
+            Err(SimError::BlockFault {
+                block: self.nodes[i].block.name().to_owned(),
+                fault: format!(
+                    "circuit breaker open after {} failure(s)",
+                    policy.threshold()
+                ),
+            })
+        }
+    }
+
+    /// Books one bypassed invocation of node `i` and degrades the run.
+    fn note_bypass(&mut self, i: usize, telemetry: Option<&mut Recorder>) {
+        self.nodes[i].bypassed += 1;
+        self.bypassed_invocations += 1;
+        self.health.degrade();
+        if let Some(t) = telemetry {
+            t.note_bypass(i);
+        }
+    }
+
+    /// One batch invocation of node `i`, honoring the breaker policy if
+    /// enabled (finite-guard hits count as block failures).
+    fn invoke_batch(
+        &mut self,
+        i: usize,
+        inputs: &[Signal],
+        mut telemetry: Option<&mut Recorder>,
+    ) -> Result<Signal, SimError> {
+        let Some(policy) = self.breaker_policy else {
+            let out = self.invoke_batch_raw(i, inputs, telemetry)?;
+            self.check_finite(i, &out)?;
+            return Ok(out);
+        };
+        if !self.breaker_admits(i, &policy)? {
+            self.note_bypass(i, telemetry);
+            return Ok(inputs.first().cloned().unwrap_or_default());
+        }
+        let mut attempt = self.invoke_batch_raw(i, inputs, telemetry.as_deref_mut());
+        if let Ok(out) = &attempt {
+            if let Err(e) = self.check_finite(i, out) {
+                attempt = Err(e);
+            }
+        }
+        match attempt {
+            Ok(out) => {
+                self.nodes[i].breaker.record_success();
+                Ok(out)
+            }
+            Err(e) => {
+                if self.nodes[i].breaker.record_failure(&policy) {
+                    self.breaker_trips += 1;
+                }
+                if self.bypassable(i) {
+                    self.note_bypass(i, telemetry);
+                    Ok(inputs.first().cloned().unwrap_or_default())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// The raw (breaker-unaware) batch invocation of node `i`.
+    fn invoke_batch_raw(
+        &mut self,
+        i: usize,
+        inputs: &[Signal],
+        telemetry: Option<&mut Recorder>,
+    ) -> Result<Signal, SimError> {
+        match telemetry {
+            Some(t) => {
+                let samples_in: usize = inputs.iter().map(Signal::len).sum();
+                let begin = t.begin();
+                let out = self.nodes[i].block.process(inputs)?;
+                t.record(i, begin, samples_in, out.len());
+                Ok(out)
+            }
+            None => self.nodes[i].block.process(inputs),
+        }
     }
 
     /// Enables (or disables) the non-finite sample guard: with the guard
@@ -223,6 +384,75 @@ impl Graph {
     /// errors. The setting is configuration and survives [`Graph::reset`].
     pub fn guard_non_finite(&mut self, enabled: bool) {
         self.guard_non_finite = enabled;
+    }
+
+    /// Sets (or clears) a wall-clock budget for subsequent runs: both
+    /// schedulers arm a [`Deadline`] at run start and check it before
+    /// every block invocation (per chunk in streaming passes), failing
+    /// with [`SimError::DeadlineExceeded`] on overrun.
+    ///
+    /// The budget is configuration and survives [`Graph::reset`].
+    pub fn set_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+    }
+
+    /// Installs (or removes) a cooperative cancellation token polled at
+    /// the same block boundaries as the deadline. Cancelling the token
+    /// (from any thread) fails the pass with [`SimError::Cancelled`]
+    /// within one block invocation — the mechanism the sweep watchdog
+    /// ([`crate::scenario::run_scenarios_supervised`]) uses to kill hung
+    /// scenarios.
+    ///
+    /// The token is configuration and survives [`Graph::reset`].
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Enables (`Some`) or disables (`None`) per-block circuit breakers.
+    ///
+    /// With a policy enabled, every typed block failure — including
+    /// finite-guard hits when [`Graph::guard_non_finite`] is on — feeds
+    /// the block's [`BreakerState`]. Failures of a *bypassable* block
+    /// ([`crate::supervise::BlockRole::bypassable`], single input) are
+    /// absorbed: the failing invocation is replaced by a pass-through of
+    /// its input, the run continues and finishes with
+    /// [`Health::Degraded`]. Once such a breaker opens, the block is
+    /// skipped outright until its probation expires and a half-open trial
+    /// succeeds. Failures of source/essential blocks propagate as always;
+    /// once *their* breaker opens, later runs fail fast with
+    /// [`SimError::BlockFault`] without invoking the block.
+    ///
+    /// The policy is configuration and survives [`Graph::reset`]; breaker
+    /// *state* is runtime state and is cleared by it.
+    pub fn set_breaker_policy(&mut self, policy: Option<BreakerPolicy>) {
+        self.breaker_policy = policy;
+    }
+
+    /// Condition of the most recent run: `Healthy`, `Degraded` (at least
+    /// one breaker bypass) or `Failed` (the run returned an error).
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Breaker trips (transitions into `Open`) during the most recent run.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips
+    }
+
+    /// Invocations bypassed by open breakers during the most recent run.
+    pub fn bypassed_invocations(&self) -> u64 {
+        self.bypassed_invocations
+    }
+
+    /// The block's current breaker state (`None` for a foreign id).
+    pub fn breaker_state(&self, id: BlockId) -> Option<BreakerState> {
+        self.nodes.get(id.0).map(|n| n.breaker)
+    }
+
+    /// Invocations of `id` bypassed during the most recent run (`None`
+    /// for a foreign id).
+    pub fn bypassed(&self, id: BlockId) -> Option<u64> {
+        self.nodes.get(id.0).map(|n| n.bypassed)
     }
 
     /// Fails with [`SimError::NonFiniteSample`] if the guard is enabled
@@ -304,10 +534,11 @@ impl Graph {
     pub fn run_streaming_instrumented(&mut self, chunk_len: usize) -> Result<RunReport, SimError> {
         let mut recorder = Recorder::new(self.nodes.len());
         self.run_streaming_inner(chunk_len, Some(&mut recorder))?;
-        let report = recorder.finish(
+        let mut report = recorder.finish(
             RunMode::Streaming { chunk_len },
             self.nodes.iter().map(|n| n.block.name().to_owned()),
         );
+        self.stamp_supervision(&mut report);
         self.last_report = Some(report.clone());
         Ok(report)
     }
@@ -321,11 +552,24 @@ impl Graph {
     fn run_streaming_inner(
         &mut self,
         chunk_len: usize,
+        telemetry: Option<&mut Recorder>,
+    ) -> Result<(), SimError> {
+        let result = self.run_streaming_core(chunk_len, telemetry);
+        if result.is_err() {
+            self.health = Health::Failed;
+        }
+        result
+    }
+
+    fn run_streaming_core(
+        &mut self,
+        chunk_len: usize,
         mut telemetry: Option<&mut Recorder>,
     ) -> Result<(), SimError> {
         if chunk_len == 0 {
             return Err(SimError::InvalidChunkLen);
         }
+        let deadline = self.begin_run();
         for node in &self.nodes {
             for (port, src) in node.inputs.iter().enumerate() {
                 if src.is_none() {
@@ -345,30 +589,15 @@ impl Graph {
         }
 
         let mut feeds: Vec<Option<Feed>> = Vec::with_capacity(n);
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            feeds.push(if node.inputs.is_empty() {
-                if node.block.supports_streaming() {
+        for i in 0..n {
+            feeds.push(if self.nodes[i].inputs.is_empty() {
+                if self.nodes[i].block.supports_streaming() {
                     Some(Feed::Stream)
                 } else {
                     // Batch-only source: the one up-front evaluation is the
                     // block's whole cost for the pass.
-                    let signal = match telemetry.as_deref_mut() {
-                        Some(t) => {
-                            let begin = t.begin();
-                            let signal = node.block.process(&[])?;
-                            t.record(i, begin, 0, signal.len());
-                            signal
-                        }
-                        None => node.block.process(&[])?,
-                    };
-                    if self.guard_non_finite {
-                        if let Some(index) = signal.first_non_finite() {
-                            return Err(SimError::NonFiniteSample {
-                                block: node.block.name().to_owned(),
-                                index,
-                            });
-                        }
-                    }
+                    self.check_supervision(i, deadline.as_ref())?;
+                    let signal = self.invoke_batch(i, &[], telemetry.as_deref_mut())?;
                     Some(Feed::Cached { signal, pos: 0 })
                 }
             } else {
@@ -388,18 +617,31 @@ impl Graph {
                 let Some(feed) = feed else { continue };
                 match feed {
                     Feed::Stream => {
-                        let got = match telemetry.as_deref_mut() {
+                        self.check_supervision(i, deadline.as_ref())?;
+                        self.source_fail_fast(i)?;
+                        let pulled = match telemetry.as_deref_mut() {
                             Some(t) => {
                                 let begin = t.begin();
-                                let got =
-                                    self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?;
-                                t.record(i, begin, 0, got);
-                                got
+                                let r = self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i]);
+                                if let Ok(got) = r {
+                                    t.record(i, begin, 0, got);
+                                }
+                                r
                             }
-                            None => self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i])?,
+                            None => self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i]),
                         };
-                        self.check_finite(i, &bufs[i])?;
-                        produced |= got > 0;
+                        let pulled =
+                            pulled.and_then(|got| self.check_finite(i, &bufs[i]).map(|()| got));
+                        match pulled {
+                            Ok(got) => {
+                                self.note_source_result(i, false);
+                                produced |= got > 0;
+                            }
+                            Err(e) => {
+                                self.note_source_result(i, true);
+                                return Err(e);
+                            }
+                        }
                     }
                     Feed::Cached { signal, pos } => {
                         let take = chunk_len.min(signal.len() - *pos);
@@ -425,25 +667,9 @@ impl Graph {
                     accumulate_probe(&mut self.nodes[i], &bufs[i]);
                     continue;
                 }
+                self.check_supervision(i, deadline.as_ref())?;
                 let mut out = std::mem::take(&mut bufs[i]);
-                {
-                    let node = &mut self.nodes[i];
-                    let inputs: Vec<&Signal> = node
-                        .inputs
-                        .iter()
-                        .map(|src| &bufs[src.expect("verified above").0])
-                        .collect();
-                    match telemetry.as_deref_mut() {
-                        Some(t) => {
-                            let samples_in: usize = inputs.iter().map(|s| s.len()).sum();
-                            let begin = t.begin();
-                            node.block.process_chunk(&inputs, &mut out)?;
-                            t.record(i, begin, samples_in, out.len());
-                        }
-                        None => node.block.process_chunk(&inputs, &mut out)?,
-                    }
-                }
-                self.check_finite(i, &out)?;
+                self.invoke_stream(i, &bufs, &mut out, telemetry.as_deref_mut())?;
                 accumulate_probe(&mut self.nodes[i], &out);
                 if let Some(t) = telemetry.as_deref_mut() {
                     t.note_buffer(i, out.len());
@@ -456,6 +682,124 @@ impl Graph {
             node.block.end_stream()?;
         }
         Ok(())
+    }
+
+    /// Breaker fail-fast for streaming source pulls (sources are never
+    /// bypassable).
+    fn source_fail_fast(&mut self, i: usize) -> Result<(), SimError> {
+        if let Some(policy) = self.breaker_policy {
+            if self.nodes[i].breaker.is_open() {
+                return Err(SimError::BlockFault {
+                    block: self.nodes[i].block.name().to_owned(),
+                    fault: format!(
+                        "circuit breaker open after {} failure(s)",
+                        policy.threshold()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Breaker accounting for one streaming source pull.
+    fn note_source_result(&mut self, i: usize, failed: bool) {
+        if let Some(policy) = self.breaker_policy {
+            if failed {
+                if self.nodes[i].breaker.record_failure(&policy) {
+                    self.breaker_trips += 1;
+                }
+            } else {
+                self.nodes[i].breaker.record_success();
+            }
+        }
+    }
+
+    /// One interior-block chunk invocation, honoring the breaker policy
+    /// if enabled (finite-guard hits count as block failures).
+    fn invoke_stream(
+        &mut self,
+        i: usize,
+        bufs: &[Signal],
+        out: &mut Signal,
+        mut telemetry: Option<&mut Recorder>,
+    ) -> Result<(), SimError> {
+        let Some(policy) = self.breaker_policy else {
+            self.invoke_stream_raw(i, bufs, out, telemetry)?;
+            self.check_finite(i, out)?;
+            return Ok(());
+        };
+        if !self.breaker_admits(i, &policy)? {
+            self.bypass_stream(i, bufs, out, telemetry);
+            return Ok(());
+        }
+        let mut attempt = self.invoke_stream_raw(i, bufs, out, telemetry.as_deref_mut());
+        if attempt.is_ok() {
+            if let Err(e) = self.check_finite(i, out) {
+                attempt = Err(e);
+            }
+        }
+        match attempt {
+            Ok(()) => {
+                self.nodes[i].breaker.record_success();
+                Ok(())
+            }
+            Err(e) => {
+                if self.nodes[i].breaker.record_failure(&policy) {
+                    self.breaker_trips += 1;
+                }
+                if self.bypassable(i) {
+                    self.bypass_stream(i, bufs, out, telemetry);
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// The raw (breaker-unaware) chunk invocation of node `i`.
+    fn invoke_stream_raw(
+        &mut self,
+        i: usize,
+        bufs: &[Signal],
+        out: &mut Signal,
+        telemetry: Option<&mut Recorder>,
+    ) -> Result<(), SimError> {
+        let node = &mut self.nodes[i];
+        let inputs: Vec<&Signal> = node
+            .inputs
+            .iter()
+            .map(|src| &bufs[src.expect("verified above").0])
+            .collect();
+        match telemetry {
+            Some(t) => {
+                let samples_in: usize = inputs.iter().map(|s| s.len()).sum();
+                let begin = t.begin();
+                node.block.process_chunk(&inputs, out)?;
+                t.record(i, begin, samples_in, out.len());
+            }
+            None => node.block.process_chunk(&inputs, out)?,
+        }
+        Ok(())
+    }
+
+    /// Skips node `i` pass-through for one chunk: `out` becomes a copy of
+    /// the block's single input chunk.
+    fn bypass_stream(
+        &mut self,
+        i: usize,
+        bufs: &[Signal],
+        out: &mut Signal,
+        telemetry: Option<&mut Recorder>,
+    ) {
+        self.note_bypass(i, telemetry);
+        match self.nodes[i].inputs.first().copied().flatten() {
+            Some(src) => {
+                let input = &bufs[src.0];
+                out.assign(input.samples(), input.sample_rate());
+            }
+            None => out.clear(),
+        }
     }
 
     /// Kahn's algorithm over the connection edges.
@@ -502,16 +846,25 @@ impl Graph {
     }
 
     /// Resets every block's internal state and clears retained outputs,
-    /// including probe accumulations and the last instrumented-run report
-    /// — after a reset the graph holds no measurement state from previous
-    /// passes. Probe *markings* ([`Graph::probe`]) survive, since they are
+    /// including probe accumulations, the last instrumented-run report
+    /// and all supervision state (circuit-breaker states, health, trip
+    /// and bypass counters) — after a reset the graph holds no
+    /// measurement state from previous passes. Probe *markings*
+    /// ([`Graph::probe`]) and supervision *configuration*
+    /// ([`Graph::set_budget`], [`Graph::set_cancel_token`],
+    /// [`Graph::set_breaker_policy`]) survive, since they are
     /// configuration, not state.
     pub fn reset(&mut self) {
         for node in &mut self.nodes {
             node.block.reset();
             node.output = None;
+            node.breaker = BreakerState::default();
+            node.bypassed = 0;
         }
         self.last_report = None;
+        self.health = Health::Healthy;
+        self.breaker_trips = 0;
+        self.bypassed_invocations = 0;
     }
 }
 
@@ -1022,5 +1375,255 @@ mod tests {
         g.reset();
         g.run().unwrap();
         assert!((g.output(gain).unwrap().samples()[0].re - 1.0).abs() < 1e-12);
+    }
+
+    // --- supervision ---
+
+    use crate::supervise::BlockRole;
+    use std::time::Duration;
+
+    /// A source whose pass dawdles, to trip deadlines deterministically.
+    struct SlowSource(Duration);
+    impl Block for SlowSource {
+        fn name(&self) -> &str {
+            "slow-src"
+        }
+        fn input_count(&self) -> usize {
+            0
+        }
+        fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+            std::thread::sleep(self.0);
+            Ok(Signal::new(vec![Complex64::ONE; 8], 1.0))
+        }
+    }
+
+    /// An impairment that fails every invocation, counting them.
+    struct FailingImpairment {
+        calls: u64,
+    }
+    impl Block for FailingImpairment {
+        fn name(&self) -> &str {
+            "bad-imp"
+        }
+        fn role(&self) -> BlockRole {
+            BlockRole::Impairment
+        }
+        fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+            self.calls += 1;
+            Err(SimError::BlockFailure {
+                block: "bad-imp".into(),
+                message: "refuses to impair".into(),
+            })
+        }
+    }
+
+    /// An essential stage that fails every invocation, counting them.
+    struct FailingStage {
+        calls: u64,
+    }
+    impl Block for FailingStage {
+        fn name(&self) -> &str {
+            "bad-stage"
+        }
+        fn process(&mut self, _: &[Signal]) -> Result<Signal, SimError> {
+            self.calls += 1;
+            Err(SimError::BlockFailure {
+                block: "bad-stage".into(),
+                message: "broken amplifier".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn deadline_fails_batch_run_and_clearing_budget_recovers() {
+        let mut g = Graph::new();
+        let src = g.add(SlowSource(Duration::from_millis(10)));
+        let gain = g.add(Gain(1.0));
+        g.chain(&[src, gain]).unwrap();
+        g.set_budget(Some(Duration::from_millis(1)));
+        match g.run() {
+            Err(SimError::DeadlineExceeded { block, elapsed }) => {
+                assert!(!block.is_empty());
+                assert!(elapsed >= Duration::from_millis(1));
+            }
+            other => panic!("expected deadline overrun, got {other:?}"),
+        }
+        assert_eq!(g.health(), Health::Failed);
+        // The budget is configuration: clearing it restores normal runs.
+        g.set_budget(None);
+        g.run().unwrap();
+        assert_eq!(g.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn deadline_fails_streaming_run_between_chunks() {
+        let mut g = Graph::new();
+        let src = g.add(crate::fault::StalledSource::new(
+            1.0e6,
+            Duration::from_millis(5),
+        ));
+        let gain = g.add(Gain(1.0));
+        g.chain(&[src, gain]).unwrap();
+        g.set_budget(Some(Duration::from_millis(20)));
+        let started = std::time::Instant::now();
+        // Unsupervised, this pass would never terminate: the stalled
+        // source emits chunks forever.
+        match g.run_streaming(16) {
+            Err(SimError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected deadline overrun, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "killed promptly"
+        );
+        assert_eq!(g.health(), Health::Failed);
+    }
+
+    #[test]
+    fn cancel_token_aborts_runs_cooperatively() {
+        let mut g = Graph::new();
+        let c = g.add(Const(1.0));
+        let gain = g.add(Gain(2.0));
+        g.chain(&[c, gain]).unwrap();
+        let token = CancelToken::new();
+        g.set_cancel_token(Some(token.clone()));
+        g.run().unwrap();
+        assert!(token.cancel());
+        match g.run() {
+            Err(SimError::Cancelled { block }) => assert_eq!(block, "const"),
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert_eq!(g.health(), Health::Failed);
+        g.set_cancel_token(None);
+        g.run().unwrap();
+    }
+
+    #[test]
+    fn breaker_bypasses_failing_impairment_and_degrades() {
+        let mut g = Graph::new();
+        let c = g.add(Const(3.0));
+        let imp = g.add(FailingImpairment { calls: 0 });
+        let gain = g.add(Gain(2.0));
+        g.chain(&[c, imp, gain]).unwrap();
+        g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(2)));
+        // Without breakers this run would fail; with them the impairment
+        // is bypassed pass-through and the signal flows on.
+        g.run().unwrap();
+        assert_eq!(g.health(), Health::Degraded);
+        assert_eq!(g.bypassed(imp), Some(1));
+        assert_eq!(g.bypassed_invocations(), 1);
+        assert!((g.output(gain).unwrap().samples()[0].re - 6.0).abs() < 1e-12);
+        // Second failure trips the breaker (threshold 2)...
+        g.run().unwrap();
+        assert_eq!(g.breaker_trips(), 1);
+        assert!(g.breaker_state(imp).unwrap().is_open());
+        // ...after which the block is skipped without being invoked.
+        let calls_so_far = g.block::<FailingImpairment>(imp).unwrap().calls;
+        g.run().unwrap();
+        assert_eq!(
+            g.block::<FailingImpairment>(imp).unwrap().calls,
+            calls_so_far
+        );
+        assert_eq!(g.health(), Health::Degraded);
+    }
+
+    #[test]
+    fn breaker_bypass_works_in_streaming_passes() {
+        let mut g = Graph::new();
+        let c = g.add(Const(2.0));
+        let imp = g.add(FailingImpairment { calls: 0 });
+        let gain = g.add(Gain(0.5));
+        g.chain(&[c, imp, gain]).unwrap();
+        g.probe(gain).unwrap();
+        g.set_breaker_policy(Some(BreakerPolicy::new()));
+        let report = g.run_streaming_instrumented(4).unwrap();
+        assert_eq!(report.health, Health::Degraded);
+        assert!(report.block("bad-imp").unwrap().bypassed > 0);
+        let out = g.output(gain).unwrap();
+        assert_eq!(out.len(), 8);
+        for z in out.samples() {
+            assert!((z.re - 1.0).abs() < 1e-12, "pass-through × gain 0.5");
+        }
+    }
+
+    #[test]
+    fn essential_breaker_fails_fast_once_open() {
+        let mut g = Graph::new();
+        let c = g.add(Const(1.0));
+        let bad = g.add(FailingStage { calls: 0 });
+        g.chain(&[c, bad]).unwrap();
+        g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(2)));
+        // Two failing runs feed and trip the breaker; the block's own
+        // error propagates each time (essentials are never bypassed).
+        assert!(matches!(g.run(), Err(SimError::BlockFailure { .. })));
+        assert!(matches!(g.run(), Err(SimError::BlockFailure { .. })));
+        assert!(g.breaker_state(bad).unwrap().is_open());
+        // Open breaker on an essential block: fail fast, no invocation.
+        let calls = g.block::<FailingStage>(bad).unwrap().calls;
+        match g.run() {
+            Err(SimError::BlockFault { block, fault }) => {
+                assert_eq!(block, "bad-stage");
+                assert!(fault.contains("circuit breaker open"), "{fault}");
+            }
+            other => panic!("expected breaker fail-fast, got {other:?}"),
+        }
+        assert_eq!(g.block::<FailingStage>(bad).unwrap().calls, calls);
+        // reset() clears breaker state (runtime), keeps the policy
+        // (configuration): the block is invoked again and its own error
+        // returns.
+        g.reset();
+        assert!(!g.breaker_state(bad).unwrap().is_open());
+        assert!(matches!(g.run(), Err(SimError::BlockFailure { .. })));
+        assert!(g.block::<FailingStage>(bad).unwrap().calls > calls);
+    }
+
+    #[test]
+    fn half_open_breaker_recovers_after_probation() {
+        /// Fails the first `failures` invocations, then works.
+        struct Flaky {
+            failures: u32,
+            calls: u32,
+        }
+        impl Block for Flaky {
+            fn name(&self) -> &str {
+                "flaky-imp"
+            }
+            fn role(&self) -> BlockRole {
+                BlockRole::Impairment
+            }
+            fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+                self.calls += 1;
+                if self.calls <= self.failures {
+                    return Err(SimError::BlockFailure {
+                        block: "flaky-imp".into(),
+                        message: "warming up".into(),
+                    });
+                }
+                let mut s = inputs[0].clone();
+                for z in s.samples_mut() {
+                    *z = z.scale(2.0);
+                }
+                Ok(s)
+            }
+        }
+        let mut g = Graph::new();
+        let c = g.add(Const(1.0));
+        let flaky = g.add(Flaky {
+            failures: 1,
+            calls: 0,
+        });
+        g.chain(&[c, flaky]).unwrap();
+        g.set_breaker_policy(Some(
+            BreakerPolicy::new().with_threshold(1).with_probation(2),
+        ));
+        g.run().unwrap(); // fails → trips → bypassed
+        assert_eq!(g.health(), Health::Degraded);
+        assert!(g.breaker_state(flaky).unwrap().is_open());
+        g.run().unwrap(); // probation 1/2: skipped
+        g.run().unwrap(); // probation 2/2: skipped, goes half-open
+        g.run().unwrap(); // half-open trial succeeds → closed
+        assert!(!g.breaker_state(flaky).unwrap().is_open());
+        assert_eq!(g.health(), Health::Healthy);
+        assert!((g.output(flaky).unwrap().samples()[0].re - 2.0).abs() < 1e-12);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
+use crate::supervise::BlockRole;
 use ofdm_dsp::spectrum::{band_power, WelchPsd};
 use ofdm_dsp::stats;
 use ofdm_dsp::window::Window;
@@ -42,6 +43,10 @@ impl PowerMeter {
 }
 
 impl Block for PowerMeter {
+    fn role(&self) -> BlockRole {
+        BlockRole::Instrument
+    }
+
     fn name(&self) -> &str {
         "power-meter"
     }
@@ -179,6 +184,10 @@ impl SpectrumAnalyzer {
 }
 
 impl Block for SpectrumAnalyzer {
+    fn role(&self) -> BlockRole {
+        BlockRole::Instrument
+    }
+
     fn name(&self) -> &str {
         "spectrum-analyzer"
     }
@@ -278,6 +287,10 @@ impl AcprMeter {
 }
 
 impl Block for AcprMeter {
+    fn role(&self) -> BlockRole {
+        BlockRole::Instrument
+    }
+
     fn name(&self) -> &str {
         "acpr-meter"
     }
@@ -367,6 +380,10 @@ impl Default for CcdfProbe {
 }
 
 impl Block for CcdfProbe {
+    fn role(&self) -> BlockRole {
+        BlockRole::Instrument
+    }
+
     fn name(&self) -> &str {
         "ccdf-probe"
     }
@@ -506,6 +523,10 @@ impl MaskChecker {
 }
 
 impl Block for MaskChecker {
+    fn role(&self) -> BlockRole {
+        BlockRole::Instrument
+    }
+
     fn name(&self) -> &str {
         "mask-checker"
     }

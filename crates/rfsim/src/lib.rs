@@ -44,17 +44,24 @@ pub mod rate;
 pub mod scenario;
 pub mod signal;
 pub mod source;
+pub mod supervise;
 pub mod telemetry;
 
 pub use block::{Block, SimError};
 pub use fault::{
     ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
+    StalledSource,
 };
 pub use graph::{BlockId, Graph};
 pub use scenario::{
-    run_scenarios, run_scenarios_resilient, scenario_seed, RetryPolicy, ScenarioOutcome, Scenarios,
+    run_scenarios, run_scenarios_checkpointed, run_scenarios_resilient, run_scenarios_supervised,
+    scenario_seed, RetryPolicy, ScenarioCtx, ScenarioOutcome, Scenarios,
 };
 pub use signal::Signal;
+pub use supervise::{
+    BlockRole, BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload,
+    Deadline, Health, SupervisionReport, SweepCheckpoint, SweepSupervisor,
+};
 pub use telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
 
 /// Convenient glob-import surface for simulator users.
@@ -66,6 +73,7 @@ pub mod prelude {
     };
     pub use crate::fault::{
         ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
+        StalledSource,
     };
     pub use crate::filter::{ButterworthLowpass, FirBlock};
     pub use crate::graph::{BlockId, Graph};
@@ -75,10 +83,15 @@ pub mod prelude {
     pub use crate::pa::{RappPa, SalehPa, SoftClipPa};
     pub use crate::rate::{Downsampler, GainBlock, Upsampler};
     pub use crate::scenario::{
-        run_scenarios, run_scenarios_instrumented, run_scenarios_resilient, scenario_seed,
-        RetryPolicy, ScenarioOutcome, Scenarios,
+        run_scenarios, run_scenarios_checkpointed, run_scenarios_instrumented,
+        run_scenarios_resilient, run_scenarios_supervised, scenario_seed, RetryPolicy, ScenarioCtx,
+        ScenarioOutcome, Scenarios,
     };
     pub use crate::signal::Signal;
     pub use crate::source::{SamplePlayback, ToneSource};
+    pub use crate::supervise::{
+        BlockRole, BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload,
+        Deadline, Health, SupervisionReport, SweepCheckpoint, SweepSupervisor,
+    };
     pub use crate::telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
 }

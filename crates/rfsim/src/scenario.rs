@@ -41,12 +41,17 @@
 //! assert!(powers[0] < powers[2]);
 //! ```
 
+use crate::supervise::{
+    CancelToken, CheckpointEntry, CheckpointPayload, SupervisionReport, SweepCheckpoint,
+    SweepSupervisor,
+};
 use crate::telemetry::{FaultReport, SweepReport};
+use crate::Graph;
 use std::fmt::Display;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration for [`run_scenarios`]: how many scenarios to run and how
 /// many worker threads to use.
@@ -223,6 +228,7 @@ where
             workers,
             scenario_nanos,
             faults: None,
+            supervision: None,
         },
     ))
 }
@@ -347,67 +353,232 @@ where
     E: Send + Display,
     F: Fn(usize, u32) -> Result<R, E> + Sync,
 {
+    let (outcomes, mut report) = run_scenarios_supervised(
+        config,
+        policy,
+        &SweepSupervisor::new(),
+        |i, attempt, _ctx| scenario(i, attempt),
+    );
+    // No watchdog, no checkpoint: keep the pre-supervision report shape.
+    report.supervision = None;
+    (outcomes, report)
+}
+
+/// Per-attempt supervision handle the supervised runners pass to each
+/// scenario closure.
+///
+/// Carries the attempt's cooperative [`CancelToken`] (the sweep watchdog
+/// cancels it when the attempt overruns its budget) and the per-attempt
+/// wall-clock budget. Scenarios wire both into their graph with
+/// [`ScenarioCtx::supervise`]; the graph then aborts at the next block or
+/// chunk boundary once the watchdog fires. Cancellation is cooperative —
+/// an attempt that never polls its token (no graph pass, a busy loop)
+/// cannot be killed.
+#[derive(Debug)]
+pub struct ScenarioCtx {
+    cancel: CancelToken,
+    budget: Option<Duration>,
+    started: Instant,
+}
+
+impl ScenarioCtx {
+    fn new(budget: Option<Duration>) -> Self {
+        ScenarioCtx {
+            cancel: CancelToken::new(),
+            budget,
+            started: Instant::now(),
+        }
+    }
+
+    /// A clone of this attempt's cancellation token (all clones share one
+    /// flag).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Whether the watchdog has cancelled this attempt.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// The per-attempt wall-clock budget, if the supervisor set one.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
+    /// Wall time since this attempt started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Wires this attempt's supervision into a graph: the cancellation
+    /// token (polled at block/chunk boundaries) and, when the supervisor
+    /// budgets attempts, a matching graph deadline as a second line of
+    /// defense.
+    pub fn supervise(&self, graph: &mut Graph) {
+        graph.set_cancel_token(Some(self.cancel_token()));
+        graph.set_budget(self.budget);
+    }
+}
+
+/// Attributes one failed attempt to supervision when it was cancelled or
+/// overran its budget. Counting here (rather than in the watchdog) makes
+/// [`SupervisionReport::deadline_kills`] deterministic: a hung attempt is
+/// killed once whether the watchdog's cancel or the graph's own deadline
+/// fires first.
+fn note_kill(kills: &AtomicUsize, ctx: &ScenarioCtx) {
+    let overran = ctx.budget().is_some_and(|budget| ctx.elapsed() > budget);
+    if ctx.is_cancelled() || overran {
+        kills.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs a fault-tolerant sweep like [`run_scenarios_resilient`] under a
+/// [`SweepSupervisor`] watchdog: every attempt receives a [`ScenarioCtx`],
+/// and attempts that exceed the supervisor's per-scenario budget are
+/// cancelled cooperatively (counted in
+/// [`SupervisionReport::deadline_kills`]), then retried or faulted under
+/// `policy` like any other failure.
+///
+/// The watchdog runs on its own thread inside the sweep's scope and polls
+/// in-flight attempts at the supervisor's poll interval; without a budget
+/// it is not spawned and the runner behaves exactly like
+/// [`run_scenarios_resilient`].
+///
+/// The returned [`SweepReport`] carries both [`SweepReport::faults`] and
+/// [`SweepReport::supervision`].
+pub fn run_scenarios_supervised<R, E, F>(
+    config: Scenarios,
+    policy: RetryPolicy,
+    supervisor: &SweepSupervisor,
+    scenario: F,
+) -> (Vec<ScenarioOutcome<R>>, SweepReport)
+where
+    R: Send,
+    E: Send + Display,
+    F: Fn(usize, u32, &ScenarioCtx) -> Result<R, E> + Sync,
+{
+    let count = config.count();
     let workers = config.effective_threads();
     let counters = FaultCounters::default();
+    let kills = AtomicUsize::new(0);
     let sweep_started = Instant::now();
 
-    let attempt_scenario = |i: usize| -> (ScenarioOutcome<R>, u64) {
-        let started = Instant::now();
-        let mut last_error = String::new();
-        let mut attempts = 0;
-        while attempts < policy.max_attempts() {
-            attempts += 1;
-            // AssertUnwindSafe: the closure builds per-scenario state from
-            // scratch each attempt, so an unwound attempt leaves nothing
-            // torn for the next one to observe.
-            match catch_unwind(AssertUnwindSafe(|| scenario(i, attempts - 1))) {
-                Ok(Ok(result)) => {
-                    let nanos = started.elapsed().as_nanos() as u64;
-                    let outcome = if attempts == 1 {
-                        ScenarioOutcome::Succeeded(result)
-                    } else {
-                        ScenarioOutcome::Retried { result, attempts }
-                    };
-                    return (outcome, nanos);
-                }
-                Ok(Err(e)) => {
-                    counters.errors.fetch_add(1, Ordering::Relaxed);
-                    last_error = e.to_string();
-                }
-                Err(payload) => {
-                    counters.panics.fetch_add(1, Ordering::Relaxed);
-                    last_error = format!("panic: {}", panic_message(payload));
+    let mut slots: Vec<Option<(ScenarioOutcome<R>, u64)>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let results = Mutex::new(slots);
+
+    if count > 0 {
+        // One registration slot per worker: which attempt it is running
+        // (start instant + token), for the watchdog to scan.
+        let watch: Vec<Mutex<Option<(Instant, CancelToken)>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+
+        let attempt_scenario = |w: usize, i: usize| -> (ScenarioOutcome<R>, u64) {
+            let started = Instant::now();
+            let mut last_error = String::new();
+            let mut attempts = 0;
+            while attempts < policy.max_attempts() {
+                attempts += 1;
+                let ctx = ScenarioCtx::new(supervisor.scenario_budget());
+                *watch[w].lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some((ctx.started, ctx.cancel_token()));
+                // AssertUnwindSafe: the closure builds per-scenario state
+                // from scratch each attempt, so an unwound attempt leaves
+                // nothing torn for the next one to observe.
+                let outcome = catch_unwind(AssertUnwindSafe(|| scenario(i, attempts - 1, &ctx)));
+                *watch[w].lock().unwrap_or_else(PoisonError::into_inner) = None;
+                match outcome {
+                    Ok(Ok(result)) => {
+                        let nanos = started.elapsed().as_nanos() as u64;
+                        let outcome = if attempts == 1 {
+                            ScenarioOutcome::Succeeded(result)
+                        } else {
+                            ScenarioOutcome::Retried { result, attempts }
+                        };
+                        return (outcome, nanos);
+                    }
+                    Ok(Err(e)) => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        last_error = e.to_string();
+                        note_kill(&kills, &ctx);
+                    }
+                    Err(payload) => {
+                        counters.panics.fetch_add(1, Ordering::Relaxed);
+                        last_error = format!("panic: {}", panic_message(payload));
+                        note_kill(&kills, &ctx);
+                    }
                 }
             }
-        }
-        let nanos = started.elapsed().as_nanos() as u64;
-        (
-            ScenarioOutcome::Faulted {
-                attempts,
-                error: last_error,
-            },
-            nanos,
-        )
-    };
+            let nanos = started.elapsed().as_nanos() as u64;
+            (
+                ScenarioOutcome::Faulted {
+                    attempts,
+                    error: last_error,
+                },
+                nanos,
+            )
+        };
 
-    // The inner runner's error type is uninhabited-in-practice: every
-    // attempt outcome is data. Run it with an infallible signature.
-    let timed = match run_scenarios(config, |i| {
-        Ok::<_, std::convert::Infallible>(attempt_scenario(i))
-    }) {
-        Ok(t) => t,
-        Err(never) => match never {},
-    };
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let attempt_scenario = &attempt_scenario;
+                let next = &next;
+                let finished = &finished;
+                let results = &results;
+                scope.spawn(move || {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let out = attempt_scenario(w, i);
+                        results
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .as_mut_slice()[i] = Some(out);
+                    }
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            if let Some(budget) = supervisor.scenario_budget() {
+                let watch = &watch;
+                let finished = &finished;
+                let poll = supervisor.poll_interval();
+                scope.spawn(move || {
+                    while finished.load(Ordering::Relaxed) < workers {
+                        for slot in watch {
+                            let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                            if let Some((started, token)) = guard.as_ref() {
+                                // The worker attributes the resulting
+                                // failure to the deadline (see note_kill),
+                                // so the watchdog only has to cancel.
+                                if started.elapsed() > budget {
+                                    token.cancel();
+                                }
+                            }
+                            drop(guard);
+                        }
+                        std::thread::sleep(poll);
+                    }
+                });
+            }
+        });
+    }
 
     let total_nanos = sweep_started.elapsed().as_nanos() as u64;
-    let mut outcomes = Vec::with_capacity(timed.len());
-    let mut scenario_nanos = Vec::with_capacity(timed.len());
+    let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let mut outcomes = Vec::with_capacity(count);
+    let mut scenario_nanos = Vec::with_capacity(count);
     let mut faults = FaultReport {
         panics_caught: counters.panics.load(Ordering::Relaxed),
         errors_caught: counters.errors.load(Ordering::Relaxed),
         ..FaultReport::default()
     };
-    for (outcome, nanos) in timed {
+    for slot in slots {
+        let (outcome, nanos) = slot.expect("every scenario ran");
         match &outcome {
             ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
             ScenarioOutcome::Retried { .. } => faults.retried += 1,
@@ -423,6 +594,131 @@ where
             workers,
             scenario_nanos,
             faults: Some(faults),
+            supervision: Some(SupervisionReport {
+                deadline_kills: kills.load(Ordering::Relaxed),
+                resumed: 0,
+            }),
+        },
+    )
+}
+
+/// Runs a supervised sweep with durable progress: scenarios already
+/// recorded in `checkpoint` are restored instead of re-run, fresh
+/// successes are recorded (and persisted batch-wise) as they land, and the
+/// merged outcomes cover the full sweep in scenario order.
+///
+/// Restored and fresh results merge into one [`SweepReport`]:
+/// succeeded/retried/faulted counts span the whole sweep, while
+/// `panics_caught`/`errors_caught` and
+/// [`SupervisionReport::deadline_kills`] only cover work done in *this*
+/// process (a restored scenario's past failures were already accounted by
+/// the run that recorded it). [`SupervisionReport::resumed`] reports how
+/// many scenarios were restored.
+///
+/// Results must round-trip through the checkpoint encoding
+/// ([`CheckpointPayload`]); finite `f64` payloads restore bit for bit, so
+/// an interrupted sweep resumed with the same seed equals the
+/// uninterrupted one. Faulted scenarios are never recorded — they are
+/// re-attempted on resume.
+pub fn run_scenarios_checkpointed<R, E, F>(
+    config: Scenarios,
+    policy: RetryPolicy,
+    supervisor: &SweepSupervisor,
+    checkpoint: &mut SweepCheckpoint,
+    scenario: F,
+) -> (Vec<ScenarioOutcome<R>>, SweepReport)
+where
+    R: Send + Clone + CheckpointPayload,
+    E: Send + Display,
+    F: Fn(usize, u32, &ScenarioCtx) -> Result<R, E> + Sync,
+{
+    let count = config.count();
+    let workers = config.effective_threads();
+
+    // Restore completed scenarios; undecodable entries force a re-run.
+    let mut restored: Vec<Option<(ScenarioOutcome<R>, u64)>> = Vec::with_capacity(count);
+    restored.resize_with(count, || None);
+    for entry in checkpoint.entries() {
+        if entry.index >= count {
+            continue;
+        }
+        if let Some(result) = R::from_checkpoint_value(&entry.result) {
+            let outcome = if entry.attempts <= 1 {
+                ScenarioOutcome::Succeeded(result)
+            } else {
+                ScenarioOutcome::Retried {
+                    result,
+                    attempts: entry.attempts,
+                }
+            };
+            restored[entry.index] = Some((outcome, entry.nanos));
+        }
+    }
+    let resumed = restored.iter().filter(|r| r.is_some()).count();
+    let pending: Vec<usize> = (0..count).filter(|&i| restored[i].is_none()).collect();
+
+    let shared = Mutex::new(&mut *checkpoint);
+    let (fresh, fresh_report) = run_scenarios_supervised(
+        Scenarios::new(pending.len()).threads(workers),
+        policy,
+        supervisor,
+        |j, attempt, ctx| -> Result<R, E> {
+            let index = pending[j];
+            let started = Instant::now();
+            let result = scenario(index, attempt, ctx)?;
+            shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(CheckpointEntry {
+                    index,
+                    attempts: attempt + 1,
+                    nanos: started.elapsed().as_nanos() as u64,
+                    result: result.to_checkpoint_value(),
+                });
+            Ok(result)
+        },
+    );
+
+    // Merge: pending indices are ascending, so fresh results line up with
+    // the restored gaps in order.
+    let mut fresh_iter = fresh
+        .into_iter()
+        .zip(fresh_report.scenario_nanos.iter().copied());
+    let mut outcomes = Vec::with_capacity(count);
+    let mut scenario_nanos = Vec::with_capacity(count);
+    let fresh_faults = fresh_report.faults.unwrap_or_default();
+    let mut faults = FaultReport {
+        panics_caught: fresh_faults.panics_caught,
+        errors_caught: fresh_faults.errors_caught,
+        ..FaultReport::default()
+    };
+    for slot in restored {
+        let (outcome, nanos) = match slot {
+            Some(pair) => pair,
+            None => fresh_iter
+                .next()
+                .expect("one fresh result per pending scenario"),
+        };
+        match &outcome {
+            ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
+            ScenarioOutcome::Retried { .. } => faults.retried += 1,
+            ScenarioOutcome::Faulted { .. } => faults.faulted += 1,
+        }
+        outcomes.push(outcome);
+        scenario_nanos.push(nanos);
+    }
+    let _ = checkpoint.persist();
+    (
+        outcomes,
+        SweepReport {
+            total_nanos: fresh_report.total_nanos,
+            workers,
+            scenario_nanos,
+            faults: Some(faults),
+            supervision: Some(SupervisionReport {
+                deadline_kills: fresh_report.supervision.map_or(0, |s| s.deadline_kills),
+                resumed,
+            }),
         },
     )
 }
@@ -659,6 +955,163 @@ mod tests {
         assert_eq!(faults.errors_caught, 3);
         assert_eq!(RetryPolicy::retries(2).max_attempts(), 3);
         assert_eq!(RetryPolicy::none().max_attempts(), 1);
+    }
+
+    #[test]
+    fn fault_on_final_retry_counts_once_and_outcomes_sum_to_total() {
+        // Regression: a scenario that fails on its final permitted retry
+        // must land in `faulted` only — never also in `retried` — so the
+        // outcome counts always partition the sweep.
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(1).threads(1),
+            RetryPolicy::retries(1),
+            |_, _| -> Result<(), String> { Err("down on every attempt".into()) },
+        );
+        let faults = report.faults.expect("present");
+        assert_eq!(faults.faulted, 1);
+        assert_eq!(
+            faults.retried, 0,
+            "final-retry fault must not count as retried"
+        );
+        assert_eq!(faults.succeeded, 0);
+        assert_eq!(outcomes[0].attempts(), 2);
+
+        // Mixed sweep: clean, retried and faulted scenarios partition it.
+        let (outcomes, report) = run_scenarios_resilient(
+            Scenarios::new(12).threads(4),
+            RetryPolicy::retries(1),
+            |i, attempt| -> Result<usize, String> {
+                match i % 3 {
+                    0 => Ok(i),
+                    1 if attempt == 0 => Err("flaky first attempt".into()),
+                    1 => Ok(i),
+                    _ => Err("always down".into()),
+                }
+            },
+        );
+        let faults = report.faults.expect("present");
+        assert_eq!(faults.succeeded, 4);
+        assert_eq!(faults.retried, 4);
+        assert_eq!(faults.faulted, 4);
+        assert_eq!(
+            faults.succeeded + faults.retried + faults.faulted,
+            outcomes.len(),
+            "outcome counts must partition the sweep"
+        );
+        assert_eq!(faults.scenarios(), outcomes.len());
+    }
+
+    #[test]
+    fn supervised_watchdog_kills_overrunning_attempts() {
+        use crate::supervise::SweepSupervisor;
+        // Odd scenarios spin until cancelled; even ones finish instantly.
+        let supervisor = SweepSupervisor::new()
+            .with_scenario_budget(Duration::from_millis(40))
+            .with_poll_interval(Duration::from_millis(1));
+        let (outcomes, report) = run_scenarios_supervised(
+            Scenarios::new(6).threads(3),
+            RetryPolicy::none(),
+            &supervisor,
+            |i, _attempt, ctx| -> Result<usize, String> {
+                if i % 2 == 0 {
+                    return Ok(i);
+                }
+                loop {
+                    if ctx.is_cancelled() {
+                        return Err(format!("scenario {i} cancelled by watchdog"));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            },
+        );
+        let faults = report.faults.expect("present");
+        assert_eq!(faults.succeeded, 3);
+        assert_eq!(faults.faulted, 3);
+        let sup = report.supervision.expect("supervised sweep reports");
+        assert_eq!(sup.deadline_kills, 3);
+        assert_eq!(sup.resumed, 0);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(o.result(), Some(&i));
+            } else {
+                assert!(o.is_faulted());
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_without_budget_matches_resilient() {
+        use crate::supervise::SweepSupervisor;
+        let (outcomes, report) = run_scenarios_supervised(
+            Scenarios::new(5).threads(2),
+            RetryPolicy::none(),
+            &SweepSupervisor::new(),
+            |i, _attempt, ctx| -> Result<usize, SimError> {
+                assert!(!ctx.is_cancelled());
+                assert!(ctx.budget().is_none());
+                Ok(i * 2)
+            },
+        );
+        assert_eq!(report.supervision.expect("present").deadline_kills, 0);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.result(), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_and_merges() {
+        use crate::supervise::{SweepCheckpoint, SweepSupervisor};
+        let path =
+            std::env::temp_dir().join(format!("rfsim-scenario-ckpt-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // First run: scenarios ≥ 4 fail, so only 0..4 land in the
+        // checkpoint.
+        let mut ckpt = SweepCheckpoint::load_or_new(&path, "unit", 8).with_batch(1);
+        let (outcomes, report) = run_scenarios_checkpointed(
+            Scenarios::new(8).threads(2),
+            RetryPolicy::none(),
+            &SweepSupervisor::new(),
+            &mut ckpt,
+            |i, _attempt, _ctx| -> Result<f64, String> {
+                if i < 4 {
+                    Ok(i as f64 * 1.5)
+                } else {
+                    Err("not yet".into())
+                }
+            },
+        );
+        assert_eq!(report.faults.expect("present").faulted, 4);
+        assert_eq!(report.supervision.expect("present").resumed, 0);
+        assert_eq!(outcomes[0].result(), Some(&0.0));
+
+        // Second run: everything works; the first four restore from disk.
+        let ran = AtomicUsize::new(0);
+        let mut ckpt = SweepCheckpoint::load_or_new(&path, "unit", 8);
+        assert_eq!(ckpt.len(), 4);
+        let (outcomes, report) = run_scenarios_checkpointed(
+            Scenarios::new(8).threads(2),
+            RetryPolicy::none(),
+            &SweepSupervisor::new(),
+            &mut ckpt,
+            |i, _attempt, _ctx| -> Result<f64, String> {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(i as f64 * 1.5)
+            },
+        );
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            4,
+            "restored scenarios must not re-run"
+        );
+        let faults = report.faults.expect("present");
+        assert_eq!(faults.succeeded, 8);
+        assert_eq!(faults.faulted, 0);
+        assert_eq!(report.supervision.expect("present").resumed, 4);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.result(), Some(&(i as f64 * 1.5)));
+        }
+        ckpt.discard().expect("cleanup");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! machine-readable JSON document ([`RunReport::to_json`]) for the
 //! `BENCH_*.json` perf trajectory.
 
+use crate::supervise::{Health, SupervisionReport};
 use serde::json::Value;
 use std::time::Instant;
 
@@ -32,6 +33,9 @@ pub struct BlockStats {
     /// Peak number of samples held in this block's output edge buffer at
     /// any point of the pass (for batch runs: the pass output length).
     pub buffer_high_water: usize,
+    /// How many invocations the circuit breaker replaced with a
+    /// pass-through bypass ([`crate::Graph::set_breaker_policy`]).
+    pub bypassed: u64,
 }
 
 impl BlockStats {
@@ -77,6 +81,13 @@ pub struct RunReport {
     /// Scheduler rounds: 1 for batch, the number of chunk rounds for
     /// streaming.
     pub rounds: u64,
+    /// Supervision verdict of the pass: `Degraded` when any breaker
+    /// bypassed a block, `Failed` when the pass errored.
+    pub health: Health,
+    /// Circuit-breaker trips (Closed → Open transitions) during the pass.
+    pub breaker_trips: u64,
+    /// Block invocations replaced by pass-through bypass during the pass.
+    pub bypassed_invocations: u64,
     /// Per-block measurements, in block insertion order.
     pub blocks: Vec<BlockStats>,
 }
@@ -125,21 +136,29 @@ impl RunReport {
         };
         let _ = writeln!(
             out,
-            "run: {mode}, {} rounds, {:.3} ms total, {:.2} Msamples/s",
+            "run: {mode}, {} rounds, {:.3} ms total, {:.2} Msamples/s, health {}",
             self.rounds,
             self.total_nanos as f64 / 1e6,
             self.throughput_msps(),
+            self.health,
         );
+        if self.breaker_trips > 0 || self.bypassed_invocations > 0 {
+            let _ = writeln!(
+                out,
+                "supervision: {} breaker trip(s), {} invocation(s) bypassed",
+                self.breaker_trips, self.bypassed_invocations,
+            );
+        }
         let _ = writeln!(
             out,
-            "| block | calls | time (µs) | share | in | out | buf HWM |"
+            "| block | calls | time (µs) | share | in | out | buf HWM | bypassed |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
         let block_total = self.block_nanos().max(1);
         for b in order {
             let _ = writeln!(
                 out,
-                "| {} | {} | {:.1} | {:.0}% | {} | {} | {} |",
+                "| {} | {} | {:.1} | {:.0}% | {} | {} | {} | {} |",
                 b.name,
                 b.invocations,
                 b.nanos as f64 / 1e3,
@@ -147,6 +166,7 @@ impl RunReport {
                 b.samples_in,
                 b.samples_out,
                 b.buffer_high_water,
+                b.bypassed,
             );
         }
         out
@@ -165,6 +185,12 @@ impl RunReport {
             ("mode".into(), mode),
             ("total_ns".into(), Value::from(self.total_nanos)),
             ("rounds".into(), Value::from(self.rounds)),
+            ("health".into(), Value::from(self.health.as_str())),
+            ("breaker_trips".into(), Value::from(self.breaker_trips)),
+            (
+                "bypassed_invocations".into(),
+                Value::from(self.bypassed_invocations),
+            ),
             (
                 "throughput_msps".into(),
                 Value::from(self.throughput_msps()),
@@ -182,6 +208,7 @@ impl RunReport {
                                 ("samples_in".into(), Value::from(b.samples_in)),
                                 ("samples_out".into(), Value::from(b.samples_out)),
                                 ("buffer_high_water".into(), Value::from(b.buffer_high_water)),
+                                ("bypassed".into(), Value::from(b.bypassed)),
                             ])
                         })
                         .collect(),
@@ -215,6 +242,7 @@ struct Slot {
     samples_in: u64,
     samples_out: u64,
     buffer_high_water: usize,
+    bypassed: u64,
 }
 
 impl Recorder {
@@ -255,13 +283,23 @@ impl Recorder {
         slot.buffer_high_water = slot.buffer_high_water.max(held);
     }
 
-    /// Finalizes into a [`RunReport`], attaching block names.
+    /// Notes one breaker-bypassed invocation of a node.
+    pub(crate) fn note_bypass(&mut self, node: usize) {
+        self.slots[node].bypassed += 1;
+    }
+
+    /// Finalizes into a [`RunReport`], attaching block names. Supervision
+    /// fields start at their healthy defaults; the graph stamps its own
+    /// counters afterwards.
     pub(crate) fn finish(self, mode: RunMode, names: impl Iterator<Item = String>) -> RunReport {
         let total_nanos = self.started.elapsed().as_nanos() as u64;
         RunReport {
             mode,
             total_nanos,
             rounds: self.rounds.max(1),
+            health: Health::Healthy,
+            breaker_trips: 0,
+            bypassed_invocations: 0,
             blocks: names
                 .zip(self.slots)
                 .map(|(name, s)| BlockStats {
@@ -271,6 +309,7 @@ impl Recorder {
                     samples_in: s.samples_in,
                     samples_out: s.samples_out,
                     buffer_high_water: s.buffer_high_water,
+                    bypassed: s.bypassed,
                 })
                 .collect(),
         }
@@ -371,6 +410,11 @@ pub struct SweepReport {
     /// Fault-tolerance outcome counts, present when the sweep ran through
     /// [`crate::scenario::run_scenarios_resilient`].
     pub faults: Option<FaultReport>,
+    /// Watchdog/checkpoint accounting, present when the sweep ran under a
+    /// [`crate::supervise::SweepSupervisor`]
+    /// ([`crate::scenario::run_scenarios_supervised`] or
+    /// [`crate::scenario::run_scenarios_checkpointed`]).
+    pub supervision: Option<SupervisionReport>,
 }
 
 impl SweepReport {
@@ -414,6 +458,10 @@ impl SweepReport {
             line.push_str(" — ");
             line.push_str(&f.summary());
         }
+        if let Some(s) = &self.supervision {
+            line.push_str(" — ");
+            line.push_str(&s.summary());
+        }
         line
     }
 
@@ -444,6 +492,9 @@ impl SweepReport {
         if let Some(f) = &self.faults {
             fields.push(("faults".into(), f.to_json_value()));
         }
+        if let Some(s) = &self.supervision {
+            fields.push(("supervision".into(), s.to_json_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -457,6 +508,9 @@ mod tests {
             mode: RunMode::Streaming { chunk_len: 80 },
             total_nanos: 2_000_000,
             rounds: 10,
+            health: Health::Healthy,
+            breaker_trips: 0,
+            bypassed_invocations: 0,
             blocks: vec![
                 BlockStats {
                     name: "src".into(),
@@ -465,6 +519,7 @@ mod tests {
                     samples_in: 0,
                     samples_out: 800,
                     buffer_high_water: 80,
+                    bypassed: 0,
                 },
                 BlockStats {
                     name: "pa".into(),
@@ -473,6 +528,7 @@ mod tests {
                     samples_in: 800,
                     samples_out: 800,
                     buffer_high_water: 80,
+                    bypassed: 0,
                 },
             ],
         }
@@ -519,6 +575,9 @@ mod tests {
             mode: RunMode::Batch,
             total_nanos: 0,
             rounds: 1,
+            health: Health::Healthy,
+            breaker_trips: 0,
+            bypassed_invocations: 0,
             blocks: vec![],
         };
         assert_eq!(r.throughput_msps(), 0.0);
@@ -531,6 +590,7 @@ mod tests {
             workers: 2,
             scenario_nanos: vec![600_000, 800_000],
             faults: None,
+            supervision: None,
         };
         assert_eq!(s.busy_nanos(), 1_400_000);
         assert!((s.utilization() - 0.7).abs() < 1e-12);
@@ -544,6 +604,7 @@ mod tests {
             workers: 0,
             scenario_nanos: vec![],
             faults: None,
+            supervision: None,
         };
         assert_eq!(degenerate.utilization(), 0.0);
         assert_eq!(degenerate.speedup(), 0.0);
@@ -582,6 +643,7 @@ mod tests {
                 panics_caught: 2,
                 errors_caught: 0,
             }),
+            supervision: None,
         };
         assert!(s.summary().contains("caught 2 panics"), "{}", s.summary());
         let doc = serde::json::parse(&s.to_json_value().to_string()).expect("valid");
@@ -595,6 +657,52 @@ mod tests {
             faults.get("survival_rate").and_then(Value::as_f64),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn supervision_threads_through_run_report_summary_and_json() {
+        let mut r = report();
+        r.health = Health::Degraded;
+        r.breaker_trips = 1;
+        r.bypassed_invocations = 10;
+        r.blocks[1].bypassed = 10;
+        let s = r.summary();
+        assert!(s.contains("health degraded"), "{s}");
+        assert!(
+            s.contains("1 breaker trip(s), 10 invocation(s) bypassed"),
+            "{s}"
+        );
+        let doc = serde::json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("health").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(doc.get("breaker_trips").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            doc.get("bypassed_invocations").and_then(Value::as_f64),
+            Some(10.0)
+        );
+        let blocks = doc.get("blocks").and_then(Value::as_array).expect("array");
+        assert_eq!(
+            blocks[1].get("bypassed").and_then(Value::as_f64),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn supervision_threads_through_sweep_json_and_summary() {
+        let s = SweepReport {
+            total_nanos: 1_000,
+            workers: 1,
+            scenario_nanos: vec![500],
+            faults: None,
+            supervision: Some(SupervisionReport {
+                deadline_kills: 3,
+                resumed: 2,
+            }),
+        };
+        assert!(s.summary().contains("3 deadline kills"), "{}", s.summary());
+        let doc = serde::json::parse(&s.to_json_value().to_string()).expect("valid");
+        let sup = doc.get("supervision").expect("supervision object");
+        assert_eq!(sup.get("deadline_kills").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(sup.get("resumed").and_then(Value::as_f64), Some(2.0));
     }
 
     #[test]

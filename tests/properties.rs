@@ -241,3 +241,115 @@ proptest! {
             StandardId::ALL[a_idx].key());
     }
 }
+
+// The serde shim's JSON writer and parser back every telemetry artifact
+// (`RunReport::to_json`, sweep checkpoints, `BENCH_*.json`), so their
+// round-trip must be exact: any document the writer emits, the parser
+// reads back structurally identical — including escaped strings, nested
+// containers, and the documented clamp of non-finite numbers to `null`.
+
+/// SplitMix64: a tiny deterministic stream for building arbitrary JSON
+/// documents out of a single proptest-generated seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A string exercising the writer's escape table: quotes, backslashes,
+/// control characters, and multi-byte UTF-8.
+fn gen_json_string(state: &mut u64) -> String {
+    const PALETTE: [&str; 10] = ["a", "Z", "\"", "\\", "\n", "\t", "\r", "\u{1}", "β", "☃"];
+    let len = splitmix(state) % 9;
+    (0..len)
+        .map(|_| PALETTE[(splitmix(state) % PALETTE.len() as u64) as usize])
+        .collect()
+}
+
+/// An arbitrary JSON value of bounded depth. Numbers are drawn from raw
+/// f64 bit patterns so subnormals and extreme exponents appear; non-finite
+/// draws fall back to a rational so this generator stays roundtrip-exact.
+fn gen_json_value(state: &mut u64, depth: u32) -> serde::json::Value {
+    use serde::json::Value;
+    match splitmix(state) % if depth == 0 { 4 } else { 6 } {
+        0 => Value::Null,
+        1 => Value::Bool(splitmix(state).is_multiple_of(2)),
+        2 => {
+            let bits = splitmix(state);
+            let x = f64::from_bits(bits);
+            if x.is_finite() {
+                Value::Number(x)
+            } else {
+                Value::Number((bits % 1_000_003) as f64 / 97.0)
+            }
+        }
+        3 => Value::String(gen_json_string(state)),
+        4 => Value::Array(
+            (0..splitmix(state) % 4)
+                .map(|_| gen_json_value(state, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..splitmix(state) % 4)
+                .map(|_| (gen_json_string(state), gen_json_value(state, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// The writer's documented treatment of non-finite numbers, applied
+/// recursively: NaN and the infinities serialize as `null`.
+fn clamp_non_finite(v: &serde::json::Value) -> serde::json::Value {
+    use serde::json::Value;
+    match v {
+        Value::Number(x) if !x.is_finite() => Value::Null,
+        Value::Array(items) => Value::Array(items.iter().map(clamp_non_finite).collect()),
+        Value::Object(members) => Value::Object(
+            members
+                .iter()
+                .map(|(k, v)| (k.clone(), clamp_non_finite(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Writer/parser round-trip: any finite document comes back
+    /// structurally equal, so checkpoint and telemetry JSON is lossless.
+    #[test]
+    fn json_writer_parser_roundtrip(seed in 0u64..1_000_000) {
+        let mut state = seed;
+        let doc = gen_json_value(&mut state, 3);
+        let text = doc.to_string();
+        let back = serde::json::parse(&text)
+            .unwrap_or_else(|e| panic!("writer emitted unparsable JSON `{text}`: {e}"));
+        prop_assert_eq!(back, doc, "{}", text);
+    }
+
+    /// Non-finite numbers clamp to `null` on write, wherever they sit in
+    /// the document, and the rest of the value survives untouched.
+    #[test]
+    fn json_non_finite_numbers_clamp_to_null(seed in 0u64..1_000_000) {
+        use serde::json::Value;
+        let mut state = seed;
+        let doc = Value::Object(vec![
+            ("nan".into(), Value::Number(f64::NAN)),
+            ("inf".into(), Value::Number(f64::INFINITY)),
+            ("ninf".into(), Value::Number(f64::NEG_INFINITY)),
+            (
+                "nested".into(),
+                Value::Array(vec![
+                    Value::Number(f64::NAN),
+                    gen_json_value(&mut state, 2),
+                ]),
+            ),
+        ]);
+        let back = serde::json::parse(&doc.to_string()).expect("parses");
+        prop_assert_eq!(back, clamp_non_finite(&doc));
+    }
+}
