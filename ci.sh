@@ -20,6 +20,25 @@ cargo clippy -p rfsim -p ofdm-core --lib -- \
 cargo clippy -p ofdm-bench --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::panic
 
+echo "==> deprecation gate: no deprecated calls outside tests"
+# The legacy sweep runners (run_scenarios and friends) are deprecated
+# delegating wrappers over SweepPlan; library, binary and bench code must
+# be fully migrated. Integration tests are exempt — they deliberately keep
+# the wrappers under test until removal.
+cargo clippy --workspace --lib --bins --benches -- -D warnings -D deprecated
+
+echo "==> public-api smoke: deprecated sweep wrappers stay exported"
+# The wrappers are deprecated, not deleted: downstream callers must get a
+# deprecation note, never a hard break. Each must still exist with its
+# public generic signature.
+for wrapper in run_scenarios run_scenarios_instrumented run_scenarios_resilient \
+    run_scenarios_supervised run_scenarios_checkpointed; do
+    grep -q "pub fn ${wrapper}<" crates/rfsim/src/scenario.rs || {
+        echo "public-api smoke failed: missing wrapper ${wrapper}" >&2
+        exit 1
+    }
+done
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 # Broken intra-doc links and malformed doc comments fail the gate; the
 # docs are the contract the supervision/telemetry layers are used by.

@@ -73,9 +73,9 @@ fn bench_scenario_runner(c: &mut Criterion) {
     group.sample_size(10);
     let bits = 50 * RATE.n_cbps() / 2 - 6;
     let sweep = |threads: usize| {
-        run_scenarios(
-            Scenarios::new(8).threads(threads),
-            |i| -> Result<f64, SimError> {
+        SweepPlan::new(8)
+            .threads(threads)
+            .run_fail_fast(|i| -> Result<f64, SimError> {
                 let mut g = Graph::new();
                 let src = g.add(
                     OfdmSource::new(ieee80211a::params(RATE), bits, scenario_seed(7, i))
@@ -89,9 +89,9 @@ fn bench_scenario_runner(c: &mut Criterion) {
                     .expect("present")
                     .power()
                     .expect("ran"))
-            },
-        )
-        .expect("sweep runs")
+            })
+            .expect("sweep runs")
+            .0
     };
     for &threads in &[1usize, 4] {
         group.bench_function(BenchmarkId::new("threads", threads), |b| {

@@ -128,10 +128,8 @@ fn run_fault_sweep() -> (Vec<ScenarioOutcome<f64>>, SweepReport) {
     // it for the sweep (the worker threads are the only panickers here).
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let result = run_scenarios_resilient(
-        Scenarios::new(64),
-        RetryPolicy::retries(1),
-        |i, attempt| -> Result<f64, SimError> {
+    let result = SweepPlan::new(64).with_retry(RetryPolicy::retries(1)).run(
+        |i, attempt, _ctx| -> Result<f64, SimError> {
             let seed = scenario_seed(0xFA17, i) ^ u64::from(attempt);
             let plan = match i % 4 {
                 0 => FaultPlan::new(),
@@ -194,7 +192,7 @@ fn e9_fault_sweep() -> Result<(), Box<dyn std::error::Error>> {
     let p = ieee80211a::params(WlanRate::Mbps12);
     let frame = transmit_frame(&p, 4800, 9);
     let rates = [0.001f64, 0.005, 0.02, 0.08];
-    let evms = run_scenarios(Scenarios::new(rates.len()), |i| -> Result<f64, String> {
+    let (evms, _) = SweepPlan::new(rates.len()).run_fail_fast(|i| -> Result<f64, String> {
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::new(frame.signal().clone()));
         let dropper = g.add(SampleDropper::new(rates[i], 7));
@@ -249,11 +247,10 @@ fn e10_supervision() -> Result<(), Box<dyn std::error::Error>> {
         .with_scenario_budget(budget)
         .with_poll_interval(Duration::from_millis(2));
     let started = std::time::Instant::now();
-    let (outcomes, report) = run_scenarios_supervised(
-        Scenarios::new(16).threads(4),
-        RetryPolicy::none(),
-        &supervisor,
-        |i, _attempt, ctx| -> Result<f64, SimError> {
+    let (outcomes, report) = SweepPlan::new(16)
+        .threads(4)
+        .with_supervisor(supervisor)
+        .run(|i, _attempt, ctx| -> Result<f64, SimError> {
             if i % 4 == 3 {
                 let mut g = Graph::new();
                 let src = g.add(StalledSource::new(20.0e6, Duration::from_millis(2)));
@@ -263,8 +260,7 @@ fn e10_supervision() -> Result<(), Box<dyn std::error::Error>> {
                 g.run_streaming(64)?;
             }
             e10_scenario_power(0xE10, i)
-        },
-    );
+        });
     let faults = report.faults.expect("supervised sweep reports faults");
     let sup = report
         .supervision
@@ -355,39 +351,25 @@ fn e10_supervision() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join(format!("rfsim-e10-resume-{}.json", std::process::id()));
     let _ = std::fs::remove_file(&path);
     let mut reference = SweepCheckpoint::load_or_new("/nonexistent/e10-reference", "e10", COUNT);
-    let (uninterrupted, _) = run_scenarios_checkpointed(
-        Scenarios::new(COUNT).threads(4),
-        RetryPolicy::none(),
-        &SweepSupervisor::new(),
-        &mut reference,
-        |i, _attempt, _ctx| e10_scenario_power(0xC10, i),
-    );
+    let plan = SweepPlan::new(COUNT).threads(4);
+    let (uninterrupted, _) = plan.run_checkpointed(&mut reference, |i, _attempt, _ctx| {
+        e10_scenario_power(0xC10, i)
+    });
     let mut ckpt = SweepCheckpoint::load_or_new(&path, "e10", COUNT).with_batch(4);
-    let _ = run_scenarios_checkpointed(
-        Scenarios::new(COUNT).threads(4),
-        RetryPolicy::none(),
-        &SweepSupervisor::new(),
-        &mut ckpt,
-        |i, _attempt, _ctx| {
-            if i >= COUNT / 2 {
-                return Err(SimError::BlockFailure {
-                    block: "e10".into(),
-                    message: "interrupted".into(),
-                });
-            }
-            e10_scenario_power(0xC10, i)
-        },
-    );
+    let _ = plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| {
+        if i >= COUNT / 2 {
+            return Err(SimError::BlockFailure {
+                block: "e10".into(),
+                message: "interrupted".into(),
+            });
+        }
+        e10_scenario_power(0xC10, i)
+    });
     drop(ckpt);
     let mut ckpt = SweepCheckpoint::load_or_new(&path, "e10", COUNT);
     assert_eq!(ckpt.len(), COUNT / 2, "front half persisted to disk");
-    let (resumed, resumed_report) = run_scenarios_checkpointed(
-        Scenarios::new(COUNT).threads(4),
-        RetryPolicy::none(),
-        &SweepSupervisor::new(),
-        &mut ckpt,
-        |i, _attempt, _ctx| e10_scenario_power(0xC10, i),
-    );
+    let (resumed, resumed_report) =
+        plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| e10_scenario_power(0xC10, i));
     let resumed_sup = resumed_report
         .supervision
         .expect("checkpointed sweep reports supervision");
@@ -423,7 +405,7 @@ fn e8_dab_mobile() -> Result<(), Box<dyn std::error::Error>> {
     // Each Doppler point is an independent graph simulation: fan them out
     // over the scenario runner (results come back in sweep order).
     let dopplers = [2.0f64, 20.0, 100.0, 250.0, 500.0];
-    let bers = run_scenarios(Scenarios::new(dopplers.len()), |i| -> Result<f64, String> {
+    let (bers, _) = SweepPlan::new(dopplers.len()).run_fail_fast(|i| -> Result<f64, String> {
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::new(frame.signal().clone()));
         let fading = g.add(RayleighChannel::new(
@@ -789,15 +771,13 @@ fn e7_ber_waterfall() -> Result<(), Box<dyn std::error::Error>> {
     // the SNR alone, so the parallel sweep is bit-identical to the old
     // sequential loop.
     let snrs = [2.0f64, 4.0, 6.0, 8.0, 10.0];
-    let results = run_scenarios(
-        Scenarios::new(snrs.len()),
-        |i| -> Result<(f64, f64), String> {
+    let (results, _) =
+        SweepPlan::new(snrs.len()).run_fail_fast(|i| -> Result<(f64, f64), String> {
             let snr = snrs[i];
             let raw = ber_for(&uncoded_params, snr, 1000 + snr as u64);
             let coded = ber_for(&coded_params, snr, 2000 + snr as u64);
             Ok((raw, coded))
-        },
-    )?;
+        })?;
     for (&snr, &(raw, coded)) in snrs.iter().zip(&results) {
         println!("| {snr:.0} | {raw:.2e} | {coded:.2e} |");
     }
@@ -920,6 +900,28 @@ fn emit_bench_json(path: &str, n_symbols: usize) -> Result<(), Box<dyn std::erro
         3,
     );
 
+    // Unified-engine guard: the legacy shim entrypoint vs an explicit
+    // `ExecPlan` driving the same chain. The shim is a one-line delegate,
+    // so anything outside timing noise (< 5%, enforced by `--check-bench`)
+    // means the refactor grew a real cost.
+    let t_shim = time_per_run(
+        || {
+            bench_chain(&wlan, wlan_bits)
+                .run_streaming(CHUNK)
+                .expect("runs");
+        },
+        10,
+    );
+    let engine_plan = ExecPlan::streaming(CHUNK);
+    let t_engine = time_per_run(
+        || {
+            bench_chain(&wlan, wlan_bits)
+                .execute(&engine_plan)
+                .expect("runs");
+        },
+        10,
+    );
+
     // Fault-injection sweep outcome counts (the graceful-degradation gate
     // rides along in the trajectory file).
     let (_, fault_sweep) = run_fault_sweep();
@@ -937,16 +939,25 @@ fn emit_bench_json(path: &str, n_symbols: usize) -> Result<(), Box<dyn std::erro
             finite_ratio(t_inst, t_plain).into(),
         ),
         ("standards".into(), Value::Object(standards)),
+        (
+            "exec_engine".into(),
+            Value::Object(vec![
+                ("shim_ns".into(), (t_shim * 1e9).into()),
+                ("engine_ns".into(), (t_engine * 1e9).into()),
+                ("ratio".into(), finite_ratio(t_engine, t_shim).into()),
+            ]),
+        ),
         ("fault_sweep".into(), faults.to_json_value()),
         ("supervision".into(), supervision_snapshot()?),
     ]);
     std::fs::write(path, format!("{doc}\n"))?;
     println!(
         "wrote {path}: {} standards, RTL/behavioral {:.1}x, instrumentation overhead {:.3}x, \
-         fault survival {:.0}%",
+         engine/shim {:.3}x, fault survival {:.0}%",
         StandardId::ALL.len(),
         finite_ratio(t_rtl, t_beh),
         finite_ratio(t_inst, t_plain),
+        finite_ratio(t_engine, t_shim),
         faults.survival_rate() * 100.0,
     );
     Ok(())
@@ -975,11 +986,10 @@ fn supervision_snapshot() -> Result<Value, Box<dyn std::error::Error>> {
     let supervisor = SweepSupervisor::new()
         .with_scenario_budget(Duration::from_millis(150))
         .with_poll_interval(Duration::from_millis(2));
-    let (_, sweep) = run_scenarios_supervised(
-        Scenarios::new(4).threads(2),
-        RetryPolicy::none(),
-        &supervisor,
-        |i, _attempt, ctx| -> Result<f64, SimError> {
+    let (_, sweep) = SweepPlan::new(4)
+        .threads(2)
+        .with_supervisor(supervisor)
+        .run(|i, _attempt, ctx| -> Result<f64, SimError> {
             if i == 3 {
                 let mut g = Graph::new();
                 let src = g.add(StalledSource::new(20.0e6, Duration::from_millis(2)));
@@ -989,8 +999,7 @@ fn supervision_snapshot() -> Result<Value, Box<dyn std::error::Error>> {
                 g.run_streaming(64)?;
             }
             e10_scenario_power(0xBE, i)
-        },
-    );
+        });
     let watchdog = sweep
         .supervision
         .expect("supervised sweep reports supervision");
@@ -1000,30 +1009,20 @@ fn supervision_snapshot() -> Result<Value, Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join(format!("rfsim-bench-ckpt-{}.json", std::process::id()));
     let _ = std::fs::remove_file(&path);
     let mut ckpt = SweepCheckpoint::load_or_new(&path, "bench", COUNT);
-    let _ = run_scenarios_checkpointed(
-        Scenarios::new(COUNT).threads(2),
-        RetryPolicy::none(),
-        &SweepSupervisor::new(),
-        &mut ckpt,
-        |i, _attempt, _ctx| {
-            if i >= COUNT / 2 {
-                return Err(SimError::BlockFailure {
-                    block: "bench".into(),
-                    message: "interrupted".into(),
-                });
-            }
-            e10_scenario_power(0xCB, i)
-        },
-    );
+    let plan = SweepPlan::new(COUNT).threads(2);
+    let _ = plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| {
+        if i >= COUNT / 2 {
+            return Err(SimError::BlockFailure {
+                block: "bench".into(),
+                message: "interrupted".into(),
+            });
+        }
+        e10_scenario_power(0xCB, i)
+    });
     drop(ckpt);
     let mut ckpt = SweepCheckpoint::load_or_new(&path, "bench", COUNT);
-    let (_, resumed_sweep) = run_scenarios_checkpointed(
-        Scenarios::new(COUNT).threads(2),
-        RetryPolicy::none(),
-        &SweepSupervisor::new(),
-        &mut ckpt,
-        |i, _attempt, _ctx| e10_scenario_power(0xCB, i),
-    );
+    let (_, resumed_sweep) =
+        plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| e10_scenario_power(0xCB, i));
     let resumed = resumed_sweep
         .supervision
         .expect("checkpointed sweep reports supervision")
@@ -1139,6 +1138,33 @@ fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             )));
         }
     }
+    // The unified-engine guard: optional in files predating the ExecPlan
+    // refactor, but when present the plan-driven engine must sit within
+    // timing noise (< 5%) of the legacy shim entrypoint it replaced.
+    if let Some(engine) = doc.get("exec_engine") {
+        for field in ["shim_ns", "engine_ns"] {
+            let v = finite(
+                engine.get(field).and_then(Value::as_f64),
+                format!("`exec_engine`.`{field}`"),
+            )?;
+            if v <= 0.0 {
+                return Err(fail(format!(
+                    "`exec_engine`.`{field}` must be positive, got {v}"
+                )));
+            }
+        }
+        let ratio = finite(
+            engine.get("ratio").and_then(Value::as_f64),
+            "`exec_engine`.`ratio`".into(),
+        )?;
+        if !(0.95..=1.05).contains(&ratio) {
+            return Err(fail(format!(
+                "`exec_engine`.`ratio` must be within 5% of 1.0 (engine within \
+                 noise of the shim), got {ratio}"
+            )));
+        }
+    }
+
     // Same deal for the supervised-runtime gate: optional in older files,
     // validated when present.
     if let Some(sup) = doc.get("supervision") {
@@ -1181,7 +1207,7 @@ fn e6_impairments() -> Result<(), Box<dyn std::error::Error>> {
     println!("| IBO (dB) | EVM (dB) | 64-QAM limit −25 dB |");
     println!("|---|---|---|");
     let ibos = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
-    let evms = run_scenarios(Scenarios::new(ibos.len()), |i| -> Result<f64, String> {
+    let (evms, _) = SweepPlan::new(ibos.len()).run_fail_fast(|i| -> Result<f64, String> {
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::new(frame.signal().clone()));
         let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(ibos[i]));
@@ -1210,9 +1236,8 @@ fn e6_impairments() -> Result<(), Box<dyn std::error::Error>> {
     println!("| linewidth (Hz) | EVM (dB) |");
     println!("|---|---|");
     let linewidths = [0.0, 10.0, 100.0, 1_000.0, 10_000.0];
-    let lo_evms = run_scenarios(
-        Scenarios::new(linewidths.len()),
-        |i| -> Result<f64, String> {
+    let (lo_evms, _) =
+        SweepPlan::new(linewidths.len()).run_fail_fast(|i| -> Result<f64, String> {
             let mut g = Graph::new();
             let src = g.add(SamplePlayback::new(frame.signal().clone()));
             let lo = g.add(LocalOscillator::new(0.0, linewidths[i], 13));
@@ -1220,8 +1245,7 @@ fn e6_impairments() -> Result<(), Box<dyn std::error::Error>> {
             g.run().map_err(|e| e.to_string())?;
             let out = g.output(lo).expect("ran");
             Ok(evm_after_gain_correction(&p, &frame, out, 6))
-        },
-    )?;
+        })?;
     for (&lw, &evm) in linewidths.iter().zip(&lo_evms) {
         println!("| {lw:.0} | {evm:.1} |");
     }

@@ -21,9 +21,10 @@ use rfsim::{Block, Signal, SimError};
 /// the RNG advances.
 ///
 /// The source also implements the chunked streaming protocol
-/// ([`Block::stream_chunk`]): under [`rfsim::Graph::run_streaming`] it
-/// emits the same frame in bounded chunks, bit-identical to the batch
-/// output for the same seed.
+/// ([`Block::stream_chunk`]): under a streaming [`rfsim::ExecPlan`]
+/// (or the [`rfsim::Graph::run_streaming`] shim) it emits the same frame
+/// in bounded chunks, bit-identical to the batch output for the same
+/// seed.
 ///
 /// # Example
 ///
@@ -38,7 +39,7 @@ use rfsim::{Block, Signal, SimError};
 /// let tx = g.add(src);
 /// let pa = g.add(RappPa::new(1.0, 3.0));
 /// g.connect(tx, pa, 0)?;
-/// g.run()?;
+/// g.execute(&ExecPlan::batch())?; // ≡ the g.run() shim
 /// assert!(g.output(pa).expect("ran").len() > 0);
 /// # Ok(())
 /// # }

@@ -1,0 +1,370 @@
+//! The unified execution engine: one plan, one executor, one scheduler.
+//!
+//! PRs 1–4 each bolted a capability onto the scheduler — streaming,
+//! telemetry, fault guards, supervision — and every capability arrived as
+//! another `run*` entrypoint with its own feature wiring. This module is
+//! the consolidation: an [`ExecPlan`] describes *one* graph pass (mode plus
+//! feature toggles), [`Graph::execute`](crate::Graph::execute) owns the one
+//! true scheduler loop that interprets it, and [`Executor`] is a reusable
+//! handle that applies the same plan to many graphs. The legacy entrypoints
+//! ([`Graph::run`](crate::Graph::run),
+//! [`Graph::run_instrumented`](crate::Graph::run_instrumented),
+//! [`Graph::run_streaming`](crate::Graph::run_streaming),
+//! [`Graph::run_streaming_instrumented`](crate::Graph::run_streaming_instrumented))
+//! survive as thin shims that build the equivalent plan.
+//!
+//! The same move the paper makes at the model level — one Mother Model,
+//! N parameterizations — applied to execution: one engine, N plans.
+//! Features *compose* here (any mode × telemetry × guard × budget ×
+//! cancellation × breakers) instead of multiplying entrypoints, and a
+//! future parallel or multi-backend executor plugs in behind the same
+//! [`ExecPlan`] surface.
+//!
+//! # Example
+//!
+//! ```
+//! use rfsim::prelude::*;
+//!
+//! # fn main() -> Result<(), SimError> {
+//! let mut g = Graph::new();
+//! let tone = g.add(ToneSource::new(0.0, 1.0e6, 256));
+//! let meter = g.add(PowerMeter::new());
+//! g.connect(tone, meter, 0)?;
+//!
+//! // One plan: streaming pass, instrumented, guarded against NaN/inf.
+//! let plan = ExecPlan::streaming(64)
+//!     .with_telemetry(true)
+//!     .guard_non_finite(true);
+//! let report = g.execute(&plan)?.expect("telemetry was requested");
+//! assert_eq!(report.mode, RunMode::Streaming { chunk_len: 64 });
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::supervise::{BreakerPolicy, BreakerState, CancelToken, Health};
+use crate::telemetry::{RunMode, RunReport};
+use crate::{Graph, SimError};
+use std::time::Duration;
+
+/// How one execution moves samples through the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Whole-pass evaluation: each block processes the entire pass at once
+    /// and every node's output is retained. Peak memory is
+    /// O(pass length × nodes).
+    #[default]
+    Batch,
+    /// Chunked evaluation through reused per-edge buffers; outputs are
+    /// retained only for probed nodes. Peak memory is
+    /// O(chunk length × nodes).
+    Streaming {
+        /// Maximum samples per chunk; zero is rejected with
+        /// [`SimError::InvalidChunkLen`].
+        chunk_len: usize,
+    },
+}
+
+impl From<ExecMode> for RunMode {
+    fn from(mode: ExecMode) -> Self {
+        match mode {
+            ExecMode::Batch => RunMode::Batch,
+            ExecMode::Streaming { chunk_len } => RunMode::Streaming { chunk_len },
+        }
+    }
+}
+
+/// A complete description of one graph execution: the mode plus every
+/// feature toggle the engine understands.
+///
+/// Built with the builder methods and handed to
+/// [`Graph::execute`](crate::Graph::execute) (or an [`Executor`]). The
+/// plan is the *whole* truth for a pass — the engine reads its toggles,
+/// not the graph's configured defaults, so two executions with the same
+/// plan are wired identically regardless of graph-level setters. Use
+/// [`Graph::plan`](crate::Graph::plan) to lift the graph's configuration
+/// ([`Graph::guard_non_finite`](crate::Graph::guard_non_finite),
+/// [`Graph::set_budget`](crate::Graph::set_budget),
+/// [`Graph::set_cancel_token`](crate::Graph::set_cancel_token),
+/// [`Graph::set_breaker_policy`](crate::Graph::set_breaker_policy)) into a
+/// plan — that is exactly what the legacy `run*` shims do.
+#[derive(Debug, Clone, Default)]
+pub struct ExecPlan {
+    mode: ExecMode,
+    telemetry: bool,
+    guard_non_finite: bool,
+    budget: Option<Duration>,
+    cancel: Option<CancelToken>,
+    breakers: Option<BreakerPolicy>,
+}
+
+impl ExecPlan {
+    /// A plan for `mode` with every feature off.
+    pub fn new(mode: ExecMode) -> Self {
+        ExecPlan {
+            mode,
+            ..ExecPlan::default()
+        }
+    }
+
+    /// A whole-pass batch plan with every feature off.
+    pub fn batch() -> Self {
+        ExecPlan::new(ExecMode::Batch)
+    }
+
+    /// A chunked streaming plan with every feature off.
+    pub fn streaming(chunk_len: usize) -> Self {
+        ExecPlan::new(ExecMode::Streaming { chunk_len })
+    }
+
+    /// Builder: replaces the execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder: record per-block timing, sample flow and buffer high-water
+    /// marks into a [`RunReport`]. Off by default — an unrecorded pass
+    /// pays no instrumentation cost.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Builder: scan every block output for NaN/inf samples and fail the
+    /// pass with [`SimError::NonFiniteSample`] at the first hit.
+    pub fn guard_non_finite(mut self, enabled: bool) -> Self {
+        self.guard_non_finite = enabled;
+        self
+    }
+
+    /// Builder: arm a wall-clock [`Deadline`](crate::supervise::Deadline)
+    /// at execution start, checked at every block boundary.
+    pub fn with_budget(mut self, budget: Option<Duration>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: poll a cooperative [`CancelToken`] at block boundaries.
+    pub fn with_cancel_token(mut self, token: Option<CancelToken>) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Builder: enable per-block circuit breakers under `policy` (see
+    /// [`Graph::set_breaker_policy`](crate::Graph::set_breaker_policy) for
+    /// the bypass/fail-fast semantics).
+    pub fn with_breaker_policy(mut self, policy: Option<BreakerPolicy>) -> Self {
+        self.breakers = policy;
+        self
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Whether the pass records a [`RunReport`].
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Whether block outputs are scanned for non-finite samples.
+    pub fn guards_non_finite(&self) -> bool {
+        self.guard_non_finite
+    }
+
+    /// The wall-clock budget, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
+    /// The cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The circuit-breaker policy, if any.
+    pub fn breaker_policy(&self) -> Option<BreakerPolicy> {
+        self.breakers
+    }
+}
+
+/// A reusable engine handle: one [`ExecPlan`] applied to any number of
+/// graphs.
+///
+/// [`Graph::execute`](crate::Graph::execute) is the engine itself; an
+/// `Executor` carries the plan for callers that run the same configuration
+/// over many graphs (scenario sweeps, standard registries) — the sweep
+/// analogue is [`SweepPlan`](crate::scenario::SweepPlan).
+///
+/// # Example
+///
+/// ```
+/// use rfsim::prelude::*;
+///
+/// # fn main() -> Result<(), SimError> {
+/// let engine = Executor::new(ExecPlan::streaming(128).with_telemetry(true));
+/// for snr_db in [10.0, 20.0] {
+///     let mut g = Graph::new();
+///     let tone = g.add(ToneSource::new(0.0, 1.0e6, 512));
+///     let ch = g.add(AwgnChannel::from_snr_db(snr_db, 7).with_reference_power(1.0));
+///     let meter = g.add(PowerMeter::new());
+///     g.chain(&[tone, ch, meter])?;
+///     let report = engine.run(&mut g)?.expect("telemetry was requested");
+///     assert_eq!(report.source_samples(), 512);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    plan: ExecPlan,
+}
+
+impl Executor {
+    /// An executor that runs `plan`.
+    pub fn new(plan: ExecPlan) -> Self {
+        Executor { plan }
+    }
+
+    /// The plan this executor applies.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// Executes the plan on `graph`; returns the [`RunReport`] when the
+    /// plan enables telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::execute`](crate::Graph::execute).
+    pub fn run(&self, graph: &mut Graph) -> Result<Option<RunReport>, SimError> {
+        graph.execute(&self.plan)
+    }
+}
+
+/// The graph's runtime state, kept separate from its structure (nodes and
+/// wiring) and its configuration (the setter-backed plan defaults).
+///
+/// One `ExecState` lives on each [`Graph`]; every execution begins by
+/// resetting the per-run portion ([`ExecState::begin_run`]) and
+/// [`Graph::reset`](crate::Graph::reset) replaces the whole value — reset
+/// semantics are structural, not a convention of clearing individual
+/// fields. Circuit-breaker states deliberately survive from run to run
+/// (fail-fast on an open breaker depends on remembering past failures);
+/// everything else describes the most recent execution only.
+#[derive(Debug, Default)]
+pub(crate) struct ExecState {
+    /// Condition of the most recent execution.
+    pub(crate) health: Health,
+    /// Breaker trips (transitions into `Open`) during the most recent
+    /// execution.
+    pub(crate) breaker_trips: u64,
+    /// Invocations bypassed by open breakers during the most recent
+    /// execution.
+    pub(crate) bypassed_invocations: u64,
+    /// Per-node circuit-breaker state; survives across executions.
+    pub(crate) breakers: Vec<BreakerState>,
+    /// Per-node bypassed-invocation counts for the most recent execution.
+    pub(crate) bypassed: Vec<u64>,
+    /// The report of the most recent instrumented execution, if any.
+    pub(crate) last_report: Option<RunReport>,
+}
+
+impl ExecState {
+    /// Fresh state for a graph of `n` nodes.
+    pub(crate) fn with_nodes(n: usize) -> Self {
+        ExecState {
+            breakers: vec![BreakerState::default(); n],
+            bypassed: vec![0; n],
+            ..ExecState::default()
+        }
+    }
+
+    /// Extends the per-node slots for a newly added block.
+    pub(crate) fn push_node(&mut self) {
+        self.breakers.push(BreakerState::default());
+        self.bypassed.push(0);
+    }
+
+    /// Resets the per-run portion at execution start. Breaker states
+    /// persist (their memory is the fail-fast contract); the retained
+    /// report is cleared separately at the top of
+    /// [`Graph::execute`](crate::Graph::execute).
+    pub(crate) fn begin_run(&mut self) {
+        self.health = Health::Healthy;
+        self.breaker_trips = 0;
+        self.bypassed_invocations = 0;
+        self.bypassed.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_roundtrips_every_toggle() {
+        let token = CancelToken::new();
+        let plan = ExecPlan::streaming(96)
+            .with_telemetry(true)
+            .guard_non_finite(true)
+            .with_budget(Some(Duration::from_millis(5)))
+            .with_cancel_token(Some(token.clone()))
+            .with_breaker_policy(Some(BreakerPolicy::new().with_threshold(2)));
+        assert_eq!(plan.mode(), ExecMode::Streaming { chunk_len: 96 });
+        assert!(plan.telemetry());
+        assert!(plan.guards_non_finite());
+        assert_eq!(plan.budget(), Some(Duration::from_millis(5)));
+        assert!(plan.cancel_token().is_some());
+        assert_eq!(
+            plan.breaker_policy().map(|p| p.threshold()),
+            Some(2),
+            "policy carried"
+        );
+        // Mode can be swapped without disturbing the toggles.
+        let rebased = plan.clone().with_mode(ExecMode::Batch);
+        assert_eq!(rebased.mode(), ExecMode::Batch);
+        assert!(rebased.telemetry() && rebased.guards_non_finite());
+    }
+
+    #[test]
+    fn default_plan_is_a_plain_batch_pass() {
+        let plan = ExecPlan::default();
+        assert_eq!(plan.mode(), ExecMode::Batch);
+        assert!(!plan.telemetry());
+        assert!(!plan.guards_non_finite());
+        assert!(plan.budget().is_none());
+        assert!(plan.cancel_token().is_none());
+        assert!(plan.breaker_policy().is_none());
+        assert_eq!(ExecPlan::batch().mode(), ExecPlan::default().mode());
+    }
+
+    #[test]
+    fn exec_mode_maps_onto_run_mode() {
+        assert_eq!(RunMode::from(ExecMode::Batch), RunMode::Batch);
+        assert_eq!(
+            RunMode::from(ExecMode::Streaming { chunk_len: 7 }),
+            RunMode::Streaming { chunk_len: 7 }
+        );
+    }
+
+    #[test]
+    fn exec_state_begin_run_resets_per_run_but_keeps_breakers() {
+        let mut state = ExecState::with_nodes(2);
+        state.health = Health::Degraded;
+        state.breaker_trips = 3;
+        state.bypassed_invocations = 9;
+        state.bypassed[1] = 4;
+        state.breakers[0] = BreakerState::Open { bypassed: 1 };
+        state.begin_run();
+        assert_eq!(state.health, Health::Healthy);
+        assert_eq!(state.breaker_trips, 0);
+        assert_eq!(state.bypassed_invocations, 0);
+        assert_eq!(state.bypassed, vec![0, 0]);
+        assert!(state.breakers[0].is_open(), "breaker memory survives runs");
+        state.push_node();
+        assert_eq!(state.breakers.len(), 3);
+        assert_eq!(state.bypassed.len(), 3);
+    }
+}

@@ -13,7 +13,7 @@
 //!   injects NaNs, returns typed [`SimError::BlockFault`] errors or panics
 //!   at configured rates — the adversarial workload for the
 //!   panic-isolated scenario runner
-//!   ([`crate::scenario::run_scenarios_resilient`]);
+//!   ([`crate::scenario::SweepPlan::run`]);
 //! * [`FaultStats`], the per-injector account of what actually fired, so
 //!   sweeps can assert their observed outcomes against injected faults.
 //!
@@ -341,7 +341,7 @@ impl FaultPlan {
 
     /// Builder: per-invocation probability of panicking instead of running
     /// the wrapped block — the adversarial input for panic-isolated sweeps
-    /// ([`crate::scenario::run_scenarios_resilient`]).
+    /// ([`crate::scenario::SweepPlan::run`]).
     pub fn with_panic_rate(mut self, rate: f64) -> Self {
         self.panic_rate = clamp_rate(rate);
         self

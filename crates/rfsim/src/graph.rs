@@ -1,21 +1,30 @@
 //! The simulation netlist and its scheduler.
 //!
 //! A [`Graph`] owns blocks, records point-to-point connections and executes
-//! one simulation pass in topological order. Two schedulers are available:
+//! one simulation pass in dependency order. There is exactly one scheduler:
+//! [`Graph::execute`] interprets an [`ExecPlan`] describing the pass — its
+//! mode plus every feature toggle (telemetry, non-finite guard, deadline
+//! budget, cancellation, circuit breakers). Two modes exist:
 //!
-//! * [`Graph::run`] — batch: each block processes the whole pass at once
-//!   and every node's output is retained for inspection, like probing all
+//! * [`ExecMode::Batch`] — each block processes the whole pass at once and
+//!   every node's output is retained for inspection, like probing all
 //!   nodes of an RF schematic. Peak memory is O(pass length × nodes).
-//! * [`Graph::run_streaming`] — chunked: samples move through the graph in
-//!   bounded chunks through per-edge buffers that are reused from chunk to
-//!   chunk, so peak memory is O(chunk length × nodes). Node outputs are
-//!   retained only for nodes opted in via [`Graph::probe`]; instruments
-//!   accumulate across chunks and finalize in [`Block::end_stream`].
+//! * [`ExecMode::Streaming`] — samples move through the graph in bounded
+//!   chunks through per-edge buffers that are reused from chunk to chunk,
+//!   so peak memory is O(chunk length × nodes). Node outputs are retained
+//!   only for nodes opted in via [`Graph::probe`]; instruments accumulate
+//!   across chunks and finalize in [`Block::end_stream`].
+//!
+//! The historical entrypoints [`Graph::run`], [`Graph::run_instrumented`],
+//! [`Graph::run_streaming`] and [`Graph::run_streaming_instrumented`] are
+//! thin shims: each lifts the graph's configured defaults into a plan via
+//! [`Graph::plan`] and calls [`Graph::execute`].
 
 use crate::block::{Block, SimError};
+use crate::exec::{ExecMode, ExecPlan, ExecState};
 use crate::signal::Signal;
 use crate::supervise::{BreakerPolicy, BreakerState, CancelToken, Deadline, Health};
-use crate::telemetry::{Recorder, RunMode, RunReport};
+use crate::telemetry::{Recorder, RunReport};
 use std::time::Duration;
 
 /// Opaque handle to a block inside a [`Graph`].
@@ -29,19 +38,17 @@ struct Node {
     output: Option<Signal>,
     /// Retain this node's output during streaming runs.
     probed: bool,
-    /// Circuit-breaker state, live only while a
-    /// [`BreakerPolicy`] is enabled. Survives across runs (fail-fast
-    /// depends on it); cleared by [`Graph::reset`].
-    breaker: BreakerState,
-    /// Invocations bypassed during the current run.
-    bypassed: u64,
 }
 
-/// How a source node is fed during a streaming run.
+/// How a source node is fed during one execution.
 enum Feed {
-    /// The source emits chunks itself ([`Block::stream_chunk`]).
+    /// Batch pass: the source evaluates its whole pass in one invocation.
+    Whole,
+    /// Streaming pass: the source emits chunks itself
+    /// ([`Block::stream_chunk`]).
     Stream,
-    /// Batch-only source: evaluated once up front, then sliced.
+    /// Streaming pass, batch-only source: evaluated once up front, then
+    /// sliced into chunks.
     Cached { signal: Signal, pos: usize },
 }
 
@@ -66,26 +73,25 @@ enum Feed {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
-    /// The report of the most recent instrumented pass, if any. Retained
-    /// so callers can render/serialize after the run; cleared by
-    /// [`Graph::reset`].
-    last_report: Option<RunReport>,
     /// When set, every block output is scanned for NaN/inf samples and the
     /// pass fails with [`SimError::NonFiniteSample`] at the first hit.
+    /// Lifted into plans by [`Graph::plan`].
     guard_non_finite: bool,
     /// Wall-clock budget armed as a [`Deadline`] at the start of every run.
+    /// Lifted into plans by [`Graph::plan`].
     budget: Option<Duration>,
     /// Cooperative cancellation token polled at block boundaries.
+    /// Lifted into plans by [`Graph::plan`].
     cancel: Option<CancelToken>,
     /// When set, per-block circuit breakers are live (see
-    /// [`Graph::set_breaker_policy`]).
+    /// [`Graph::set_breaker_policy`]). Lifted into plans by
+    /// [`Graph::plan`].
     breaker_policy: Option<BreakerPolicy>,
-    /// Condition of the most recent run.
-    health: Health,
-    /// Breaker trips during the most recent run.
-    breaker_trips: u64,
-    /// Invocations bypassed during the most recent run.
-    bypassed_invocations: u64,
+    /// Runtime state of the most recent execution (health, breaker states,
+    /// bypass counters, retained report), kept apart from the structural
+    /// and configuration fields above so [`Graph::reset`] can replace it
+    /// wholesale.
+    state: ExecState,
 }
 
 impl Graph {
@@ -112,9 +118,8 @@ impl Graph {
             inputs,
             output: None,
             probed: false,
-            breaker: BreakerState::default(),
-            bypassed: 0,
         });
+        self.state.push_node();
         BlockId(self.nodes.len() - 1)
     }
 
@@ -160,7 +165,9 @@ impl Graph {
         Ok(())
     }
 
-    /// Executes one simulation pass over all blocks in dependency order.
+    /// Executes one whole-pass batch simulation over all blocks in
+    /// dependency order — a shim for [`Graph::execute`] with the
+    /// [`Graph::plan`] for [`ExecMode::Batch`].
     ///
     /// # Errors
     ///
@@ -171,11 +178,14 @@ impl Graph {
     ///   ([`Graph::set_cancel_token`]) fires at a block boundary.
     /// * Any error returned by a block's `process`.
     pub fn run(&mut self) -> Result<(), SimError> {
-        self.run_batch(None)
+        let plan = self.plan(ExecMode::Batch);
+        self.execute(&plan).map(|_| ())
     }
 
     /// Executes one batch pass like [`Graph::run`], recording per-block
-    /// wall time, invocation counts and sample flow into a [`RunReport`].
+    /// wall time, invocation counts and sample flow into a [`RunReport`]
+    /// — a shim for [`Graph::execute`] with telemetry enabled on the
+    /// batch plan.
     ///
     /// The report is also retained for [`Graph::last_report`]. Every
     /// instrumented pass starts from a fresh recorder, so consecutive
@@ -185,35 +195,100 @@ impl Graph {
     ///
     /// Same conditions as [`Graph::run`].
     pub fn run_instrumented(&mut self) -> Result<RunReport, SimError> {
-        let mut recorder = Recorder::new(self.nodes.len());
-        self.run_batch(Some(&mut recorder))?;
-        recorder.rounds = 1;
+        let plan = self.plan(ExecMode::Batch).with_telemetry(true);
+        Ok(self
+            .execute(&plan)?
+            .expect("plan requested telemetry, so a report is produced"))
+    }
+
+    /// Lifts the graph's configured execution defaults
+    /// ([`Graph::guard_non_finite`], [`Graph::set_budget`],
+    /// [`Graph::set_cancel_token`], [`Graph::set_breaker_policy`]) into an
+    /// [`ExecPlan`] for `mode`, with telemetry off. This is exactly the
+    /// plan the `run*` shims pass to [`Graph::execute`].
+    pub fn plan(&self, mode: ExecMode) -> ExecPlan {
+        ExecPlan::new(mode)
+            .guard_non_finite(self.guard_non_finite)
+            .with_budget(self.budget)
+            .with_cancel_token(self.cancel.clone())
+            .with_breaker_policy(self.breaker_policy)
+    }
+
+    /// Executes one simulation pass as described by `plan` — the one true
+    /// scheduler behind every `run*` entrypoint. Returns the pass's
+    /// [`RunReport`] when the plan enables telemetry, `None` otherwise.
+    ///
+    /// The engine reads every feature toggle from the plan, not from the
+    /// graph's configured defaults — use [`Graph::plan`] to lift those
+    /// into a plan first. Any previously retained report is dropped at
+    /// execution start, so [`Graph::last_report`] never exposes a stale
+    /// success report after a failed pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::MissingInput`] if a connected block has an undriven
+    ///   port.
+    /// * [`SimError::GraphCycle`] if connections form a loop.
+    /// * [`SimError::InvalidChunkLen`] for a zero streaming chunk length.
+    /// * [`SimError::DeadlineExceeded`] / [`SimError::Cancelled`] when the
+    ///   plan's budget or cancellation token fires at a block boundary.
+    /// * [`SimError::NonFiniteSample`] when the plan's non-finite guard
+    ///   catches a NaN/inf sample.
+    /// * [`SimError::BlockFault`] when an open circuit breaker on an
+    ///   essential block fails fast.
+    /// * Any error returned by a block's `process`, `stream_chunk` or
+    ///   `end_stream`.
+    pub fn execute(&mut self, plan: &ExecPlan) -> Result<Option<RunReport>, SimError> {
+        // Drop the retained report up front: after a failed pass callers
+        // must not read the previous pass's success report.
+        self.state.last_report = None;
+        let mut recorder = plan.telemetry().then(|| Recorder::new(self.nodes.len()));
+        if let Err(e) = self.execute_core(plan, recorder.as_mut()) {
+            self.state.health = Health::Failed;
+            return Err(e);
+        }
+        let Some(recorder) = recorder else {
+            return Ok(None);
+        };
         let mut report = recorder.finish(
-            RunMode::Batch,
+            plan.mode().into(),
             self.nodes.iter().map(|n| n.block.name().to_owned()),
         );
         self.stamp_supervision(&mut report);
-        self.last_report = Some(report.clone());
-        Ok(report)
+        self.state.last_report = Some(report.clone());
+        Ok(Some(report))
     }
 
     /// Copies the run's supervision outcome into a finished report.
     fn stamp_supervision(&self, report: &mut RunReport) {
-        report.health = self.health;
-        report.breaker_trips = self.breaker_trips;
-        report.bypassed_invocations = self.bypassed_invocations;
+        report.health = self.state.health;
+        report.breaker_trips = self.state.breaker_trips;
+        report.bypassed_invocations = self.state.bypassed_invocations;
     }
 
-    fn run_batch(&mut self, telemetry: Option<&mut Recorder>) -> Result<(), SimError> {
-        let result = self.run_batch_inner(telemetry);
-        if result.is_err() {
-            self.health = Health::Failed;
-        }
-        result
-    }
-
-    fn run_batch_inner(&mut self, mut telemetry: Option<&mut Recorder>) -> Result<(), SimError> {
-        let deadline = self.begin_run();
+    /// The one scheduler loop: every mode and feature combination flows
+    /// through here. Each round pulls one chunk from every source, then
+    /// pushes the chunks through the interior blocks in dependency order.
+    /// A batch pass is the degenerate single round — each source
+    /// contributes its whole pass as its one "chunk", interior outputs are
+    /// stored on the nodes instead of per-edge buffers, and the loop ends
+    /// after one push. A streaming pass repeats rounds until every source
+    /// is exhausted.
+    fn execute_core(
+        &mut self,
+        plan: &ExecPlan,
+        mut telemetry: Option<&mut Recorder>,
+    ) -> Result<(), SimError> {
+        let chunk = match plan.mode() {
+            ExecMode::Batch => None,
+            ExecMode::Streaming { chunk_len } => {
+                if chunk_len == 0 {
+                    return Err(SimError::InvalidChunkLen);
+                }
+                Some(chunk_len)
+            }
+        };
+        let deadline = self.begin_run(plan);
         // Verify all ports are driven.
         for node in &self.nodes {
             for (port, src) in node.inputs.iter().enumerate() {
@@ -226,48 +301,173 @@ impl Graph {
             }
         }
         let order = self.topological_order()?;
-        for id in order {
-            self.check_supervision(id.0, deadline.as_ref())?;
-            let inputs: Vec<Signal> = self.nodes[id.0]
-                .inputs
-                .clone()
-                .into_iter()
-                .map(|src| {
-                    self.nodes[src.expect("verified above").0]
-                        .output
-                        .clone()
-                        .expect("topological order guarantees the source ran")
-                })
-                .collect();
-            let out = self.invoke_batch(id.0, &inputs, telemetry.as_deref_mut())?;
-            if let Some(t) = telemetry.as_deref_mut() {
-                t.note_buffer(id.0, out.len());
+        let n = self.nodes.len();
+
+        if chunk.is_some() {
+            for node in &mut self.nodes {
+                node.output = None;
+                node.block.begin_stream();
             }
-            self.nodes[id.0].output = Some(out);
+        }
+
+        let mut feeds: Vec<Option<Feed>> = Vec::with_capacity(n);
+        for i in 0..n {
+            feeds.push(if !self.nodes[i].inputs.is_empty() {
+                None
+            } else if chunk.is_none() {
+                Some(Feed::Whole)
+            } else if self.nodes[i].block.supports_streaming() {
+                Some(Feed::Stream)
+            } else {
+                // Batch-only source: the one up-front evaluation is the
+                // block's whole cost for the pass.
+                self.check_supervision(plan, i, deadline.as_ref())?;
+                let signal = self.invoke_batch(plan, i, &[], telemetry.as_deref_mut())?;
+                Some(Feed::Cached { signal, pos: 0 })
+            });
+        }
+
+        // Per-edge chunk buffers, reused across rounds: after the first
+        // round each holds its warm allocation and no further growth
+        // happens for constant chunk sizes. Batch passes store whole
+        // outputs on the nodes instead and leave these empty.
+        let mut bufs: Vec<Signal> = (0..n).map(|_| Signal::default()).collect();
+
+        loop {
+            // Pull one chunk from every source — the whole pass at once in
+            // batch mode, where the single round is always "producing".
+            let mut produced = chunk.is_none();
+            for (i, feed) in feeds.iter_mut().enumerate() {
+                let Some(feed) = feed else { continue };
+                match feed {
+                    Feed::Whole => {
+                        self.check_supervision(plan, i, deadline.as_ref())?;
+                        let out = self.invoke_batch(plan, i, &[], telemetry.as_deref_mut())?;
+                        if let Some(t) = telemetry.as_deref_mut() {
+                            t.note_buffer(i, out.len());
+                        }
+                        self.nodes[i].output = Some(out);
+                    }
+                    Feed::Stream => {
+                        let chunk_len = chunk.expect("stream feeds exist only when streaming");
+                        self.check_supervision(plan, i, deadline.as_ref())?;
+                        self.source_fail_fast(plan, i)?;
+                        let pulled = match telemetry.as_deref_mut() {
+                            Some(t) => {
+                                let begin = t.begin();
+                                let r = self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i]);
+                                if let Ok(got) = r {
+                                    t.record(i, begin, 0, got);
+                                }
+                                r
+                            }
+                            None => self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i]),
+                        };
+                        let pulled = pulled
+                            .and_then(|got| self.check_finite(plan, i, &bufs[i]).map(|()| got));
+                        match pulled {
+                            Ok(got) => {
+                                self.note_source_result(plan, i, false);
+                                produced |= got > 0;
+                            }
+                            Err(e) => {
+                                self.note_source_result(plan, i, true);
+                                return Err(e);
+                            }
+                        }
+                        if let Some(t) = telemetry.as_deref_mut() {
+                            t.note_buffer(i, bufs[i].len());
+                        }
+                    }
+                    Feed::Cached { signal, pos } => {
+                        let chunk_len = chunk.expect("cached feeds exist only when streaming");
+                        let take = chunk_len.min(signal.len() - *pos);
+                        bufs[i].assign(&signal.samples()[*pos..*pos + take], signal.sample_rate());
+                        *pos += take;
+                        produced |= take > 0;
+                        if let Some(t) = telemetry.as_deref_mut() {
+                            t.note_buffer(i, bufs[i].len());
+                        }
+                    }
+                }
+            }
+            if !produced {
+                break;
+            }
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.rounds += 1;
+            }
+
+            // Push the chunks through the interior of the graph.
+            for &BlockId(i) in &order {
+                if self.nodes[i].inputs.is_empty() {
+                    if chunk.is_some() {
+                        accumulate_probe(&mut self.nodes[i], &bufs[i]);
+                    }
+                    continue;
+                }
+                self.check_supervision(plan, i, deadline.as_ref())?;
+                if chunk.is_some() {
+                    let mut out = std::mem::take(&mut bufs[i]);
+                    self.invoke_stream(plan, i, &bufs, &mut out, telemetry.as_deref_mut())?;
+                    accumulate_probe(&mut self.nodes[i], &out);
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.note_buffer(i, out.len());
+                    }
+                    bufs[i] = out;
+                } else {
+                    let inputs: Vec<Signal> = self.nodes[i]
+                        .inputs
+                        .clone()
+                        .into_iter()
+                        .map(|src| {
+                            self.nodes[src.expect("verified above").0]
+                                .output
+                                .clone()
+                                .expect("dependency order guarantees the source ran")
+                        })
+                        .collect();
+                    let out = self.invoke_batch(plan, i, &inputs, telemetry.as_deref_mut())?;
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.note_buffer(i, out.len());
+                    }
+                    self.nodes[i].output = Some(out);
+                }
+            }
+
+            if chunk.is_none() {
+                break;
+            }
+        }
+
+        if chunk.is_some() {
+            for node in &mut self.nodes {
+                node.block.end_stream()?;
+            }
         }
         Ok(())
     }
 
-    /// Resets per-run supervision state and arms the deadline, if a
-    /// budget is configured.
-    fn begin_run(&mut self) -> Option<Deadline> {
-        self.health = Health::Healthy;
-        self.breaker_trips = 0;
-        self.bypassed_invocations = 0;
-        for node in &mut self.nodes {
-            node.bypassed = 0;
-        }
-        self.budget.map(Deadline::starting_now)
+    /// Resets per-run supervision state and arms the plan's deadline, if
+    /// it carries a budget.
+    fn begin_run(&mut self, plan: &ExecPlan) -> Option<Deadline> {
+        self.state.begin_run();
+        plan.budget().map(Deadline::starting_now)
     }
 
-    /// Polls the cancellation token and the armed deadline at the boundary
-    /// before node `i` runs.
-    fn check_supervision(&self, i: usize, deadline: Option<&Deadline>) -> Result<(), SimError> {
-        if self.cancel.is_none() && deadline.is_none() {
+    /// Polls the plan's cancellation token and the armed deadline at the
+    /// boundary before node `i` runs.
+    fn check_supervision(
+        &self,
+        plan: &ExecPlan,
+        i: usize,
+        deadline: Option<&Deadline>,
+    ) -> Result<(), SimError> {
+        if plan.cancel_token().is_none() && deadline.is_none() {
             return Ok(());
         }
         let name = self.nodes[i].block.name();
-        if let Some(token) = &self.cancel {
+        if let Some(token) = plan.cancel_token() {
             token.check(name)?;
         }
         if let Some(d) = deadline {
@@ -286,11 +486,11 @@ impl Graph {
     /// `Ok(false)` means bypass this invocation without running the block;
     /// an open breaker on a non-bypassable block fails fast.
     fn breaker_admits(&mut self, i: usize, policy: &BreakerPolicy) -> Result<bool, SimError> {
-        if !self.nodes[i].breaker.is_open() {
+        if !self.state.breakers[i].is_open() {
             return Ok(true);
         }
         if self.bypassable(i) {
-            Ok(self.nodes[i].breaker.should_attempt(policy))
+            Ok(self.state.breakers[i].should_attempt(policy))
         } else {
             Err(SimError::BlockFault {
                 block: self.nodes[i].block.name().to_owned(),
@@ -304,25 +504,26 @@ impl Graph {
 
     /// Books one bypassed invocation of node `i` and degrades the run.
     fn note_bypass(&mut self, i: usize, telemetry: Option<&mut Recorder>) {
-        self.nodes[i].bypassed += 1;
-        self.bypassed_invocations += 1;
-        self.health.degrade();
+        self.state.bypassed[i] += 1;
+        self.state.bypassed_invocations += 1;
+        self.state.health.degrade();
         if let Some(t) = telemetry {
             t.note_bypass(i);
         }
     }
 
-    /// One batch invocation of node `i`, honoring the breaker policy if
-    /// enabled (finite-guard hits count as block failures).
+    /// One batch invocation of node `i`, honoring the plan's breaker
+    /// policy if enabled (finite-guard hits count as block failures).
     fn invoke_batch(
         &mut self,
+        plan: &ExecPlan,
         i: usize,
         inputs: &[Signal],
         mut telemetry: Option<&mut Recorder>,
     ) -> Result<Signal, SimError> {
-        let Some(policy) = self.breaker_policy else {
+        let Some(policy) = plan.breaker_policy() else {
             let out = self.invoke_batch_raw(i, inputs, telemetry)?;
-            self.check_finite(i, &out)?;
+            self.check_finite(plan, i, &out)?;
             return Ok(out);
         };
         if !self.breaker_admits(i, &policy)? {
@@ -331,18 +532,18 @@ impl Graph {
         }
         let mut attempt = self.invoke_batch_raw(i, inputs, telemetry.as_deref_mut());
         if let Ok(out) = &attempt {
-            if let Err(e) = self.check_finite(i, out) {
+            if let Err(e) = self.check_finite(plan, i, out) {
                 attempt = Err(e);
             }
         }
         match attempt {
             Ok(out) => {
-                self.nodes[i].breaker.record_success();
+                self.state.breakers[i].record_success();
                 Ok(out)
             }
             Err(e) => {
-                if self.nodes[i].breaker.record_failure(&policy) {
-                    self.breaker_trips += 1;
+                if self.state.breakers[i].record_failure(&policy) {
+                    self.state.breaker_trips += 1;
                 }
                 if self.bypassable(i) {
                     self.note_bypass(i, telemetry);
@@ -400,7 +601,7 @@ impl Graph {
     /// the same block boundaries as the deadline. Cancelling the token
     /// (from any thread) fails the pass with [`SimError::Cancelled`]
     /// within one block invocation — the mechanism the sweep watchdog
-    /// ([`crate::scenario::run_scenarios_supervised`]) uses to kill hung
+    /// ([`crate::scenario::SweepPlan::run`]) uses to kill hung
     /// scenarios.
     ///
     /// The token is configuration and survives [`Graph::reset`].
@@ -431,34 +632,34 @@ impl Graph {
     /// Condition of the most recent run: `Healthy`, `Degraded` (at least
     /// one breaker bypass) or `Failed` (the run returned an error).
     pub fn health(&self) -> Health {
-        self.health
+        self.state.health
     }
 
     /// Breaker trips (transitions into `Open`) during the most recent run.
     pub fn breaker_trips(&self) -> u64 {
-        self.breaker_trips
+        self.state.breaker_trips
     }
 
     /// Invocations bypassed by open breakers during the most recent run.
     pub fn bypassed_invocations(&self) -> u64 {
-        self.bypassed_invocations
+        self.state.bypassed_invocations
     }
 
     /// The block's current breaker state (`None` for a foreign id).
     pub fn breaker_state(&self, id: BlockId) -> Option<BreakerState> {
-        self.nodes.get(id.0).map(|n| n.breaker)
+        self.state.breakers.get(id.0).copied()
     }
 
     /// Invocations of `id` bypassed during the most recent run (`None`
     /// for a foreign id).
     pub fn bypassed(&self, id: BlockId) -> Option<u64> {
-        self.nodes.get(id.0).map(|n| n.bypassed)
+        self.state.bypassed.get(id.0).copied()
     }
 
-    /// Fails with [`SimError::NonFiniteSample`] if the guard is enabled
-    /// and `out` holds a NaN/inf sample.
-    fn check_finite(&self, node: usize, out: &Signal) -> Result<(), SimError> {
-        if self.guard_non_finite {
+    /// Fails with [`SimError::NonFiniteSample`] if the plan's guard is
+    /// enabled and `out` holds a NaN/inf sample.
+    fn check_finite(&self, plan: &ExecPlan, node: usize, out: &Signal) -> Result<(), SimError> {
+        if plan.guards_non_finite() {
             if let Some(index) = out.first_non_finite() {
                 return Err(SimError::NonFiniteSample {
                     block: self.nodes[node].block.name().to_owned(),
@@ -489,7 +690,8 @@ impl Graph {
     }
 
     /// Executes one simulation pass in chunks of at most `chunk_len`
-    /// samples.
+    /// samples — a shim for [`Graph::execute`] with the [`Graph::plan`]
+    /// for [`ExecMode::Streaming`].
     ///
     /// Streaming-capable sources ([`Block::supports_streaming`]) emit one
     /// chunk per round; batch-only sources are evaluated once up front and
@@ -517,12 +719,14 @@ impl Graph {
     /// * Same conditions as [`Graph::run`], plus any
     ///   [`Block::stream_chunk`] or [`Block::end_stream`] failure.
     pub fn run_streaming(&mut self, chunk_len: usize) -> Result<(), SimError> {
-        self.run_streaming_inner(chunk_len, None)
+        let plan = self.plan(ExecMode::Streaming { chunk_len });
+        self.execute(&plan).map(|_| ())
     }
 
     /// Executes one chunked pass like [`Graph::run_streaming`], recording
     /// per-block wall time, invocation counts, sample flow and per-edge
-    /// buffer high-water marks into a [`RunReport`].
+    /// buffer high-water marks into a [`RunReport`] — a shim for
+    /// [`Graph::execute`] with telemetry enabled on the streaming plan.
     ///
     /// The report is also retained for [`Graph::last_report`]. Every
     /// instrumented pass starts from a fresh recorder, so consecutive
@@ -532,163 +736,25 @@ impl Graph {
     ///
     /// Same conditions as [`Graph::run_streaming`].
     pub fn run_streaming_instrumented(&mut self, chunk_len: usize) -> Result<RunReport, SimError> {
-        let mut recorder = Recorder::new(self.nodes.len());
-        self.run_streaming_inner(chunk_len, Some(&mut recorder))?;
-        let mut report = recorder.finish(
-            RunMode::Streaming { chunk_len },
-            self.nodes.iter().map(|n| n.block.name().to_owned()),
-        );
-        self.stamp_supervision(&mut report);
-        self.last_report = Some(report.clone());
-        Ok(report)
+        let plan = self
+            .plan(ExecMode::Streaming { chunk_len })
+            .with_telemetry(true);
+        Ok(self
+            .execute(&plan)?
+            .expect("plan requested telemetry, so a report is produced"))
     }
 
     /// The report of the most recent instrumented pass, if one ran since
     /// the last [`Graph::reset`].
     pub fn last_report(&self) -> Option<&RunReport> {
-        self.last_report.as_ref()
-    }
-
-    fn run_streaming_inner(
-        &mut self,
-        chunk_len: usize,
-        telemetry: Option<&mut Recorder>,
-    ) -> Result<(), SimError> {
-        let result = self.run_streaming_core(chunk_len, telemetry);
-        if result.is_err() {
-            self.health = Health::Failed;
-        }
-        result
-    }
-
-    fn run_streaming_core(
-        &mut self,
-        chunk_len: usize,
-        mut telemetry: Option<&mut Recorder>,
-    ) -> Result<(), SimError> {
-        if chunk_len == 0 {
-            return Err(SimError::InvalidChunkLen);
-        }
-        let deadline = self.begin_run();
-        for node in &self.nodes {
-            for (port, src) in node.inputs.iter().enumerate() {
-                if src.is_none() {
-                    return Err(SimError::MissingInput {
-                        block: node.block.name().to_owned(),
-                        port,
-                    });
-                }
-            }
-        }
-        let order = self.topological_order()?;
-        let n = self.nodes.len();
-
-        for node in &mut self.nodes {
-            node.output = None;
-            node.block.begin_stream();
-        }
-
-        let mut feeds: Vec<Option<Feed>> = Vec::with_capacity(n);
-        for i in 0..n {
-            feeds.push(if self.nodes[i].inputs.is_empty() {
-                if self.nodes[i].block.supports_streaming() {
-                    Some(Feed::Stream)
-                } else {
-                    // Batch-only source: the one up-front evaluation is the
-                    // block's whole cost for the pass.
-                    self.check_supervision(i, deadline.as_ref())?;
-                    let signal = self.invoke_batch(i, &[], telemetry.as_deref_mut())?;
-                    Some(Feed::Cached { signal, pos: 0 })
-                }
-            } else {
-                None
-            });
-        }
-
-        // Per-edge chunk buffers, reused across rounds: after the first
-        // round each holds its warm allocation and no further growth
-        // happens for constant chunk sizes.
-        let mut bufs: Vec<Signal> = (0..n).map(|_| Signal::default()).collect();
-
-        loop {
-            // Pull one chunk from every source.
-            let mut produced = false;
-            for (i, feed) in feeds.iter_mut().enumerate() {
-                let Some(feed) = feed else { continue };
-                match feed {
-                    Feed::Stream => {
-                        self.check_supervision(i, deadline.as_ref())?;
-                        self.source_fail_fast(i)?;
-                        let pulled = match telemetry.as_deref_mut() {
-                            Some(t) => {
-                                let begin = t.begin();
-                                let r = self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i]);
-                                if let Ok(got) = r {
-                                    t.record(i, begin, 0, got);
-                                }
-                                r
-                            }
-                            None => self.nodes[i].block.stream_chunk(chunk_len, &mut bufs[i]),
-                        };
-                        let pulled =
-                            pulled.and_then(|got| self.check_finite(i, &bufs[i]).map(|()| got));
-                        match pulled {
-                            Ok(got) => {
-                                self.note_source_result(i, false);
-                                produced |= got > 0;
-                            }
-                            Err(e) => {
-                                self.note_source_result(i, true);
-                                return Err(e);
-                            }
-                        }
-                    }
-                    Feed::Cached { signal, pos } => {
-                        let take = chunk_len.min(signal.len() - *pos);
-                        bufs[i].assign(&signal.samples()[*pos..*pos + take], signal.sample_rate());
-                        *pos += take;
-                        produced |= take > 0;
-                    }
-                }
-                if let Some(t) = telemetry.as_deref_mut() {
-                    t.note_buffer(i, bufs[i].len());
-                }
-            }
-            if !produced {
-                break;
-            }
-            if let Some(t) = telemetry.as_deref_mut() {
-                t.rounds += 1;
-            }
-
-            // Push the chunks through the interior of the graph.
-            for &BlockId(i) in &order {
-                if self.nodes[i].inputs.is_empty() {
-                    accumulate_probe(&mut self.nodes[i], &bufs[i]);
-                    continue;
-                }
-                self.check_supervision(i, deadline.as_ref())?;
-                let mut out = std::mem::take(&mut bufs[i]);
-                self.invoke_stream(i, &bufs, &mut out, telemetry.as_deref_mut())?;
-                accumulate_probe(&mut self.nodes[i], &out);
-                if let Some(t) = telemetry.as_deref_mut() {
-                    t.note_buffer(i, out.len());
-                }
-                bufs[i] = out;
-            }
-        }
-
-        for node in &mut self.nodes {
-            node.block.end_stream()?;
-        }
-        Ok(())
+        self.state.last_report.as_ref()
     }
 
     /// Breaker fail-fast for streaming source pulls (sources are never
     /// bypassable).
-    fn source_fail_fast(&mut self, i: usize) -> Result<(), SimError> {
-        if let Some(policy) = self.breaker_policy {
-            if self.nodes[i].breaker.is_open() {
+    fn source_fail_fast(&mut self, plan: &ExecPlan, i: usize) -> Result<(), SimError> {
+        if let Some(policy) = plan.breaker_policy() {
+            if self.state.breakers[i].is_open() {
                 return Err(SimError::BlockFault {
                     block: self.nodes[i].block.name().to_owned(),
                     fault: format!(
@@ -702,30 +768,31 @@ impl Graph {
     }
 
     /// Breaker accounting for one streaming source pull.
-    fn note_source_result(&mut self, i: usize, failed: bool) {
-        if let Some(policy) = self.breaker_policy {
+    fn note_source_result(&mut self, plan: &ExecPlan, i: usize, failed: bool) {
+        if let Some(policy) = plan.breaker_policy() {
             if failed {
-                if self.nodes[i].breaker.record_failure(&policy) {
-                    self.breaker_trips += 1;
+                if self.state.breakers[i].record_failure(&policy) {
+                    self.state.breaker_trips += 1;
                 }
             } else {
-                self.nodes[i].breaker.record_success();
+                self.state.breakers[i].record_success();
             }
         }
     }
 
-    /// One interior-block chunk invocation, honoring the breaker policy
-    /// if enabled (finite-guard hits count as block failures).
+    /// One interior-block chunk invocation, honoring the plan's breaker
+    /// policy if enabled (finite-guard hits count as block failures).
     fn invoke_stream(
         &mut self,
+        plan: &ExecPlan,
         i: usize,
         bufs: &[Signal],
         out: &mut Signal,
         mut telemetry: Option<&mut Recorder>,
     ) -> Result<(), SimError> {
-        let Some(policy) = self.breaker_policy else {
+        let Some(policy) = plan.breaker_policy() else {
             self.invoke_stream_raw(i, bufs, out, telemetry)?;
-            self.check_finite(i, out)?;
+            self.check_finite(plan, i, out)?;
             return Ok(());
         };
         if !self.breaker_admits(i, &policy)? {
@@ -734,18 +801,18 @@ impl Graph {
         }
         let mut attempt = self.invoke_stream_raw(i, bufs, out, telemetry.as_deref_mut());
         if attempt.is_ok() {
-            if let Err(e) = self.check_finite(i, out) {
+            if let Err(e) = self.check_finite(plan, i, out) {
                 attempt = Err(e);
             }
         }
         match attempt {
             Ok(()) => {
-                self.nodes[i].breaker.record_success();
+                self.state.breakers[i].record_success();
                 Ok(())
             }
             Err(e) => {
-                if self.nodes[i].breaker.record_failure(&policy) {
-                    self.breaker_trips += 1;
+                if self.state.breakers[i].record_failure(&policy) {
+                    self.state.breaker_trips += 1;
                 }
                 if self.bypassable(i) {
                     self.bypass_stream(i, bufs, out, telemetry);
@@ -858,13 +925,10 @@ impl Graph {
         for node in &mut self.nodes {
             node.block.reset();
             node.output = None;
-            node.breaker = BreakerState::default();
-            node.bypassed = 0;
         }
-        self.last_report = None;
-        self.health = Health::Healthy;
-        self.breaker_trips = 0;
-        self.bypassed_invocations = 0;
+        // Structural reset: the entire runtime state is replaced in one
+        // assignment rather than cleared field by field.
+        self.state = ExecState::with_nodes(self.nodes.len());
     }
 }
 
@@ -1625,5 +1689,79 @@ mod tests {
         assert!(!g.breaker_state(flaky).unwrap().is_open());
         assert_eq!(g.health(), Health::Healthy);
         assert!((g.output(flaky).unwrap().samples()[0].re - 2.0).abs() < 1e-12);
+    }
+
+    // --- unified engine ---
+
+    #[test]
+    fn failed_run_clears_the_retained_report() {
+        // Regression: a failed pass used to leave the previous pass's
+        // success report readable through last_report().
+        let mut g = Graph::new();
+        let c = g.add(Const(1.0));
+        let bad = g.add(Corruptor);
+        g.chain(&[c, bad]).unwrap();
+        g.run_instrumented().unwrap();
+        assert!(g.last_report().is_some());
+        g.guard_non_finite(true);
+        assert!(g.run_instrumented().is_err());
+        assert!(
+            g.last_report().is_none(),
+            "stale success report survived a failed instrumented run"
+        );
+        // The same holds when the failing pass is not instrumented...
+        g.guard_non_finite(false);
+        g.run_instrumented().unwrap();
+        g.guard_non_finite(true);
+        assert!(g.run().is_err());
+        assert!(g.last_report().is_none());
+        // ...and when it fails before scheduling (zero chunk length).
+        g.guard_non_finite(false);
+        g.run_instrumented().unwrap();
+        assert!(g.run_streaming(0).is_err());
+        assert!(g.last_report().is_none());
+    }
+
+    #[test]
+    fn execute_reads_the_plan_not_the_graph_config() {
+        let build = || {
+            let mut g = Graph::new();
+            let c = g.add(Const(1.0));
+            let bad = g.add(Corruptor);
+            g.chain(&[c, bad]).unwrap();
+            g
+        };
+        // The graph's guard is off, but a guard-on plan wins.
+        let mut g = build();
+        assert!(matches!(
+            g.execute(&ExecPlan::batch().guard_non_finite(true)),
+            Err(SimError::NonFiniteSample { .. })
+        ));
+        // Conversely a guard-off plan ignores the graph's guard-on config;
+        // Graph::plan is the explicit bridge between the two.
+        let mut g = build();
+        g.guard_non_finite(true);
+        assert!(g.execute(&ExecPlan::batch()).unwrap().is_none());
+        let lifted = g.plan(ExecMode::Batch);
+        assert!(matches!(
+            g.execute(&lifted),
+            Err(SimError::NonFiniteSample { .. })
+        ));
+    }
+
+    #[test]
+    fn executor_applies_one_plan_to_many_graphs() {
+        let engine = crate::exec::Executor::new(ExecPlan::streaming(4).with_telemetry(true));
+        for gain in [2.0, 3.0] {
+            let mut g = Graph::new();
+            let src = g.add(Ramp::new(10));
+            let amp = g.add(Gain(gain));
+            g.chain(&[src, amp]).unwrap();
+            g.probe(amp).unwrap();
+            let report = engine.run(&mut g).unwrap().expect("telemetry on");
+            assert_eq!(report.rounds, 3);
+            assert_eq!(g.output(amp).unwrap().len(), 10);
+            assert!((g.output(amp).unwrap().samples()[9].re - 9.0 * gain).abs() < 1e-12);
+        }
     }
 }

@@ -35,6 +35,7 @@
 pub mod analog;
 pub mod block;
 pub mod channel;
+pub mod exec;
 pub mod fault;
 pub mod filter;
 pub mod graph;
@@ -48,14 +49,18 @@ pub mod supervise;
 pub mod telemetry;
 
 pub use block::{Block, SimError};
+pub use exec::{ExecMode, ExecPlan, Executor};
 pub use fault::{
     ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
     StalledSource,
 };
 pub use graph::{BlockId, Graph};
+// The deprecated free-function runners stay re-exported so downstream
+// callers get the deprecation note instead of a hard break.
+#[allow(deprecated)]
 pub use scenario::{
     run_scenarios, run_scenarios_checkpointed, run_scenarios_resilient, run_scenarios_supervised,
-    scenario_seed, RetryPolicy, ScenarioCtx, ScenarioOutcome, Scenarios,
+    scenario_seed, RetryPolicy, ScenarioCtx, ScenarioOutcome, Scenarios, SweepPlan,
 };
 pub use signal::Signal;
 pub use supervise::{
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use crate::channel::{
         AwgnChannel, DslLineChannel, ImpulsiveNoiseChannel, MultipathChannel, RayleighChannel,
     };
+    pub use crate::exec::{ExecMode, ExecPlan, Executor};
     pub use crate::fault::{
         ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
         StalledSource,
@@ -82,10 +88,11 @@ pub mod prelude {
     };
     pub use crate::pa::{RappPa, SalehPa, SoftClipPa};
     pub use crate::rate::{Downsampler, GainBlock, Upsampler};
+    #[allow(deprecated)]
     pub use crate::scenario::{
         run_scenarios, run_scenarios_checkpointed, run_scenarios_instrumented,
         run_scenarios_resilient, run_scenarios_supervised, scenario_seed, RetryPolicy, ScenarioCtx,
-        ScenarioOutcome, Scenarios,
+        ScenarioOutcome, Scenarios, SweepPlan,
     };
     pub use crate::signal::Signal;
     pub use crate::source::{SamplePlayback, ToneSource};

@@ -3,11 +3,29 @@
 //!
 //! RF system exploration is embarrassingly parallel across *scenarios* —
 //! back-off sweeps, SNR sweeps, Monte-Carlo seeds — while each individual
-//! graph pass is sequential. [`run_scenarios`] exploits exactly that
+//! graph pass is sequential. A [`SweepPlan`] exploits exactly that
 //! structure: each scenario builds its own [`crate::Graph`] (blocks are not
 //! `Sync`, so nothing is shared), runs it, and returns a result; a fixed
 //! pool of `std::thread` workers pulls scenario indices off an atomic
-//! counter.
+//! counter. One pool implementation (`run_pool`) drives every sweep
+//! flavor; the plan's toggles (worker count, retry policy, supervisor,
+//! telemetry) select the wiring, mirroring how [`crate::exec::ExecPlan`]
+//! configures single-graph execution.
+//!
+//! Two contracts are offered:
+//!
+//! * [`SweepPlan::run_fail_fast`] — the first typed error aborts the sweep
+//!   and is returned; panics propagate.
+//! * [`SweepPlan::run`] — fault-tolerant: panics are caught, attempts are
+//!   retried under the plan's [`RetryPolicy`] and optionally watched over
+//!   by a [`SweepSupervisor`] watchdog; every scenario lands as a
+//!   [`ScenarioOutcome`]. [`SweepPlan::run_checkpointed`] adds durable
+//!   resume on top.
+//!
+//! The historical free functions ([`run_scenarios`],
+//! [`run_scenarios_instrumented`], [`run_scenarios_resilient`],
+//! [`run_scenarios_supervised`], [`run_scenarios_checkpointed`]) are
+//! deprecated delegating wrappers over these methods.
 //!
 //! Determinism: results are returned in scenario order regardless of which
 //! worker ran them, and [`scenario_seed`] derives a stable per-scenario RNG
@@ -18,14 +36,13 @@
 //!
 //! ```
 //! use rfsim::prelude::*;
-//! use rfsim::scenario::{run_scenarios, Scenarios};
 //!
 //! // Mean output power of a tone through a soft limiter, for three drive
 //! // levels, computed on up to 3 threads.
 //! let drives = [0.5, 1.0, 2.0];
-//! let powers = run_scenarios(
-//!     Scenarios::new(drives.len()).threads(3),
-//!     |i| -> Result<f64, SimError> {
+//! let (powers, _report) = SweepPlan::new(drives.len())
+//!     .threads(3)
+//!     .run_fail_fast(|i| -> Result<f64, SimError> {
 //!         let mut g = Graph::new();
 //!         let src = g.add(ToneSource::new(1.0e3, 1.0e6, 512).with_amplitude(drives[i]));
 //!         let pa = g.add(SoftClipPa::new(1.0));
@@ -34,9 +51,8 @@
 //!         g.connect(pa, meter, 0)?;
 //!         g.run()?;
 //!         Ok(g.block::<PowerMeter>(meter).unwrap().power().unwrap())
-//!     },
-//! )
-//! .unwrap();
+//!     })
+//!     .unwrap();
 //! assert_eq!(powers.len(), 3);
 //! assert!(powers[0] < powers[2]);
 //! ```
@@ -53,8 +69,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Configuration for [`run_scenarios`]: how many scenarios to run and how
-/// many worker threads to use.
+/// Legacy pool shape (scenario count + worker threads) accepted by the
+/// deprecated free-function runners; lifts into a [`SweepPlan`] via
+/// `From`.
 #[derive(Debug, Clone)]
 pub struct Scenarios {
     count: usize,
@@ -109,95 +126,561 @@ pub fn scenario_seed(base_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs `scenario(0..count)` across a worker pool and returns the results
-/// in scenario order.
+/// One registration slot per worker — the in-flight attempt's start
+/// instant and cancel token — plus the budget and scan interval for the
+/// watchdog thread [`run_pool`] spawns alongside its workers.
+struct Watchdog<'a> {
+    watch: &'a [Mutex<Option<(Instant, CancelToken)>>],
+    budget: Duration,
+    poll: Duration,
+}
+
+/// The one sweep loop every runner flavor shares: `job(worker, index)`
+/// runs for `index in 0..count` across `workers` threads pulling indices
+/// off an atomic counter, and payloads land in scenario order. A job
+/// returning `abort = true` stops further indices from being claimed
+/// (in-flight jobs finish; unclaimed slots stay `None`). With one worker
+/// and no watchdog the loop runs inline on the calling thread.
+fn run_pool<T, F>(
+    count: usize,
+    workers: usize,
+    watchdog: Option<Watchdog<'_>>,
+    job: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize, usize) -> (Option<T>, bool) + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 && watchdog.is_none() {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+        for i in 0..count {
+            let (payload, abort) = job(0, i);
+            slots.push(payload);
+            if abort {
+                break;
+            }
+        }
+        slots.resize_with(count, || None);
+        return slots;
+    }
+
+    let next = AtomicUsize::new(0);
+    let aborted = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let results = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let job = &job;
+            let next = &next;
+            let aborted = &aborted;
+            let finished = &finished;
+            let results = &results;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count || aborted.load(Ordering::Relaxed) != 0 {
+                        break;
+                    }
+                    let (payload, abort) = job(w, i);
+                    if abort {
+                        aborted.store(1, Ordering::Relaxed);
+                    }
+                    // A sibling worker panicking while holding the lock
+                    // must not poison the whole sweep — recover the
+                    // guard; the slot data stays index-disjoint.
+                    results
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .as_mut_slice()[i] = payload;
+                }
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        if let Some(dog) = &watchdog {
+            let finished = &finished;
+            scope.spawn(move || {
+                while finished.load(Ordering::Relaxed) < workers {
+                    for slot in dog.watch {
+                        let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        if let Some((started, token)) = guard.as_ref() {
+                            // The worker attributes the resulting failure
+                            // to the deadline (see note_kill), so the
+                            // watchdog only has to cancel.
+                            if started.elapsed() > dog.budget {
+                                token.cancel();
+                            }
+                        }
+                        drop(guard);
+                    }
+                    std::thread::sleep(dog.poll);
+                }
+            });
+        }
+    });
+
+    results.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One plan for the whole sweep family: scenario count, worker-pool
+/// shape, retry policy, watchdog supervisor and telemetry toggle.
 ///
-/// `scenario` is called once per index; each call should build, run and
-/// measure its own graph. The first error aborts the sweep (workers finish
-/// their current scenario, pending ones are skipped) and is returned.
+/// The sweep-level analogue of [`crate::exec::ExecPlan`]: build the plan
+/// once, then pick a contract —
 ///
-/// With `threads(1)` the closure runs sequentially on the calling thread —
-/// useful as the reference when validating that a parallel sweep reproduces
-/// the sequential one.
+/// * [`SweepPlan::run_fail_fast`] aborts on the first typed error;
+/// * [`SweepPlan::run`] degrades gracefully under the plan's
+///   [`RetryPolicy`] and [`SweepSupervisor`];
+/// * [`SweepPlan::run_checkpointed`] adds durable resume on top.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    count: usize,
+    threads: usize,
+    retry: RetryPolicy,
+    supervisor: SweepSupervisor,
+    telemetry: bool,
+}
+
+impl SweepPlan {
+    /// A plan for `count` scenarios on a default worker pool
+    /// (`std::thread::available_parallelism`, capped at the scenario
+    /// count), no retries, no watchdog, telemetry off.
+    pub fn new(count: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepPlan {
+            count,
+            threads,
+            retry: RetryPolicy::none(),
+            supervisor: SweepSupervisor::new(),
+            telemetry: false,
+        }
+    }
+
+    /// Builder: use exactly `threads` workers (`1` forces a fully
+    /// sequential run on the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be nonzero");
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: retry policy for [`SweepPlan::run`] and
+    /// [`SweepPlan::run_checkpointed`] ([`RetryPolicy::none`] by
+    /// default). [`SweepPlan::run_fail_fast`] never retries.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: watchdog supervisor for [`SweepPlan::run`] and
+    /// [`SweepPlan::run_checkpointed`] (no budget by default).
+    /// [`SweepPlan::run_fail_fast`] is never supervised.
+    pub fn with_supervisor(mut self, supervisor: SweepSupervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Builder: when `true`, [`SweepPlan::run_fail_fast`] measures
+    /// per-scenario wall time and sweep duration; when `false` (the
+    /// default) it reads no clocks at all. The fault-tolerant contracts
+    /// always time scenarios — their fault accounting needs the clock.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Number of scenarios.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Effective worker count (never more than the scenario count, never
+    /// zero).
+    pub fn workers(&self) -> usize {
+        self.threads.min(self.count).max(1)
+    }
+
+    /// The plan's retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The plan's watchdog supervisor.
+    pub fn supervisor(&self) -> SweepSupervisor {
+        self.supervisor
+    }
+
+    /// Whether the fail-fast contract times scenarios.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Runs `scenario(0..count)` across the plan's worker pool and
+    /// returns the results in scenario order, aborting on the first
+    /// typed error.
+    ///
+    /// `scenario` is called once per index; each call should build, run
+    /// and measure its own graph. The first error (from the
+    /// lowest-indexed failing scenario, so parallel runs fail
+    /// deterministically) aborts the sweep — workers finish their
+    /// current scenario, pending ones are skipped — and is returned.
+    /// Panics propagate; for fault tolerance use [`SweepPlan::run`].
+    ///
+    /// The returned [`SweepReport`] carries per-scenario wall times and
+    /// worker utilization when the plan enables telemetry
+    /// ([`SweepPlan::with_telemetry`]); without it no clocks are read
+    /// and every timing field is zero.
+    ///
+    /// # Errors
+    ///
+    /// The first scenario error, if any scenario fails.
+    pub fn run_fail_fast<R, E, F>(&self, scenario: F) -> Result<(Vec<R>, SweepReport), E>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize) -> Result<R, E> + Sync,
+    {
+        let workers = self.workers();
+        let telemetry = self.telemetry;
+        let sweep_started = telemetry.then(Instant::now);
+        let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let slots = run_pool(self.count, workers, None, |_w, i| {
+            let started = telemetry.then(Instant::now);
+            match scenario(i) {
+                Ok(r) => {
+                    let nanos = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                    (Some((r, nanos)), false)
+                }
+                Err(e) => {
+                    // Keep the error from the lowest-indexed failing
+                    // scenario so parallel runs fail deterministically.
+                    let mut guard = error.lock().unwrap_or_else(PoisonError::into_inner);
+                    if guard.as_ref().is_none_or(|(j, _)| i < *j) {
+                        *guard = Some((i, e));
+                    }
+                    (None, true)
+                }
+            }
+        });
+        if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            return Err(e);
+        }
+        let total_nanos = sweep_started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+        let mut results = Vec::with_capacity(slots.len());
+        let mut scenario_nanos = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let (result, nanos) = slot.expect("every scenario ran");
+            results.push(result);
+            scenario_nanos.push(nanos);
+        }
+        Ok((
+            results,
+            SweepReport {
+                total_nanos,
+                workers,
+                scenario_nanos,
+                faults: None,
+                supervision: None,
+            },
+        ))
+    }
+
+    /// Runs a fault-tolerant sweep: panics are caught per attempt,
+    /// failed attempts are retried under the plan's [`RetryPolicy`] (the
+    /// closure receives the attempt number so it can reseed), and
+    /// scenarios that exhaust their attempts land as
+    /// [`ScenarioOutcome::Faulted`] while the rest of the sweep
+    /// completes.
+    ///
+    /// Every attempt receives a [`ScenarioCtx`]; when the plan's
+    /// [`SweepSupervisor`] sets a per-scenario budget, a watchdog thread
+    /// polls in-flight attempts at the supervisor's interval and cancels
+    /// overrunning ones cooperatively (counted in
+    /// [`SupervisionReport::deadline_kills`]), after which they are
+    /// retried or faulted like any other failure. Without a budget no
+    /// watchdog is spawned.
+    ///
+    /// The return is infallible by design — graceful degradation means
+    /// partial results plus an honest account, not an `Err`. The account
+    /// is the [`SweepReport`] with [`SweepReport::faults`] and
+    /// [`SweepReport::supervision`] populated; outcomes are in scenario
+    /// order, and scenarios are always timed (fault accounting needs the
+    /// clock regardless of the telemetry toggle).
+    ///
+    /// The closure must be `RefUnwindSafe`-in-spirit: each attempt
+    /// should build its own graph from scratch, so a caught panic cannot
+    /// leave shared state half-updated.
+    pub fn run<R, E, F>(&self, scenario: F) -> (Vec<ScenarioOutcome<R>>, SweepReport)
+    where
+        R: Send,
+        E: Send + Display,
+        F: Fn(usize, u32, &ScenarioCtx) -> Result<R, E> + Sync,
+    {
+        let workers = self.workers();
+        let policy = self.retry;
+        let supervisor = self.supervisor;
+        let counters = FaultCounters::default();
+        let kills = AtomicUsize::new(0);
+        let sweep_started = Instant::now();
+
+        // One registration slot per worker: which attempt it is running
+        // (start instant + token), for the watchdog to scan.
+        let watch: Vec<Mutex<Option<(Instant, CancelToken)>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let watchdog = supervisor.scenario_budget().map(|budget| Watchdog {
+            watch: &watch,
+            budget,
+            poll: supervisor.poll_interval(),
+        });
+
+        let slots = run_pool(self.count, workers, watchdog, |w, i| {
+            let started = Instant::now();
+            let mut last_error = String::new();
+            let mut attempts = 0;
+            while attempts < policy.max_attempts() {
+                attempts += 1;
+                let ctx = ScenarioCtx::new(supervisor.scenario_budget());
+                *watch[w].lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some((ctx.started, ctx.cancel_token()));
+                // AssertUnwindSafe: the closure builds per-scenario state
+                // from scratch each attempt, so an unwound attempt leaves
+                // nothing torn for the next one to observe.
+                let outcome = catch_unwind(AssertUnwindSafe(|| scenario(i, attempts - 1, &ctx)));
+                *watch[w].lock().unwrap_or_else(PoisonError::into_inner) = None;
+                match outcome {
+                    Ok(Ok(result)) => {
+                        let nanos = started.elapsed().as_nanos() as u64;
+                        let outcome = if attempts == 1 {
+                            ScenarioOutcome::Succeeded(result)
+                        } else {
+                            ScenarioOutcome::Retried { result, attempts }
+                        };
+                        return (Some((outcome, nanos)), false);
+                    }
+                    Ok(Err(e)) => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        last_error = e.to_string();
+                        note_kill(&kills, &ctx);
+                    }
+                    Err(payload) => {
+                        counters.panics.fetch_add(1, Ordering::Relaxed);
+                        last_error = format!("panic: {}", panic_message(payload));
+                        note_kill(&kills, &ctx);
+                    }
+                }
+            }
+            let nanos = started.elapsed().as_nanos() as u64;
+            (
+                Some((
+                    ScenarioOutcome::Faulted {
+                        attempts,
+                        error: last_error,
+                    },
+                    nanos,
+                )),
+                false,
+            )
+        });
+
+        let total_nanos = sweep_started.elapsed().as_nanos() as u64;
+        let mut outcomes = Vec::with_capacity(slots.len());
+        let mut scenario_nanos = Vec::with_capacity(slots.len());
+        let mut faults = FaultReport {
+            panics_caught: counters.panics.load(Ordering::Relaxed),
+            errors_caught: counters.errors.load(Ordering::Relaxed),
+            ..FaultReport::default()
+        };
+        for slot in slots {
+            let (outcome, nanos) = slot.expect("every scenario ran");
+            match &outcome {
+                ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
+                ScenarioOutcome::Retried { .. } => faults.retried += 1,
+                ScenarioOutcome::Faulted { .. } => faults.faulted += 1,
+            }
+            outcomes.push(outcome);
+            scenario_nanos.push(nanos);
+        }
+        (
+            outcomes,
+            SweepReport {
+                total_nanos,
+                workers,
+                scenario_nanos,
+                faults: Some(faults),
+                supervision: Some(SupervisionReport {
+                    deadline_kills: kills.load(Ordering::Relaxed),
+                    resumed: 0,
+                }),
+            },
+        )
+    }
+
+    /// Runs a fault-tolerant sweep like [`SweepPlan::run`] with durable
+    /// progress: scenarios already recorded in `checkpoint` are restored
+    /// instead of re-run, fresh successes are recorded (and persisted
+    /// batch-wise) as they land, and the merged outcomes cover the full
+    /// sweep in scenario order.
+    ///
+    /// Restored and fresh results merge into one [`SweepReport`]:
+    /// succeeded/retried/faulted counts span the whole sweep, while
+    /// `panics_caught`/`errors_caught` and
+    /// [`SupervisionReport::deadline_kills`] only cover work done in
+    /// *this* process (a restored scenario's past failures were already
+    /// accounted by the run that recorded it).
+    /// [`SupervisionReport::resumed`] reports how many scenarios were
+    /// restored.
+    ///
+    /// Results must round-trip through the checkpoint encoding
+    /// ([`CheckpointPayload`]); finite `f64` payloads restore bit for
+    /// bit, so an interrupted sweep resumed with the same seed equals
+    /// the uninterrupted one. Faulted scenarios are never recorded —
+    /// they are re-attempted on resume.
+    pub fn run_checkpointed<R, E, F>(
+        &self,
+        checkpoint: &mut SweepCheckpoint,
+        scenario: F,
+    ) -> (Vec<ScenarioOutcome<R>>, SweepReport)
+    where
+        R: Send + Clone + CheckpointPayload,
+        E: Send + Display,
+        F: Fn(usize, u32, &ScenarioCtx) -> Result<R, E> + Sync,
+    {
+        let count = self.count;
+        let workers = self.workers();
+
+        // Restore completed scenarios; undecodable entries force a re-run.
+        let mut restored: Vec<Option<(ScenarioOutcome<R>, u64)>> = Vec::with_capacity(count);
+        restored.resize_with(count, || None);
+        for entry in checkpoint.entries() {
+            if entry.index >= count {
+                continue;
+            }
+            if let Some(result) = R::from_checkpoint_value(&entry.result) {
+                let outcome = if entry.attempts <= 1 {
+                    ScenarioOutcome::Succeeded(result)
+                } else {
+                    ScenarioOutcome::Retried {
+                        result,
+                        attempts: entry.attempts,
+                    }
+                };
+                restored[entry.index] = Some((outcome, entry.nanos));
+            }
+        }
+        let resumed = restored.iter().filter(|r| r.is_some()).count();
+        let pending: Vec<usize> = (0..count).filter(|&i| restored[i].is_none()).collect();
+
+        let shared = Mutex::new(&mut *checkpoint);
+        let sub_plan = SweepPlan {
+            count: pending.len(),
+            threads: workers,
+            ..self.clone()
+        };
+        let (fresh, fresh_report) = sub_plan.run(|j, attempt, ctx| -> Result<R, E> {
+            let index = pending[j];
+            let started = Instant::now();
+            let result = scenario(index, attempt, ctx)?;
+            shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(CheckpointEntry {
+                    index,
+                    attempts: attempt + 1,
+                    nanos: started.elapsed().as_nanos() as u64,
+                    result: result.to_checkpoint_value(),
+                });
+            Ok(result)
+        });
+
+        // Merge: pending indices are ascending, so fresh results line up
+        // with the restored gaps in order.
+        let mut fresh_iter = fresh
+            .into_iter()
+            .zip(fresh_report.scenario_nanos.iter().copied());
+        let mut outcomes = Vec::with_capacity(count);
+        let mut scenario_nanos = Vec::with_capacity(count);
+        let fresh_faults = fresh_report.faults.unwrap_or_default();
+        let mut faults = FaultReport {
+            panics_caught: fresh_faults.panics_caught,
+            errors_caught: fresh_faults.errors_caught,
+            ..FaultReport::default()
+        };
+        for slot in restored {
+            let (outcome, nanos) = match slot {
+                Some(pair) => pair,
+                None => fresh_iter
+                    .next()
+                    .expect("one fresh result per pending scenario"),
+            };
+            match &outcome {
+                ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
+                ScenarioOutcome::Retried { .. } => faults.retried += 1,
+                ScenarioOutcome::Faulted { .. } => faults.faulted += 1,
+            }
+            outcomes.push(outcome);
+            scenario_nanos.push(nanos);
+        }
+        let _ = checkpoint.persist();
+        (
+            outcomes,
+            SweepReport {
+                total_nanos: fresh_report.total_nanos,
+                workers,
+                scenario_nanos,
+                faults: Some(faults),
+                supervision: Some(SupervisionReport {
+                    deadline_kills: fresh_report.supervision.map_or(0, |s| s.deadline_kills),
+                    resumed,
+                }),
+            },
+        )
+    }
+}
+
+impl From<Scenarios> for SweepPlan {
+    /// Lifts the legacy pool shape into a plan (count + threads; every
+    /// other toggle at its default).
+    fn from(config: Scenarios) -> Self {
+        SweepPlan::new(config.count).threads(config.threads)
+    }
+}
+
+/// Historical fail-fast entry point; the sweep loop now lives in
+/// [`SweepPlan::run_fail_fast`].
 ///
 /// # Errors
 ///
 /// The first scenario error, if any scenario fails.
+#[deprecated(note = "build a `SweepPlan` and call `run_fail_fast`")]
 pub fn run_scenarios<R, E, F>(config: Scenarios, scenario: F) -> Result<Vec<R>, E>
 where
     R: Send,
     E: Send,
     F: Fn(usize) -> Result<R, E> + Sync,
 {
-    let count = config.count();
-    if count == 0 {
-        return Ok(Vec::new());
-    }
-    let workers = config.effective_threads();
-    if workers == 1 {
-        return (0..count).map(&scenario).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let aborted = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
-    slots.resize_with(count, || None);
-    let results = Mutex::new(slots);
-    let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count || aborted.load(Ordering::Relaxed) != 0 {
-                    break;
-                }
-                match scenario(i) {
-                    Ok(r) => {
-                        // A sibling worker panicking while holding the lock
-                        // must not poison the whole sweep — recover the
-                        // guard; the slot data stays index-disjoint.
-                        results
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .as_mut_slice()[i] = Some(r);
-                    }
-                    Err(e) => {
-                        aborted.store(1, Ordering::Relaxed);
-                        // Keep the error from the lowest-indexed failing
-                        // scenario so parallel runs fail deterministically.
-                        let mut guard = error.lock().unwrap_or_else(PoisonError::into_inner);
-                        if guard.as_ref().is_none_or(|(j, _)| i < *j) {
-                            *guard = Some((i, e));
-                        }
-                    }
-                }
-            });
-        }
-    });
-
-    if let Some((_, e)) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
-        return Err(e);
-    }
-    let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
-    Ok(slots
-        .into_iter()
-        .map(|r| r.expect("every scenario ran"))
-        .collect())
+    SweepPlan::from(config)
+        .run_fail_fast(scenario)
+        .map(|(results, _report)| results)
 }
 
-/// Runs a sweep like [`run_scenarios`] while measuring per-scenario wall
-/// time and worker utilization.
-///
-/// Returns the in-order results together with a
-/// [`SweepReport`] whose `scenario_nanos` follow scenario
-/// order. The timing wrapper adds two `Instant` reads per scenario —
-/// negligible against any real graph pass — and the scheduling (and thus
-/// the results) is identical to the uninstrumented runner.
+/// Historical instrumented entry point; the timing wiring is now
+/// [`SweepPlan::with_telemetry`] + [`SweepPlan::run_fail_fast`].
 ///
 /// # Errors
 ///
 /// The first scenario error, if any scenario fails.
+#[deprecated(note = "build a `SweepPlan` with `with_telemetry(true)` and call `run_fail_fast`")]
 pub fn run_scenarios_instrumented<R, E, F>(
     config: Scenarios,
     scenario: F,
@@ -207,34 +690,13 @@ where
     E: Send,
     F: Fn(usize) -> Result<R, E> + Sync,
 {
-    let workers = config.effective_threads();
-    let sweep_started = Instant::now();
-    let timed = run_scenarios(config, |i| {
-        let started = Instant::now();
-        let result = scenario(i)?;
-        Ok((result, started.elapsed().as_nanos() as u64))
-    })?;
-    let total_nanos = sweep_started.elapsed().as_nanos() as u64;
-    let mut results = Vec::with_capacity(timed.len());
-    let mut scenario_nanos = Vec::with_capacity(timed.len());
-    for (result, nanos) in timed {
-        results.push(result);
-        scenario_nanos.push(nanos);
-    }
-    Ok((
-        results,
-        SweepReport {
-            total_nanos,
-            workers,
-            scenario_nanos,
-            faults: None,
-            supervision: None,
-        },
-    ))
+    SweepPlan::from(config)
+        .with_telemetry(true)
+        .run_fail_fast(scenario)
 }
 
-/// How many times [`run_scenarios_resilient`] re-attempts a scenario whose
-/// attempt panicked or returned an error.
+/// How many times a fault-tolerant sweep ([`SweepPlan::run`]) re-attempts
+/// a scenario whose attempt panicked or returned an error.
 ///
 /// Every retry passes a fresh attempt number to the scenario closure, so
 /// deterministic scenarios can reseed (`scenario_seed(base ^ attempt, i)`)
@@ -326,23 +788,9 @@ struct FaultCounters {
     errors: AtomicUsize,
 }
 
-/// Runs `scenario(0..count)` like [`run_scenarios`], but never lets one
-/// scenario kill the sweep: panics are caught per attempt, errors and
-/// panics are retried under `policy` (the closure receives the attempt
-/// number so it can reseed), and scenarios that exhaust their attempts are
-/// recorded as [`ScenarioOutcome::Faulted`] while the rest of the sweep
-/// completes.
-///
-/// The return is infallible by design — graceful degradation means partial
-/// results plus an honest account, not an `Err`. The account is the
-/// [`SweepReport`] with [`SweepReport::faults`] populated
-/// (succeeded/retried/faulted counts, panics and errors caught); outcomes
-/// are in scenario order.
-///
-/// The closure must be `RefUnwindSafe`-in-spirit: each attempt should
-/// build its own graph from scratch (the [`run_scenarios`] contract
-/// already requires this), so a caught panic cannot leave shared state
-/// half-updated.
+/// Historical fault-tolerant entry point; the retry/catch machinery now
+/// lives in [`SweepPlan::run`].
+#[deprecated(note = "build a `SweepPlan` with `with_retry` and call `run`")]
 pub fn run_scenarios_resilient<R, E, F>(
     config: Scenarios,
     policy: RetryPolicy,
@@ -353,12 +801,9 @@ where
     E: Send + Display,
     F: Fn(usize, u32) -> Result<R, E> + Sync,
 {
-    let (outcomes, mut report) = run_scenarios_supervised(
-        config,
-        policy,
-        &SweepSupervisor::new(),
-        |i, attempt, _ctx| scenario(i, attempt),
-    );
+    let (outcomes, mut report) = SweepPlan::from(config)
+        .with_retry(policy)
+        .run(|i, attempt, _ctx| scenario(i, attempt));
     // No watchdog, no checkpoint: keep the pre-supervision report shape.
     report.supervision = None;
     (outcomes, report)
@@ -433,20 +878,9 @@ fn note_kill(kills: &AtomicUsize, ctx: &ScenarioCtx) {
     }
 }
 
-/// Runs a fault-tolerant sweep like [`run_scenarios_resilient`] under a
-/// [`SweepSupervisor`] watchdog: every attempt receives a [`ScenarioCtx`],
-/// and attempts that exceed the supervisor's per-scenario budget are
-/// cancelled cooperatively (counted in
-/// [`SupervisionReport::deadline_kills`]), then retried or faulted under
-/// `policy` like any other failure.
-///
-/// The watchdog runs on its own thread inside the sweep's scope and polls
-/// in-flight attempts at the supervisor's poll interval; without a budget
-/// it is not spawned and the runner behaves exactly like
-/// [`run_scenarios_resilient`].
-///
-/// The returned [`SweepReport`] carries both [`SweepReport::faults`] and
-/// [`SweepReport::supervision`].
+/// Historical supervised entry point; the watchdog wiring now lives in
+/// [`SweepPlan::run`].
+#[deprecated(note = "build a `SweepPlan` with `with_retry`/`with_supervisor` and call `run`")]
 pub fn run_scenarios_supervised<R, E, F>(
     config: Scenarios,
     policy: RetryPolicy,
@@ -458,168 +892,15 @@ where
     E: Send + Display,
     F: Fn(usize, u32, &ScenarioCtx) -> Result<R, E> + Sync,
 {
-    let count = config.count();
-    let workers = config.effective_threads();
-    let counters = FaultCounters::default();
-    let kills = AtomicUsize::new(0);
-    let sweep_started = Instant::now();
-
-    let mut slots: Vec<Option<(ScenarioOutcome<R>, u64)>> = Vec::with_capacity(count);
-    slots.resize_with(count, || None);
-    let results = Mutex::new(slots);
-
-    if count > 0 {
-        // One registration slot per worker: which attempt it is running
-        // (start instant + token), for the watchdog to scan.
-        let watch: Vec<Mutex<Option<(Instant, CancelToken)>>> =
-            (0..workers).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let finished = AtomicUsize::new(0);
-
-        let attempt_scenario = |w: usize, i: usize| -> (ScenarioOutcome<R>, u64) {
-            let started = Instant::now();
-            let mut last_error = String::new();
-            let mut attempts = 0;
-            while attempts < policy.max_attempts() {
-                attempts += 1;
-                let ctx = ScenarioCtx::new(supervisor.scenario_budget());
-                *watch[w].lock().unwrap_or_else(PoisonError::into_inner) =
-                    Some((ctx.started, ctx.cancel_token()));
-                // AssertUnwindSafe: the closure builds per-scenario state
-                // from scratch each attempt, so an unwound attempt leaves
-                // nothing torn for the next one to observe.
-                let outcome = catch_unwind(AssertUnwindSafe(|| scenario(i, attempts - 1, &ctx)));
-                *watch[w].lock().unwrap_or_else(PoisonError::into_inner) = None;
-                match outcome {
-                    Ok(Ok(result)) => {
-                        let nanos = started.elapsed().as_nanos() as u64;
-                        let outcome = if attempts == 1 {
-                            ScenarioOutcome::Succeeded(result)
-                        } else {
-                            ScenarioOutcome::Retried { result, attempts }
-                        };
-                        return (outcome, nanos);
-                    }
-                    Ok(Err(e)) => {
-                        counters.errors.fetch_add(1, Ordering::Relaxed);
-                        last_error = e.to_string();
-                        note_kill(&kills, &ctx);
-                    }
-                    Err(payload) => {
-                        counters.panics.fetch_add(1, Ordering::Relaxed);
-                        last_error = format!("panic: {}", panic_message(payload));
-                        note_kill(&kills, &ctx);
-                    }
-                }
-            }
-            let nanos = started.elapsed().as_nanos() as u64;
-            (
-                ScenarioOutcome::Faulted {
-                    attempts,
-                    error: last_error,
-                },
-                nanos,
-            )
-        };
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let attempt_scenario = &attempt_scenario;
-                let next = &next;
-                let finished = &finished;
-                let results = &results;
-                scope.spawn(move || {
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        let out = attempt_scenario(w, i);
-                        results
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .as_mut_slice()[i] = Some(out);
-                    }
-                    finished.fetch_add(1, Ordering::Relaxed);
-                });
-            }
-            if let Some(budget) = supervisor.scenario_budget() {
-                let watch = &watch;
-                let finished = &finished;
-                let poll = supervisor.poll_interval();
-                scope.spawn(move || {
-                    while finished.load(Ordering::Relaxed) < workers {
-                        for slot in watch {
-                            let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
-                            if let Some((started, token)) = guard.as_ref() {
-                                // The worker attributes the resulting
-                                // failure to the deadline (see note_kill),
-                                // so the watchdog only has to cancel.
-                                if started.elapsed() > budget {
-                                    token.cancel();
-                                }
-                            }
-                            drop(guard);
-                        }
-                        std::thread::sleep(poll);
-                    }
-                });
-            }
-        });
-    }
-
-    let total_nanos = sweep_started.elapsed().as_nanos() as u64;
-    let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
-    let mut outcomes = Vec::with_capacity(count);
-    let mut scenario_nanos = Vec::with_capacity(count);
-    let mut faults = FaultReport {
-        panics_caught: counters.panics.load(Ordering::Relaxed),
-        errors_caught: counters.errors.load(Ordering::Relaxed),
-        ..FaultReport::default()
-    };
-    for slot in slots {
-        let (outcome, nanos) = slot.expect("every scenario ran");
-        match &outcome {
-            ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
-            ScenarioOutcome::Retried { .. } => faults.retried += 1,
-            ScenarioOutcome::Faulted { .. } => faults.faulted += 1,
-        }
-        outcomes.push(outcome);
-        scenario_nanos.push(nanos);
-    }
-    (
-        outcomes,
-        SweepReport {
-            total_nanos,
-            workers,
-            scenario_nanos,
-            faults: Some(faults),
-            supervision: Some(SupervisionReport {
-                deadline_kills: kills.load(Ordering::Relaxed),
-                resumed: 0,
-            }),
-        },
-    )
+    SweepPlan::from(config)
+        .with_retry(policy)
+        .with_supervisor(*supervisor)
+        .run(scenario)
 }
 
-/// Runs a supervised sweep with durable progress: scenarios already
-/// recorded in `checkpoint` are restored instead of re-run, fresh
-/// successes are recorded (and persisted batch-wise) as they land, and the
-/// merged outcomes cover the full sweep in scenario order.
-///
-/// Restored and fresh results merge into one [`SweepReport`]:
-/// succeeded/retried/faulted counts span the whole sweep, while
-/// `panics_caught`/`errors_caught` and
-/// [`SupervisionReport::deadline_kills`] only cover work done in *this*
-/// process (a restored scenario's past failures were already accounted by
-/// the run that recorded it). [`SupervisionReport::resumed`] reports how
-/// many scenarios were restored.
-///
-/// Results must round-trip through the checkpoint encoding
-/// ([`CheckpointPayload`]); finite `f64` payloads restore bit for bit, so
-/// an interrupted sweep resumed with the same seed equals the
-/// uninterrupted one. Faulted scenarios are never recorded — they are
-/// re-attempted on resume.
+/// Historical checkpointed entry point; durable resume now lives in
+/// [`SweepPlan::run_checkpointed`].
+#[deprecated(note = "build a `SweepPlan` and call `run_checkpointed`")]
 pub fn run_scenarios_checkpointed<R, E, F>(
     config: Scenarios,
     policy: RetryPolicy,
@@ -632,98 +913,15 @@ where
     E: Send + Display,
     F: Fn(usize, u32, &ScenarioCtx) -> Result<R, E> + Sync,
 {
-    let count = config.count();
-    let workers = config.effective_threads();
-
-    // Restore completed scenarios; undecodable entries force a re-run.
-    let mut restored: Vec<Option<(ScenarioOutcome<R>, u64)>> = Vec::with_capacity(count);
-    restored.resize_with(count, || None);
-    for entry in checkpoint.entries() {
-        if entry.index >= count {
-            continue;
-        }
-        if let Some(result) = R::from_checkpoint_value(&entry.result) {
-            let outcome = if entry.attempts <= 1 {
-                ScenarioOutcome::Succeeded(result)
-            } else {
-                ScenarioOutcome::Retried {
-                    result,
-                    attempts: entry.attempts,
-                }
-            };
-            restored[entry.index] = Some((outcome, entry.nanos));
-        }
-    }
-    let resumed = restored.iter().filter(|r| r.is_some()).count();
-    let pending: Vec<usize> = (0..count).filter(|&i| restored[i].is_none()).collect();
-
-    let shared = Mutex::new(&mut *checkpoint);
-    let (fresh, fresh_report) = run_scenarios_supervised(
-        Scenarios::new(pending.len()).threads(workers),
-        policy,
-        supervisor,
-        |j, attempt, ctx| -> Result<R, E> {
-            let index = pending[j];
-            let started = Instant::now();
-            let result = scenario(index, attempt, ctx)?;
-            shared
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .record(CheckpointEntry {
-                    index,
-                    attempts: attempt + 1,
-                    nanos: started.elapsed().as_nanos() as u64,
-                    result: result.to_checkpoint_value(),
-                });
-            Ok(result)
-        },
-    );
-
-    // Merge: pending indices are ascending, so fresh results line up with
-    // the restored gaps in order.
-    let mut fresh_iter = fresh
-        .into_iter()
-        .zip(fresh_report.scenario_nanos.iter().copied());
-    let mut outcomes = Vec::with_capacity(count);
-    let mut scenario_nanos = Vec::with_capacity(count);
-    let fresh_faults = fresh_report.faults.unwrap_or_default();
-    let mut faults = FaultReport {
-        panics_caught: fresh_faults.panics_caught,
-        errors_caught: fresh_faults.errors_caught,
-        ..FaultReport::default()
-    };
-    for slot in restored {
-        let (outcome, nanos) = match slot {
-            Some(pair) => pair,
-            None => fresh_iter
-                .next()
-                .expect("one fresh result per pending scenario"),
-        };
-        match &outcome {
-            ScenarioOutcome::Succeeded(_) => faults.succeeded += 1,
-            ScenarioOutcome::Retried { .. } => faults.retried += 1,
-            ScenarioOutcome::Faulted { .. } => faults.faulted += 1,
-        }
-        outcomes.push(outcome);
-        scenario_nanos.push(nanos);
-    }
-    let _ = checkpoint.persist();
-    (
-        outcomes,
-        SweepReport {
-            total_nanos: fresh_report.total_nanos,
-            workers,
-            scenario_nanos,
-            faults: Some(faults),
-            supervision: Some(SupervisionReport {
-                deadline_kills: fresh_report.supervision.map_or(0, |s| s.deadline_kills),
-                resumed,
-            }),
-        },
-    )
+    SweepPlan::from(config)
+        .with_retry(policy)
+        .with_supervisor(*supervisor)
+        .run_checkpointed(checkpoint, scenario)
 }
 
 #[cfg(test)]
+// The deprecated wrappers stay equivalence-tested until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::channel::AwgnChannel;
@@ -1134,5 +1332,78 @@ mod tests {
         for (i, o) in outcomes.iter().enumerate() {
             assert!(matches!(o, ScenarioOutcome::Succeeded(v) if *v == i * 10));
         }
+    }
+
+    #[test]
+    fn sweep_plan_fail_fast_matches_the_deprecated_runner() {
+        let (results, report) = SweepPlan::new(8)
+            .threads(4)
+            .run_fail_fast(|i| -> Result<f64, SimError> {
+                let mut g = Graph::new();
+                let src = g.add(ToneSource::new(1.0e3, 1.0e6, 256));
+                let ch = g.add(AwgnChannel::from_snr_db(
+                    5.0 + i as f64,
+                    scenario_seed(42, i),
+                ));
+                let meter = g.add(PowerMeter::new());
+                g.connect(src, ch, 0)?;
+                g.connect(ch, meter, 0)?;
+                g.run()?;
+                Ok(g.block::<PowerMeter>(meter).unwrap().power().unwrap())
+            })
+            .unwrap();
+        assert_eq!(results, sweep(1));
+        // Telemetry off: the fail-fast contract reads no clocks.
+        assert_eq!(report.total_nanos, 0);
+        assert!(report.scenario_nanos.iter().all(|&n| n == 0));
+        assert!(report.faults.is_none() && report.supervision.is_none());
+    }
+
+    #[test]
+    fn sweep_plan_telemetry_toggle_times_the_sweep() {
+        let (results, report) = SweepPlan::new(6)
+            .threads(3)
+            .with_telemetry(true)
+            .run_fail_fast(|i| -> Result<usize, SimError> {
+                std::thread::sleep(Duration::from_millis(1));
+                Ok(i)
+            })
+            .unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(report.workers, 3);
+        assert_eq!(report.scenario_nanos.len(), 6);
+        assert!(report.total_nanos > 0);
+        assert!(report.scenario_nanos.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn sweep_plan_sequential_error_is_the_lowest_failing_index() {
+        let err = SweepPlan::new(16)
+            .threads(1)
+            .run_fail_fast(|i| -> Result<usize, String> {
+                if i >= 5 {
+                    Err(format!("scenario {i} failed"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "scenario 5 failed");
+    }
+
+    #[test]
+    fn sweep_plan_lifts_legacy_scenarios_config() {
+        let plan = SweepPlan::from(Scenarios::new(4).threads(16));
+        assert_eq!(plan.count(), 4);
+        assert_eq!(plan.workers(), 4);
+        assert!(!plan.telemetry());
+        assert_eq!(plan.retry(), RetryPolicy::none());
+        assert_eq!(plan.supervisor().scenario_budget(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn sweep_plan_zero_threads_panics() {
+        let _ = SweepPlan::new(1).threads(0);
     }
 }

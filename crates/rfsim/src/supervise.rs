@@ -15,7 +15,7 @@
 //! * **Cancellation** — a [`CancelToken`] installed via
 //!   [`Graph::set_cancel_token`](crate::Graph::set_cancel_token) is polled
 //!   at the same boundaries, so a watchdog thread
-//!   ([`crate::scenario::run_scenarios_supervised`]) can kill a runaway
+//!   ([`crate::scenario::SweepPlan::run`]) can kill a runaway
 //!   scenario cooperatively with [`SimError::Cancelled`].
 //! * **Circuit breakers** — with a [`BreakerPolicy`] enabled, each block
 //!   carries a [`BreakerState`]. Repeated failures of a *bypassable* block
@@ -344,8 +344,8 @@ impl BreakerState {
     }
 }
 
-/// Watchdog configuration for
-/// [`run_scenarios_supervised`](crate::scenario::run_scenarios_supervised).
+/// Watchdog configuration for supervised sweeps
+/// ([`SweepPlan::run`](crate::scenario::SweepPlan::run)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepSupervisor {
     scenario_budget: Option<Duration>,
@@ -562,13 +562,12 @@ const CHECKPOINT_SCHEMA: &str = "sweep-checkpoint/v1";
 /// use std::time::Duration;
 ///
 /// let mut ckpt = SweepCheckpoint::load_or_new("sweep.ckpt.json", "snr-sweep", 64);
-/// let (outcomes, report) = run_scenarios_checkpointed(
-///     Scenarios::new(64),
-///     RetryPolicy::retries(1),
-///     &SweepSupervisor::new().with_scenario_budget(Duration::from_secs(5)),
-///     &mut ckpt,
-///     |i, _attempt, _ctx| -> Result<f64, SimError> { Ok(i as f64) },
-/// );
+/// let (outcomes, report) = SweepPlan::new(64)
+///     .with_retry(RetryPolicy::retries(1))
+///     .with_supervisor(SweepSupervisor::new().with_scenario_budget(Duration::from_secs(5)))
+///     .run_checkpointed(&mut ckpt, |i, _attempt, _ctx| -> Result<f64, SimError> {
+///         Ok(i as f64)
+///     });
 /// assert_eq!(outcomes.len(), 64);
 /// assert!(report.faults.is_some());
 /// ```

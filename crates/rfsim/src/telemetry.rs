@@ -329,7 +329,7 @@ pub(crate) fn finite_or_zero(x: f64) -> f64 {
 }
 
 /// Outcome counts of a fault-tolerant scenario sweep
-/// ([`crate::scenario::run_scenarios_resilient`]): how the sweep degraded
+/// ([`crate::scenario::SweepPlan::run`]): how the sweep degraded
 /// instead of whether it survived — it always survives.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultReport {
@@ -397,8 +397,9 @@ impl FaultReport {
     }
 }
 
-/// Aggregates for one instrumented scenario sweep
-/// ([`crate::scenario::run_scenarios_instrumented`]).
+/// Aggregates for one scenario sweep
+/// ([`crate::scenario::SweepPlan::run_fail_fast`] with telemetry enabled,
+/// or any fault-tolerant run).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// Wall time of the whole sweep in nanoseconds.
@@ -408,12 +409,12 @@ pub struct SweepReport {
     /// Per-scenario duration in nanoseconds, in scenario order.
     pub scenario_nanos: Vec<u64>,
     /// Fault-tolerance outcome counts, present when the sweep ran through
-    /// [`crate::scenario::run_scenarios_resilient`].
+    /// a fault-tolerant contract ([`crate::scenario::SweepPlan::run`]).
     pub faults: Option<FaultReport>,
     /// Watchdog/checkpoint accounting, present when the sweep ran under a
     /// [`crate::supervise::SweepSupervisor`]
-    /// ([`crate::scenario::run_scenarios_supervised`] or
-    /// [`crate::scenario::run_scenarios_checkpointed`]).
+    /// ([`crate::scenario::SweepPlan::run`] or
+    /// [`crate::scenario::SweepPlan::run_checkpointed`]).
     pub supervision: Option<SupervisionReport>,
 }
 

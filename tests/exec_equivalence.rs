@@ -1,0 +1,286 @@
+//! The unified-engine contract: every legacy `Graph` entrypoint
+//! (`run`, `run_instrumented`, `run_streaming`,
+//! `run_streaming_instrumented`) is a thin shim over
+//! `Graph::execute(&ExecPlan)`, so a plan-driven run must reproduce the
+//! shim-driven run bit for bit — outputs, measurements, run reports and
+//! failure modes — for every feature combination the plan can express
+//! (guard × telemetry × budget × breakers, batch and streaming).
+
+use rfsim::prelude::*;
+use std::time::Duration;
+
+/// Tone → PA → AWGN (fixed reference, seeded) → power meter: a fully
+/// deterministic chain where every block has a native streaming override.
+fn build_chain(seed: u64) -> (Graph, BlockId, BlockId) {
+    let mut g = Graph::new();
+    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 2048));
+    let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(6.0));
+    let ch = g.add(AwgnChannel::from_snr_db(25.0, seed).with_reference_power(0.2));
+    let meter = g.add(PowerMeter::new());
+    g.chain(&[src, pa, ch, meter]).expect("wires");
+    g.probe(ch).expect("probe");
+    (g, ch, meter)
+}
+
+/// A chain whose impairment fails on every invocation: the material for
+/// the guard and breaker paths. With a breaker policy the failing block
+/// is bypassed pass-through; with the non-finite guard and no breaker the
+/// pass fails.
+fn build_faulty_chain(error_rate: f64, nan_rate: f64) -> (Graph, BlockId, BlockId) {
+    let mut g = Graph::new();
+    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 2048));
+    let bad = g.add(
+        FaultPlan::new()
+            .with_error_rate(error_rate)
+            .with_nan_rate(nan_rate)
+            .wrap(0xEE, NanInjector::new(1.0, 5)),
+    );
+    let pa = g.add(SoftClipPa::new(1.0));
+    g.chain(&[src, bad, pa]).expect("wires");
+    g.probe(pa).expect("probe");
+    (g, bad, pa)
+}
+
+/// Reports must agree on everything except wall-clock timings.
+fn assert_reports_match(shim: &RunReport, engine: &RunReport, label: &str) {
+    assert_eq!(shim.mode, engine.mode, "{label}: mode");
+    assert_eq!(shim.rounds, engine.rounds, "{label}: rounds");
+    assert_eq!(shim.health, engine.health, "{label}: health");
+    assert_eq!(
+        shim.breaker_trips, engine.breaker_trips,
+        "{label}: breaker trips"
+    );
+    assert_eq!(
+        shim.bypassed_invocations, engine.bypassed_invocations,
+        "{label}: bypassed invocations"
+    );
+    assert_eq!(shim.blocks.len(), engine.blocks.len(), "{label}: blocks");
+    for (a, b) in shim.blocks.iter().zip(&engine.blocks) {
+        assert_eq!(a.name, b.name, "{label}: block name");
+        assert_eq!(
+            a.invocations, b.invocations,
+            "{label}: {} invocations",
+            a.name
+        );
+        assert_eq!(a.samples_in, b.samples_in, "{label}: {} samples in", a.name);
+        assert_eq!(
+            a.samples_out, b.samples_out,
+            "{label}: {} samples out",
+            a.name
+        );
+        assert_eq!(
+            a.buffer_high_water, b.buffer_high_water,
+            "{label}: {} buffer high water",
+            a.name
+        );
+        assert_eq!(a.bypassed, b.bypassed, "{label}: {} bypassed", a.name);
+    }
+}
+
+/// The full feature matrix on a clean chain: guard × telemetry × budget ×
+/// breakers, batch and streaming. The shim graph is configured through the
+/// legacy setters and driven through the legacy entrypoint; the engine
+/// graph stays unconfigured and receives everything through the
+/// `ExecPlan`. Outputs must be bit-identical and reports equal modulo
+/// timing.
+#[test]
+fn execute_matches_every_legacy_entrypoint_per_feature_combination() {
+    let chunk_len = 77usize;
+    for &streaming in &[false, true] {
+        for &telemetry in &[false, true] {
+            for &guard in &[false, true] {
+                for &budget in &[None, Some(Duration::from_secs(3600))] {
+                    for &breakers in &[None, Some(BreakerPolicy::new().with_threshold(2))] {
+                        let label = format!(
+                            "streaming={streaming} telemetry={telemetry} guard={guard} \
+                             budget={} breakers={}",
+                            budget.is_some(),
+                            breakers.is_some()
+                        );
+
+                        // Shim side: configuration lives on the graph.
+                        let (mut shim, ch, meter) = build_chain(11);
+                        shim.guard_non_finite(guard);
+                        shim.set_budget(budget);
+                        shim.set_breaker_policy(breakers);
+                        let shim_report = match (streaming, telemetry) {
+                            (false, false) => {
+                                shim.run().expect(&label);
+                                None
+                            }
+                            (false, true) => Some(shim.run_instrumented().expect(&label)),
+                            (true, false) => {
+                                shim.run_streaming(chunk_len).expect(&label);
+                                None
+                            }
+                            (true, true) => {
+                                Some(shim.run_streaming_instrumented(chunk_len).expect(&label))
+                            }
+                        };
+
+                        // Engine side: configuration lives on the plan.
+                        let mode = if streaming {
+                            ExecMode::Streaming { chunk_len }
+                        } else {
+                            ExecMode::Batch
+                        };
+                        let plan = ExecPlan::new(mode)
+                            .with_telemetry(telemetry)
+                            .guard_non_finite(guard)
+                            .with_budget(budget)
+                            .with_breaker_policy(breakers);
+                        let (mut engine, ch2, meter2) = build_chain(11);
+                        let engine_report = engine.execute(&plan).expect(&label);
+
+                        // Bit-identical signal path and measurement.
+                        assert_eq!(
+                            engine.output(ch2).expect(&label),
+                            shim.output(ch).expect(&label),
+                            "{label}: probed channel output"
+                        );
+                        assert_eq!(
+                            engine.block::<PowerMeter>(meter2).unwrap().power(),
+                            shim.block::<PowerMeter>(meter).unwrap().power(),
+                            "{label}: measured power"
+                        );
+
+                        // Matching telemetry contract.
+                        assert_eq!(
+                            shim_report.is_some(),
+                            engine_report.is_some(),
+                            "{label}: report presence"
+                        );
+                        if let (Some(a), Some(b)) = (&shim_report, &engine_report) {
+                            assert_reports_match(a, b, &label);
+                        }
+                        assert_eq!(
+                            shim.last_report().is_some(),
+                            engine.last_report().is_some(),
+                            "{label}: retained report"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A plan-driven guarded run fails exactly like the shim-driven one: same
+/// typed error, same failed health, and no stale retained report.
+#[test]
+fn guard_failure_is_identical_via_shim_and_plan() {
+    for &streaming in &[false, true] {
+        let (mut shim, _, _) = build_faulty_chain(0.0, 1.0);
+        shim.guard_non_finite(true);
+        let shim_err = if streaming {
+            shim.run_streaming(64).unwrap_err()
+        } else {
+            shim.run().unwrap_err()
+        };
+
+        let mode = if streaming {
+            ExecMode::Streaming { chunk_len: 64 }
+        } else {
+            ExecMode::Batch
+        };
+        let (mut engine, _, _) = build_faulty_chain(0.0, 1.0);
+        let plan = ExecPlan::new(mode)
+            .guard_non_finite(true)
+            .with_telemetry(true);
+        let engine_err = engine.execute(&plan).unwrap_err();
+
+        assert_eq!(
+            format!("{shim_err}"),
+            format!("{engine_err}"),
+            "streaming={streaming}"
+        );
+        assert_eq!(shim.health(), engine.health(), "streaming={streaming}");
+        assert!(
+            engine.last_report().is_none(),
+            "failed run must not retain a report"
+        );
+    }
+}
+
+/// Breaker-degraded streaming runs agree block for block: same trips, same
+/// bypass counts, same degraded health, same pass-through output.
+#[test]
+fn breaker_degradation_is_identical_via_shim_and_plan() {
+    let policy = BreakerPolicy::new().with_threshold(1);
+
+    let (mut shim, bad, pa) = build_faulty_chain(1.0, 0.0);
+    shim.set_breaker_policy(Some(policy));
+    let shim_report = shim.run_streaming_instrumented(128).expect("degrades");
+
+    let (mut engine, bad2, pa2) = build_faulty_chain(1.0, 0.0);
+    let plan = ExecPlan::streaming(128)
+        .with_telemetry(true)
+        .with_breaker_policy(Some(policy));
+    let engine_report = engine
+        .execute(&plan)
+        .expect("degrades")
+        .expect("telemetry requested");
+
+    assert_eq!(shim_report.health, Health::Degraded);
+    assert_reports_match(&shim_report, &engine_report, "breaker degradation");
+    assert_eq!(shim.breaker_trips(), engine.breaker_trips());
+    assert_eq!(shim.bypassed_invocations(), engine.bypassed_invocations());
+    assert_eq!(shim.bypassed(bad), engine.bypassed(bad2));
+    assert_eq!(
+        shim.breaker_state(bad).map(|s| s.is_open()),
+        engine.breaker_state(bad2).map(|s| s.is_open())
+    );
+    assert_eq!(shim.output(pa), engine.output(pa2), "pass-through output");
+}
+
+/// Supervision limits fire identically whether they come from the graph
+/// setters or from the plan: an exhausted deadline and a pre-cancelled
+/// token abort with the same typed errors.
+#[test]
+fn deadline_and_cancellation_are_identical_via_shim_and_plan() {
+    // Deadline: a zero budget trips at the first supervision check.
+    let (mut shim, _, _) = build_chain(3);
+    shim.set_budget(Some(Duration::ZERO));
+    let shim_err = shim.run().unwrap_err();
+    let (mut engine, _, _) = build_chain(3);
+    let plan = ExecPlan::batch().with_budget(Some(Duration::ZERO));
+    let engine_err = engine.execute(&plan).unwrap_err();
+    // The rendered message embeds the elapsed wall time, so compare the
+    // typed failure, not the rendering.
+    assert!(
+        matches!(&shim_err, SimError::DeadlineExceeded { .. })
+            && std::mem::discriminant(&shim_err) == std::mem::discriminant(&engine_err),
+        "deadline: shim {shim_err:?} vs engine {engine_err:?}"
+    );
+
+    // Cancellation: an already-cancelled token aborts before any block.
+    let token = CancelToken::new();
+    token.cancel();
+    let (mut shim, _, _) = build_chain(3);
+    shim.set_cancel_token(Some(token.clone()));
+    let shim_err = shim.run_streaming(64).unwrap_err();
+    let (mut engine, _, _) = build_chain(3);
+    let plan = ExecPlan::streaming(64).with_cancel_token(Some(token));
+    let engine_err = engine.execute(&plan).unwrap_err();
+    assert_eq!(format!("{shim_err}"), format!("{engine_err}"), "cancel");
+}
+
+/// One `Executor` value drives many graphs with one plan — the paper's
+/// "same simulator engine, many IP configurations" shape.
+#[test]
+fn executor_reproduces_the_shim_sweep() {
+    let executor = Executor::new(ExecPlan::streaming(80).with_telemetry(true));
+    for seed in [1u64, 2, 3] {
+        let (mut shim, ch, _) = build_chain(seed);
+        let shim_report = shim.run_streaming_instrumented(80).expect("runs");
+
+        let (mut engine, ch2, _) = build_chain(seed);
+        let engine_report = executor
+            .run(&mut engine)
+            .expect("runs")
+            .expect("telemetry requested");
+
+        assert_eq!(shim.output(ch), engine.output(ch2), "seed {seed}");
+        assert_reports_match(&shim_report, &engine_report, &format!("seed {seed}"));
+    }
+}

@@ -3,6 +3,11 @@
 //! standard; and an adversarial fault-injection sweep must run to
 //! completion with per-scenario outcomes matching the injected faults.
 
+// The deprecated free-function runners stay under test until removed;
+// their SweepPlan equivalents are covered in exec_equivalence.rs and the
+// scenario module's unit tests.
+#![allow(deprecated)]
+
 use ofdm_core::source::OfdmSource;
 use ofdm_core::{MotherModel, TxError};
 use ofdm_standards::{default_params, StandardId};

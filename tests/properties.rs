@@ -8,6 +8,7 @@ use ofdm_core::interleave::{Interleaver, InterleaverSpec};
 use ofdm_core::map::SubcarrierMap;
 use ofdm_core::params::OfdmParams;
 use ofdm_core::scramble::{Scrambler, ScramblerSpec};
+use ofdm_core::source::OfdmSource;
 use ofdm_core::symbol::GuardInterval;
 use ofdm_core::{MotherModel, StreamState};
 use ofdm_dsp::fft::{dft_naive, Fft};
@@ -17,6 +18,8 @@ use ofdm_rx::receiver::ReferenceReceiver;
 use ofdm_standards::{default_params, StandardId};
 use proptest::collection::vec;
 use proptest::prelude::*;
+use rfsim::prelude::*;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -213,6 +216,62 @@ proptest! {
         let mut got = Vec::new();
         while tx.stream_into(&mut state, 1 << chunk_exp, &mut got) > 0 {}
         prop_assert_eq!(want.samples(), &got[..], "{}", id.key());
+    }
+
+    /// Engine-plan permutation invariance: for every registry standard
+    /// and any combination of `ExecPlan` toggles (telemetry × non-finite
+    /// guard × deadline budget × breaker policy), chunked execution under
+    /// the unified engine reproduces the batch pass bit for bit, and a
+    /// report is produced exactly when the plan asks for one.
+    #[test]
+    fn exec_plan_permutations_preserve_chunk_invariance(
+        std_idx in 0usize..10,
+        chunk_exp in 0u32..12,
+        telemetry in any::<bool>(),
+        guard in any::<bool>(),
+        breakers in any::<bool>(),
+        budget in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let id = StandardId::ALL[std_idx];
+        let p = default_params(id);
+        let bits = p.nominal_bits_per_symbol().max(100);
+        let build = || {
+            let mut g = Graph::new();
+            let src = g.add(OfdmSource::new(p.clone(), bits, seed).expect("valid preset"));
+            let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(8.0));
+            let ch = g.add(AwgnChannel::from_snr_db(25.0, seed ^ 0x5A).with_reference_power(1.0));
+            let meter = g.add(PowerMeter::new());
+            g.chain(&[src, pa, ch, meter]).expect("wires");
+            g.probe(ch).expect("probe");
+            (g, ch, meter)
+        };
+        let with_toggles = |plan: ExecPlan| {
+            plan.with_telemetry(telemetry)
+                .guard_non_finite(guard)
+                .with_budget(budget.then(|| Duration::from_secs(3600)))
+                .with_breaker_policy(breakers.then(BreakerPolicy::new))
+        };
+
+        let (mut batch, ch_b, meter_b) = build();
+        let batch_report = batch.execute(&with_toggles(ExecPlan::batch())).expect("batch");
+        let (mut streamed, ch_s, meter_s) = build();
+        let stream_report = streamed
+            .execute(&with_toggles(ExecPlan::streaming(1 << chunk_exp)))
+            .expect("streams");
+
+        prop_assert_eq!(
+            batch.output(ch_b).expect("probed"),
+            streamed.output(ch_s).expect("probed"),
+            "{} chunk 2^{}", id.key(), chunk_exp
+        );
+        prop_assert_eq!(
+            batch.block::<PowerMeter>(meter_b).expect("present").power(),
+            streamed.block::<PowerMeter>(meter_s).expect("present").power(),
+            "{} chunk 2^{}", id.key(), chunk_exp
+        );
+        prop_assert_eq!(batch_report.is_some(), telemetry);
+        prop_assert_eq!(stream_report.is_some(), telemetry);
     }
 
     /// Reconfiguration round-trip: switching a Mother Model A→B→A (any

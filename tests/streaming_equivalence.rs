@@ -11,6 +11,11 @@
 //! warm-up, and the parallel scenario runner reproduces sequential results
 //! for the same seeds.
 
+// The deprecated free-function runners stay under test until removed;
+// their SweepPlan equivalents are covered in exec_equivalence.rs and the
+// scenario module's unit tests.
+#![allow(deprecated)]
+
 use ofdm_core::params::presets::minimal_test_params;
 use ofdm_core::source::OfdmSource;
 use rfsim::prelude::*;

@@ -3,6 +3,11 @@
 //! degraded mode with pass-through output, and the checkpoint/resume
 //! exactness guarantee for scenario sweeps.
 
+// The deprecated free-function runners stay under test until removed;
+// their SweepPlan equivalents are covered in exec_equivalence.rs and the
+// scenario module's unit tests.
+#![allow(deprecated)]
+
 use rfsim::prelude::*;
 use rfsim::scenario::{run_scenarios_checkpointed, run_scenarios_supervised};
 use std::sync::atomic::{AtomicUsize, Ordering};
