@@ -50,7 +50,10 @@ cargo test -q
 
 echo "==> telemetry smoke: experiments --emit-bench / --check-bench"
 # A tiny instrumented sweep over all ten standards; --check-bench fails the
-# gate if the emitted JSON is missing any per-block or per-stage key.
+# gate if the emitted JSON is missing any per-block or per-stage key, if
+# the exec-engine ratio leaves [0.95, 1.05], or if the simd_speedup gate
+# trips: any standard's batched kernel below 1x of the scalar polar path,
+# 802.11a or DVB-T below 5x, or the family geomean below 3x.
 cargo run --release -q -p ofdm-bench --bin experiments -- \
     --emit-bench BENCH_ofdm.json --bench-symbols 4
 cargo run --release -q -p ofdm-bench --bin experiments -- \

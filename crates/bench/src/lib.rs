@@ -76,7 +76,7 @@ pub fn evm_after_gain_correction(
     let mut pairs: Vec<(Complex64, Complex64)> = Vec::new();
     for s in 0..n {
         let rx_cells = demod
-            .demodulate_at(received.samples(), preamble + s * sym_len, s)
+            .demodulate_at(&received.samples(), preamble + s * sym_len, s)
             .expect("received waveform long enough");
         for (r, t) in rx_cells.iter().zip(&frame.symbol_cells()[s]) {
             debug_assert_eq!(r.0, t.0);

@@ -108,18 +108,28 @@ impl PilotSpec {
 }
 
 /// Generates the pilot cells of each OFDM symbol from a [`PilotSpec`].
+///
+/// All position-dependent work is done once at construction: the generator
+/// precomputes a sorted cell template per position phase (the symbol index
+/// modulo [`PilotGenerator::position_period`]), so the per-symbol
+/// [`PilotGenerator::cells_into`] is a memcpy plus, for symbol-polarity
+/// pilots, one sign flip — no filtering, sorting or allocation on the
+/// streaming transmitter's hot path.
 #[derive(Debug, Clone)]
 pub struct PilotGenerator {
     spec: PilotSpec,
     /// For `SymbolPolarity`: the full polarity period (127 bits for the
     /// 802.11a generator).
     polarity_seq: Vec<f64>,
-    /// For `ScatteredGrid`: per-carrier polarity over the used span.
-    carrier_polarity: Vec<f64>,
+    /// Sorted per-phase cell templates, indexed by
+    /// `symbol_index % position_period`. For `SymbolPolarity` the template
+    /// holds the base cells (sign × boost) before the per-symbol polarity.
+    templates: Vec<Vec<(i32, Complex64)>>,
 }
 
 impl PilotGenerator {
-    /// Builds a generator, precomputing PRBS-derived sequences.
+    /// Builds a generator, precomputing PRBS-derived sequences and the
+    /// per-phase cell templates.
     pub fn new(spec: PilotSpec) -> Self {
         let polarity_seq = match &spec {
             PilotSpec::SymbolPolarity { lfsr, .. } => {
@@ -131,50 +141,26 @@ impl PilotGenerator {
             }
             _ => Vec::new(),
         };
-        let carrier_polarity = match &spec {
-            PilotSpec::ScatteredGrid {
-                used_min,
-                used_max,
-                carrier_lfsr,
-                ..
-            } => {
-                let span = (used_max - used_min + 1) as usize;
-                let mut reg = carrier_lfsr.build();
-                (0..span)
-                    .map(|_| if reg.next_bit() == 0 { 1.0 } else { -1.0 })
-                    .collect()
+        let templates = match &spec {
+            PilotSpec::None => vec![Vec::new()],
+            PilotSpec::Fixed(cells) => {
+                let mut t = cells.clone();
+                t.sort_by_key(|c| c.0);
+                vec![t]
             }
-            _ => Vec::new(),
-        };
-        PilotGenerator {
-            spec,
-            polarity_seq,
-            carrier_polarity,
-        }
-    }
-
-    /// The configured spec.
-    pub fn spec(&self) -> &PilotSpec {
-        &self.spec
-    }
-
-    /// The pilot cells of OFDM symbol `symbol_index`, sorted by carrier.
-    pub fn cells(&self, symbol_index: usize) -> Vec<(i32, Complex64)> {
-        let mut cells = match &self.spec {
-            PilotSpec::None => Vec::new(),
-            PilotSpec::Fixed(cells) => cells.clone(),
             PilotSpec::SymbolPolarity {
                 carriers,
                 signs,
                 boost,
                 ..
             } => {
-                let p = self.polarity_seq[symbol_index % self.polarity_seq.len()];
-                carriers
+                let mut t: Vec<(i32, Complex64)> = carriers
                     .iter()
                     .zip(signs)
-                    .map(|(&k, &s)| (k, Complex64::new(p * s * boost, 0.0)))
-                    .collect()
+                    .map(|(&k, &s)| (k, Complex64::new(s * boost, 0.0)))
+                    .collect();
+                t.sort_by_key(|c| c.0);
+                vec![t]
             }
             PilotSpec::ScatteredGrid {
                 used_min,
@@ -184,26 +170,78 @@ impl PilotGenerator {
                 period,
                 continual,
                 boost,
-                ..
+                carrier_lfsr,
             } => {
-                let offset = (shift * (symbol_index as u32 % period)) % spacing;
-                let mut cells: Vec<(i32, Complex64)> = (*used_min..=*used_max)
-                    .filter(|&k| {
-                        let rel = (k - used_min) as u32;
-                        rel % spacing == offset || continual.contains(&k)
-                    })
-                    .map(|k| {
-                        let rel = (k - used_min) as usize;
-                        let w = self.carrier_polarity[rel];
-                        (k, Complex64::new(w * boost, 0.0))
-                    })
+                let span = (used_max - used_min + 1) as usize;
+                let mut reg = carrier_lfsr.build();
+                let carrier_polarity: Vec<f64> = (0..span)
+                    .map(|_| if reg.next_bit() == 0 { 1.0 } else { -1.0 })
                     .collect();
-                cells.dedup_by_key(|c| c.0);
-                cells
+                (0..*period)
+                    .map(|phase| {
+                        let offset = (shift * phase) % spacing;
+                        let mut cells: Vec<(i32, Complex64)> = (*used_min..=*used_max)
+                            .filter(|&k| {
+                                let rel = (k - used_min) as u32;
+                                rel % spacing == offset || continual.contains(&k)
+                            })
+                            .map(|k| {
+                                let rel = (k - used_min) as usize;
+                                let w = carrier_polarity[rel];
+                                (k, Complex64::new(w * boost, 0.0))
+                            })
+                            .collect();
+                        cells.dedup_by_key(|c| c.0);
+                        cells.sort_by_key(|c| c.0);
+                        cells
+                    })
+                    .collect()
             }
         };
-        cells.sort_by_key(|c| c.0);
-        cells
+        PilotGenerator {
+            spec,
+            polarity_seq,
+            templates,
+        }
+    }
+
+    /// The configured spec.
+    pub fn spec(&self) -> &PilotSpec {
+        &self.spec
+    }
+
+    /// The number of symbols after which pilot *positions* repeat (1 for
+    /// fixed-position flavours, the stagger period for scattered grids).
+    pub fn position_period(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Appends the pilot cells of OFDM symbol `symbol_index` to `out`
+    /// (sorted by carrier), without allocating: the precomputed phase
+    /// template is copied, with the per-symbol polarity applied for
+    /// symbol-polarity pilots.
+    pub fn cells_into(&self, symbol_index: usize, out: &mut Vec<(i32, Complex64)>) {
+        let template = &self.templates[symbol_index % self.templates.len()];
+        match &self.spec {
+            PilotSpec::SymbolPolarity { .. } => {
+                let p = self.polarity_seq[symbol_index % self.polarity_seq.len()];
+                // `p` is exactly ±1, so this reproduces `p·s·boost` bit for
+                // bit from the template's `s·boost`.
+                out.extend(
+                    template
+                        .iter()
+                        .map(|&(k, v)| (k, Complex64::new(v.re * p, 0.0))),
+                );
+            }
+            _ => out.extend_from_slice(template),
+        }
+    }
+
+    /// The pilot cells of OFDM symbol `symbol_index`, sorted by carrier.
+    pub fn cells(&self, symbol_index: usize) -> Vec<(i32, Complex64)> {
+        let mut out = Vec::new();
+        self.cells_into(symbol_index, &mut out);
+        out
     }
 
     /// Just the pilot carriers of symbol `symbol_index`, sorted ascending.

@@ -56,6 +56,8 @@ pub struct OfdmSource {
     bits: Vec<u8>,
     /// Reused streaming/scratch state for the transmitter.
     stream: StreamState,
+    /// Reused chunk staging buffer for `stream_chunk`.
+    chunk: Vec<ofdm_dsp::Complex64>,
     /// Set at the start of a streaming pass; the first `stream_chunk` call
     /// draws the payload and arms the frame emitter.
     needs_frame: bool,
@@ -77,6 +79,7 @@ impl OfdmSource {
             name,
             bits: Vec::new(),
             stream: StreamState::new(),
+            chunk: Vec::new(),
             needs_frame: false,
         })
     }
@@ -173,11 +176,11 @@ impl Block for OfdmSource {
                 })?;
             self.needs_frame = false;
         }
-        out.clear();
-        out.set_sample_rate(self.model.params().sample_rate);
+        self.chunk.clear();
         let n = self
             .model
-            .stream_into(&mut self.stream, max_samples, out.samples_vec_mut());
+            .stream_into(&mut self.stream, max_samples, &mut self.chunk);
+        out.assign(&self.chunk, self.model.params().sample_rate);
         Ok(n)
     }
 

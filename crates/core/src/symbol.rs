@@ -57,11 +57,15 @@ impl ShapedSymbol {
     }
 }
 
-/// Reusable scratch for [`SymbolModulator::modulate_into`]: the subcarrier
-/// grid and the FFT work buffer, grown once and reused per symbol.
+/// Reusable scratch for [`SymbolModulator::modulate_into`]: the split
+/// subcarrier grid and the FFT work buffer, grown once and reused per
+/// symbol. The grid is kept as separate re/im arrays so the IFFT runs on
+/// [`ofdm_dsp::fft::Fft::inverse_split_in`] — the radix-4 split path for
+/// power-of-two sizes.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolScratch {
-    grid: Vec<Complex64>,
+    grid_re: Vec<f64>,
+    grid_im: Vec<f64>,
     fft: FftScratch,
 }
 
@@ -185,9 +189,15 @@ impl SymbolModulator {
         out: &mut ShapedSymbol,
     ) {
         let n = self.fft_size;
-        let SymbolScratch { grid, fft } = scratch;
-        grid.clear();
-        grid.resize(n, Complex64::ZERO);
+        let SymbolScratch {
+            grid_re,
+            grid_im,
+            fft,
+        } = scratch;
+        grid_re.clear();
+        grid_re.resize(n, 0.0);
+        grid_im.clear();
+        grid_im.resize(n, 0.0);
         let mut occupied = 0usize;
         for &(k, v) in cells {
             let bin = if k >= 0 {
@@ -196,15 +206,17 @@ impl SymbolModulator {
                 (n as i32 + k) as usize
             };
             debug_assert!(bin < n, "carrier {k} outside the grid");
-            grid[bin] = v;
+            grid_re[bin] = v.re;
+            grid_im[bin] = v.im;
             occupied += 1;
             if self.hermitian {
                 debug_assert!(k > 0 && (k as usize) < n / 2);
-                grid[n - k as usize] = v.conj();
+                grid_re[n - k as usize] = v.re;
+                grid_im[n - k as usize] = -v.im;
                 occupied += 1;
             }
         }
-        self.fft.inverse_in(grid, fft);
+        self.fft.inverse_split_in(grid_re, grid_im, fft);
         // fft.inverse scales by 1/N; renormalize to unit power for
         // unit-energy cells: multiply by N / √occupied.
         let scale = if occupied > 0 {
@@ -212,10 +224,8 @@ impl SymbolModulator {
         } else {
             0.0
         };
-        for z in grid.iter_mut() {
-            *z = z.scale(scale);
-        }
-        self.shape_into(&scratch.grid, out);
+        ofdm_dsp::kernels::scale_split(grid_re, grid_im, scale);
+        self.shape_split_into(grid_re, grid_im, out);
     }
 
     /// Applies cyclic prefix, cyclic suffix (taper region) and
@@ -224,6 +234,43 @@ impl SymbolModulator {
         let mut out = ShapedSymbol::default();
         self.shape_into(&body, &mut out);
         out
+    }
+
+    /// [`SymbolModulator::shape_into`] for a split-layout body: interleaves
+    /// straight from the IFFT's re/im arrays while laying down CP, body and
+    /// cyclic suffix, then applies the raised-cosine edges.
+    fn shape_split_into(&self, body_re: &[f64], body_im: &[f64], out: &mut ShapedSymbol) {
+        let w = self.taper.len();
+        let n = self.fft_size;
+        let samples = &mut out.samples;
+        samples.clear();
+        samples.reserve(self.cp_len + n + w);
+        let interleave = |samples: &mut Vec<Complex64>, re: &[f64], im: &[f64]| {
+            samples.extend(
+                re.iter()
+                    .zip(im.iter())
+                    .map(|(&r, &i)| Complex64::new(r, i)),
+            );
+        };
+        // Cyclic prefix.
+        interleave(
+            samples,
+            &body_re[n - self.cp_len..],
+            &body_im[n - self.cp_len..],
+        );
+        // Body.
+        interleave(samples, body_re, body_im);
+        // Cyclic suffix: first w samples repeated for the falling edge.
+        interleave(samples, &body_re[..w], &body_im[..w]);
+        // Rising edge over the first w samples, falling over the last w.
+        for i in 0..w {
+            let rise = self.taper[i];
+            samples[i] = samples[i].scale(rise);
+            let fall = self.taper[w - 1 - i];
+            let last = samples.len() - w + i;
+            samples[last] = samples[last].scale(fall);
+        }
+        out.overlap = w;
     }
 
     /// [`SymbolModulator::shape`] into a reused buffer.

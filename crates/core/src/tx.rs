@@ -19,7 +19,6 @@ use crate::symbol::{ShapedSymbol, SymbolModulator, SymbolScratch};
 use ofdm_dsp::bits::{pack_msb_first, unpack_msb_first};
 use ofdm_dsp::Complex64;
 use rfsim::Signal;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Wall-time decomposition of streamed symbol production, in nanoseconds
@@ -72,8 +71,8 @@ impl Frame {
         self.signal
     }
 
-    /// Borrow of the raw samples.
-    pub fn samples(&self) -> &[Complex64] {
+    /// The raw samples, interleaved from the signal's split storage.
+    pub fn samples(&self) -> Vec<Complex64> {
         self.signal.samples()
     }
 
@@ -289,10 +288,26 @@ pub struct MotherModel {
     conv: Option<ConvCode>,
     rs: Option<ReedSolomon>,
     interleaver: Interleaver,
-    /// Differential phase memory per carrier.
-    diff_ref: HashMap<i32, Complex64>,
+    /// Precomputed per-phase symbol plans (pilot-displaced data carriers
+    /// with their modulations), indexed by
+    /// `symbol_index % pilots.position_period()`. Built once in `new`, so
+    /// the per-symbol mapper never searches the carrier map.
+    plans: Vec<SymbolPlan>,
+    /// Differential phase memory, dense over FFT bins (index = carrier
+    /// folded into `0..fft_size`); `Complex64::ONE` when unreferenced.
+    diff_ref: Vec<Complex64>,
+    /// Whether any differential reference has been recorded yet.
+    diff_primed: bool,
     /// Running symbol index (pilot sequences span frames).
     symbol_index: usize,
+}
+
+/// The precomputed mapping table for one pilot-position phase: every data
+/// carrier that survives pilot displacement, ascending, with its modulation
+/// — the per-symbol mapper just walks this list and consumes bits.
+#[derive(Debug, Clone)]
+struct SymbolPlan {
+    data: Vec<(i32, Modulation)>,
 }
 
 impl MotherModel {
@@ -315,6 +330,32 @@ impl MotherModel {
         let conv = params.conv_code.clone().map(ConvCode::new).transpose()?;
         let rs = params.rs_outer.map(|spec| ReedSolomon::new(spec.n, spec.k));
         let interleaver = Interleaver::new(params.interleaver.clone())?;
+        // Precompute one mapping table per pilot-position phase: which data
+        // carriers survive displacement and what each one carries. The
+        // per-symbol hot path then never re-derives the carrier layout.
+        let plans = (0..pilots.position_period())
+            .map(|phase| {
+                let pilot_carriers = pilots.carriers(phase);
+                let data = params
+                    .map
+                    .data_excluding(&pilot_carriers)
+                    .into_iter()
+                    .map(|k| {
+                        // Bit loading is indexed by the carrier's position in
+                        // the full (un-displaced) data list so DMT tables
+                        // stay aligned.
+                        let idx = params
+                            .map
+                            .data_carriers()
+                            .binary_search(&k)
+                            .expect("data carrier comes from the map");
+                        (k, params.modulation.modulation_at(idx))
+                    })
+                    .collect();
+                SymbolPlan { data }
+            })
+            .collect();
+        let fft_size = params.map.fft_size();
         Ok(MotherModel {
             params,
             modulator,
@@ -323,9 +364,21 @@ impl MotherModel {
             conv,
             rs,
             interleaver,
-            diff_ref: HashMap::new(),
+            plans,
+            diff_ref: vec![Complex64::ONE; fft_size],
+            diff_primed: false,
             symbol_index: 0,
         })
+    }
+
+    /// Folds a signed carrier index into its dense `diff_ref` slot.
+    fn diff_bin(&self, k: i32) -> usize {
+        let n = self.params.map.fft_size() as i32;
+        if k >= 0 {
+            k as usize
+        } else {
+            (n + k) as usize
+        }
     }
 
     /// The active parameter set.
@@ -436,7 +489,7 @@ impl MotherModel {
         state.payload_bits = payload.len();
 
         // Initialize differential references from the preamble.
-        if self.params.differential && self.diff_ref.is_empty() {
+        if self.params.differential && !self.diff_primed {
             self.init_diff_reference();
         }
         Ok(())
@@ -557,6 +610,11 @@ impl MotherModel {
     /// Builds the cell list of the next OFDM symbol from the head of
     /// `bits` into `cells` (cleared first), returning how many bits were
     /// consumed.
+    ///
+    /// This is the precomputed-table mapper: pilot cells come from the
+    /// generator's phase template, data carriers and their modulations from
+    /// the matching [`SymbolPlan`] — no per-symbol carrier filtering,
+    /// searching, or per-cell allocation.
     fn build_symbol_into(
         &mut self,
         bits: &[u8],
@@ -564,38 +622,29 @@ impl MotherModel {
         mut timing: Option<&mut StageNanos>,
     ) -> usize {
         let started = timing.as_ref().map(|_| Instant::now());
-        let pilot_cells = self.pilots.cells(self.symbol_index);
-        let pilot_carriers: Vec<i32> = pilot_cells.iter().map(|c| c.0).collect();
-        let data_carriers = self.params.map.data_excluding(&pilot_carriers);
+        cells.clear();
+        self.pilots.cells_into(self.symbol_index, cells);
+        let plan = &self.plans[self.symbol_index % self.plans.len()];
         if let (Some(t), Some(t0)) = (timing.as_deref_mut(), started) {
             t.pilot += t0.elapsed().as_nanos() as u64;
         }
 
         let started = timing.as_ref().map(|_| Instant::now());
-        cells.clear();
-        cells.extend_from_slice(&pilot_cells);
         let mut consumed = 0usize;
-        for &k in &data_carriers {
-            // Bit loading is indexed by the carrier's position in the full
-            // (un-displaced) data list so DMT tables stay aligned.
-            let idx = self
-                .params
-                .map
-                .data_carriers()
-                .binary_search(&k)
-                .expect("data carrier comes from the map");
-            let modulation = self.params.modulation.modulation_at(idx);
+        // Stack buffer for one constellation group (QAM tops out at 15
+        // bits/symbol).
+        let mut group = [0u8; 16];
+        for &(k, modulation) in &plan.data {
             let b = modulation.bits_per_symbol();
-            let mut group = Vec::with_capacity(b);
-            for i in 0..b {
-                group.push(*bits.get(consumed + i).unwrap_or(&0));
+            for (i, slot) in group[..b].iter_mut().enumerate() {
+                *slot = *bits.get(consumed + i).unwrap_or(&0);
             }
             consumed = (consumed + b).min(bits.len());
-            let mut point = modulation.map(&group);
+            let mut point = modulation.map(&group[..b]);
             if self.params.differential {
-                let prev = self.diff_ref.get(&k).copied().unwrap_or(Complex64::ONE);
-                point = prev * point;
-                self.diff_ref.insert(k, point);
+                let bin = self.diff_bin(k);
+                point = self.diff_ref[bin] * point;
+                self.diff_ref[bin] = point;
             }
             cells.push((k, point));
         }
@@ -610,10 +659,12 @@ impl MotherModel {
         for element in &self.params.preamble {
             if let Some(cells) = element.reference_cells() {
                 for &(k, v) in cells {
-                    self.diff_ref.insert(k, v);
+                    let bin = self.diff_bin(k);
+                    self.diff_ref[bin] = v;
                 }
             }
         }
+        self.diff_primed = true;
     }
 
     /// Resets all running state (scrambler, coder, pilot index,
@@ -625,30 +676,19 @@ impl MotherModel {
         if let Some(c) = self.conv.as_mut() {
             c.reset();
         }
-        self.diff_ref.clear();
+        self.diff_ref.fill(Complex64::ONE);
+        self.diff_primed = false;
         self.symbol_index = 0;
     }
 
     /// The per-symbol data capacity in bits for symbol `symbol_index`
     /// (accounts for scattered pilots displacing data carriers).
     pub fn symbol_capacity(&self, symbol_index: usize) -> usize {
-        let pilot_carriers = self.pilots.carriers(symbol_index);
-        let data = self.params.map.data_excluding(&pilot_carriers);
-        match &self.params.modulation {
-            ModulationPlan::Uniform(m) => data.len() * m.bits_per_symbol(),
-            ModulationPlan::PerCarrier(_) => data
-                .iter()
-                .map(|&k| {
-                    let idx = self
-                        .params
-                        .map
-                        .data_carriers()
-                        .binary_search(&k)
-                        .expect("carrier from map");
-                    self.params.modulation.modulation_at(idx).bits_per_symbol()
-                })
-                .sum(),
-        }
+        self.plans[symbol_index % self.plans.len()]
+            .data
+            .iter()
+            .map(|&(_, m)| m.bits_per_symbol())
+            .sum()
     }
 
     /// Convenience: the uniform modulation if the plan is uniform.
@@ -761,7 +801,7 @@ mod tests {
         let f1 = tx1.transmit(&bits(48)).unwrap();
         let f2 = tx2.transmit(&bits(48)).unwrap();
         assert_ne!(f1.samples()[0], f2.samples()[0]);
-        assert!((mean_power(f1.samples()) - mean_power(f2.samples())).abs() < 0.25);
+        assert!((mean_power(&f1.samples()) - mean_power(&f2.samples())).abs() < 0.25);
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Batched structure-of-arrays DSP kernels.
+//!
+//! The simulator's hot loops — power-amplifier nonlinearities above all —
+//! used to walk `Vec<Complex64>` one sample at a time through
+//! `hypot`/`atan2`/`from_polar`. Three scalar libm calls per sample defeat
+//! the autovectorizer and dominate every benchmark. The kernels here work
+//! on *split* `re`/`im` `&[f64]` slices (the layout [`Signal`] owns after
+//! the SoA refactor) and reformulate the polar math so the inner loops are
+//! straight-line arithmetic over flat arrays:
+//!
+//! * AM/AM-only models (Rapp, soft clip) multiply each sample by a real
+//!   scale computed from `|z|²` — no `hypot`, no `atan2`, and the phase is
+//!   preserved *exactly* instead of to `atan2`/`sin_cos` rounding.
+//! * Saleh's AM/PM term needs one `sin_cos` per sample, but both the gain
+//!   and the phase rotation come from `|z|²` directly.
+//!
+//! Every batched kernel has a same-math scalar twin (`*_sample`), used by
+//! streaming paths and by the equivalence tests: the scalar twin applies
+//! the identical floating-point expression, so batched and scalar outputs
+//! are bit-exact, not merely close. The *pre-refactor* polar formulation is
+//! retained as [`distort_polar`] — the reference the `simd_speedup` bench
+//! and the bounded-EVM equivalence tests measure against.
+//!
+//! [`Signal`]: https://docs.rs/rfsim/latest/rfsim/struct.Signal.html
+
+use crate::complex::Complex64;
+
+/// Splits interleaved complex samples into `re`/`im` component vectors
+/// (cleared first, allocation reused).
+pub fn deinterleave(src: &[Complex64], re: &mut Vec<f64>, im: &mut Vec<f64>) {
+    re.clear();
+    im.clear();
+    re.reserve(src.len());
+    im.reserve(src.len());
+    for z in src {
+        re.push(z.re);
+        im.push(z.im);
+    }
+}
+
+/// Rebuilds interleaved complex samples from split components (cleared
+/// first, allocation reused). Panics are avoided by zipping: the shorter
+/// component bounds the output.
+pub fn interleave(re: &[f64], im: &[f64], out: &mut Vec<Complex64>) {
+    out.clear();
+    interleave_extend(re, im, out);
+}
+
+/// Appends interleaved complex samples from split components without
+/// clearing `out` — the streaming emitter's variant of [`interleave`].
+pub fn interleave_extend(re: &[f64], im: &[f64], out: &mut Vec<Complex64>) {
+    out.reserve(re.len().min(im.len()));
+    out.extend(
+        re.iter()
+            .zip(im.iter())
+            .map(|(&r, &i)| Complex64::new(r, i)),
+    );
+}
+
+/// Multiplies both components by a real scalar in place (flat gain).
+pub fn scale_split(re: &mut [f64], im: &mut [f64], k: f64) {
+    for r in re.iter_mut() {
+        *r *= k;
+    }
+    for i in im.iter_mut() {
+        *i *= k;
+    }
+}
+
+/// `Σ (re² + im²)` accumulated left to right — the split-layout twin of
+/// summing `z.norm_sqr()` over interleaved samples, bit-identical because
+/// the per-sample expression and the accumulation order are the same.
+pub fn sum_power_split(re: &[f64], im: &[f64]) -> f64 {
+    re.iter()
+        .zip(im.iter())
+        .fold(0.0, |acc, (&r, &i)| acc + (r * r + i * i))
+}
+
+/// The pre-refactor scalar PA formulation, retained as the reference path:
+/// magnitude via `hypot`, phase via `atan2`, reassembly via `from_polar`.
+///
+/// The batched kernels replace this with `|z|²`-based scaling; this
+/// function is what the `simd_speedup` benchmark times against and what
+/// the bounded-EVM equivalence tests compare to.
+#[inline]
+pub fn distort_polar(
+    z: Complex64,
+    gain: f64,
+    am_am: impl Fn(f64) -> f64,
+    am_pm: impl Fn(f64) -> f64,
+) -> Complex64 {
+    let r = z.abs() * gain;
+    if r == 0.0 {
+        return Complex64::ZERO;
+    }
+    Complex64::from_polar(am_am(r), z.arg() + am_pm(r))
+}
+
+/// How the Rapp denominator root `(1 + t^p)^{1/(2p)}` is evaluated for a
+/// given smoothness `p`. Integer smoothness values — every preset in the
+/// registry — specialize to sqrt/cbrt chains the autovectorizer handles;
+/// anything else falls back to `powf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RappRoot {
+    /// p = 1: `x = t`, root = `sqrt`.
+    P1,
+    /// p = 2: `x = t²`, root = `sqrt ∘ sqrt`.
+    P2,
+    /// p = 3: `x = t³`, root = `sqrt ∘ cbrt`.
+    P3,
+    /// p = 4: `x = t⁴`, root = `sqrt ∘ sqrt ∘ sqrt`.
+    P4,
+    /// Arbitrary p: `x = t.powf(p)`, root = `powf(1/(2p))`.
+    General(f64),
+}
+
+impl RappRoot {
+    fn classify(smoothness: f64) -> Self {
+        if smoothness == 1.0 {
+            RappRoot::P1
+        } else if smoothness == 2.0 {
+            RappRoot::P2
+        } else if smoothness == 3.0 {
+            RappRoot::P3
+        } else if smoothness == 4.0 {
+            RappRoot::P4
+        } else {
+            RappRoot::General(smoothness)
+        }
+    }
+}
+
+/// The shared Rapp inner loop: `t = |z|²·(gain/sat)²` is `(r/A)²` for the
+/// post-gain envelope `r`, and the output is `z · gain / (1 + t^p)^{1/(2p)}`
+/// — algebraically identical to `am_am(r)·e^{i·arg z}` but with the
+/// magnitude folded into a real multiplicative scale, so the phase is
+/// preserved exactly and no `hypot`/`atan2` is needed.
+#[inline(always)]
+fn rapp_loop(re: &mut [f64], im: &mut [f64], gain: f64, k: f64, denom: impl Fn(f64) -> f64) {
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        let t = (*r * *r + *i * *i) * k;
+        let s = gain / denom(t);
+        *r *= s;
+        *i *= s;
+    }
+}
+
+/// `y^{-1/6}` for `y ≥ 1`, accurate to a couple of ulp: an exponent-split
+/// bit seed refined by six Newton steps on `w⁻⁶ = y`. A libm `cbrt` call
+/// in the smoothness-3 Rapp loop defeats the autovectorizer (an opaque
+/// scalar call per sample); this is branch-free straight-line arithmetic
+/// over integer and float registers, so the whole loop batches.
+///
+/// Exact at `y = 1`: the seed bits reconstruct `1.0` and every Newton step
+/// maps `1.0 → 1.0`, so zero-envelope samples keep the exact small-signal
+/// gain. NaN propagates through the step product as usual.
+#[inline(always)]
+fn inv_sixth_root(y: f64) -> f64 {
+    // bits(w₀) ≈ bits(1.0)·7/6 − bits(y)/6 ⇒ log2(w₀) ≈ −log2(y)/6.
+    // bits(1.0) = 0x3FF0_0000_0000_0000 is divisible by 6 after the /6·7
+    // ordering below, so the magic constant is exact and seed(1.0) = 1.0.
+    const MAGIC: u64 = (0x3FF0_0000_0000_0000_u64 / 6) * 7;
+    let mut w = f64::from_bits(MAGIC.wrapping_sub(y.to_bits() / 6));
+    // Seed relative error is ≲ 6%; six quadratic steps (e ← ~3.5·e²) land
+    // below one ulp, matching the `cbrt().sqrt()` chain it replaces.
+    for _ in 0..6 {
+        let w2 = w * w;
+        let w6 = w2 * w2 * w2;
+        w *= (7.0 - y * w6) / 6.0;
+    }
+    w
+}
+
+/// Batched Rapp AM/AM over split components, in place.
+///
+/// `gain` is the linear small-signal gain, `saturation` the output
+/// saturation amplitude, `smoothness` the knee parameter `p`. Zero samples
+/// stay exactly zero.
+pub fn rapp_apply_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    gain: f64,
+    saturation: f64,
+    smoothness: f64,
+) {
+    let k = (gain / saturation) * (gain / saturation);
+    match RappRoot::classify(smoothness) {
+        RappRoot::P1 => rapp_loop(re, im, gain, k, |t| (1.0 + t).sqrt()),
+        RappRoot::P2 => rapp_loop(re, im, gain, k, |t| (1.0 + t * t).sqrt().sqrt()),
+        RappRoot::P3 => {
+            // Multiplicative form (`gain · y^{-1/6}` instead of
+            // `gain / y^{1/6}`): one vectorizable Newton evaluation and a
+            // multiply, no per-sample division or libm call.
+            for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+                let t = (*r * *r + *i * *i) * k;
+                let s = gain * inv_sixth_root(1.0 + t * t * t);
+                *r *= s;
+                *i *= s;
+            }
+        }
+        RappRoot::P4 => rapp_loop(re, im, gain, k, |t| {
+            let t2 = t * t;
+            (1.0 + t2 * t2).sqrt().sqrt().sqrt()
+        }),
+        RappRoot::General(p) => {
+            rapp_loop(re, im, gain, k, move |t| (1.0 + t.powf(p)).powf(0.5 / p))
+        }
+    }
+}
+
+/// Scalar twin of [`rapp_apply_split`]: applies the identical expression to
+/// one sample, so scalar and batched outputs are bit-exact.
+#[inline]
+pub fn rapp_apply_sample(z: Complex64, gain: f64, saturation: f64, smoothness: f64) -> Complex64 {
+    let mut re = [z.re];
+    let mut im = [z.im];
+    rapp_apply_split(&mut re, &mut im, gain, saturation, smoothness);
+    Complex64::new(re[0], im[0])
+}
+
+/// Batched Saleh AM/AM + AM/PM over split components, in place.
+///
+/// `alpha_a`/`beta_a` shape the amplitude curve, `alpha_p`/`beta_p` the
+/// phase curve (classic TWT coefficients). Both curves are functions of
+/// the post-gain envelope squared, so the only transcendental in the loop
+/// is one `sin_cos` for the phase rotation.
+pub fn saleh_apply_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    gain: f64,
+    alpha_a: f64,
+    beta_a: f64,
+    alpha_p: f64,
+    beta_p: f64,
+) {
+    let g2 = gain * gain;
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        // r2 is the squared post-gain envelope r² = |z·gain|².
+        let r2 = (*r * *r + *i * *i) * g2;
+        // am_am(r)/|z| = gain·α_a/(1 + β_a r²): the envelope compression
+        // as a real multiplicative scale.
+        let s = gain * alpha_a / (1.0 + beta_a * r2);
+        let phi = alpha_p * r2 / (1.0 + beta_p * r2);
+        let (sin, cos) = phi.sin_cos();
+        let zr = *r * s;
+        let zi = *i * s;
+        *r = zr * cos - zi * sin;
+        *i = zr * sin + zi * cos;
+    }
+}
+
+/// Scalar twin of [`saleh_apply_split`] (bit-exact with the batched loop).
+#[inline]
+pub fn saleh_apply_sample(
+    z: Complex64,
+    gain: f64,
+    alpha_a: f64,
+    beta_a: f64,
+    alpha_p: f64,
+    beta_p: f64,
+) -> Complex64 {
+    let mut re = [z.re];
+    let mut im = [z.im];
+    saleh_apply_split(&mut re, &mut im, gain, alpha_a, beta_a, alpha_p, beta_p);
+    Complex64::new(re[0], im[0])
+}
+
+/// Batched ideal soft limiter over split components, in place: the
+/// post-gain envelope is clipped at `clip`, phase preserved exactly.
+pub fn softclip_apply_split(re: &mut [f64], im: &mut [f64], gain: f64, clip: f64) {
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        let env = (*r * *r + *i * *i).sqrt() * gain;
+        let s = if env > clip { gain * clip / env } else { gain };
+        *r *= s;
+        *i *= s;
+    }
+}
+
+/// Scalar twin of [`softclip_apply_split`] (bit-exact with the batched
+/// loop).
+#[inline]
+pub fn softclip_apply_sample(z: Complex64, gain: f64, clip: f64) -> Complex64 {
+    let mut re = [z.re];
+    let mut im = [z.im];
+    softclip_apply_split(&mut re, &mut im, gain, clip);
+    Complex64::new(re[0], im[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_samples(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Complex64::new(1.3 * t.sin(), 0.8 * (t * 1.7).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let src = test_samples(33);
+        let (mut re, mut im) = (Vec::new(), Vec::new());
+        deinterleave(&src, &mut re, &mut im);
+        assert_eq!(re.len(), 33);
+        let mut back = Vec::new();
+        interleave(&re, &im, &mut back);
+        assert_eq!(src, back);
+        // interleave clears; interleave_extend appends.
+        interleave_extend(&re, &im, &mut back);
+        assert_eq!(back.len(), 66);
+    }
+
+    #[test]
+    fn sum_power_matches_interleaved_order() {
+        let src = test_samples(101);
+        let (mut re, mut im) = (Vec::new(), Vec::new());
+        deinterleave(&src, &mut re, &mut im);
+        let want = src.iter().fold(0.0, |acc, z| acc + z.norm_sqr());
+        assert_eq!(sum_power_split(&re, &im), want);
+    }
+
+    #[test]
+    fn scale_split_scales_both() {
+        let mut re = vec![1.0, 2.0];
+        let mut im = vec![-1.0, 0.5];
+        scale_split(&mut re, &mut im, 2.0);
+        assert_eq!(re, vec![2.0, 4.0]);
+        assert_eq!(im, vec![-2.0, 1.0]);
+    }
+
+    /// Batched kernels and their scalar twins are bit-exact, and both sit
+    /// within polar-math rounding of the retained reference formulation.
+    #[test]
+    fn rapp_batched_matches_scalar_and_reference() {
+        let (gain, sat) = (0.7, 1.1);
+        for smoothness in [1.0, 2.0, 3.0, 4.0, 2.5] {
+            let src = test_samples(257);
+            let (mut re, mut im) = (Vec::new(), Vec::new());
+            deinterleave(&src, &mut re, &mut im);
+            rapp_apply_split(&mut re, &mut im, gain, sat, smoothness);
+            for (k, &z) in src.iter().enumerate() {
+                let scalar = rapp_apply_sample(z, gain, sat, smoothness);
+                assert_eq!(scalar, Complex64::new(re[k], im[k]), "p={smoothness} k={k}");
+                let reference = distort_polar(
+                    z,
+                    gain,
+                    |r| r / (1.0 + (r / sat).powf(2.0 * smoothness)).powf(0.5 / smoothness),
+                    |_| 0.0,
+                );
+                assert!(
+                    (scalar - reference).abs() < 1e-12,
+                    "p={smoothness} k={k}: {scalar} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saleh_batched_matches_scalar_and_reference() {
+        let (gain, aa, ba, ap, bp) = (0.5, 2.1587, 1.1517, 4.033, 9.104);
+        let src = test_samples(193);
+        let (mut re, mut im) = (Vec::new(), Vec::new());
+        deinterleave(&src, &mut re, &mut im);
+        saleh_apply_split(&mut re, &mut im, gain, aa, ba, ap, bp);
+        for (k, &z) in src.iter().enumerate() {
+            let scalar = saleh_apply_sample(z, gain, aa, ba, ap, bp);
+            assert_eq!(scalar, Complex64::new(re[k], im[k]), "k={k}");
+            let reference = distort_polar(
+                z,
+                gain,
+                |r| aa * r / (1.0 + ba * r * r),
+                |r| ap * r * r / (1.0 + bp * r * r),
+            );
+            assert!((scalar - reference).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn softclip_batched_matches_scalar_and_reference() {
+        let (gain, clip) = (1.5, 1.0);
+        let src = test_samples(129);
+        let (mut re, mut im) = (Vec::new(), Vec::new());
+        deinterleave(&src, &mut re, &mut im);
+        softclip_apply_split(&mut re, &mut im, gain, clip);
+        for (k, &z) in src.iter().enumerate() {
+            let scalar = softclip_apply_sample(z, gain, clip);
+            assert_eq!(scalar, Complex64::new(re[k], im[k]), "k={k}");
+            let reference = distort_polar(z, gain, |r| r.min(clip), |_| 0.0);
+            assert!((scalar - reference).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    /// The Newton sixth root is a hot-loop replacement for
+    /// `cbrt().sqrt()`: it must match `powf` to rounding noise over the
+    /// whole envelope range a PA can see, and be exactly 1 at y = 1 so the
+    /// small-signal gain is not perturbed.
+    #[test]
+    fn inv_sixth_root_matches_powf() {
+        assert_eq!(inv_sixth_root(1.0), 1.0);
+        assert!(inv_sixth_root(f64::NAN).is_nan());
+        let mut worst = 0.0f64;
+        for e in 0..3000 {
+            let y = 1.0 + 10f64.powf(e as f64 * 0.01 - 6.0); // 1+1e-6 … 1e24
+            let want = y.powf(-1.0 / 6.0);
+            let got = inv_sixth_root(y);
+            worst = worst.max(((got - want) / want).abs());
+        }
+        assert!(worst < 1e-15, "worst relative error {worst:.3e}");
+    }
+
+    #[test]
+    fn zero_input_stays_zero() {
+        for z in [
+            rapp_apply_sample(Complex64::ZERO, 1.0, 1.0, 3.0),
+            saleh_apply_sample(Complex64::ZERO, 1.0, 2.1587, 1.1517, 4.033, 9.104),
+            softclip_apply_sample(Complex64::ZERO, 1.0, 1.0),
+        ] {
+            assert_eq!(z, Complex64::ZERO);
+        }
+    }
+
+    #[test]
+    fn am_am_only_kernels_preserve_phase() {
+        for z in test_samples(64) {
+            let rapp = rapp_apply_sample(z, 0.9, 1.0, 3.0);
+            let clip = softclip_apply_sample(z, 2.0, 0.5);
+            // Both kernels apply one real multiplicative scale, which cannot
+            // move the phase; only the independent per-component rounding of
+            // `re·s` and `im·s` can perturb atan2, and by at most ~1 ulp.
+            assert!((rapp.arg() - z.arg()).abs() < 1e-15);
+            assert!((clip.arg() - z.arg()).abs() < 1e-15);
+        }
+    }
+}

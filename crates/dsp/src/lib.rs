@@ -25,6 +25,7 @@ pub mod bits;
 pub mod complex;
 pub mod fft;
 pub mod fir;
+pub mod kernels;
 pub mod nco;
 pub mod resample;
 pub mod spectrum;

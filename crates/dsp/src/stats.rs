@@ -12,6 +12,47 @@ pub fn mean_power(x: &[Complex64]) -> f64 {
     x.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64
 }
 
+/// [`mean_power`] over split `re`/`im` component slices (structure-of-arrays
+/// layout). Accumulates left to right in sample order, so it is bit-identical
+/// to the interleaved version on equal data.
+///
+/// # Panics
+///
+/// Panics if the component slices have different lengths.
+pub fn mean_power_split(re: &[f64], im: &[f64]) -> f64 {
+    assert_eq!(re.len(), im.len(), "component length mismatch");
+    if re.is_empty() {
+        return 0.0;
+    }
+    crate::kernels::sum_power_split(re, im) / re.len() as f64
+}
+
+/// [`peak_power`] over split `re`/`im` component slices.
+///
+/// # Panics
+///
+/// Panics if the component slices have different lengths.
+pub fn peak_power_split(re: &[f64], im: &[f64]) -> f64 {
+    assert_eq!(re.len(), im.len(), "component length mismatch");
+    re.iter()
+        .zip(im)
+        .map(|(&r, &i)| r * r + i * i)
+        .fold(0.0, f64::max)
+}
+
+/// [`papr_db`] over split `re`/`im` component slices.
+///
+/// # Panics
+///
+/// Panics if the component slices have different lengths.
+pub fn papr_db_split(re: &[f64], im: &[f64]) -> f64 {
+    let avg = mean_power_split(re, im);
+    if avg == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    ratio_to_db(peak_power_split(re, im) / avg)
+}
+
 /// Root-mean-square magnitude of a complex sample block.
 pub fn rms(x: &[Complex64]) -> f64 {
     mean_power(x).sqrt()
@@ -116,6 +157,26 @@ mod tests {
         assert_eq!(mean_power(&[]), 0.0);
         assert_eq!(rms(&[]), 0.0);
         assert_eq!(papr_db(&[]), f64::NEG_INFINITY);
+        assert_eq!(mean_power_split(&[], &[]), 0.0);
+        assert_eq!(papr_db_split(&[], &[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn split_stats_bit_identical_to_interleaved() {
+        let x: Vec<Complex64> = (0..257)
+            .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.41).cos()) * 1.7)
+            .collect();
+        let re: Vec<f64> = x.iter().map(|z| z.re).collect();
+        let im: Vec<f64> = x.iter().map(|z| z.im).collect();
+        assert_eq!(mean_power_split(&re, &im), mean_power(&x));
+        assert_eq!(peak_power_split(&re, &im), peak_power(&x));
+        assert_eq!(papr_db_split(&re, &im), papr_db(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "component length mismatch")]
+    fn split_stats_length_mismatch_panics() {
+        let _ = mean_power_split(&[1.0], &[]);
     }
 
     #[test]

@@ -57,9 +57,15 @@ impl Block for Dac {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        // Quantization is per-component, so the split layout turns it into
+        // two flat f64 passes.
         let mut s = inputs[0].clone();
-        for z in s.samples_mut() {
-            *z = Complex64::new(self.quantize(z.re), self.quantize(z.im));
+        let (re, im) = s.parts_mut();
+        for r in re.iter_mut() {
+            *r = self.quantize(*r);
+        }
+        for i in im.iter_mut() {
+            *i = self.quantize(*i);
         }
         Ok(s)
     }
@@ -130,7 +136,10 @@ impl Block for LocalOscillator {
             }
         };
         let sigma = (std::f64::consts::TAU * self.linewidth_hz / fs).sqrt();
-        for z in s.samples_mut() {
+        // Sequential per-sample loop: the phase random walk and the NCO are
+        // stateful, so sample order (and RNG draw order) must be preserved.
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             if sigma > 0.0 {
                 // Box–Muller Gaussian increment for the phase random walk.
                 let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -138,7 +147,9 @@ impl Block for LocalOscillator {
                 let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                 self.phase_noise += sigma * g;
             }
-            *z = *z * nco.next_sample() * Complex64::cis(self.phase_noise);
+            let z = Complex64::new(*r, *i) * nco.next_sample() * Complex64::cis(self.phase_noise);
+            *r = z.re;
+            *i = z.im;
         }
         Ok(s)
     }
@@ -187,12 +198,7 @@ impl Block for Mixer {
                 message: format!("input lengths differ ({} vs {})", a.len(), b.len()),
             });
         }
-        let samples = a
-            .samples()
-            .iter()
-            .zip(b.samples())
-            .map(|(x, y)| *x * *y)
-            .collect();
+        let samples = a.iter().zip(b.iter()).map(|(x, y)| x * y).collect();
         Ok(Signal::new(samples, a.sample_rate()))
     }
 }
@@ -232,9 +238,8 @@ impl Block for Combiner {
         }
         let n = a.len().max(b.len());
         let zero = Complex64::ZERO;
-        let samples = (0..n)
-            .map(|i| *a.samples().get(i).unwrap_or(&zero) + *b.samples().get(i).unwrap_or(&zero))
-            .collect();
+        let at = |s: &Signal, i: usize| if i < s.len() { s.get(i) } else { zero };
+        let samples = (0..n).map(|i| at(a, i) + at(b, i)).collect();
         Ok(Signal::new(samples, a.sample_rate()))
     }
 }
@@ -286,9 +291,7 @@ impl Block for IqImbalance {
         let ge_p = Complex64::from_polar(self.gain, self.phase_rad);
         let k1 = (Complex64::ONE + ge_m).scale(0.5);
         let k2 = (Complex64::ONE - ge_p).scale(0.5);
-        for z in s.samples_mut() {
-            *z = k1 * *z + k2 * z.conj();
-        }
+        s.map_in_place(|z| k1 * z + k2 * z.conj());
         Ok(s)
     }
 }
@@ -309,8 +312,8 @@ mod tests {
         let mut dac = Dac::new(16, 1.0);
         let s = tone(0.1, 1.0, 256);
         let out = dac.process(std::slice::from_ref(&s)).unwrap();
-        for (a, b) in out.samples().iter().zip(s.samples()) {
-            assert!((*a - *b).abs() < 1e-3);
+        for (a, b) in out.iter().zip(s.iter()) {
+            assert!((a - b).abs() < 1e-3);
         }
     }
 
@@ -346,8 +349,8 @@ mod tests {
         let mut lo = LocalOscillator::ideal();
         let s = tone(0.05, 1.0, 512);
         let out = lo.process(std::slice::from_ref(&s)).unwrap();
-        for (a, b) in out.samples().iter().zip(s.samples()) {
-            assert!((*a - *b).abs() < 1e-12);
+        for (a, b) in out.iter().zip(s.iter()) {
+            assert!((a - b).abs() < 1e-12);
         }
     }
 
@@ -357,7 +360,7 @@ mod tests {
         let mut lo = LocalOscillator::new(0.125, 0.0, 0);
         let s = Signal::new(vec![Complex64::ONE; 1024], 1.0);
         let out = lo.process(&[s]).unwrap();
-        let psd = WelchPsd::new(256, Window::Hann).estimate(out.samples());
+        let psd = WelchPsd::new(256, Window::Hann).estimate(&out.samples());
         let peak = psd
             .iter()
             .enumerate()
@@ -440,8 +443,8 @@ mod tests {
         let mut iq = IqImbalance::new(0.0, 0.0);
         let s = tone(0.1, 1.0, 64);
         let out = iq.process(std::slice::from_ref(&s)).unwrap();
-        for (a, b) in out.samples().iter().zip(s.samples()) {
-            assert!((*a - *b).abs() < 1e-12);
+        for (a, b) in out.iter().zip(s.iter()) {
+            assert!((a - b).abs() < 1e-12);
         }
         assert!(iq.image_rejection_db() > 100.0);
     }
@@ -454,7 +457,7 @@ mod tests {
         let n = 8192;
         let s = tone(0.125, 1.0, n);
         let out = iq.process(&[s]).unwrap();
-        let psd = WelchPsd::new(256, Window::Blackman).estimate(out.samples());
+        let psd = WelchPsd::new(256, Window::Blackman).estimate(&out.samples());
         let sig = psd[32]; // +0.125 fs
         let img = psd[256 - 32]; // −0.125 fs
         let measured_irr = 10.0 * (sig / img).log10();

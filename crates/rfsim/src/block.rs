@@ -50,6 +50,12 @@ pub enum SimError {
         /// Human-readable cause.
         message: String,
     },
+    /// A signal was constructed with a sample rate that is not positive
+    /// and finite ([`crate::Signal::try_new`]).
+    InvalidSampleRate {
+        /// The offending rate (Hz).
+        rate: f64,
+    },
     /// A block id did not belong to this graph.
     UnknownBlock,
     /// A streaming pass was requested with a zero chunk length.
@@ -117,6 +123,9 @@ impl fmt::Display for SimError {
             ),
             SimError::BlockFailure { block, message } => {
                 write!(f, "block `{block}` failed: {message}")
+            }
+            SimError::InvalidSampleRate { rate } => {
+                write!(f, "sample rate must be positive and finite, got {rate}")
             }
             SimError::UnknownBlock => write!(f, "block id does not belong to this graph"),
             SimError::InvalidChunkLen => {
@@ -290,6 +299,7 @@ mod tests {
                 block: "src".into(),
                 message: "no data".into(),
             },
+            SimError::InvalidSampleRate { rate: -1.0 },
             SimError::UnknownBlock,
             SimError::InvalidChunkLen,
             SimError::NonFiniteSample {

@@ -111,9 +111,13 @@ impl Block for AwgnChannel {
             }
         };
         let sigma = self.sigma(sig_pow); // per real dimension
-        for z in s.samples_mut() {
+
+        // Sequential loop: the RNG draw order defines the noise sequence.
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             let (gr, gi) = gaussian_pair(&mut self.rng);
-            *z += Complex64::new(sigma * gr, sigma * gi);
+            *r += sigma * gr;
+            *i += sigma * gi;
         }
         Ok(s)
     }
@@ -133,9 +137,11 @@ impl Block for AwgnChannel {
             }
         };
         let sigma = self.sigma(sig_pow);
-        for z in out.samples_mut() {
+        let (re, im) = out.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             let (gr, gi) = gaussian_pair(&mut self.rng);
-            *z += Complex64::new(sigma * gr, sigma * gi);
+            *r += sigma * gr;
+            *i += sigma * gi;
         }
         Ok(())
     }
@@ -240,7 +246,7 @@ impl Block for MultipathChannel {
                 };
                 acc += h * s;
             }
-            out.samples_vec_mut().push(acc);
+            out.push(acc);
         }
         if hist > 0 {
             if x.len() >= hist {
@@ -248,7 +254,7 @@ impl Block for MultipathChannel {
             } else {
                 self.history.rotate_left(x.len());
                 let keep = hist - x.len();
-                self.history[keep..].copy_from_slice(x);
+                self.history[keep..].copy_from_slice(&x);
             }
         }
         Ok(())
@@ -449,7 +455,7 @@ impl Block for DslLineChannel {
         let coeffs = self.design(inputs[0].sample_rate());
         let mut fir = FirFilter::new(coeffs);
         Ok(Signal::new(
-            fir.process(inputs[0].samples()),
+            fir.process(&inputs[0].samples()),
             inputs[0].sample_rate(),
         ))
     }
@@ -519,12 +525,16 @@ impl Block for ImpulsiveNoiseChannel {
         let bg_pow = sig_pow * 10f64.powf(-self.background_snr_db / 10.0);
         let bg_sigma = (bg_pow / 2.0).sqrt();
         let imp_sigma = bg_sigma * 10f64.powf(self.impulse_to_background_db / 20.0);
-        for z in s.samples_mut() {
+        // Sequential loop: the RNG draw order defines the noise sequence.
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             let (gr, gi) = gaussian_pair(&mut self.rng);
-            *z += Complex64::new(bg_sigma * gr, bg_sigma * gi);
+            *r += bg_sigma * gr;
+            *i += bg_sigma * gi;
             if self.rng.gen::<f64>() < self.impulse_prob {
                 let (ir, ii) = gaussian_pair(&mut self.rng);
-                *z += Complex64::new(imp_sigma * ir, imp_sigma * ii);
+                *r += imp_sigma * ir;
+                *i += imp_sigma * ii;
             }
         }
         Ok(s)
@@ -704,9 +714,9 @@ mod tests {
     fn rayleigh_static_when_doppler_zero() {
         let mut ch = RayleighChannel::new(vec![(0, 1.0)], 0.0, 5);
         let out = ch.process(&[ones(100)]).unwrap();
-        let g0 = out.samples()[0];
-        for z in out.samples() {
-            assert!((*z - g0).abs() < 1e-12);
+        let g0 = out.get(0);
+        for z in out.iter() {
+            assert!((z - g0).abs() < 1e-12);
         }
     }
 

@@ -98,13 +98,17 @@ impl SampleDropper {
         self.dropped
     }
 
-    fn corrupt(&mut self, samples: &mut [Complex64]) {
+    fn corrupt(&mut self, s: &mut Signal) {
         if self.rate == 0.0 {
             return;
         }
-        for z in samples {
+        // One RNG draw per sample in order — the drop pattern must not
+        // depend on chunking or on the split layout.
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             if self.rng.gen_bool(self.rate) {
-                *z = Complex64::ZERO;
+                *r = 0.0;
+                *i = 0.0;
                 self.dropped += 1;
             }
         }
@@ -122,13 +126,13 @@ impl Block for SampleDropper {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let mut s = inputs[0].clone();
-        self.corrupt(s.samples_mut());
+        self.corrupt(&mut s);
         Ok(s)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         out.copy_from(inputs[0]);
-        self.corrupt(out.samples_mut());
+        self.corrupt(out);
         Ok(())
     }
 
@@ -172,13 +176,15 @@ impl NanInjector {
         self.injected
     }
 
-    fn corrupt(&mut self, samples: &mut [Complex64]) {
+    fn corrupt(&mut self, s: &mut Signal) {
         if self.rate == 0.0 {
             return;
         }
-        for z in samples {
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             if self.rng.gen_bool(self.rate) {
-                *z = Complex64::new(f64::NAN, f64::NAN);
+                *r = f64::NAN;
+                *i = f64::NAN;
                 self.injected += 1;
             }
         }
@@ -196,13 +202,13 @@ impl Block for NanInjector {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let mut s = inputs[0].clone();
-        self.corrupt(s.samples_mut());
+        self.corrupt(&mut s);
         Ok(s)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         out.copy_from(inputs[0]);
-        self.corrupt(out.samples_mut());
+        self.corrupt(out);
         Ok(())
     }
 
@@ -256,14 +262,17 @@ impl ClockDriftJitter {
         self.jitter_std_rad
     }
 
-    fn corrupt(&mut self, samples: &mut [Complex64]) {
+    fn corrupt(&mut self, s: &mut Signal) {
         let dphi = TAU * self.drift_ppm * 1e-6;
-        for z in samples {
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             let mut phi = dphi * self.n as f64;
             if self.jitter_std_rad > 0.0 {
                 phi += self.jitter_std_rad * gaussian(&mut self.rng);
             }
-            *z *= Complex64::cis(phi);
+            let z = Complex64::new(*r, *i) * Complex64::cis(phi);
+            *r = z.re;
+            *i = z.im;
             self.n += 1;
         }
     }
@@ -280,13 +289,13 @@ impl Block for ClockDriftJitter {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let mut s = inputs[0].clone();
-        self.corrupt(s.samples_mut());
+        self.corrupt(&mut s);
         Ok(s)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         out.copy_from(inputs[0]);
-        self.corrupt(out.samples_mut());
+        self.corrupt(out);
         Ok(())
     }
 
@@ -462,20 +471,23 @@ impl FaultInjector {
     }
 
     /// Per-sample faults on the wrapped block's output.
-    fn corrupt(&mut self, samples: &mut [Complex64]) {
+    fn corrupt(&mut self, s: &mut Signal) {
         let (drop, nan) = (self.plan.drop_rate, self.plan.nan_rate);
         if drop == 0.0 && nan == 0.0 {
             return;
         }
-        for z in samples {
+        let (re, im) = s.parts_mut();
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
             // One uniform draw per sample partitioned across fault kinds
             // keeps the RNG stream identical for any chunking.
             let u: f64 = self.rng.gen();
             if u < drop {
-                *z = Complex64::ZERO;
+                *r = 0.0;
+                *i = 0.0;
                 self.stats.dropped_samples += 1;
             } else if u < drop + nan {
-                *z = Complex64::new(f64::NAN, f64::NAN);
+                *r = f64::NAN;
+                *i = f64::NAN;
                 self.stats.nan_samples += 1;
             }
         }
@@ -498,14 +510,14 @@ impl Block for FaultInjector {
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         self.pre_invoke()?;
         let mut out = self.inner.process(inputs)?;
-        self.corrupt(out.samples_mut());
+        self.corrupt(&mut out);
         Ok(out)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         self.pre_invoke()?;
         self.inner.process_chunk(inputs, out)?;
-        self.corrupt(out.samples_mut());
+        self.corrupt(out);
         Ok(())
     }
 
@@ -520,7 +532,7 @@ impl Block for FaultInjector {
     fn stream_chunk(&mut self, max_samples: usize, out: &mut Signal) -> Result<usize, SimError> {
         self.pre_invoke()?;
         let n = self.inner.stream_chunk(max_samples, out)?;
-        self.corrupt(out.samples_mut());
+        self.corrupt(out);
         Ok(n)
     }
 
@@ -814,7 +826,7 @@ mod tests {
             let (streamed, s_stats) = run(Some(c));
             assert_eq!(s_stats, stats, "chunk={c}");
             assert_eq!(streamed.len(), batch.len());
-            for (a, b) in batch.samples().iter().zip(streamed.samples()) {
+            for (a, b) in batch.iter().zip(streamed.iter()) {
                 assert!(
                     (a.re.is_nan() && b.re.is_nan()) || a == b,
                     "chunk={c}: {a:?} vs {b:?}"

@@ -14,6 +14,7 @@ use std::f64::consts::PI;
 #[derive(Debug, Clone)]
 pub struct FirBlock {
     filter: FirFilter,
+    scratch: Vec<Complex64>,
 }
 
 impl FirBlock {
@@ -25,6 +26,7 @@ impl FirBlock {
     pub fn new(coeffs: Vec<f64>) -> Self {
         FirBlock {
             filter: FirFilter::new(coeffs),
+            scratch: Vec::new(),
         }
     }
 }
@@ -36,7 +38,7 @@ impl Block for FirBlock {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         Ok(Signal::new(
-            self.filter.process(inputs[0].samples()),
+            self.filter.process(&inputs[0].samples()),
             inputs[0].sample_rate(),
         ))
     }
@@ -44,9 +46,9 @@ impl Block for FirBlock {
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         // The delay line carries across chunks exactly as it does across
         // batch passes, so chunk-sequential output equals one batch call.
-        out.set_sample_rate(inputs[0].sample_rate());
         self.filter
-            .process_into(inputs[0].samples(), out.samples_vec_mut());
+            .process_into(&inputs[0].samples(), &mut self.scratch);
+        out.assign(&self.scratch, inputs[0].sample_rate());
         Ok(())
     }
 
@@ -195,7 +197,7 @@ impl Block for ButterworthLowpass {
             self.design(fs);
         }
         let mut out = Vec::with_capacity(inputs[0].len());
-        for &x in inputs[0].samples() {
+        for x in inputs[0].iter() {
             let mut y = x;
             for s in self.sections.iter_mut() {
                 y = s.process(y);
@@ -221,14 +223,12 @@ impl Block for ButterworthLowpass {
         }
         out.clear();
         out.set_sample_rate(fs);
-        let buf = out.samples_vec_mut();
-        buf.reserve(inputs[0].len());
-        for &x in inputs[0].samples() {
+        for x in inputs[0].iter() {
             let mut y = x;
             for s in self.sections.iter_mut() {
                 y = s.process(y);
             }
-            buf.push(y);
+            out.push(y);
         }
         Ok(())
     }

@@ -863,7 +863,7 @@ impl Graph {
         match self.nodes[i].inputs.first().copied().flatten() {
             Some(src) => {
                 let input = &bufs[src.0];
-                out.assign(input.samples(), input.sample_rate());
+                out.copy_from(input);
             }
             None => out.clear(),
         }
@@ -938,7 +938,7 @@ fn accumulate_probe(node: &mut Node, chunk: &Signal) {
         return;
     }
     match &mut node.output {
-        Some(acc) => acc.append_samples(chunk.samples()),
+        Some(acc) => acc.extend_from_parts(chunk.re(), chunk.im()),
         None => node.output = Some(chunk.clone()),
     }
 }
@@ -976,9 +976,8 @@ mod tests {
         }
         fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
             let mut s = inputs[0].clone();
-            for z in s.samples_mut() {
-                *z = z.scale(self.0);
-            }
+            let gain = self.0;
+            s.map_in_place(|z| z.scale(gain));
             Ok(s)
         }
     }
@@ -993,8 +992,10 @@ mod tests {
         }
         fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
             let mut s = inputs[0].clone();
-            for (a, b) in s.samples_mut().iter_mut().zip(inputs[1].samples()) {
-                *a += *b;
+            for (i, b) in inputs[1].iter().enumerate() {
+                if i < s.len() {
+                    s.set(i, s.get(i) + b);
+                }
             }
             Ok(s)
         }
@@ -1136,8 +1137,7 @@ mod tests {
             out.clear();
             out.set_sample_rate(1.0);
             for i in 0..take {
-                out.samples_vec_mut()
-                    .push(Complex64::new((self.pos + i) as f64, 0.0));
+                out.push(Complex64::new((self.pos + i) as f64, 0.0));
             }
             self.pos += take;
             Ok(take)
@@ -1240,8 +1240,8 @@ mod tests {
         }
         fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
             let mut s = inputs[0].clone();
-            if let Some(z) = s.samples_mut().get_mut(3) {
-                *z = Complex64::new(f64::NAN, 0.0);
+            if s.len() > 3 {
+                s.set(3, Complex64::new(f64::NAN, 0.0));
             }
             Ok(s)
         }
@@ -1664,9 +1664,7 @@ mod tests {
                     });
                 }
                 let mut s = inputs[0].clone();
-                for z in s.samples_mut() {
-                    *z = z.scale(2.0);
-                }
+                s.map_in_place(|z| z.scale(2.0));
                 Ok(s)
             }
         }

@@ -63,8 +63,9 @@ impl Block for PowerMeter {
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         out.copy_from(inputs[0]);
-        for z in inputs[0].samples() {
-            self.stream_sum += z.norm_sqr();
+        let (re, im) = inputs[0].parts();
+        for (r, i) in re.iter().zip(im.iter()) {
+            self.stream_sum += r * r + i * i;
         }
         self.stream_count += inputs[0].len();
         Ok(())
@@ -121,7 +122,7 @@ impl SpectrumAnalyzer {
 
     /// Buffers one chunk of the streaming pass.
     fn stream_accumulate(&mut self, chunk: &Signal) {
-        self.stream_buf.extend_from_slice(chunk.samples());
+        self.stream_buf.extend_from_slice(&chunk.samples());
         self.stream_rate = chunk.sample_rate();
     }
 
@@ -194,7 +195,7 @@ impl Block for SpectrumAnalyzer {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         self.last = Some((
-            self.psd.estimate(inputs[0].samples()),
+            self.psd.estimate(&inputs[0].samples()),
             inputs[0].sample_rate(),
         ));
         Ok(inputs[0].clone())
@@ -389,7 +390,7 @@ impl Block for CcdfProbe {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        self.last = Some(stats::power_ccdf(inputs[0].samples(), &self.thresholds_db));
+        self.last = Some(stats::power_ccdf(&inputs[0].samples(), &self.thresholds_db));
         self.last_papr_db = Some(inputs[0].papr_db());
         Ok(inputs[0].clone())
     }
@@ -401,7 +402,7 @@ impl Block for CcdfProbe {
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         out.copy_from(inputs[0]);
-        self.stream_buf.extend_from_slice(inputs[0].samples());
+        self.stream_buf.extend_from_slice(&inputs[0].samples());
         Ok(())
     }
 

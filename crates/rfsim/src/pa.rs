@@ -4,59 +4,18 @@
 //! abstraction: [`RappPa`] (solid-state), [`SalehPa`] (TWT) and
 //! [`SoftClipPa`] (ideal limiter). These drive the E6 impairment experiment:
 //! OFDM's high PAPR makes EVM/ACPR collapse as back-off shrinks.
+//!
+//! All three run the batched split-layout kernels from
+//! [`ofdm_dsp::kernels`]: one pass over the signal's `re`/`im` component
+//! slices with the magnitude computed once per sample from `|z|²` — no
+//! `hypot`, no `atan2`, no `from_polar`. Each model also exposes a
+//! `distort_reference` method, the classic per-sample polar decomposition,
+//! retained as the equivalence oracle and the baseline the `simd_speedup`
+//! benchmark measures against.
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
-use ofdm_dsp::Complex64;
-
-fn distort(
-    z: Complex64,
-    gain: f64,
-    am_am: &impl Fn(f64) -> f64,
-    am_pm: &impl Fn(f64) -> f64,
-) -> Complex64 {
-    let r = z.abs() * gain;
-    if r == 0.0 {
-        Complex64::ZERO
-    } else {
-        Complex64::from_polar(am_am(r), z.arg() + am_pm(r))
-    }
-}
-
-fn apply_am_am_pm(
-    signal: &Signal,
-    gain: f64,
-    am_am: impl Fn(f64) -> f64,
-    am_pm: impl Fn(f64) -> f64,
-) -> Signal {
-    let samples = signal
-        .samples()
-        .iter()
-        .map(|&z| distort(z, gain, &am_am, &am_pm))
-        .collect();
-    Signal::new(samples, signal.sample_rate())
-}
-
-/// In-place variant for streaming chunks: the nonlinearity is memoryless,
-/// so per-chunk application is trivially identical to batch.
-fn apply_am_am_pm_into(
-    chunk: &Signal,
-    out: &mut Signal,
-    gain: f64,
-    am_am: impl Fn(f64) -> f64,
-    am_pm: impl Fn(f64) -> f64,
-) {
-    out.clear();
-    out.set_sample_rate(chunk.sample_rate());
-    let buf = out.samples_vec_mut();
-    buf.reserve(chunk.len());
-    buf.extend(
-        chunk
-            .samples()
-            .iter()
-            .map(|&z| distort(z, gain, &am_am, &am_pm)),
-    );
-}
+use ofdm_dsp::{kernels, Complex64};
 
 /// Rapp (solid-state) PA model.
 ///
@@ -117,6 +76,27 @@ impl RappPa {
     pub fn saturation(&self) -> f64 {
         self.saturation
     }
+
+    /// Applies the nonlinearity to split component slices in place — the
+    /// batched hot path (a single magnitude computation per sample,
+    /// sqrt-free for the Rapp curve).
+    pub fn apply_split(&self, re: &mut [f64], im: &mut [f64]) {
+        kernels::rapp_apply_split(re, im, self.gain, self.saturation, self.smoothness);
+    }
+
+    /// Reference per-sample implementation via the classic polar
+    /// decomposition (`hypot` + `atan2` + `from_polar`) — the retained
+    /// scalar path equivalence tests and the `simd_speedup` benchmark
+    /// compare against. Not used by [`Block::process`].
+    pub fn distort_reference(&self, z: Complex64) -> Complex64 {
+        let (a, p) = (self.saturation, self.smoothness);
+        kernels::distort_polar(
+            z,
+            self.gain,
+            |r| r / (1.0 + (r / a).powf(2.0 * p)).powf(1.0 / (2.0 * p)),
+            |_| 0.0,
+        )
+    }
 }
 
 impl Block for RappPa {
@@ -125,24 +105,16 @@ impl Block for RappPa {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let (a, p) = (self.saturation, self.smoothness);
-        Ok(apply_am_am_pm(
-            &inputs[0],
-            self.gain,
-            |r| r / (1.0 + (r / a).powf(2.0 * p)).powf(1.0 / (2.0 * p)),
-            |_| 0.0,
-        ))
+        let mut out = inputs[0].clone();
+        let (re, im) = out.parts_mut();
+        kernels::rapp_apply_split(re, im, self.gain, self.saturation, self.smoothness);
+        Ok(out)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
-        let (a, p) = (self.saturation, self.smoothness);
-        apply_am_am_pm_into(
-            inputs[0],
-            out,
-            self.gain,
-            |r| r / (1.0 + (r / a).powf(2.0 * p)).powf(1.0 / (2.0 * p)),
-            |_| 0.0,
-        );
+        out.copy_from(inputs[0]);
+        let (re, im) = out.parts_mut();
+        kernels::rapp_apply_split(re, im, self.gain, self.saturation, self.smoothness);
         Ok(())
     }
 }
@@ -188,6 +160,34 @@ impl SalehPa {
     pub fn peak_input(&self) -> f64 {
         1.0 / self.beta_a.sqrt()
     }
+
+    /// Applies the nonlinearity to split component slices in place — the
+    /// batched hot path (both curves evaluated from `|z|²`, one `sin_cos`
+    /// per sample).
+    pub fn apply_split(&self, re: &mut [f64], im: &mut [f64]) {
+        kernels::saleh_apply_split(
+            re,
+            im,
+            self.gain,
+            self.alpha_a,
+            self.beta_a,
+            self.alpha_phi,
+            self.beta_phi,
+        );
+    }
+
+    /// Reference per-sample polar implementation — the retained scalar
+    /// path equivalence tests and the `simd_speedup` benchmark compare
+    /// against. Not used by [`Block::process`].
+    pub fn distort_reference(&self, z: Complex64) -> Complex64 {
+        let (aa, ba, ap, bp) = (self.alpha_a, self.beta_a, self.alpha_phi, self.beta_phi);
+        kernels::distort_polar(
+            z,
+            self.gain,
+            |r| aa * r / (1.0 + ba * r * r),
+            |r| ap * r * r / (1.0 + bp * r * r),
+        )
+    }
 }
 
 impl Block for SalehPa {
@@ -196,23 +196,31 @@ impl Block for SalehPa {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let (aa, ba, ap, bp) = (self.alpha_a, self.beta_a, self.alpha_phi, self.beta_phi);
-        Ok(apply_am_am_pm(
-            &inputs[0],
+        let mut out = inputs[0].clone();
+        let (re, im) = out.parts_mut();
+        kernels::saleh_apply_split(
+            re,
+            im,
             self.gain,
-            |r| aa * r / (1.0 + ba * r * r),
-            |r| ap * r * r / (1.0 + bp * r * r),
-        ))
+            self.alpha_a,
+            self.beta_a,
+            self.alpha_phi,
+            self.beta_phi,
+        );
+        Ok(out)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
-        let (aa, ba, ap, bp) = (self.alpha_a, self.beta_a, self.alpha_phi, self.beta_phi);
-        apply_am_am_pm_into(
-            inputs[0],
-            out,
+        out.copy_from(inputs[0]);
+        let (re, im) = out.parts_mut();
+        kernels::saleh_apply_split(
+            re,
+            im,
             self.gain,
-            |r| aa * r / (1.0 + ba * r * r),
-            |r| ap * r * r / (1.0 + bp * r * r),
+            self.alpha_a,
+            self.beta_a,
+            self.alpha_phi,
+            self.beta_phi,
         );
         Ok(())
     }
@@ -241,6 +249,19 @@ impl SoftClipPa {
         self.gain = 10f64.powf(db / 20.0);
         self
     }
+
+    /// Applies the limiter to split component slices in place.
+    pub fn apply_split(&self, re: &mut [f64], im: &mut [f64]) {
+        kernels::softclip_apply_split(re, im, self.gain, self.clip);
+    }
+
+    /// Reference per-sample polar implementation — the retained scalar
+    /// path equivalence tests and the `simd_speedup` benchmark compare
+    /// against. Not used by [`Block::process`].
+    pub fn distort_reference(&self, z: Complex64) -> Complex64 {
+        let c = self.clip;
+        kernels::distort_polar(z, self.gain, |r| r.min(c), |_| 0.0)
+    }
 }
 
 impl Block for SoftClipPa {
@@ -249,13 +270,16 @@ impl Block for SoftClipPa {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let c = self.clip;
-        Ok(apply_am_am_pm(&inputs[0], self.gain, |r| r.min(c), |_| 0.0))
+        let mut out = inputs[0].clone();
+        let (re, im) = out.parts_mut();
+        kernels::softclip_apply_split(re, im, self.gain, self.clip);
+        Ok(out)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
-        let c = self.clip;
-        apply_am_am_pm_into(inputs[0], out, self.gain, |r| r.min(c), |_| 0.0);
+        out.copy_from(inputs[0]);
+        let (re, im) = out.parts_mut();
+        kernels::softclip_apply_split(re, im, self.gain, self.clip);
         Ok(())
     }
 }
@@ -291,13 +315,44 @@ mod tests {
                 let mut pos = 0;
                 while pos < s.len() {
                     let take = chunk_len.min(s.len() - pos);
-                    let chunk = Signal::new(s.samples()[pos..pos + take].to_vec(), s.sample_rate());
+                    let mut chunk = Signal::default();
+                    chunk.assign_range(&s, pos, take);
                     pa.process_chunk(&[&chunk], &mut chunk_out).unwrap();
                     got.extend_from(&chunk_out);
                     pos += take;
                 }
                 pa.end_stream().unwrap();
                 assert_eq!(got, want, "chunk_len {chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_path_matches_polar_reference() {
+        // The kernel path reformulates the polar math; outputs must agree
+        // with the retained scalar reference to FP-reassociation level.
+        let s = Signal::new(
+            (0..257)
+                .map(|i| Complex64::cis(0.31 * i as f64).scale(0.015 * i as f64))
+                .collect::<Vec<_>>(),
+            1.0,
+        );
+        let rapp = RappPa::new(1.0, 3.0).with_input_backoff_db(8.0);
+        let saleh = SalehPa::classic();
+        let clip = SoftClipPa::new(0.8);
+        let outs = [
+            rapp.clone().process(std::slice::from_ref(&s)).unwrap(),
+            saleh.clone().process(std::slice::from_ref(&s)).unwrap(),
+            clip.clone().process(std::slice::from_ref(&s)).unwrap(),
+        ];
+        let refs: [Vec<Complex64>; 3] = [
+            s.iter().map(|z| rapp.distort_reference(z)).collect(),
+            s.iter().map(|z| saleh.distort_reference(z)).collect(),
+            s.iter().map(|z| clip.distort_reference(z)).collect(),
+        ];
+        for (out, wanted) in outs.iter().zip(&refs) {
+            for (got, want) in out.iter().zip(wanted.iter()) {
+                assert!((got - *want).abs() < 1e-12, "got {got}, want {want}");
             }
         }
     }

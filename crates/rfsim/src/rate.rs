@@ -40,7 +40,7 @@ impl Block for Upsampler {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let out = self.resampler.process(inputs[0].samples());
+        let out = self.resampler.process(&inputs[0].samples());
         Ok(Signal::new(
             out,
             inputs[0].sample_rate() * self.factor as f64,
@@ -84,7 +84,7 @@ impl Block for Downsampler {
     }
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
-        let out = self.resampler.process(inputs[0].samples());
+        let out = self.resampler.process(&inputs[0].samples());
         Ok(Signal::new(
             out,
             inputs[0].sample_rate() / self.factor as f64,
@@ -125,17 +125,15 @@ impl Block for GainBlock {
 
     fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
         let mut s = inputs[0].clone();
-        for z in s.samples_mut() {
-            *z = z.scale(self.gain_linear);
-        }
+        let (re, im) = s.parts_mut();
+        ofdm_dsp::kernels::scale_split(re, im, self.gain_linear);
         Ok(s)
     }
 
     fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
         out.copy_from(inputs[0]);
-        for z in out.samples_mut() {
-            *z = z.scale(self.gain_linear);
-        }
+        let (re, im) = out.parts_mut();
+        ofdm_dsp::kernels::scale_split(re, im, self.gain_linear);
         Ok(())
     }
 }
@@ -193,7 +191,7 @@ mod tests {
         let f = 100e3;
         let mut up = Upsampler::new(4);
         let out = up.process(&[tone(f, 1e6, 4096)]).unwrap();
-        let psd = WelchPsd::new(512, Window::Hann).estimate(out.samples());
+        let psd = WelchPsd::new(512, Window::Hann).estimate(&out.samples());
         let peak = psd
             .iter()
             .enumerate()

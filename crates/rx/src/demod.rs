@@ -157,7 +157,7 @@ mod tests {
         assert_eq!(demod.symbol_len(), 80);
         for (s, tx_cells) in frame.symbol_cells().iter().enumerate() {
             let rx_cells = demod
-                .demodulate_at(frame.samples(), s * 80, s)
+                .demodulate_at(&frame.samples(), s * 80, s)
                 .expect("frame long enough");
             assert_eq!(rx_cells.len(), tx_cells.len());
             for (r, t) in rx_cells.iter().zip(tx_cells) {
@@ -189,7 +189,7 @@ mod tests {
         let mut tx = MotherModel::new(params.clone()).unwrap();
         let frame = tx.transmit(&[1u8; 100]).unwrap();
         let demod = OfdmDemodulator::new(params);
-        let cells = demod.demodulate_at(frame.samples(), 0, 0).unwrap();
+        let cells = demod.demodulate_at(&frame.samples(), 0, 0).unwrap();
         for (r, t) in cells.iter().zip(&frame.symbol_cells()[0]) {
             assert!((r.1 - t.1).abs() < 1e-9);
         }

@@ -171,7 +171,7 @@ impl ReferenceReceiver {
     ///   required symbols.
     /// * [`RxError::Uncorrectable`] when the outer code fails.
     pub fn receive(&mut self, signal: &Signal, payload_bits: usize) -> Result<Vec<u8>, RxError> {
-        let samples = signal.samples();
+        let samples = &signal.samples()[..];
         let coded_len = self.coded_len(payload_bits);
         let padded_len = match self.interleaver.spec().block_len() {
             Some(block) => coded_len.div_ceil(block) * block,

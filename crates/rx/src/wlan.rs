@@ -100,7 +100,7 @@ impl WlanPacketReceiver {
     /// * [`WlanRxError::Field`] if demodulation fails.
     pub fn receive(&self, signal: &Signal) -> Result<WlanPacket, WlanRxError> {
         let fs = signal.sample_rate();
-        let samples = signal.samples();
+        let samples = &signal.samples()[..];
         if samples.len() < 480 {
             return Err(WlanRxError::NoPreamble);
         }
@@ -284,7 +284,7 @@ mod tests {
         let fs = ppdu.waveform.sample_rate();
         // Leading dead air + a two-ray channel + mild noise.
         let mut padded = vec![Complex64::ZERO; 133];
-        padded.extend_from_slice(ppdu.waveform.samples());
+        padded.extend_from_slice(&ppdu.waveform.samples());
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::from_samples(padded, fs));
         let ch = g.add(MultipathChannel::two_ray(3, 0.3));

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut est = ChannelEstimate::new();
         for s in 0..frame.symbol_count().min(3) {
             let cells_s = demod
-                .demodulate_at(received.samples(), s * sym_len, s)
+                .demodulate_at(&received.samples(), s * sym_len, s)
                 .expect("symbol present");
             let pilot_refs: Vec<(i32, Complex64)> = frame.symbol_cells()[s]
                 .iter()
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             est.merge(&ChannelEstimate::from_reference(&cells_s, &pilot_refs));
         }
         let rx_cells = demod
-            .demodulate_at(received.samples(), 0, 0)
+            .demodulate_at(&received.samples(), 0, 0)
             .expect("symbol present");
         let tx_cells = &frame.symbol_cells()[0];
         let equalized = equalize(&rx_cells, &est);

@@ -151,7 +151,7 @@ fn cmd_papr(id: StandardId) -> Result<(), Box<dyn std::error::Error>> {
     println!("mean power : {:.3}", frame.signal().power());
     println!("PAPR       : {:.2} dB", frame.signal().papr_db());
     let thresholds: Vec<f64> = (0..=12).map(|i| i as f64).collect();
-    let ccdf = ofdm_dsp::stats::power_ccdf(frame.samples(), &thresholds);
+    let ccdf = ofdm_dsp::stats::power_ccdf(&frame.samples(), &thresholds);
     println!("\nCCDF (P[power > x dB above average]):");
     for (t, p) in thresholds.iter().zip(&ccdf) {
         let bar = "#".repeat((p * 50.0).round() as usize);

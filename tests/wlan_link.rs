@@ -73,7 +73,7 @@ fn search_window_limits_acquisition() {
     let fs = ppdu.waveform.sample_rate();
     // Packet delayed beyond a short search window → not found.
     let mut padded = vec![Complex64::ZERO; 1000];
-    padded.extend_from_slice(ppdu.waveform.samples());
+    padded.extend_from_slice(&ppdu.waveform.samples());
     let rx = WlanPacketReceiver::new().with_search_window(400);
     let err = rx.receive(&Signal::new(padded.clone(), fs)).unwrap_err();
     assert!(matches!(
@@ -111,7 +111,7 @@ fn back_to_back_packets_first_one_wins() {
     let fs = first.waveform.sample_rate();
     let mut wave = first.waveform.samples().to_vec();
     wave.extend(std::iter::repeat_n(Complex64::ZERO, 160));
-    wave.extend_from_slice(second.waveform.samples());
+    wave.extend_from_slice(&second.waveform.samples());
     let packet = WlanPacketReceiver::new()
         .with_search_window(first.waveform.len())
         .receive(&Signal::new(wave, fs))
