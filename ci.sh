@@ -56,6 +56,15 @@ echo "==> telemetry smoke: experiments --emit-bench / --check-bench"
 # 802.11a or DVB-T below 5x, or the family geomean below 3x.
 cargo run --release -q -p ofdm-bench --bin experiments -- \
     --emit-bench BENCH_ofdm.json --bench-symbols 4
+
+echo "==> waterfall smoke: experiments --waterfall"
+# Fixed-seed BER-vs-SNR grid (2 standards x 4 SNR points) through the
+# checkpointed sweep path; the emitted waterfall.json is byte-stable (BER
+# tallies carry no timing) and is validated as a --check-bench sibling:
+# finite values, BER in [0, 1], and monotone-descending curves.
+cargo run --release -q -p ofdm-bench --bin experiments -- \
+    --waterfall waterfall.json
+
 cargo run --release -q -p ofdm-bench --bin experiments -- \
     --check-bench BENCH_ofdm.json
 

@@ -19,7 +19,16 @@
 //! Fault-injection smoke sweep (E9 alone): `… --bin experiments -- --faults`.
 //!
 //! Supervised-runtime smoke sweep (E10 alone): `… --bin experiments -- --supervise`.
+//!
+//! BER-vs-SNR waterfall smoke (fixed seed, machine-readable output):
+//!
+//! ```text
+//! … --bin experiments -- --waterfall waterfall.json
+//! ```
 
+use ofdm_bench::waterfall::{
+    qpsk_reference_curve, run_waterfall, waterfall_json, ChannelProfile, WaterfallSpec,
+};
 use ofdm_bench::{
     evm_after_gain_correction, fmt_secs, loopback_errors, payload_bits, time_per_run,
     transmit_frame,
@@ -33,11 +42,14 @@ use rfsim::prelude::*;
 use serde::json::Value;
 use std::time::Duration;
 
-const EXPERIMENTS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+const EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut emit_bench: Option<String> = None;
     let mut check_bench: Option<String> = None;
+    let mut waterfall_out: Option<String> = None;
     let mut bench_symbols = 50usize;
     let mut names: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -48,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--check-bench" => {
                 check_bench = Some(it.next().ok_or("--check-bench needs a file path")?);
+            }
+            "--waterfall" => {
+                waterfall_out = Some(it.next().ok_or("--waterfall needs a file path")?);
             }
             "--bench-symbols" => {
                 bench_symbols = it
@@ -65,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 eprintln!(
                     "error: unknown argument `{bad}`; experiments: {}; flags: \
                      --emit-bench FILE, --check-bench FILE, --bench-symbols N, --faults, \
-                     --supervise",
+                     --supervise, --waterfall FILE",
                     EXPERIMENTS.join(", ")
                 );
                 std::process::exit(2);
@@ -75,10 +90,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = &emit_bench {
         emit_bench_json(path, bench_symbols)?;
     }
+    if let Some(path) = &waterfall_out {
+        emit_waterfall_json(path)?;
+    }
     if let Some(path) = &check_bench {
         check_bench_json(path)?;
     }
-    if (emit_bench.is_some() || check_bench.is_some()) && names.is_empty() {
+    if (emit_bench.is_some() || check_bench.is_some() || waterfall_out.is_some())
+        && names.is_empty()
+    {
         return Ok(());
     }
     let want = |name: &str| names.is_empty() || names.iter().any(|a| a == name);
@@ -113,6 +133,114 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if want("e10") {
         e10_supervision()?;
     }
+    if want("e11") {
+        e11_waterfall()?;
+    }
+    Ok(())
+}
+
+/// The fixed-seed waterfall smoke grid behind `--waterfall`: two
+/// standards × four SNR points, small enough for CI, deterministic
+/// enough that the emitted `waterfall.json` is byte-stable across runs
+/// and machines (BER tallies carry no timing).
+fn waterfall_smoke_spec() -> WaterfallSpec {
+    WaterfallSpec {
+        standards: vec![StandardId::Ieee80211a, StandardId::Dab],
+        snr_db: vec![0.0, 6.0, 12.0, 18.0],
+        realizations: 3,
+        payload_bits: 2000,
+        base_seed: 0xE11,
+        profile: ChannelProfile::Awgn,
+        threads: 0,
+    }
+}
+
+/// `--waterfall FILE` — runs the fixed-seed smoke grid through the
+/// checkpointed sweep path and writes the `waterfall/v1` document.
+fn emit_waterfall_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = waterfall_smoke_spec();
+    let ckpt = std::path::Path::new(path).with_extension("ckpt.json");
+    let report = run_waterfall(&spec, Some(&ckpt))?;
+    let doc = waterfall_json(&spec, &report);
+    std::fs::write(path, format!("{doc}\n"))?;
+    println!(
+        "wrote {path}: {} standards x {} SNR points x {} realizations ({} resumed)",
+        spec.standards.len(),
+        spec.snr_db.len(),
+        spec.realizations,
+        report.resumed,
+    );
+    Ok(())
+}
+
+/// E11 — BER-vs-SNR waterfalls through the channel suite: per-standard
+/// AWGN curves sharded across the sweep pool next to the closed-form
+/// uncoded QPSK reference, and a frequency-selective Rayleigh curve with
+/// perfect-CSI equalization.
+fn e11_waterfall() -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n## E11 — BER-vs-SNR waterfall sweeps over the channel suite\n");
+
+    let spec = WaterfallSpec {
+        standards: vec![StandardId::Ieee80211a, StandardId::Dab, StandardId::DvbT],
+        snr_db: vec![0.0, 6.0, 12.0, 18.0, 24.0],
+        realizations: 4,
+        payload_bits: 2400,
+        base_seed: 0xE11,
+        profile: ChannelProfile::Awgn,
+        threads: 0,
+    };
+    let report = run_waterfall(&spec, None)?;
+    let reference = qpsk_reference_curve(&spec.snr_db);
+    println!("AWGN curves (coded standards vs uncoded QPSK theory):\n");
+    let keys: Vec<&str> = spec.standards.iter().map(|s| s.key()).collect();
+    println!("| SNR (dB) | {} | uncoded QPSK theory |", keys.join(" | "));
+    println!("|---|{}---|", "---|".repeat(keys.len()));
+    for (g, &snr) in spec.snr_db.iter().enumerate() {
+        let row: Vec<String> = report
+            .curves
+            .iter()
+            .map(|c| format!("{:.2e}", c.points[g].ber()))
+            .collect();
+        println!("| {snr:.0} | {} | {:.2e} |", row.join(" | "), reference[g]);
+    }
+    for curve in &report.curves {
+        let bers: Vec<f64> = curve.points.iter().map(|p| p.ber()).collect();
+        assert!(
+            bers.windows(2).all(|w| w[1] <= w[0] + 1e-3),
+            "{}: BER must fall with SNR: {bers:?}",
+            curve.standard.key()
+        );
+        assert!(
+            bers.last().expect("nonempty") < bers.first().expect("nonempty"),
+            "{}: waterfall must descend across the grid",
+            curve.standard.key()
+        );
+    }
+
+    let fading_spec = WaterfallSpec {
+        standards: vec![StandardId::Ieee80211a],
+        snr_db: vec![10.0, 20.0, 30.0],
+        realizations: 12,
+        payload_bits: 1200,
+        base_seed: 0xFAD,
+        profile: ChannelProfile::Rayleigh {
+            paths: vec![(0, 0.6), (2, 0.3), (5, 0.1)],
+        },
+        threads: 0,
+    };
+    let fading = run_waterfall(&fading_spec, None)?;
+    println!("\nFrequency-selective Rayleigh (3 taps, perfect-CSI equalization), 802.11a:\n");
+    println!("| SNR (dB) | BER | errors/bits |");
+    println!("|---|---|---|");
+    for (g, &snr) in fading_spec.snr_db.iter().enumerate() {
+        let p = &fading.curves[0].points[g];
+        println!("| {snr:.0} | {:.2e} | {}/{} |", p.ber(), p.errors, p.bits);
+    }
+    let fad: Vec<f64> = fading.curves[0].points.iter().map(|p| p.ber()).collect();
+    assert!(
+        fad.windows(2).all(|w| w[1] <= w[0]),
+        "fading waterfall must descend: {fad:?}"
+    );
     Ok(())
 }
 
@@ -1340,7 +1468,118 @@ fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
+    // Waterfall curves ride along when a sibling `waterfall.json` exists
+    // (the CI smoke emits one next to the bench file): finite values,
+    // BER within [0, 1], and monotone-descending curves.
+    let sibling = std::path::Path::new(path).with_file_name("waterfall.json");
+    if sibling.exists() {
+        check_waterfall_json(&sibling.to_string_lossy())?;
+    }
     println!("{path}: ok ({} standards)", StandardId::ALL.len());
+    Ok(())
+}
+
+/// Validates a `waterfall/v1` document: shape, finite values, BER within
+/// `[0, 1]` and consistent with its `errors/bits` tally, and per-standard
+/// curves that descend with SNR (small slack per step for counting noise,
+/// none for the endpoints).
+fn check_waterfall_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = serde::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let fail = |msg: String| -> Box<dyn std::error::Error> { format!("{path}: {msg}").into() };
+
+    if doc.get("schema").and_then(Value::as_str) != Some("waterfall/v1") {
+        return Err(fail(
+            "missing or wrong `schema` (want \"waterfall/v1\")".into(),
+        ));
+    }
+    let snr = doc
+        .get("snr_db")
+        .and_then(Value::as_array)
+        .ok_or_else(|| fail("missing array `snr_db`".into()))?;
+    if snr.is_empty() {
+        return Err(fail("`snr_db` is empty".into()));
+    }
+    let mut prev = f64::NEG_INFINITY;
+    for (i, v) in snr.iter().enumerate() {
+        let db = v
+            .as_f64()
+            .filter(|d| d.is_finite())
+            .ok_or_else(|| fail(format!("`snr_db[{i}]` is not a finite number")))?;
+        if db <= prev {
+            return Err(fail(format!("`snr_db` must increase at index {i}")));
+        }
+        prev = db;
+    }
+    let standards = doc
+        .get("standards")
+        .and_then(Value::as_object)
+        .ok_or_else(|| fail("missing object `standards`".into()))?;
+    if standards.is_empty() {
+        return Err(fail("`standards` is empty".into()));
+    }
+    for (key, curve) in standards {
+        let series = |field: &str| -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+            let arr = curve
+                .get(field)
+                .and_then(Value::as_array)
+                .ok_or_else(|| fail(format!("`{key}` missing array `{field}`")))?;
+            if arr.len() != snr.len() {
+                return Err(fail(format!(
+                    "`{key}`.`{field}` has {} points, want {}",
+                    arr.len(),
+                    snr.len()
+                )));
+            }
+            arr.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    v.as_f64()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| fail(format!("`{key}`.`{field}[{i}]` is not finite")))
+                })
+                .collect()
+        };
+        let ber = series("ber")?;
+        let errors = series("errors")?;
+        let bits = series("bits")?;
+        for i in 0..snr.len() {
+            if !(0.0..=1.0).contains(&ber[i]) {
+                return Err(fail(format!(
+                    "`{key}`.`ber[{i}]` outside [0, 1]: {}",
+                    ber[i]
+                )));
+            }
+            if bits[i] <= 0.0 || errors[i] < 0.0 || errors[i] > bits[i] {
+                return Err(fail(format!(
+                    "`{key}` point {i}: bad tally {}/{}",
+                    errors[i], bits[i]
+                )));
+            }
+            if (ber[i] - errors[i] / bits[i]).abs() > 1e-9 {
+                return Err(fail(format!(
+                    "`{key}`.`ber[{i}]` inconsistent with errors/bits"
+                )));
+            }
+        }
+        for (i, w) in ber.windows(2).enumerate() {
+            if w[1] > w[0] + (0.05 * w[0]).max(1e-3) {
+                return Err(fail(format!(
+                    "`{key}`: BER rises from {:.3e} to {:.3e} at SNR index {}",
+                    w[0],
+                    w[1],
+                    i + 1
+                )));
+            }
+        }
+        let (first, last) = (ber[0], ber[snr.len() - 1]);
+        if last >= first && first > 0.0 {
+            return Err(fail(format!(
+                "`{key}`: waterfall does not descend ({first:.3e} → {last:.3e})"
+            )));
+        }
+    }
+    println!("{path}: ok ({} curves)", standards.len());
     Ok(())
 }
 

@@ -1,6 +1,9 @@
 //! Shared workload generators and measurement helpers for the benchmark
 //! harness and the `experiments` binary.
 
+pub mod theory;
+pub mod waterfall;
+
 use ofdm_core::params::OfdmParams;
 use ofdm_core::tx::Frame;
 use ofdm_core::MotherModel;

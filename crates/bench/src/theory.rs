@@ -1,0 +1,130 @@
+//! Closed-form BER references for validating measured waterfall curves.
+//!
+//! These are the textbook expressions the end-to-end TX→channel→RX loop
+//! is checked against in `tests/ber_theory.rs`: exact Gray-coded QPSK and
+//! 16-QAM bit-error rates over AWGN, and the flat-Rayleigh average for
+//! QPSK with perfect channel state information. All take the per-bit SNR
+//! `γb = Eb/N0` as a linear ratio (not dB).
+
+/// The Gaussian tail function `Q(x) = P[N(0,1) > x]`.
+///
+/// Computed as `½·erfc(x/√2)` with the Abramowitz–Stegun 7.1.26
+/// rational approximation (absolute error < 1.5·10⁻⁷ — far below the
+/// statistical resolution of any Monte-Carlo BER run this repo does).
+pub fn q_function(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - q_function(-x);
+    }
+    // erfc(z) for z = x/√2 ≥ 0.
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * z);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erfc = poly * (-z * z).exp();
+    0.5 * erfc
+}
+
+/// Converts a dB value to a linear power ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Exact Gray-coded QPSK bit-error rate over AWGN: `Q(√(2γb))`.
+pub fn qpsk_ber_awgn(gamma_b: f64) -> f64 {
+    q_function((2.0 * gamma_b).sqrt())
+}
+
+/// Exact Gray-coded square 16-QAM bit-error rate over AWGN.
+///
+/// With per-symbol SNR `γs = 4γb` and `q = √(γs/5)`:
+/// `BER = ¾·Q(q) + ½·Q(3q) − ¼·Q(5q)` — the exact average over both
+/// bits of each I/Q PAM-4 component, not the nearest-neighbour bound.
+pub fn qam16_ber_awgn(gamma_b: f64) -> f64 {
+    let gamma_s = 4.0 * gamma_b;
+    let q = (gamma_s / 5.0).sqrt();
+    0.75 * q_function(q) + 0.5 * q_function(3.0 * q) - 0.25 * q_function(5.0 * q)
+}
+
+/// Average Gray-coded QPSK bit-error rate over flat Rayleigh fading with
+/// perfect channel knowledge: `½·(1 − √(γ̄b/(1+γ̄b)))` for mean per-bit
+/// SNR `γ̄b`.
+pub fn qpsk_ber_rayleigh(mean_gamma_b: f64) -> f64 {
+    0.5 * (1.0 - (mean_gamma_b / (1.0 + mean_gamma_b)).sqrt())
+}
+
+/// Standard deviation of a measured BER estimate: `√(p(1−p)/n)` for true
+/// error probability `p` over `n` independent bits (binomial sampling).
+pub fn ber_sigma(p: f64, bits: u64) -> f64 {
+    if bits == 0 {
+        return 0.0;
+    }
+    (p * (1.0 - p) / bits as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_function_known_values() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) - 0.158_655_3).abs() < 1e-6);
+        assert!((q_function(2.0) - 0.022_750_1).abs() < 1e-6);
+        assert!((q_function(4.0) - 3.167_1e-5).abs() < 1e-7);
+        // Symmetry Q(-x) = 1 - Q(x).
+        assert!((q_function(-1.5) + q_function(1.5) - 1.0).abs() < 1e-12);
+        // Monotone decreasing.
+        let mut prev = 1.0;
+        for i in 0..60 {
+            let v = q_function(i as f64 * 0.1);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn qpsk_curve_hits_textbook_points() {
+        // Eb/N0 = 4 dB → BER ≈ 1.25e-2; 8 dB → ≈ 1.9e-4.
+        let b4 = qpsk_ber_awgn(db_to_linear(4.0));
+        assert!((b4 - 1.25e-2).abs() / 1.25e-2 < 0.02, "{b4}");
+        let b8 = qpsk_ber_awgn(db_to_linear(8.0));
+        assert!((b8 - 1.91e-4).abs() / 1.91e-4 < 0.03, "{b8}");
+    }
+
+    #[test]
+    fn qam16_needs_about_4db_more_than_qpsk() {
+        // At equal BER ~1e-3, 16-QAM needs ≈ 4 dB higher Eb/N0.
+        let target = qpsk_ber_awgn(db_to_linear(6.8));
+        let q16 = qam16_ber_awgn(db_to_linear(10.8));
+        assert!(
+            (q16.log10() - target.log10()).abs() < 0.35,
+            "qpsk {target:.3e} vs 16qam {q16:.3e}"
+        );
+        // And 16-QAM is always worse at the same γb.
+        for db in [0.0, 4.0, 8.0, 12.0] {
+            let g = db_to_linear(db);
+            assert!(qam16_ber_awgn(g) > qpsk_ber_awgn(g));
+        }
+    }
+
+    #[test]
+    fn rayleigh_average_dominates_awgn() {
+        for db in [0.0, 5.0, 10.0, 20.0] {
+            let g = db_to_linear(db);
+            assert!(qpsk_ber_rayleigh(g) > qpsk_ber_awgn(g));
+        }
+        // High-SNR asymptote: BER → 1/(4γ̄).
+        let g = db_to_linear(30.0);
+        let asym = 1.0 / (4.0 * g);
+        let exact = qpsk_ber_rayleigh(g);
+        assert!((exact - asym).abs() / asym < 0.01);
+    }
+
+    #[test]
+    fn sigma_shrinks_with_sample_count() {
+        assert!(ber_sigma(0.01, 10_000) < ber_sigma(0.01, 100));
+        assert_eq!(ber_sigma(0.5, 0), 0.0);
+        assert!((ber_sigma(0.5, 100) - 0.05).abs() < 1e-12);
+    }
+}

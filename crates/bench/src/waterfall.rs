@@ -1,0 +1,443 @@
+//! BER-vs-SNR waterfall sweeps over the full TX→channel→RX loop.
+//!
+//! A waterfall run is a grid of (standard × SNR × channel realization)
+//! points. Each point is a *pure function* of the spec and its flat
+//! index — payload bits, fading realization and noise stream are all
+//! derived from `scenario_seed(base_seed, index)` — so points shard
+//! across the [`SweepPlan`] worker pool in any order, resume from a
+//! [`SweepCheckpoint`] after an interruption, and still produce a
+//! byte-identical `waterfall.json` (EXPERIMENTS.md E11).
+
+use crate::theory;
+use ofdm_core::ber::{BerCounter, BitSource};
+use ofdm_core::params::OfdmParams;
+use ofdm_core::MotherModel;
+use ofdm_dsp::Complex64;
+use ofdm_rx::eq::ChannelEstimate;
+use ofdm_rx::receiver::ReferenceReceiver;
+use ofdm_standards::{default_params, StandardId};
+use rfsim::prelude::{AwgnChannel, Block, FadingChannel};
+use rfsim::{scenario_seed, SweepCheckpoint, SweepPlan};
+use serde::json::Value;
+use std::path::Path;
+
+/// The channel every grid point runs through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelProfile {
+    /// Additive white Gaussian noise only.
+    Awgn,
+    /// Quasi-static Rayleigh tapped delay line (`(delay_samples, power)`
+    /// paths, one independent realization per grid point) followed by
+    /// AWGN; the receiver equalizes with perfect channel knowledge.
+    Rayleigh {
+        /// Power-delay profile.
+        paths: Vec<(usize, f64)>,
+    },
+}
+
+impl ChannelProfile {
+    /// A short stable name for JSON and checkpoint labels.
+    pub fn label(&self) -> String {
+        match self {
+            ChannelProfile::Awgn => "awgn".to_owned(),
+            ChannelProfile::Rayleigh { paths } => {
+                let mut s = "rayleigh".to_owned();
+                for (d, p) in paths {
+                    s.push_str(&format!("-{d}:{p}"));
+                }
+                s
+            }
+        }
+    }
+}
+
+/// The full grid of a waterfall run.
+#[derive(Debug, Clone)]
+pub struct WaterfallSpec {
+    /// Standards to sweep (one curve each).
+    pub standards: Vec<StandardId>,
+    /// SNR grid in dB (noise power is set relative to mean TX power).
+    pub snr_db: Vec<f64>,
+    /// Independent channel/noise realizations per (standard, SNR) cell.
+    pub realizations: usize,
+    /// Payload bits per realization.
+    pub payload_bits: usize,
+    /// Base seed; every grid point derives its own streams from it.
+    pub base_seed: u64,
+    /// Channel model between TX and RX.
+    pub profile: ChannelProfile,
+    /// Worker threads (`0` = one per CPU).
+    pub threads: usize,
+}
+
+impl WaterfallSpec {
+    /// Total grid points.
+    pub fn point_count(&self) -> usize {
+        self.standards.len() * self.snr_db.len() * self.realizations
+    }
+
+    /// Splits a flat point index into `(standard, snr, realization)`
+    /// indices. Realization is the fastest-varying axis.
+    pub fn decompose(&self, index: usize) -> (usize, usize, usize) {
+        let per_std = self.snr_db.len() * self.realizations;
+        (
+            index / per_std,
+            (index % per_std) / self.realizations,
+            index % self.realizations,
+        )
+    }
+}
+
+/// The deterministic label a spec's checkpoint is validated against —
+/// resuming with a changed grid or profile is detected as a mismatch
+/// instead of silently merging incompatible points.
+pub fn checkpoint_label(spec: &WaterfallSpec) -> String {
+    let stds: Vec<&str> = spec.standards.iter().map(|s| s.key()).collect();
+    format!(
+        "waterfall/{}/{}x{}x{}/bits{}/seed{}/snr{:?}",
+        spec.profile.label(),
+        stds.join("+"),
+        spec.snr_db.len(),
+        spec.realizations,
+        spec.payload_bits,
+        spec.base_seed,
+        spec.snr_db,
+    )
+}
+
+/// Measures one TX→channel→RX point: transmits `payload_bits` seeded
+/// bits through `params`, applies the channel profile at `snr_db`, and
+/// counts bit errors after the reference receiver.
+///
+/// A frame the receiver cannot decode at all counts every payload bit
+/// as an error — a decoding failure is the worst outcome, not a skipped
+/// sample.
+///
+/// # Errors
+///
+/// A message if the parameter set fails to build a transmitter,
+/// receiver, or channel.
+pub fn measure_ber_point(
+    params: &OfdmParams,
+    profile: &ChannelProfile,
+    snr_db: f64,
+    payload_bits: usize,
+    seed: u64,
+) -> Result<(u64, u64), String> {
+    let payload_seed = scenario_seed(seed, 1);
+    let fading_seed = scenario_seed(seed, 2);
+    let noise_seed = scenario_seed(seed, 3);
+
+    let sent = BitSource::new(payload_seed).take(payload_bits);
+    let mut tx = MotherModel::new(params.clone()).map_err(|e| format!("tx: {e}"))?;
+    let frame = tx.transmit(&sent).map_err(|e| format!("transmit: {e}"))?;
+    // Noise σ is fixed by the *transmitted* mean power, so under fading
+    // the instantaneous SNR follows |h|² and averages to the grid SNR —
+    // the convention the closed-form Rayleigh curves assume.
+    let tx_power = frame.signal().power();
+
+    let mut rx = ReferenceReceiver::new(params.clone()).map_err(|e| format!("rx: {e}"))?;
+    let mut signal = frame.signal().clone();
+    if let ChannelProfile::Rayleigh { paths } = profile {
+        // Quasi-static: zero Doppler freezes the realization over the
+        // frame, and the receiver gets the exact frequency response.
+        let mut fading = FadingChannel::rayleigh(paths.clone(), 0.0, fading_seed);
+        signal = fading
+            .process(std::slice::from_ref(&signal))
+            .map_err(|e| format!("fading: {e}"))?;
+        let fft = params.map.fft_size() as f64;
+        let known: Vec<(i32, Complex64)> = params
+            .map
+            .data_carriers()
+            .iter()
+            .map(|&k| (k, fading.freq_response_at(k as f64 / fft, 0, 1.0)))
+            .collect();
+        let reference: Vec<(i32, Complex64)> =
+            known.iter().map(|&(k, _)| (k, Complex64::ONE)).collect();
+        rx.set_channel_estimate(ChannelEstimate::from_reference(&known, &reference));
+    }
+    let mut awgn = AwgnChannel::from_snr_db(snr_db, noise_seed).with_reference_power(tx_power);
+    let noisy = awgn
+        .process(std::slice::from_ref(&signal))
+        .map_err(|e| format!("awgn: {e}"))?;
+
+    let mut counter = BerCounter::new();
+    match rx.receive(&noisy, sent.len()) {
+        Ok(got) => counter.record(&sent, &got),
+        Err(_) => counter.add(sent.len() as u64, sent.len() as u64),
+    }
+    Ok((counter.errors, counter.bits))
+}
+
+/// Measures grid point `index` of `spec` — the unit the worker pool
+/// shards. Pure in `(spec, index)`.
+///
+/// # Errors
+///
+/// Propagates [`measure_ber_point`] failures.
+pub fn waterfall_point(spec: &WaterfallSpec, index: usize) -> Result<(u64, u64), String> {
+    let (std_idx, snr_idx, _real) = spec.decompose(index);
+    let params = default_params(spec.standards[std_idx]);
+    measure_ber_point(
+        &params,
+        &spec.profile,
+        spec.snr_db[snr_idx],
+        spec.payload_bits,
+        scenario_seed(spec.base_seed, index),
+    )
+}
+
+/// One standard's measured BER-vs-SNR curve.
+#[derive(Debug, Clone)]
+pub struct WaterfallCurve {
+    /// The standard.
+    pub standard: StandardId,
+    /// One merged tally per SNR grid point, in `snr_db` order.
+    pub points: Vec<BerCounter>,
+}
+
+/// The aggregated result of a waterfall run.
+#[derive(Debug, Clone)]
+pub struct WaterfallReport {
+    /// One curve per requested standard, in request order.
+    pub curves: Vec<WaterfallCurve>,
+    /// Grid points restored from a checkpoint instead of re-run.
+    pub resumed: usize,
+}
+
+/// Runs the full grid across the worker pool. With a `checkpoint` path,
+/// completed points are persisted as they land and restored on the next
+/// call; without one the run is fail-fast and in-memory only.
+///
+/// # Errors
+///
+/// The first failing grid point's message.
+pub fn run_waterfall(
+    spec: &WaterfallSpec,
+    checkpoint: Option<&Path>,
+) -> Result<WaterfallReport, String> {
+    let count = spec.point_count();
+    if count == 0 {
+        return Err("empty waterfall grid".to_owned());
+    }
+    let mut plan = SweepPlan::new(count);
+    if spec.threads > 0 {
+        plan = plan.threads(spec.threads);
+    }
+    let (results, resumed): (Vec<(u64, u64)>, usize) = match checkpoint {
+        None => {
+            let (results, _report) = plan.run_fail_fast(|i| waterfall_point(spec, i))?;
+            (results, 0)
+        }
+        Some(path) => {
+            let mut ckpt = SweepCheckpoint::load_or_new(path, &checkpoint_label(spec), count);
+            let (outcomes, report) =
+                plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| waterfall_point(spec, i));
+            let mut results = Vec::with_capacity(count);
+            for (i, outcome) in outcomes.iter().enumerate() {
+                match outcome.result() {
+                    Some(&r) => results.push(r),
+                    None => return Err(format!("grid point {i} faulted every attempt")),
+                }
+            }
+            // The grid is complete — the checkpoint has served its purpose.
+            ckpt.discard().map_err(|e| format!("checkpoint: {e}"))?;
+            let resumed = report.supervision.as_ref().map(|s| s.resumed).unwrap_or(0);
+            (results, resumed)
+        }
+    };
+
+    let mut curves = Vec::with_capacity(spec.standards.len());
+    for (s, &standard) in spec.standards.iter().enumerate() {
+        let mut points = vec![BerCounter::new(); spec.snr_db.len()];
+        for (g, point) in points.iter_mut().enumerate() {
+            for r in 0..spec.realizations {
+                let index = (s * spec.snr_db.len() + g) * spec.realizations + r;
+                let (errors, bits) = results[index];
+                point.add(errors, bits);
+            }
+        }
+        curves.push(WaterfallCurve { standard, points });
+    }
+    Ok(WaterfallReport { curves, resumed })
+}
+
+/// Renders a run as the machine-readable `waterfall.json` document
+/// (schema `waterfall/v1`). Serialization is deterministic — member
+/// order is insertion order and numbers render shortest-roundtrip — so
+/// identical results give byte-identical files.
+pub fn waterfall_json(spec: &WaterfallSpec, report: &WaterfallReport) -> Value {
+    let snr: Vec<Value> = spec.snr_db.iter().map(|&s| Value::from(s)).collect();
+    let mut standards = Vec::with_capacity(report.curves.len());
+    for curve in &report.curves {
+        let ber: Vec<Value> = curve.points.iter().map(|c| Value::from(c.ber())).collect();
+        let errors: Vec<Value> = curve.points.iter().map(|c| Value::from(c.errors)).collect();
+        let bits: Vec<Value> = curve.points.iter().map(|c| Value::from(c.bits)).collect();
+        standards.push((
+            curve.standard.key().to_owned(),
+            Value::Object(vec![
+                ("ber".into(), Value::Array(ber)),
+                ("errors".into(), Value::Array(errors)),
+                ("bits".into(), Value::Array(bits)),
+            ]),
+        ));
+    }
+    Value::Object(vec![
+        ("schema".into(), Value::from("waterfall/v1")),
+        ("profile".into(), Value::from(spec.profile.label())),
+        ("payload_bits".into(), Value::from(spec.payload_bits)),
+        ("realizations".into(), Value::from(spec.realizations)),
+        ("base_seed".into(), Value::from(spec.base_seed)),
+        ("snr_db".into(), Value::Array(snr)),
+        ("standards".into(), Value::Object(standards)),
+    ])
+}
+
+/// Theory sanity: the closed-form uncoded QPSK AWGN curve for display
+/// next to measured curves (measured coded curves should sit at or
+/// below it at matched per-bit SNR once coding gain kicks in).
+pub fn qpsk_reference_curve(snr_db: &[f64]) -> Vec<f64> {
+    snr_db
+        .iter()
+        .map(|&db| theory::qpsk_ber_awgn(theory::db_to_linear(db)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> WaterfallSpec {
+        WaterfallSpec {
+            standards: vec![StandardId::Ieee80211a, StandardId::Dab],
+            snr_db: vec![6.0, 14.0],
+            realizations: 2,
+            payload_bits: 256,
+            base_seed: 99,
+            profile: ChannelProfile::Awgn,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn decompose_roundtrips() {
+        let spec = tiny_spec();
+        assert_eq!(spec.point_count(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..spec.point_count() {
+            let (s, g, r) = spec.decompose(i);
+            assert!(s < 2 && g < 2 && r < 2);
+            assert!(seen.insert((s, g, r)));
+            assert_eq!((s * 2 + g) * 2 + r, i);
+        }
+    }
+
+    #[test]
+    fn points_are_deterministic() {
+        let spec = tiny_spec();
+        let a = waterfall_point(&spec, 3).expect("point runs");
+        let b = waterfall_point(&spec, 3).expect("point runs");
+        assert_eq!(a, b);
+        assert!(a.1 >= spec.payload_bits as u64);
+        // Different realizations of the same cell draw different noise.
+        let c = waterfall_point(&spec, 2).expect("point runs");
+        assert_eq!(spec.decompose(2).1, spec.decompose(3).1);
+        // (errors may coincide at 0; the bits always match)
+        assert_eq!(a.1, c.1);
+    }
+
+    #[test]
+    fn awgn_high_snr_is_error_free_low_snr_is_not() {
+        let p = default_params(StandardId::Ieee80211a);
+        let clean = measure_ber_point(&p, &ChannelProfile::Awgn, 40.0, 512, 5).expect("runs");
+        assert_eq!(clean.0, 0, "40 dB SNR must decode error-free");
+        let noisy = measure_ber_point(&p, &ChannelProfile::Awgn, -3.0, 512, 5).expect("runs");
+        assert!(noisy.0 > 0, "-3 dB SNR must show errors");
+    }
+
+    #[test]
+    fn rayleigh_profile_equalizes_with_perfect_csi() {
+        let p = default_params(StandardId::Ieee80211a);
+        let profile = ChannelProfile::Rayleigh {
+            paths: vec![(0, 1.0)],
+        };
+        // Flat fading + perfect CSI + very high SNR: most realizations
+        // decode clean; average a few seeds to dodge deep fades.
+        let mut total_err = 0;
+        for seed in 0..4 {
+            let (e, _) = measure_ber_point(&p, &profile, 45.0, 256, seed).expect("runs");
+            total_err += e;
+        }
+        assert!(
+            total_err < 256,
+            "perfect-CSI flat fading at 45 dB should mostly decode ({total_err} errors)"
+        );
+    }
+
+    #[test]
+    fn label_distinguishes_specs() {
+        let a = tiny_spec();
+        let mut b = tiny_spec();
+        b.base_seed += 1;
+        assert_ne!(checkpoint_label(&a), checkpoint_label(&b));
+        let mut c = tiny_spec();
+        c.profile = ChannelProfile::Rayleigh {
+            paths: vec![(0, 0.8), (2, 0.2)],
+        };
+        assert_ne!(checkpoint_label(&a), checkpoint_label(&c));
+        assert!(checkpoint_label(&c).contains("rayleigh"));
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let spec = tiny_spec();
+        let report = WaterfallReport {
+            curves: spec
+                .standards
+                .iter()
+                .map(|&standard| WaterfallCurve {
+                    standard,
+                    points: vec![
+                        BerCounter {
+                            errors: 10,
+                            bits: 1000,
+                        },
+                        BerCounter {
+                            errors: 0,
+                            bits: 1000,
+                        },
+                    ],
+                })
+                .collect(),
+            resumed: 0,
+        };
+        let doc = waterfall_json(&spec, &report);
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("waterfall/v1")
+        );
+        let stds = doc
+            .get("standards")
+            .and_then(Value::as_object)
+            .expect("standards object");
+        assert_eq!(stds.len(), 2);
+        let ber = stds[0]
+            .1
+            .get("ber")
+            .and_then(Value::as_array)
+            .expect("ber array");
+        assert_eq!(ber[0].as_f64(), Some(0.01));
+        // Round-trips through the parser byte-identically.
+        let text = doc.to_string();
+        let reparsed = serde::json::parse(&text).expect("valid JSON");
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn reference_curve_is_monotone() {
+        let curve = qpsk_reference_curve(&[0.0, 4.0, 8.0, 12.0]);
+        for w in curve.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Bit-source and bit-error-rate accounting for TX→channel→RX loops.
+//!
+//! The waterfall sweeps (EXPERIMENTS.md E11) shard millions of
+//! (standard × SNR × realization) points across workers; each point
+//! draws its payload from a seeded [`BitSource`] and folds its error
+//! count into a [`BerCounter`]. Counters merge associatively, so
+//! per-shard tallies combine into per-curve BER in any order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random payload-bit generator.
+///
+/// The draw sequence matches the sweep harness convention (one
+/// `gen_range(0..=1)` per bit), so a payload regenerated from the same
+/// seed is bit-identical — which is what lets a resumed waterfall shard
+/// reproduce the exact frames of the interrupted run.
+#[derive(Debug, Clone)]
+pub struct BitSource {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl BitSource {
+    /// Creates a source; the same seed always yields the same bit stream.
+    pub fn new(seed: u64) -> Self {
+        BitSource {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the next `n` payload bits (each 0 or 1).
+    pub fn take(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.rng.gen_range(0..=1u8)).collect()
+    }
+
+    /// Rewinds the stream to the first bit.
+    pub fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Counts bit errors between sent and received bit slices.
+///
+/// Slices of unequal length count every unpaired bit as an error (a
+/// truncated decode is a decoding failure, not free accuracy).
+pub fn count_bit_errors(sent: &[u8], received: &[u8]) -> u64 {
+    let paired = sent
+        .iter()
+        .zip(received.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+    let unpaired = sent.len().abs_diff(received.len());
+    (paired + unpaired) as u64
+}
+
+/// An associative bit-error tally: `(errors, bits)` with exact integer
+/// arithmetic so shard merges are order-independent and checkpoint
+/// round-trips are lossless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BerCounter {
+    /// Bit errors observed.
+    pub errors: u64,
+    /// Bits compared.
+    pub bits: u64,
+}
+
+impl BerCounter {
+    /// An empty tally.
+    pub fn new() -> Self {
+        BerCounter::default()
+    }
+
+    /// Folds one sent/received comparison into the tally.
+    pub fn record(&mut self, sent: &[u8], received: &[u8]) {
+        self.errors += count_bit_errors(sent, received);
+        self.bits += sent.len().max(received.len()) as u64;
+    }
+
+    /// Folds a raw `(errors, bits)` pair (e.g. a checkpointed shard).
+    pub fn add(&mut self, errors: u64, bits: u64) {
+        self.errors += errors;
+        self.bits += bits;
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &BerCounter) {
+        self.errors += other.errors;
+        self.bits += other.bits;
+    }
+
+    /// The measured bit-error rate; `0.0` for an empty tally.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_source_is_seed_deterministic() {
+        let mut a = BitSource::new(42);
+        let mut b = BitSource::new(42);
+        let xa = a.take(500);
+        assert_eq!(xa, b.take(500));
+        assert!(xa.iter().all(|&bit| bit <= 1));
+        // Streams continue rather than restart...
+        assert_ne!(a.take(500), xa);
+        // ...and reset rewinds.
+        a.reset();
+        assert_eq!(a.take(500), xa);
+        assert_eq!(a.seed(), 42);
+        // Different seeds diverge.
+        assert_ne!(BitSource::new(43).take(500), xa);
+    }
+
+    #[test]
+    fn bit_source_draws_match_sweep_convention() {
+        // One gen_range(0..=1u8) per bit, in order.
+        let mut rng = StdRng::seed_from_u64(7);
+        let want: Vec<u8> = (0..64).map(|_| rng.gen_range(0..=1u8)).collect();
+        assert_eq!(BitSource::new(7).take(64), want);
+    }
+
+    #[test]
+    fn error_counting_handles_length_mismatch() {
+        assert_eq!(count_bit_errors(&[0, 1, 1, 0], &[0, 1, 1, 0]), 0);
+        assert_eq!(count_bit_errors(&[0, 1, 1, 0], &[1, 1, 1, 1]), 2);
+        // Unpaired tail bits all count as errors.
+        assert_eq!(count_bit_errors(&[0, 1, 1, 0], &[0, 1]), 2);
+        assert_eq!(count_bit_errors(&[0, 1], &[0, 1, 1, 0]), 2);
+    }
+
+    #[test]
+    fn counter_merges_associatively() {
+        let mut a = BerCounter::new();
+        a.record(&[0, 0, 0, 0], &[0, 1, 0, 1]);
+        assert_eq!((a.errors, a.bits), (2, 4));
+        let mut b = BerCounter::new();
+        b.add(1, 4);
+        let mut left = a;
+        left.merge(&b);
+        let mut right = b;
+        right.merge(&a);
+        assert_eq!(left, right);
+        assert!((left.ber() - 3.0 / 8.0).abs() < 1e-15);
+        assert_eq!(BerCounter::new().ber(), 0.0);
+    }
+}

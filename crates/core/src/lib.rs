@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod ber;
 pub mod constellation;
 pub mod error;
 pub mod fec;
@@ -57,6 +58,7 @@ pub mod source;
 pub mod symbol;
 pub mod tx;
 
+pub use ber::{count_bit_errors, BerCounter, BitSource};
 pub use error::{ConfigError, TxError};
 pub use params::OfdmParams;
 pub use tx::{Frame, FrameStream, MotherModel, StageNanos, StreamState};

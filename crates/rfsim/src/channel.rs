@@ -1,12 +1,18 @@
-//! Transmission-channel models: AWGN, static multipath, Rayleigh fading and
-//! a DSL twisted-pair line.
+//! Transmission-channel models: AWGN, static multipath, Rayleigh fading,
+//! tapped-delay-line Rayleigh/Rician fading, carrier frequency offset,
+//! oscillator phase noise and a DSL twisted-pair line.
 //!
 //! The paper's point C2 is that the digital TX, the RF parts *and the
 //! transmission channel* can be verified in one simulator — these blocks are
-//! that channel.
+//! that channel. The fading/CFO/phase-noise trio closes the TX→channel→RX
+//! loop for the BER waterfall sweeps (EXPERIMENTS.md E11): every block here
+//! is chunking-invariant (chunked streaming output is bit-identical to one
+//! batch pass) and seed-deterministic, so million-point sweeps shard across
+//! workers and resume from checkpoints without changing a single sample.
 
 use crate::block::{Block, SimError};
 use crate::signal::Signal;
+use crate::supervise::BlockRole;
 use ofdm_dsp::fir::FirFilter;
 use ofdm_dsp::Complex64;
 use rand::rngs::StdRng;
@@ -354,6 +360,494 @@ impl Block for RayleighChannel {
     fn reset(&mut self) {
         self.t = 0;
         *self = RayleighChannel::new(self.paths.clone(), self.doppler_hz, self.seed);
+    }
+}
+
+/// One path of a [`FadingChannel`] power-delay profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FadingTap {
+    /// Excess delay of the path in samples (tap 0 is the direct path).
+    pub delay: usize,
+    /// Average linear power of the path (diffuse + line-of-sight).
+    pub power: f64,
+    /// Rician K-factor: ratio of line-of-sight to diffuse power.
+    /// `0.0` makes the tap pure Rayleigh.
+    pub k_factor: f64,
+}
+
+/// A tapped-delay-line frequency-selective fading channel with seeded
+/// Rayleigh or Rician tap processes (Jakes sum-of-sinusoids synthesis).
+///
+/// Each tap's diffuse component is a sum of [`Self::N_OSC`] seeded
+/// oscillators with Doppler-distributed frequencies; a nonzero K-factor
+/// adds a deterministic line-of-sight ray at the maximum Doppler shift.
+/// All tap gains are *functions of the absolute sample index*, not of
+/// per-sample random draws — which is what makes the block chunking
+/// invariant: the streaming path only has to carry the absolute time
+/// counter and the delay-line history across chunks to reproduce the
+/// batch convolution bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use rfsim::prelude::*;
+/// use ofdm_dsp::Complex64;
+///
+/// // Two-path Rayleigh profile, 50 Hz Doppler.
+/// let mut ch = FadingChannel::rayleigh(vec![(0, 0.8), (4, 0.2)], 50.0, 7);
+/// let s = Signal::new(vec![Complex64::ONE; 256], 1.0e6);
+/// let out = ch.process(&[s]).unwrap();
+/// assert_eq!(out.len(), 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FadingChannel {
+    taps: Vec<FadingTap>,
+    doppler_hz: f64,
+    seed: u64,
+    /// Per tap: diffuse oscillator parameters `(cosθ, φ_i, φ_q)`.
+    oscillators: Vec<Vec<(f64, f64, f64)>>,
+    /// Per tap: line-of-sight ray phase (drawn once from the seed).
+    los_phase: Vec<f64>,
+    /// Absolute sample index of the next input sample.
+    t: u64,
+    /// Split delay-line history: the last `max_delay` input samples of the
+    /// streaming pass so far (zero-filled at pass start).
+    hist_re: Vec<f64>,
+    hist_im: Vec<f64>,
+}
+
+impl FadingChannel {
+    /// Oscillators per tap in the Jakes synthesis.
+    pub const N_OSC: usize = 16;
+
+    /// Creates the channel from an explicit tap list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty, any tap power or K-factor is negative,
+    /// or `doppler_hz` is negative.
+    pub fn new(taps: Vec<FadingTap>, doppler_hz: f64, seed: u64) -> Self {
+        assert!(!taps.is_empty(), "taps must be nonempty");
+        assert!(doppler_hz >= 0.0, "doppler must be nonnegative");
+        for tap in &taps {
+            assert!(tap.power >= 0.0, "tap power must be nonnegative");
+            assert!(tap.k_factor >= 0.0, "K-factor must be nonnegative");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let oscillators = taps
+            .iter()
+            .map(|_| {
+                (0..Self::N_OSC)
+                    .map(|_| {
+                        let theta: f64 = rng.gen_range(0.0..TAU);
+                        (
+                            theta.cos(),
+                            rng.gen_range(0.0..TAU),
+                            rng.gen_range(0.0..TAU),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let los_phase = taps.iter().map(|_| rng.gen_range(0.0..TAU)).collect();
+        FadingChannel {
+            taps,
+            doppler_hz,
+            seed,
+            oscillators,
+            los_phase,
+            t: 0,
+            hist_re: Vec::new(),
+            hist_im: Vec::new(),
+        }
+    }
+
+    /// A pure-Rayleigh profile `[(delay_samples, avg_power)]`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FadingChannel::new`].
+    pub fn rayleigh(paths: Vec<(usize, f64)>, doppler_hz: f64, seed: u64) -> Self {
+        let taps = paths
+            .into_iter()
+            .map(|(delay, power)| FadingTap {
+                delay,
+                power,
+                k_factor: 0.0,
+            })
+            .collect();
+        FadingChannel::new(taps, doppler_hz, seed)
+    }
+
+    /// A Rician profile: every path carries the same K-factor.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FadingChannel::new`].
+    pub fn rician(paths: Vec<(usize, f64)>, k_factor: f64, doppler_hz: f64, seed: u64) -> Self {
+        let taps = paths
+            .into_iter()
+            .map(|(delay, power)| FadingTap {
+                delay,
+                power,
+                k_factor,
+            })
+            .collect();
+        FadingChannel::new(taps, doppler_hz, seed)
+    }
+
+    /// The power-delay profile.
+    pub fn taps(&self) -> &[FadingTap] {
+        &self.taps
+    }
+
+    /// The maximum Doppler shift in Hz.
+    pub fn doppler_hz(&self) -> f64 {
+        self.doppler_hz
+    }
+
+    /// The seed the tap processes were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The longest path delay in samples (the delay-line length).
+    pub fn max_delay(&self) -> usize {
+        self.taps.iter().map(|t| t.delay).max().unwrap_or(0)
+    }
+
+    /// The instantaneous complex gain of tap `p` at absolute sample `t`.
+    ///
+    /// A sweep runner with quasi-static fading (zero Doppler) uses this —
+    /// together with [`FadingChannel::freq_response_at`] — to hand the
+    /// receiver perfect channel state information.
+    pub fn gain_at(&self, p: usize, t: u64, sample_rate: f64) -> Complex64 {
+        Self::tap_gain(
+            &self.taps[p],
+            &self.oscillators[p],
+            self.los_phase[p],
+            self.doppler_hz,
+            t,
+            sample_rate,
+        )
+    }
+
+    fn tap_gain(
+        tap: &FadingTap,
+        oscillators: &[(f64, f64, f64)],
+        los_phase: f64,
+        doppler_hz: f64,
+        t: u64,
+        sample_rate: f64,
+    ) -> Complex64 {
+        // Split the tap power between the diffuse and LOS components:
+        // diffuse = power/(K+1), LOS = power·K/(K+1).
+        let diffuse_pow = tap.power / (tap.k_factor + 1.0);
+        let norm = (diffuse_pow / Self::N_OSC as f64).sqrt();
+        let mut g = Complex64::ZERO;
+        for &(cos_theta, phi_i, phi_q) in oscillators {
+            let w = TAU * doppler_hz * cos_theta * t as f64 / sample_rate;
+            g += Complex64::new((w + phi_i).cos(), (w + phi_q).cos());
+        }
+        g = g.scale(norm);
+        if tap.k_factor > 0.0 {
+            let los_amp = (tap.power * tap.k_factor / (tap.k_factor + 1.0)).sqrt();
+            let w = TAU * doppler_hz * t as f64 / sample_rate;
+            g += Complex64::from_polar(los_amp, w + los_phase);
+        }
+        g
+    }
+
+    /// The channel frequency response at normalized frequency `f`
+    /// (fraction of the sample rate), frozen at absolute sample `t`.
+    pub fn freq_response_at(&self, f: f64, t: u64, sample_rate: f64) -> Complex64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(p, tap)| {
+                self.gain_at(p, t, sample_rate) * Complex64::cis(-TAU * f * tap.delay as f64)
+            })
+            .sum()
+    }
+
+    fn arm_history(&mut self) {
+        let hist = self.max_delay();
+        self.hist_re.clear();
+        self.hist_im.clear();
+        self.hist_re.resize(hist, 0.0);
+        self.hist_im.resize(hist, 0.0);
+    }
+
+    /// The shared per-sample core of the batch and chunked paths: applies
+    /// the time-varying tapped delay line to `(x_re, x_im)` starting at
+    /// absolute sample `t0`, reading pre-chunk samples from
+    /// `(hist_re, hist_im)`, appending into `out`, and rolling the history
+    /// forward. Both entry points run exactly this code, so chunked output
+    /// is bit-identical to batch by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn apply(
+        taps: &[FadingTap],
+        gain_of: impl Fn(usize, u64) -> Complex64,
+        t0: u64,
+        x_re: &[f64],
+        x_im: &[f64],
+        hist_re: &mut [f64],
+        hist_im: &mut [f64],
+        out: &mut Signal,
+    ) {
+        let hist = hist_re.len();
+        for n in 0..x_re.len() {
+            let t = t0 + n as u64;
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for (p, tap) in taps.iter().enumerate() {
+                let g = gain_of(p, t);
+                let (sr, si) = if n >= tap.delay {
+                    (x_re[n - tap.delay], x_im[n - tap.delay])
+                } else {
+                    let idx = hist - (tap.delay - n);
+                    (hist_re[idx], hist_im[idx])
+                };
+                acc_re += g.re * sr - g.im * si;
+                acc_im += g.re * si + g.im * sr;
+            }
+            out.push(Complex64::new(acc_re, acc_im));
+        }
+        // Roll the delay line forward over this chunk's input.
+        if hist > 0 {
+            if x_re.len() >= hist {
+                hist_re.copy_from_slice(&x_re[x_re.len() - hist..]);
+                hist_im.copy_from_slice(&x_im[x_im.len() - hist..]);
+            } else {
+                hist_re.rotate_left(x_re.len());
+                hist_im.rotate_left(x_im.len());
+                let keep = hist - x_re.len();
+                hist_re[keep..].copy_from_slice(x_re);
+                hist_im[keep..].copy_from_slice(x_im);
+            }
+        }
+    }
+}
+
+impl Block for FadingChannel {
+    fn name(&self) -> &str {
+        "fading-channel"
+    }
+
+    fn role(&self) -> BlockRole {
+        BlockRole::Impairment
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        // Batch is one maximal chunk over a freshly zeroed delay line —
+        // literally the chunked path, so the two agree bit for bit.
+        self.arm_history();
+        let mut out = Signal::empty(inputs[0].sample_rate());
+        self.process_chunk(&[&inputs[0]], &mut out)?;
+        Ok(out)
+    }
+
+    fn begin_stream(&mut self) {
+        self.arm_history();
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        if self.hist_re.len() != self.max_delay() {
+            // Direct use without begin_stream: arm the delay line now.
+            self.arm_history();
+        }
+        let (x_re, x_im) = inputs[0].parts();
+        let fs = inputs[0].sample_rate();
+        out.clear();
+        out.set_sample_rate(fs);
+        let taps = &self.taps;
+        let oscillators = &self.oscillators;
+        let los_phase = &self.los_phase;
+        let doppler_hz = self.doppler_hz;
+        Self::apply(
+            taps,
+            |p, t| Self::tap_gain(&taps[p], &oscillators[p], los_phase[p], doppler_hz, t, fs),
+            self.t,
+            x_re,
+            x_im,
+            &mut self.hist_re,
+            &mut self.hist_im,
+            out,
+        );
+        self.t += x_re.len() as u64;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.hist_re.clear();
+        self.hist_im.clear();
+    }
+}
+
+/// A carrier frequency offset: the deterministic rotation
+/// `y[n] = x[n]·e^{j(2πΔf·n/fs + φ₀)}` a TX/RX oscillator mismatch leaves
+/// on the baseband signal.
+///
+/// The rotation is keyed on the *absolute* sample index carried across
+/// chunks, so streaming output is bit-identical to batch.
+#[derive(Debug, Clone)]
+pub struct CfoChannel {
+    freq_hz: f64,
+    phase_rad: f64,
+    /// Absolute sample index of the next input sample.
+    t: u64,
+}
+
+impl CfoChannel {
+    /// Creates an offset of `freq_hz` with zero initial phase.
+    pub fn new(freq_hz: f64) -> Self {
+        CfoChannel {
+            freq_hz,
+            phase_rad: 0.0,
+            t: 0,
+        }
+    }
+
+    /// Builder: sets the static phase offset `φ₀` in radians.
+    pub fn with_phase(mut self, phase_rad: f64) -> Self {
+        self.phase_rad = phase_rad;
+        self
+    }
+
+    /// The configured frequency offset in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    fn rotate(&self, re: &mut [f64], im: &mut [f64], fs: f64) {
+        for (n, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            let t = self.t + n as u64;
+            let phase = TAU * self.freq_hz * t as f64 / fs + self.phase_rad;
+            let (sin, cos) = phase.sin_cos();
+            let (xr, xi) = (*r, *i);
+            *r = xr * cos - xi * sin;
+            *i = xr * sin + xi * cos;
+        }
+    }
+}
+
+impl Block for CfoChannel {
+    fn name(&self) -> &str {
+        "cfo-channel"
+    }
+
+    fn role(&self) -> BlockRole {
+        BlockRole::Impairment
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let mut s = inputs[0].clone();
+        let fs = s.sample_rate();
+        let (re, im) = s.parts_mut();
+        self.rotate(re, im, fs);
+        self.t += s.len() as u64;
+        Ok(s)
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        let fs = out.sample_rate();
+        let n = out.len();
+        let (re, im) = out.parts_mut();
+        self.rotate(re, im, fs);
+        self.t += n as u64;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+    }
+}
+
+/// Oscillator phase noise as a standalone channel impairment: a seeded
+/// Wiener phase random walk whose per-sample increment variance is
+/// `2πΔf/fs` rad² for a Lorentzian linewidth `Δf` (the same model as
+/// [`crate::analog::LocalOscillator`], without the frequency offset —
+/// combine with [`CfoChannel`] for both).
+///
+/// The RNG draws one Gaussian per sample in order, and the walk state plus
+/// the RNG stream carry across chunks, so streaming output is
+/// bit-identical to batch.
+#[derive(Debug, Clone)]
+pub struct PhaseNoiseChannel {
+    linewidth_hz: f64,
+    seed: u64,
+    rng: StdRng,
+    phase: f64,
+}
+
+impl PhaseNoiseChannel {
+    /// Creates phase noise of 3-dB linewidth `linewidth_hz`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linewidth_hz` is negative.
+    pub fn new(linewidth_hz: f64, seed: u64) -> Self {
+        assert!(linewidth_hz >= 0.0, "linewidth must be nonnegative");
+        PhaseNoiseChannel {
+            linewidth_hz,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            phase: 0.0,
+        }
+    }
+
+    /// The configured linewidth in Hz.
+    pub fn linewidth_hz(&self) -> f64 {
+        self.linewidth_hz
+    }
+
+    fn walk(&mut self, re: &mut [f64], im: &mut [f64], fs: f64) {
+        let sigma = (TAU * self.linewidth_hz / fs).sqrt();
+        // Sequential loop: the RNG draw order defines the phase trajectory.
+        for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+            if sigma > 0.0 {
+                let (g, _) = gaussian_pair(&mut self.rng);
+                self.phase += sigma * g;
+            }
+            let (sin, cos) = self.phase.sin_cos();
+            let (xr, xi) = (*r, *i);
+            *r = xr * cos - xi * sin;
+            *i = xr * sin + xi * cos;
+        }
+    }
+}
+
+impl Block for PhaseNoiseChannel {
+    fn name(&self) -> &str {
+        "phase-noise-channel"
+    }
+
+    fn role(&self) -> BlockRole {
+        BlockRole::Impairment
+    }
+
+    fn process(&mut self, inputs: &[Signal]) -> Result<Signal, SimError> {
+        let mut s = inputs[0].clone();
+        let fs = s.sample_rate();
+        let (re, im) = s.parts_mut();
+        self.walk(re, im, fs);
+        Ok(s)
+    }
+
+    fn process_chunk(&mut self, inputs: &[&Signal], out: &mut Signal) -> Result<(), SimError> {
+        out.copy_from(inputs[0]);
+        let fs = out.sample_rate();
+        let (re, im) = out.parts_mut();
+        self.walk(re, im, fs);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.phase = 0.0;
     }
 }
 
@@ -821,5 +1315,166 @@ mod tests {
         let plo = ofdm_dsp::stats::mean_power(&ylo.samples()[1024..]);
         let phi = ofdm_dsp::stats::mean_power(&yhi.samples()[1024..]);
         assert!(plo > 4.0 * phi, "low {plo} vs high {phi}");
+    }
+
+    fn wave(n: usize, fs: f64) -> Signal {
+        Signal::new(
+            (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.29).sin(), (i as f64 * 0.13).cos()))
+                .collect::<Vec<_>>(),
+            fs,
+        )
+    }
+
+    #[test]
+    fn fading_chunked_matches_batch() {
+        let sig = wave(263, 1.0e6);
+        let mut batch = FadingChannel::rayleigh(vec![(0, 0.7), (3, 0.2), (9, 0.1)], 120.0, 11);
+        let want = batch.process(std::slice::from_ref(&sig)).unwrap();
+        for chunk_len in [1usize, 2, 7, 64, 1000] {
+            let mut ch = FadingChannel::rayleigh(vec![(0, 0.7), (3, 0.2), (9, 0.1)], 120.0, 11);
+            let got = run_chunked(&mut ch, &sig, chunk_len);
+            assert_eq!(got, want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn fading_seed_deterministic_and_reset_rewinds() {
+        let sig = wave(100, 1.0e6);
+        let mut a = FadingChannel::rician(vec![(0, 1.0)], 5.0, 40.0, 7);
+        let mut b = FadingChannel::rician(vec![(0, 1.0)], 5.0, 40.0, 7);
+        let ya = a.process(std::slice::from_ref(&sig)).unwrap();
+        let yb = b.process(std::slice::from_ref(&sig)).unwrap();
+        assert_eq!(ya, yb);
+        // A second pass advances time; reset rewinds to t = 0.
+        let y2 = a.process(std::slice::from_ref(&sig)).unwrap();
+        assert_ne!(ya, y2);
+        a.reset();
+        let y3 = a.process(std::slice::from_ref(&sig)).unwrap();
+        assert_eq!(ya, y3);
+        // Different seeds give different realizations.
+        let mut c = FadingChannel::rician(vec![(0, 1.0)], 5.0, 40.0, 8);
+        assert_ne!(c.process(std::slice::from_ref(&sig)).unwrap(), ya);
+    }
+
+    #[test]
+    fn fading_average_power_matches_profile() {
+        // Average |h|² over many realizations ≈ Σ tap powers.
+        let sig = ones(64);
+        let mut acc = 0.0;
+        const REALIZATIONS: u64 = 400;
+        for seed in 0..REALIZATIONS {
+            let mut ch = FadingChannel::rayleigh(vec![(0, 0.6), (2, 0.4)], 0.0, seed);
+            // Static fading: measure the flat gain on the steady-state tail.
+            let out = ch.process(std::slice::from_ref(&sig)).unwrap();
+            acc += ofdm_dsp::stats::mean_power(&out.samples()[8..]);
+        }
+        let avg = acc / REALIZATIONS as f64;
+        assert!((avg - 1.0).abs() < 0.15, "avg power {avg}");
+    }
+
+    #[test]
+    fn fading_rician_high_k_approaches_los() {
+        // K → ∞ collapses the tap onto the deterministic LOS ray of power 1.
+        let sig = ones(32);
+        for seed in 0..10 {
+            let mut ch = FadingChannel::rician(vec![(0, 1.0)], 1.0e6, 0.0, seed);
+            let out = ch.process(std::slice::from_ref(&sig)).unwrap();
+            let p = out.power();
+            assert!((p - 1.0).abs() < 0.01, "seed {seed}: power {p}");
+        }
+    }
+
+    #[test]
+    fn fading_freq_response_matches_static_gain() {
+        let ch = FadingChannel::rayleigh(vec![(0, 0.8), (4, 0.2)], 0.0, 3);
+        // At f = 0 the response is the plain tap sum.
+        let want = ch.gain_at(0, 0, 1.0) + ch.gain_at(1, 0, 1.0);
+        let got = ch.freq_response_at(0.0, 0, 1.0);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfo_chunked_matches_batch_and_is_pure_rotation() {
+        let sig = wave(199, 1.0e6);
+        let mut batch = CfoChannel::new(1234.5).with_phase(0.4);
+        let want = batch.process(std::slice::from_ref(&sig)).unwrap();
+        // A rotation never changes sample magnitudes.
+        for (a, b) in sig.iter().zip(want.iter()) {
+            assert!((a.abs() - b.abs()).abs() < 1e-12);
+        }
+        for chunk_len in [1usize, 3, 17, 64, 1000] {
+            let mut ch = CfoChannel::new(1234.5).with_phase(0.4);
+            ch.begin_stream();
+            let got = run_chunked(&mut ch, &sig, chunk_len);
+            assert_eq!(got, want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn cfo_rotates_at_configured_rate() {
+        let fs = 1.0e6;
+        let df = 10_000.0;
+        let mut ch = CfoChannel::new(df);
+        assert_eq!(ch.freq_hz(), df);
+        let out = ch.process(&[ones(101)]).unwrap();
+        // After n samples the phase is 2π·df·n/fs.
+        let z = out.get(100);
+        let want = Complex64::cis(TAU * df * 100.0 / fs);
+        assert!((z - want).abs() < 1e-9, "got {z:?} want {want:?}");
+    }
+
+    #[test]
+    fn cfo_reset_rewinds_phase_ramp() {
+        let sig = wave(64, 1.0e6);
+        let mut ch = CfoChannel::new(777.0);
+        let a = ch.process(std::slice::from_ref(&sig)).unwrap();
+        let b = ch.process(std::slice::from_ref(&sig)).unwrap();
+        assert_ne!(a, b, "the ramp must continue across calls");
+        ch.reset();
+        let c = ch.process(std::slice::from_ref(&sig)).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn phase_noise_chunked_matches_batch() {
+        let sig = wave(211, 1.0e6);
+        let mut batch = PhaseNoiseChannel::new(500.0, 21);
+        let want = batch.process(std::slice::from_ref(&sig)).unwrap();
+        for chunk_len in [1usize, 5, 32, 1000] {
+            let mut ch = PhaseNoiseChannel::new(500.0, 21);
+            ch.begin_stream();
+            let got = run_chunked(&mut ch, &sig, chunk_len);
+            assert_eq!(got, want, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn phase_noise_preserves_magnitude_and_resets() {
+        let sig = wave(128, 1.0e6);
+        let mut ch = PhaseNoiseChannel::new(1_000.0, 5);
+        assert_eq!(ch.linewidth_hz(), 1_000.0);
+        let a = ch.process(std::slice::from_ref(&sig)).unwrap();
+        for (x, y) in sig.iter().zip(a.iter()) {
+            assert!((x.abs() - y.abs()).abs() < 1e-12);
+        }
+        ch.reset();
+        let b = ch.process(std::slice::from_ref(&sig)).unwrap();
+        assert_eq!(a, b, "reset must reseed the walk");
+        // Zero linewidth is the identity.
+        let mut ident = PhaseNoiseChannel::new(0.0, 5);
+        let c = ident.process(std::slice::from_ref(&sig)).unwrap();
+        assert_eq!(c, sig);
+    }
+
+    #[test]
+    fn new_impairments_report_impairment_role() {
+        use crate::supervise::BlockRole;
+        let fading = FadingChannel::rayleigh(vec![(0, 1.0)], 10.0, 0);
+        let cfo = CfoChannel::new(100.0);
+        let pn = PhaseNoiseChannel::new(100.0, 0);
+        assert_eq!(fading.role(), BlockRole::Impairment);
+        assert_eq!(cfo.role(), BlockRole::Impairment);
+        assert_eq!(pn.role(), BlockRole::Impairment);
     }
 }

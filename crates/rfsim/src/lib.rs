@@ -49,6 +49,7 @@ pub mod supervise;
 pub mod telemetry;
 
 pub use block::{Block, SimError};
+pub use channel::{CfoChannel, FadingChannel, FadingTap, PhaseNoiseChannel};
 pub use exec::{ExecMode, ExecPlan, Executor};
 pub use fault::{
     ClockDriftJitter, FaultInjector, FaultPlan, FaultStats, NanInjector, SampleDropper,
@@ -74,7 +75,8 @@ pub mod prelude {
     pub use crate::analog::{Combiner, Dac, IqImbalance, LocalOscillator, Mixer};
     pub use crate::block::{Block, SimError};
     pub use crate::channel::{
-        AwgnChannel, DslLineChannel, ImpulsiveNoiseChannel, MultipathChannel, RayleighChannel,
+        AwgnChannel, CfoChannel, DslLineChannel, FadingChannel, FadingTap, ImpulsiveNoiseChannel,
+        MultipathChannel, PhaseNoiseChannel, RayleighChannel,
     };
     pub use crate::exec::{ExecMode, ExecPlan, Executor};
     pub use crate::fault::{

@@ -36,6 +36,63 @@ impl OfdmDemodulator {
         self.fft_size + self.cp_len
     }
 
+    /// The CP-stripped FFT window `[start, start + fft_size)` for a symbol
+    /// at `offset`, or `None` if fewer than `len` samples are available.
+    fn window_start(&self, len: usize, offset: usize) -> Option<usize> {
+        let start = offset + self.cp_len;
+        if start + self.fft_size > len {
+            return None;
+        }
+        Some(start)
+    }
+
+    /// Gathers the FFT window from split re/im slices into the interleaved
+    /// complex buffer the (radix-2) complex engine expects. Gathering and
+    /// using `Fft::forward` keeps the split entry points bit-identical to
+    /// the `&[Complex64]` ones — the radix-4 split engine is only
+    /// equivalent to last-ulp reassociation, which would break the
+    /// registry-wide bit-exactness assertions.
+    fn gather_window(&self, re: &[f64], im: &[f64], start: usize) -> Vec<Complex64> {
+        (start..start + self.fft_size)
+            .map(|i| Complex64::new(re[i], im[i]))
+            .collect()
+    }
+
+    /// All occupied carriers of data symbol `symbol_index`, sorted.
+    fn symbol_carriers(&self, symbol_index: usize) -> Vec<i32> {
+        let pilot_carriers = self.pilots.carriers(symbol_index);
+        let data = self.params.map.data_excluding(&pilot_carriers);
+        let mut carriers: Vec<i32> = pilot_carriers;
+        carriers.extend(data);
+        carriers.sort_unstable();
+        carriers
+    }
+
+    /// Extracts `(carrier, value)` cells from a forward-FFT'd symbol,
+    /// undoing the transmitter normalization.
+    fn extract_cells(&self, freq: &[Complex64], carriers: &[i32]) -> Vec<(i32, Complex64)> {
+        // TX scaled by fft_size/√occupied; forward FFT multiplies by
+        // fft_size again, so divide by fft_size·(fft_size/√occ)⁻¹ → i.e.
+        // multiply by √occ / fft_size.
+        let occupied = if self.params.map.is_hermitian() {
+            carriers.len() * 2
+        } else {
+            carriers.len()
+        };
+        let scale = (occupied.max(1) as f64).sqrt() / self.fft_size as f64;
+        carriers
+            .iter()
+            .map(|&k| {
+                let bin = if k >= 0 {
+                    k as usize
+                } else {
+                    (self.fft_size as i32 + k) as usize
+                };
+                (k, freq[bin].scale(scale))
+            })
+            .collect()
+    }
+
     /// Demodulates symbol `symbol_index` (indexing data symbols from 0)
     /// whose samples start at `samples[offset]`; returns all occupied
     /// cells `(carrier, value)` in carrier order, pilots included.
@@ -47,40 +104,30 @@ impl OfdmDemodulator {
         offset: usize,
         symbol_index: usize,
     ) -> Option<Vec<(i32, Complex64)>> {
-        let start = offset + self.cp_len;
-        let end = start + self.fft_size;
-        if end > samples.len() {
-            return None;
-        }
-        let mut freq = samples[start..end].to_vec();
+        let start = self.window_start(samples.len(), offset)?;
+        let mut freq = samples[start..start + self.fft_size].to_vec();
         self.fft.forward(&mut freq);
-        let pilot_carriers = self.pilots.carriers(symbol_index);
-        let data = self.params.map.data_excluding(&pilot_carriers);
-        let mut carriers: Vec<i32> = pilot_carriers;
-        carriers.extend(data);
-        carriers.sort_unstable();
-        // TX scaled by fft_size/√occupied; forward FFT multiplies by
-        // fft_size again, so divide by fft_size·(fft_size/√occ)⁻¹ → i.e.
-        // multiply by √occ / fft_size.
-        let occupied = if self.params.map.is_hermitian() {
-            carriers.len() * 2
-        } else {
-            carriers.len()
-        };
-        let scale = (occupied as f64).sqrt() / self.fft_size as f64;
-        Some(
-            carriers
-                .into_iter()
-                .map(|k| {
-                    let bin = if k >= 0 {
-                        k as usize
-                    } else {
-                        (self.fft_size as i32 + k) as usize
-                    };
-                    (k, freq[bin].scale(scale))
-                })
-                .collect(),
-        )
+        Some(self.extract_cells(&freq, &self.symbol_carriers(symbol_index)))
+    }
+
+    /// Split-slice variant of [`OfdmDemodulator::demodulate_at`]: reads the
+    /// symbol from separate re/im slices (the `rfsim::Signal`
+    /// structure-of-arrays layout) so callers on the hot path never
+    /// materialize a `Vec<Complex64>` view of the whole frame.
+    /// Bit-identical to the interleaved entry point.
+    ///
+    /// Returns `None` if the slices are too short.
+    pub fn demodulate_at_parts(
+        &self,
+        re: &[f64],
+        im: &[f64],
+        offset: usize,
+        symbol_index: usize,
+    ) -> Option<Vec<(i32, Complex64)>> {
+        let start = self.window_start(re.len().min(im.len()), offset)?;
+        let mut freq = self.gather_window(re, im, start);
+        self.fft.forward(&mut freq);
+        Some(self.extract_cells(&freq, &self.symbol_carriers(symbol_index)))
     }
 
     /// Demodulates an arbitrary carrier set at `samples[offset]` (guard
@@ -95,32 +142,27 @@ impl OfdmDemodulator {
         offset: usize,
         carriers: &[i32],
     ) -> Option<Vec<(i32, Complex64)>> {
-        let start = offset + self.cp_len;
-        let end = start + self.fft_size;
-        if end > samples.len() {
-            return None;
-        }
-        let mut freq = samples[start..end].to_vec();
+        let start = self.window_start(samples.len(), offset)?;
+        let mut freq = samples[start..start + self.fft_size].to_vec();
         self.fft.forward(&mut freq);
-        let occupied = if self.params.map.is_hermitian() {
-            carriers.len() * 2
-        } else {
-            carriers.len()
-        };
-        let scale = (occupied.max(1) as f64).sqrt() / self.fft_size as f64;
-        Some(
-            carriers
-                .iter()
-                .map(|&k| {
-                    let bin = if k >= 0 {
-                        k as usize
-                    } else {
-                        (self.fft_size as i32 + k) as usize
-                    };
-                    (k, freq[bin].scale(scale))
-                })
-                .collect(),
-        )
+        Some(self.extract_cells(&freq, carriers))
+    }
+
+    /// Split-slice variant of [`OfdmDemodulator::demodulate_carriers`];
+    /// bit-identical to the interleaved entry point.
+    ///
+    /// Returns `None` if the slices are too short.
+    pub fn demodulate_carriers_parts(
+        &self,
+        re: &[f64],
+        im: &[f64],
+        offset: usize,
+        carriers: &[i32],
+    ) -> Option<Vec<(i32, Complex64)>> {
+        let start = self.window_start(re.len().min(im.len()), offset)?;
+        let mut freq = self.gather_window(re, im, start);
+        self.fft.forward(&mut freq);
+        Some(self.extract_cells(&freq, carriers))
     }
 
     /// The data carriers of symbol `symbol_index` (used band minus that
@@ -193,6 +235,36 @@ mod tests {
         for (r, t) in cells.iter().zip(&frame.symbol_cells()[0]) {
             assert!((r.1 - t.1).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn split_parts_path_bit_identical_to_interleaved() {
+        let params = minimal_test_params();
+        let mut tx = MotherModel::new(params.clone()).unwrap();
+        let payload: Vec<u8> = (0..96).map(|i| ((i * 7) % 2) as u8).collect();
+        let frame = tx.transmit(&payload).unwrap();
+        let samples = frame.samples();
+        let re: Vec<f64> = samples.iter().map(|z| z.re).collect();
+        let im: Vec<f64> = samples.iter().map(|z| z.im).collect();
+        let demod = OfdmDemodulator::new(params);
+        let sym_len = demod.symbol_len();
+        for s in 0..frame.symbol_cells().len() {
+            let a = demod.demodulate_at(&samples, s * sym_len, s).unwrap();
+            let b = demod.demodulate_at_parts(&re, &im, s * sym_len, s).unwrap();
+            assert_eq!(a, b, "symbol {s} must be bit-identical across layouts");
+            let carriers = demod.data_carriers(s);
+            let c = demod
+                .demodulate_carriers(&samples, s * sym_len, &carriers)
+                .unwrap();
+            let d = demod
+                .demodulate_carriers_parts(&re, &im, s * sym_len, &carriers)
+                .unwrap();
+            assert_eq!(c, d, "symbol {s} carrier set must match bit-exactly");
+        }
+        // Too-short slices behave identically too.
+        assert!(demod
+            .demodulate_at_parts(&re[..40], &im[..40], 0, 0)
+            .is_none());
     }
 
     #[test]

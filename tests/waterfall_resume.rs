@@ -1,0 +1,100 @@
+//! Checkpoint/resume exactness for waterfall sweeps: a run interrupted
+//! partway and resumed from its checkpoint must produce a
+//! `waterfall.json` byte-identical to the uninterrupted run — grid
+//! points are pure in `(spec, index)`, so restored results and re-run
+//! results are indistinguishable (EXPERIMENTS.md E11).
+
+use ofdm_bench::waterfall::{
+    checkpoint_label, run_waterfall, waterfall_json, waterfall_point, ChannelProfile, WaterfallSpec,
+};
+use ofdm_standards::StandardId;
+use rfsim::{CheckpointEntry, CheckpointPayload, SweepCheckpoint};
+
+fn spec() -> WaterfallSpec {
+    WaterfallSpec {
+        standards: vec![StandardId::Ieee80211a, StandardId::Dab],
+        snr_db: vec![2.0, 8.0, 14.0],
+        realizations: 2,
+        payload_bits: 256,
+        base_seed: 424_242,
+        profile: ChannelProfile::Awgn,
+        threads: 4,
+    }
+}
+
+#[test]
+fn interrupted_waterfall_resumes_to_byte_identical_json() {
+    let spec = spec();
+    let count = spec.point_count();
+    let path = std::env::temp_dir().join(format!(
+        "rfsim-waterfall-resume-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // Reference: the uninterrupted in-memory run.
+    let reference = run_waterfall(&spec, None).expect("uninterrupted run");
+    assert_eq!(reference.resumed, 0);
+    let want = waterfall_json(&spec, &reference).to_string();
+
+    // "Interrupted" run: the front half of the grid completes and lands
+    // in the checkpoint before the process dies. Stand in for the dead
+    // process by computing those points directly and persisting them
+    // under the spec's own label.
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, &checkpoint_label(&spec), count);
+    for i in 0..count / 2 {
+        let result = waterfall_point(&spec, i).expect("point runs");
+        ckpt.record(CheckpointEntry {
+            index: i,
+            attempts: 1,
+            nanos: 0,
+            result: result.to_checkpoint_value(),
+        });
+    }
+    ckpt.persist().expect("checkpoint written");
+    drop(ckpt);
+    assert!(path.exists(), "interrupted run left a checkpoint behind");
+
+    // Resume: restored points must not re-run, the merged report must
+    // say so, and the emitted JSON must be byte-identical.
+    let resumed = run_waterfall(&spec, Some(&path)).expect("resumed run");
+    assert_eq!(
+        resumed.resumed,
+        count / 2,
+        "front half restored from checkpoint"
+    );
+    let got = waterfall_json(&spec, &resumed).to_string();
+    assert_eq!(got, want, "resumed waterfall.json must be byte-identical");
+    assert!(!path.exists(), "completed run discards its checkpoint file");
+}
+
+#[test]
+fn stale_checkpoint_label_is_not_merged() {
+    // A checkpoint written for a *different* grid must not contaminate
+    // the run: the label mismatch makes load_or_new start fresh.
+    let a = spec();
+    let mut b = spec();
+    b.base_seed ^= 1;
+    let path =
+        std::env::temp_dir().join(format!("rfsim-waterfall-stale-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, &checkpoint_label(&a), a.point_count());
+    let result = waterfall_point(&a, 0).expect("point runs");
+    ckpt.record(CheckpointEntry {
+        index: 0,
+        attempts: 1,
+        nanos: 0,
+        result: result.to_checkpoint_value(),
+    });
+    ckpt.persist().expect("checkpoint written");
+    drop(ckpt);
+
+    let reference = run_waterfall(&b, None).expect("clean run");
+    let resumed = run_waterfall(&b, Some(&path)).expect("run against stale checkpoint");
+    assert_eq!(resumed.resumed, 0, "stale checkpoint must not be merged");
+    assert_eq!(
+        waterfall_json(&b, &resumed).to_string(),
+        waterfall_json(&b, &reference).to_string(),
+    );
+}
