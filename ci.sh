@@ -79,4 +79,26 @@ echo "==> supervision smoke: experiments --supervise"
 # interrupted sweep resuming from its checkpoint exactly.
 cargo run --release -q -p ofdm-bench --bin experiments -- --supervise
 
+echo "==> service smoke: rfsim-server / rfsim-cli round trip"
+# Boot the simulation service on an ephemeral port, submit the example
+# mini-waterfall through rfsim-cli, and byte-compare the streamed result
+# against an in-process run (--compare-local). A clean shutdown must
+# leave no orphan server process.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo build --release -q --bin rfsim-server --bin rfsim-cli
+./target/release/rfsim-server --addr 127.0.0.1:0 \
+    --port-file "$SMOKE_DIR/port" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "service smoke: server never bound" >&2; exit 1; }
+ADDR=$(cat "$SMOKE_DIR/port")
+./target/release/rfsim-cli submit examples/jobs/mini_waterfall.json \
+    --addr "$ADDR" --compare-local --out "$SMOKE_DIR/waterfall.json"
+./target/release/rfsim-cli shutdown --addr "$ADDR"
+wait "$SERVER_PID" || { echo "service smoke: server exited non-zero" >&2; exit 1; }
+
 echo "==> ci.sh: all gates passed"

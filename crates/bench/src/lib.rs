@@ -77,9 +77,12 @@ pub fn evm_after_gain_correction(
     let mut num = Complex64::ZERO;
     let mut den = 0.0f64;
     let mut pairs: Vec<(Complex64, Complex64)> = Vec::new();
+    // Demodulate from the split re/im storage directly; the interleaved
+    // samples() view would allocate a whole-waveform copy per symbol.
+    let (rx_re, rx_im) = received.parts();
     for s in 0..n {
         let rx_cells = demod
-            .demodulate_at(&received.samples(), preamble + s * sym_len, s)
+            .demodulate_at_parts(rx_re, rx_im, preamble + s * sym_len, s)
             .expect("received waveform long enough");
         for (r, t) in rx_cells.iter().zip(&frame.symbol_cells()[s]) {
             debug_assert_eq!(r.0, t.0);

@@ -211,7 +211,10 @@ pub struct WaterfallReport {
 ///
 /// # Errors
 ///
-/// The first failing grid point's message.
+/// The first failing grid point's message, or the rendering of
+/// [`rfsim::SimError::CheckpointCorrupt`] when the checkpoint file exists
+/// but is truncated/corrupt — a damaged resume fails loudly instead of
+/// silently recomputing the sweep from zero.
 pub fn run_waterfall(
     spec: &WaterfallSpec,
     checkpoint: Option<&Path>,
@@ -230,7 +233,8 @@ pub fn run_waterfall(
             (results, 0)
         }
         Some(path) => {
-            let mut ckpt = SweepCheckpoint::load_or_new(path, &checkpoint_label(spec), count);
+            let mut ckpt = SweepCheckpoint::load(path, &checkpoint_label(spec), count)
+                .map_err(|e| e.to_string())?;
             let (outcomes, report) =
                 plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| waterfall_point(spec, i));
             let mut results = Vec::with_capacity(count);

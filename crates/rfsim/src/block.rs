@@ -93,6 +93,16 @@ pub enum SimError {
         /// Name of the block about to run when cancellation was observed.
         block: String,
     },
+    /// A sweep checkpoint file exists but cannot be decoded — truncated
+    /// or corrupted mid-write. Raised by
+    /// [`crate::supervise::SweepCheckpoint::load`] so a resume fails
+    /// loudly instead of silently restarting the sweep from zero.
+    CheckpointCorrupt {
+        /// Path of the unreadable checkpoint file.
+        path: String,
+        /// What failed while decoding it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -149,6 +159,9 @@ impl fmt::Display for SimError {
             }
             SimError::Cancelled { block } => {
                 write!(f, "run cancelled at block `{block}`")
+            }
+            SimError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint file `{path}` is corrupt: {detail}")
             }
         }
     }

@@ -448,6 +448,10 @@ impl SweepPlan {
             let started = Instant::now();
             let mut last_error = String::new();
             let mut attempts = 0;
+            // One kill per scenario, however many of its attempts the
+            // watchdog cancelled: a scenario killed on the first attempt
+            // *and* on its final retry is still one killed scenario.
+            let mut killed = false;
             while attempts < policy.max_attempts() {
                 attempts += 1;
                 let ctx = ScenarioCtx::new(supervisor.scenario_budget());
@@ -460,6 +464,9 @@ impl SweepPlan {
                 *watch[w].lock().unwrap_or_else(PoisonError::into_inner) = None;
                 match outcome {
                     Ok(Ok(result)) => {
+                        if killed {
+                            kills.fetch_add(1, Ordering::Relaxed);
+                        }
                         let nanos = started.elapsed().as_nanos() as u64;
                         let outcome = if attempts == 1 {
                             ScenarioOutcome::Succeeded(result)
@@ -471,14 +478,17 @@ impl SweepPlan {
                     Ok(Err(e)) => {
                         counters.errors.fetch_add(1, Ordering::Relaxed);
                         last_error = e.to_string();
-                        note_kill(&kills, &ctx);
+                        killed = killed || attempt_killed(&ctx);
                     }
                     Err(payload) => {
                         counters.panics.fetch_add(1, Ordering::Relaxed);
                         last_error = format!("panic: {}", panic_message(payload));
-                        note_kill(&kills, &ctx);
+                        killed = killed || attempt_killed(&ctx);
                     }
                 }
+            }
+            if killed {
+                kills.fetch_add(1, Ordering::Relaxed);
             }
             let nanos = started.elapsed().as_nanos() as u64;
             (
@@ -866,16 +876,17 @@ impl ScenarioCtx {
     }
 }
 
-/// Attributes one failed attempt to supervision when it was cancelled or
-/// overran its budget. Counting here (rather than in the watchdog) makes
+/// Whether a failed attempt was killed by supervision — cancelled or past
+/// its budget. Deciding here (rather than in the watchdog) makes
 /// [`SupervisionReport::deadline_kills`] deterministic: a hung attempt is
-/// killed once whether the watchdog's cancel or the graph's own deadline
-/// fires first.
-fn note_kill(kills: &AtomicUsize, ctx: &ScenarioCtx) {
+/// seen as killed whether the watchdog's cancel or the graph's own
+/// deadline fires first. The caller counts at most one kill per
+/// *scenario*, so a scenario whose retry is killed again does not inflate
+/// the tally — `deadline_kills` partitions against clean successes and
+/// non-deadline faults instead of double-counting attempts.
+fn attempt_killed(ctx: &ScenarioCtx) -> bool {
     let overran = ctx.budget().is_some_and(|budget| ctx.elapsed() > budget);
-    if ctx.is_cancelled() || overran {
-        kills.fetch_add(1, Ordering::Relaxed);
-    }
+    ctx.is_cancelled() || overran
 }
 
 /// Historical supervised entry point; the watchdog wiring now lives in

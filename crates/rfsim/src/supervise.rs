@@ -139,8 +139,20 @@ impl Deadline {
 /// Clones observe the same flag; cancellation is one-way and sticky. The
 /// schedulers poll the token at block/chunk boundaries, so a long pass
 /// stops within one block invocation of [`CancelToken::cancel`].
+///
+/// Tokens form scopes: [`CancelToken::child`] derives a token that is
+/// also cancelled whenever any ancestor is, while cancelling the child
+/// leaves the parent untouched. A service can hand every session a child
+/// of its own shutdown token and every job a child of its session token —
+/// one `cancel()` at any level stops exactly that subtree.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    parent: Option<CancelToken>,
+}
 
 impl CancelToken {
     /// A fresh, uncancelled token.
@@ -148,16 +160,38 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Raises the flag. Returns `true` if this call performed the
-    /// cancellation (i.e. the token was not already cancelled) — used by
-    /// watchdogs to count kills exactly once.
-    pub fn cancel(&self) -> bool {
-        !self.0.swap(true, Ordering::SeqCst)
+    /// A new token scoped under `self`: it reports cancelled when either
+    /// its own flag or any ancestor's flag is raised, but cancelling it
+    /// does not propagate upward.
+    pub fn child(&self) -> Self {
+        CancelToken(Arc::new(CancelInner {
+            flag: AtomicBool::new(false),
+            parent: Some(self.clone()),
+        }))
     }
 
-    /// Whether the flag has been raised.
+    /// Raises this token's own flag (ancestors are untouched). Returns
+    /// `true` if this call performed the cancellation (i.e. the flag was
+    /// not already raised) — used by watchdogs to count kills exactly
+    /// once. An already-cancelled ancestor does not make this return
+    /// `false`; only this token's own flag is consulted.
+    pub fn cancel(&self) -> bool {
+        !self.0.flag.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether this token's flag — or any ancestor's — has been raised.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
+        if self.0.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        let mut parent = self.0.parent.as_ref();
+        while let Some(p) = parent {
+            if p.0.flag.load(Ordering::SeqCst) {
+                return true;
+            }
+            parent = p.0.parent.as_ref();
+        }
+        false
     }
 
     /// Fails with [`SimError::Cancelled`] naming `block` once cancelled.
@@ -397,8 +431,9 @@ impl SweepSupervisor {
 /// runners.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SupervisionReport {
-    /// Scenario attempts the watchdog cancelled for exceeding the
-    /// per-scenario budget.
+    /// Scenarios the watchdog killed for exceeding the per-scenario
+    /// budget — counted once per scenario, even when several of its
+    /// attempts (initial run plus retries) were each cancelled.
     pub deadline_kills: usize,
     /// Scenarios restored from a [`SweepCheckpoint`] instead of re-run.
     pub resumed: usize,
@@ -583,10 +618,21 @@ pub struct SweepCheckpoint {
 
 impl SweepCheckpoint {
     /// Opens the checkpoint at `path` for a sweep identified by `label`
-    /// and `count`: if the file exists and matches that identity, its
-    /// completed entries are loaded; otherwise (missing, unreadable, or a
-    /// different sweep) an empty checkpoint is returned.
-    pub fn load_or_new(path: impl Into<PathBuf>, label: &str, count: usize) -> Self {
+    /// and `count`, failing loudly on damage: a file that exists but does
+    /// not decode (truncated or corrupted mid-write) is an error, never a
+    /// silent restart from zero.
+    ///
+    /// A *missing* file and an *identity mismatch* (a valid checkpoint
+    /// written for a different label or count — a stale file from another
+    /// sweep) both start fresh: neither is damage, and the stale-label
+    /// case is the documented guard against merging incompatible grids.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CheckpointCorrupt`] when the file exists but is not
+    /// valid JSON, or is valid JSON that is not a checkpoint document
+    /// (wrong or missing schema tag).
+    pub fn load(path: impl Into<PathBuf>, label: &str, count: usize) -> Result<Self, SimError> {
         let path = path.into();
         let mut ckpt = SweepCheckpoint {
             path,
@@ -596,12 +642,40 @@ impl SweepCheckpoint {
             pending: 0,
             entries: Vec::new(),
         };
-        if let Ok(text) = std::fs::read_to_string(&ckpt.path) {
-            if let Ok(doc) = serde::json::parse(&text) {
-                ckpt.absorb(&doc);
-            }
+        let corrupt = |ckpt: &SweepCheckpoint, detail: String| SimError::CheckpointCorrupt {
+            path: ckpt.path.display().to_string(),
+            detail,
+        };
+        let text = match std::fs::read_to_string(&ckpt.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ckpt),
+            Err(e) => return Err(corrupt(&ckpt, format!("unreadable: {e}"))),
+        };
+        let doc = serde::json::parse(&text).map_err(|e| corrupt(&ckpt, e.to_string()))?;
+        if doc.get("schema").and_then(Value::as_str) != Some(CHECKPOINT_SCHEMA) {
+            return Err(corrupt(
+                &ckpt,
+                format!("not a {CHECKPOINT_SCHEMA} document"),
+            ));
         }
-        ckpt
+        ckpt.absorb(&doc);
+        Ok(ckpt)
+    }
+
+    /// Lenient variant of [`SweepCheckpoint::load`]: damage falls back to
+    /// an empty checkpoint instead of an error. Callers that resume real
+    /// sweeps should prefer `load`, so a truncated file is surfaced
+    /// rather than silently recomputed from zero.
+    pub fn load_or_new(path: impl Into<PathBuf>, label: &str, count: usize) -> Self {
+        let path = path.into();
+        SweepCheckpoint::load(path.clone(), label, count).unwrap_or(SweepCheckpoint {
+            path,
+            label: label.to_owned(),
+            count,
+            batch: 8,
+            pending: 0,
+            entries: Vec::new(),
+        })
     }
 
     /// Loads entries from a parsed checkpoint document if its identity
@@ -950,5 +1024,66 @@ mod tests {
         std::fs::write(&path, "{\"schema\":\"other/v9\"}").expect("writable");
         assert!(SweepCheckpoint::load_or_new(&path, "x", 4).is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_load_fails_typed_on_corruption() {
+        let path = temp_path("corrupt-typed.json");
+        // Truncated mid-write: not valid JSON at all.
+        std::fs::write(&path, "{\"schema\":\"sweep-checkpoint/v1\",\"la").expect("writable");
+        match SweepCheckpoint::load(&path, "x", 4) {
+            Err(SimError::CheckpointCorrupt { path: p, .. }) => {
+                assert!(p.ends_with("corrupt-typed.json"), "{p}");
+            }
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
+        // Valid JSON that is not a checkpoint document.
+        std::fs::write(&path, "{\"schema\":\"other/v9\"}").expect("writable");
+        assert!(matches!(
+            SweepCheckpoint::load(&path, "x", 4),
+            Err(SimError::CheckpointCorrupt { .. })
+        ));
+        // Missing file and stale identity both start fresh, not error.
+        let _ = std::fs::remove_file(&path);
+        assert!(SweepCheckpoint::load(&path, "x", 4)
+            .expect("missing file is fresh")
+            .is_empty());
+        let mut other = SweepCheckpoint::load(&path, "other-label", 4).expect("fresh");
+        other.record(CheckpointEntry {
+            index: 0,
+            attempts: 1,
+            nanos: 0,
+            result: Value::from(1.0),
+        });
+        other.persist().expect("persist");
+        let stale = SweepCheckpoint::load(&path, "x", 4).expect("stale identity starts fresh");
+        assert!(stale.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancel_token_children_scope_under_parents() {
+        let root = CancelToken::new();
+        let session = root.child();
+        let job_a = session.child();
+        let job_b = session.child();
+        assert!(!job_a.is_cancelled() && !job_b.is_cancelled());
+        // Cancelling one job leaves its siblings and ancestors running.
+        assert!(job_a.cancel());
+        assert!(job_a.is_cancelled());
+        assert!(!job_b.is_cancelled());
+        assert!(!session.is_cancelled());
+        assert!(!root.is_cancelled());
+        // Cancelling the session stops every job under it.
+        session.cancel();
+        assert!(job_b.is_cancelled());
+        assert!(job_b.check("mix").is_err());
+        assert!(!root.is_cancelled());
+        // Root shutdown reaches a grandchild through the chain, and the
+        // child's own cancel() still reports first-cancellation truly.
+        let late = root.child().child();
+        root.cancel();
+        assert!(late.is_cancelled());
+        assert!(late.cancel(), "own flag was not yet raised");
     }
 }

@@ -197,9 +197,12 @@ mod tests {
         let frame = tx.transmit(&payload).unwrap();
         let demod = OfdmDemodulator::new(params);
         assert_eq!(demod.symbol_len(), 80);
+        // Demodulate straight off the frame's split storage — the hot-path
+        // entry point — rather than materializing samples() per symbol.
+        let (re, im) = frame.signal().parts();
         for (s, tx_cells) in frame.symbol_cells().iter().enumerate() {
             let rx_cells = demod
-                .demodulate_at(&frame.samples(), s * 80, s)
+                .demodulate_at_parts(re, im, s * 80, s)
                 .expect("frame long enough");
             assert_eq!(rx_cells.len(), tx_cells.len());
             for (r, t) in rx_cells.iter().zip(tx_cells) {

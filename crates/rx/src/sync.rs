@@ -83,6 +83,91 @@ pub fn correct_cfo(signal: &[Complex64], cfo_hz: f64, sample_rate: f64) -> Vec<C
         .collect()
 }
 
+/// Split-slice variant of [`schmidl_cox_metric`]: reads the signal from
+/// separate re/im slices (the `rfsim::Signal` structure-of-arrays layout)
+/// so receivers on the hot path never materialize a `Vec<Complex64>` view
+/// of the whole waveform. Bit-identical to the interleaved entry point.
+pub fn schmidl_cox_metric_parts(re: &[f64], im: &[f64], half_len: usize) -> Vec<f64> {
+    let len = re.len().min(im.len());
+    let at = |i: usize| Complex64::new(re[i], im[i]);
+    if len < 2 * half_len || half_len == 0 {
+        return Vec::new();
+    }
+    let n = len - 2 * half_len;
+    let mut out = Vec::with_capacity(n);
+    let mut p = Complex64::ZERO;
+    let mut r = 0.0f64;
+    for m in 0..half_len {
+        p += at(m).conj() * at(m + half_len);
+        r += at(m + half_len).norm_sqr();
+    }
+    for d in 0..n {
+        out.push(if r > 1e-30 {
+            p.norm_sqr() / (r * r)
+        } else {
+            0.0
+        });
+        p -= at(d).conj() * at(d + half_len);
+        p += at(d + half_len).conj() * at(d + 2 * half_len);
+        r -= at(d + half_len).norm_sqr();
+        r += at(d + 2 * half_len).norm_sqr();
+    }
+    out
+}
+
+/// Split-slice variant of [`find_frame_start`]; bit-identical to the
+/// interleaved entry point.
+pub fn find_frame_start_parts(re: &[f64], im: &[f64], half_len: usize) -> Option<usize> {
+    let metric = schmidl_cox_metric_parts(re, im, half_len);
+    metric
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("metric is finite"))
+        .map(|(d, _)| d)
+}
+
+/// Split-slice variant of [`estimate_cfo`]; bit-identical to the
+/// interleaved entry point.
+pub fn estimate_cfo_parts(
+    re: &[f64],
+    im: &[f64],
+    offset: usize,
+    half_len: usize,
+    sample_rate: f64,
+) -> Option<f64> {
+    let len = re.len().min(im.len());
+    if offset + 2 * half_len > len || half_len == 0 {
+        return None;
+    }
+    let at = |i: usize| Complex64::new(re[i], im[i]);
+    let mut p = Complex64::ZERO;
+    for m in 0..half_len {
+        p += at(offset + m).conj() * at(offset + m + half_len);
+    }
+    Some(p.arg() / (TAU * half_len as f64) * sample_rate)
+}
+
+/// Split-slice variant of [`correct_cfo`]: corrects a measured CFO,
+/// producing split re/im vectors. Element-wise bit-identical to the
+/// interleaved entry point.
+pub fn correct_cfo_parts(
+    re: &[f64],
+    im: &[f64],
+    cfo_hz: f64,
+    sample_rate: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let len = re.len().min(im.len());
+    let mut out_re = Vec::with_capacity(len);
+    let mut out_im = Vec::with_capacity(len);
+    for n in 0..len {
+        let z =
+            Complex64::new(re[n], im[n]) * Complex64::cis(-TAU * cfo_hz * n as f64 / sample_rate);
+        out_re.push(z.re);
+        out_im.push(z.im);
+    }
+    (out_re, out_im)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +237,45 @@ mod tests {
     fn cfo_out_of_bounds_none() {
         assert!(estimate_cfo(&[Complex64::ONE; 10], 0, 8, 1.0).is_none());
         assert!(estimate_cfo(&[Complex64::ONE; 10], 0, 0, 1.0).is_none());
+    }
+
+    #[test]
+    fn parts_variants_bit_identical_to_interleaved() {
+        let fs = 20e6;
+        for (start, half, cfo) in [(100, 32, 0.0), (0, 64, 50e3), (37, 16, -12e3)] {
+            let clean = test_signal(start, half);
+            let shifted: Vec<Complex64> = clean
+                .iter()
+                .enumerate()
+                .map(|(n, &z)| z * Complex64::cis(TAU * cfo * n as f64 / fs))
+                .collect();
+            let re: Vec<f64> = shifted.iter().map(|z| z.re).collect();
+            let im: Vec<f64> = shifted.iter().map(|z| z.im).collect();
+
+            assert_eq!(
+                schmidl_cox_metric(&shifted, half),
+                schmidl_cox_metric_parts(&re, &im, half),
+                "metric ({start},{half},{cfo})"
+            );
+            assert_eq!(
+                find_frame_start(&shifted, half),
+                find_frame_start_parts(&re, &im, half)
+            );
+            let a = estimate_cfo(&shifted, start, half, fs);
+            let b = estimate_cfo_parts(&re, &im, start, half, fs);
+            assert_eq!(a, b, "cfo estimate must be bit-identical");
+            let est = a.unwrap();
+            let fixed = correct_cfo(&shifted, est, fs);
+            let (fre, fim) = correct_cfo_parts(&re, &im, est, fs);
+            for (n, z) in fixed.iter().enumerate() {
+                assert!(z.re == fre[n] && z.im == fim[n], "sample {n} differs");
+            }
+        }
+        // Degenerate inputs agree too.
+        assert!(schmidl_cox_metric_parts(&[1.0; 10], &[0.0; 10], 8).is_empty());
+        assert!(find_frame_start_parts(&[1.0; 10], &[0.0; 10], 8).is_none());
+        assert!(estimate_cfo_parts(&[1.0; 10], &[0.0; 10], 0, 8, 1.0).is_none());
+        assert!(estimate_cfo_parts(&[1.0; 10], &[0.0; 10], 0, 0, 1.0).is_none());
     }
 
     #[test]

@@ -100,47 +100,54 @@ impl WlanPacketReceiver {
     /// * [`WlanRxError::Field`] if demodulation fails.
     pub fn receive(&self, signal: &Signal) -> Result<WlanPacket, WlanRxError> {
         let fs = signal.sample_rate();
-        let samples = &signal.samples()[..];
-        if samples.len() < 480 {
+        // The whole acquisition chain runs on the signal's split re/im
+        // storage — no interleaved Vec<Complex64> view of the waveform is
+        // ever materialized.
+        let (re, im) = signal.parts();
+        if re.len() < 480 {
             return Err(WlanRxError::NoPreamble);
         }
         let window = if self.search_window == 0 {
-            samples.len()
+            re.len()
         } else {
-            self.search_window.min(samples.len())
+            self.search_window.min(re.len())
         };
 
         // 1. Coarse CFO from STF periodicity (range ±fs/32 = ±625 kHz).
-        let stf_region = &samples[..window.min(samples.len())];
-        let coarse_at = sync::find_frame_start(stf_region, 16).ok_or(WlanRxError::NoPreamble)?;
+        let coarse_at = sync::find_frame_start_parts(&re[..window], &im[..window], 16)
+            .ok_or(WlanRxError::NoPreamble)?;
         let coarse_cfo =
-            sync::estimate_cfo(samples, coarse_at, 16, fs).ok_or(WlanRxError::NoPreamble)?;
-        let corrected = sync::correct_cfo(samples, coarse_cfo, fs);
+            sync::estimate_cfo_parts(re, im, coarse_at, 16, fs).ok_or(WlanRxError::NoPreamble)?;
+        let (cre, cim) = sync::correct_cfo_parts(re, im, coarse_cfo, fs);
 
         // 2. Frame timing: cross-correlate with the known long symbol.
         let ltf = ieee80211a::long_training_field();
         let reference = &ltf[32..96]; // one 64-sample long-symbol body
-        let ltf_start = best_double_correlation(&corrected[..window], reference, 64)
+        let ltf_start = best_double_correlation(&cre[..window], &cim[..window], reference, 64)
             .ok_or(WlanRxError::NoPreamble)?;
 
         // 3. Fine CFO from the two LTF bodies (range ±156 kHz).
-        let fine_cfo =
-            sync::estimate_cfo(&corrected, ltf_start, 64, fs).ok_or(WlanRxError::NoPreamble)?;
-        let corrected = sync::correct_cfo(&corrected, fine_cfo, fs);
+        let fine_cfo = sync::estimate_cfo_parts(&cre, &cim, ltf_start, 64, fs)
+            .ok_or(WlanRxError::NoPreamble)?;
+        let (cre, cim) = sync::correct_cfo_parts(&cre, &cim, fine_cfo, fs);
 
         // 4. Channel estimation from the averaged LTF bodies.
-        let channel = ltf_channel_estimate(&corrected, ltf_start);
+        let channel = ltf_channel_estimate(&cre, &cim, ltf_start);
 
         // 5. SIGNAL field: one BPSK symbol right after the LTF.
         let signal_start = ltf_start + 128;
-        if signal_start + 80 > corrected.len() {
+        if signal_start + 80 > cre.len() {
             return Err(WlanRxError::NoPreamble);
         }
         let mut sig_params = wlan_packet::signal_params();
         sig_params.preamble = Vec::new();
         let mut sig_rx = ReferenceReceiver::new(sig_params)?.with_pilot_tracking(true);
         sig_rx.set_channel_estimate(channel.clone());
-        let sig_wave = Signal::new(corrected[signal_start..signal_start + 80].to_vec(), fs);
+        let sig_wave = Signal::from_parts(
+            cre[signal_start..signal_start + 80].to_vec(),
+            cim[signal_start..signal_start + 80].to_vec(),
+            fs,
+        );
         let sig_bits = sig_rx.receive(&sig_wave, 18)?;
         let (rate, length) =
             wlan_packet::parse_signal_field(&sig_bits).ok_or(WlanRxError::InvalidSignalField)?;
@@ -150,7 +157,8 @@ impl WlanPacketReceiver {
         let mut data_rx =
             ReferenceReceiver::new(wlan_packet::data_params(rate))?.with_pilot_tracking(true);
         data_rx.set_channel_estimate(channel);
-        let data_wave = Signal::new(corrected[data_start..].to_vec(), fs);
+        let data_wave =
+            Signal::from_parts(cre[data_start..].to_vec(), cim[data_start..].to_vec(), fs);
         let n_bits = 16 + 8 * length;
         let bits = data_rx.receive(&data_wave, n_bits)?;
         let psdu = pack_msb_first(&bits[16..]);
@@ -166,29 +174,35 @@ impl WlanPacketReceiver {
 
 /// Finds the offset `d` maximizing the normalized correlation with
 /// `reference` at both `d` and `d + repeat` (the LTF transmits the long
-/// symbol twice).
+/// symbol twice). Reads the haystack from split re/im slices;
+/// bit-identical to the same search over interleaved samples.
 fn best_double_correlation(
-    haystack: &[Complex64],
+    hay_re: &[f64],
+    hay_im: &[f64],
     reference: &[Complex64],
     repeat: usize,
 ) -> Option<usize> {
     let n = reference.len();
-    if haystack.len() < n + repeat {
+    let len = hay_re.len().min(hay_im.len());
+    if len < n + repeat {
         return None;
     }
+    let at = |i: usize| Complex64::new(hay_re[i], hay_im[i]);
     let ref_energy: f64 = reference.iter().map(|z| z.norm_sqr()).sum();
     let corr_at = |d: usize| -> f64 {
-        let seg = &haystack[d..d + n];
-        let seg_energy: f64 = seg.iter().map(|z| z.norm_sqr()).sum();
+        let seg_energy: f64 = (d..d + n).map(|i| at(i).norm_sqr()).sum();
         if seg_energy < 1e-30 {
             return 0.0;
         }
-        let dot: Complex64 = seg.iter().zip(reference).map(|(a, b)| *a * b.conj()).sum();
+        let dot: Complex64 = (d..d + n)
+            .zip(reference)
+            .map(|(i, b)| at(i) * b.conj())
+            .sum();
         dot.norm_sqr() / (seg_energy * ref_energy)
     };
     let mut best = None;
     let mut best_metric = 0.2; // threshold: reject noise-only waveforms
-    for d in 0..haystack.len() - n - repeat {
+    for d in 0..len - n - repeat {
         let m = corr_at(d) + corr_at(d + repeat);
         if m > best_metric {
             best_metric = m;
@@ -198,14 +212,16 @@ fn best_double_correlation(
     best
 }
 
-/// Per-carrier LS channel estimate from the two averaged LTF bodies.
-fn ltf_channel_estimate(samples: &[Complex64], ltf_start: usize) -> ChannelEstimate {
+/// Per-carrier LS channel estimate from the two averaged LTF bodies,
+/// gathered from split re/im slices (only the 64-point FFT buffer is
+/// complex). Bit-identical to averaging interleaved samples.
+fn ltf_channel_estimate(re: &[f64], im: &[f64], ltf_start: usize) -> ChannelEstimate {
     let fft = Fft::new(64);
     let mut avg = vec![Complex64::ZERO; 64];
     for rep in 0..2 {
-        let body = &samples[ltf_start + rep * 64..ltf_start + (rep + 1) * 64];
-        for (a, &b) in avg.iter_mut().zip(body) {
-            *a += b.scale(0.5);
+        let body = ltf_start + rep * 64;
+        for (k, a) in avg.iter_mut().enumerate() {
+            *a += Complex64::new(re[body + k], im[body + k]).scale(0.5);
         }
     }
     fft.forward(&mut avg);
@@ -257,16 +273,13 @@ mod tests {
         let ppdu = build_ppdu(WlanRate::Mbps12, &psdu(60));
         let fs = ppdu.waveform.sample_rate();
         for cfo in [-80e3, 12e3, 150e3] {
-            let shifted: Vec<Complex64> = ppdu
-                .waveform
-                .samples()
-                .iter()
-                .enumerate()
-                .map(|(n, &z)| z * Complex64::cis(std::f64::consts::TAU * cfo * n as f64 / fs))
-                .collect();
+            // Applying a +cfo shift is correcting a −cfo one; stay on the
+            // split layout instead of materializing samples().
+            let (re, im) = ppdu.waveform.parts();
+            let (sre, sim) = crate::sync::correct_cfo_parts(re, im, -cfo, fs);
             let rx = WlanPacketReceiver::new();
             let packet = rx
-                .receive(&Signal::new(shifted, fs))
+                .receive(&Signal::from_parts(sre, sim, fs))
                 .unwrap_or_else(|e| panic!("cfo {cfo}: {e}"));
             assert_eq!(packet.psdu, psdu(60), "cfo {cfo}");
             assert!(
@@ -283,8 +296,9 @@ mod tests {
         let ppdu = build_ppdu(WlanRate::Mbps24, &psdu(100));
         let fs = ppdu.waveform.sample_rate();
         // Leading dead air + a two-ray channel + mild noise.
+        let (re, im) = ppdu.waveform.parts();
         let mut padded = vec![Complex64::ZERO; 133];
-        padded.extend_from_slice(&ppdu.waveform.samples());
+        padded.extend(re.iter().zip(im).map(|(&r, &i)| Complex64::new(r, i)));
         let mut g = Graph::new();
         let src = g.add(SamplePlayback::from_samples(padded, fs));
         let ch = g.add(MultipathChannel::two_ray(3, 0.3));
@@ -302,6 +316,77 @@ mod tests {
             "ltf at {}",
             packet.ltf_start
         );
+    }
+
+    #[test]
+    fn split_acquisition_bit_identical_to_interleaved_reference() {
+        // The receive() pipeline runs on the Signal's split storage; this
+        // re-derives every acquisition quantity with the *interleaved*
+        // implementations (the old path) and demands exact agreement.
+        let ppdu = build_ppdu(WlanRate::Mbps24, &psdu(64));
+        let fs = ppdu.waveform.sample_rate();
+        let cfo = 40e3;
+        let (re, im) = ppdu.waveform.parts();
+        let (sre, sim) = crate::sync::correct_cfo_parts(re, im, -cfo, fs);
+        let samples: Vec<Complex64> = sre
+            .iter()
+            .zip(&sim)
+            .map(|(&r, &i)| Complex64::new(r, i))
+            .collect();
+
+        // Interleaved reference pipeline, step for step.
+        let coarse_at = crate::sync::find_frame_start(&samples, 16).unwrap();
+        assert_eq!(
+            Some(coarse_at),
+            crate::sync::find_frame_start_parts(&sre, &sim, 16)
+        );
+        let coarse_cfo = crate::sync::estimate_cfo(&samples, coarse_at, 16, fs).unwrap();
+        assert_eq!(
+            Some(coarse_cfo),
+            crate::sync::estimate_cfo_parts(&sre, &sim, coarse_at, 16, fs)
+        );
+        let corrected = crate::sync::correct_cfo(&samples, coarse_cfo, fs);
+        let (cre, cim) = crate::sync::correct_cfo_parts(&sre, &sim, coarse_cfo, fs);
+        for (n, z) in corrected.iter().enumerate() {
+            assert!(z.re == cre[n] && z.im == cim[n], "sample {n} differs");
+        }
+        // Timing search over the split layout matches a straightforward
+        // interleaved double-correlation.
+        let ltf = ofdm_standards::ieee80211a::long_training_field();
+        let reference = &ltf[32..96];
+        let split_start = best_double_correlation(&cre, &cim, reference, 64).unwrap();
+        let interleaved_start = {
+            let n = reference.len();
+            let ref_energy: f64 = reference.iter().map(|z| z.norm_sqr()).sum();
+            let corr_at = |d: usize| -> f64 {
+                let seg = &corrected[d..d + n];
+                let seg_energy: f64 = seg.iter().map(|z| z.norm_sqr()).sum();
+                if seg_energy < 1e-30 {
+                    return 0.0;
+                }
+                let dot: Complex64 = seg.iter().zip(reference).map(|(a, b)| *a * b.conj()).sum();
+                dot.norm_sqr() / (seg_energy * ref_energy)
+            };
+            let mut best = None;
+            let mut best_metric = 0.2;
+            for d in 0..corrected.len() - n - 64 {
+                let m = corr_at(d) + corr_at(d + 64);
+                if m > best_metric {
+                    best_metric = m;
+                    best = Some(d);
+                }
+            }
+            best.unwrap()
+        };
+        assert_eq!(split_start, interleaved_start);
+
+        // And the end-to-end decode still recovers the payload with an
+        // accurate total CFO estimate.
+        let packet = WlanPacketReceiver::new()
+            .receive(&Signal::from_parts(sre, sim, fs))
+            .expect("decodes");
+        assert_eq!(packet.psdu, psdu(64));
+        assert!((packet.cfo_hz - cfo).abs() < 2e3);
     }
 
     #[test]

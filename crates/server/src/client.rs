@@ -1,0 +1,279 @@
+//! A blocking client for the simulation server: submits jobs, rides out
+//! backpressure, and tails streamed results back into a
+//! [`WaterfallReport`].
+
+use crate::server::assemble_report;
+use crate::wire::{self, ClientMsg, JobSpec, ServerMsg, WireError};
+use ofdm_bench::waterfall::{WaterfallReport, WaterfallSpec};
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The server's answer to a submit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// Queued; results will stream under this job id.
+    Accepted {
+        /// Server-assigned job id.
+        job: u64,
+        /// Grid points the job decomposes into.
+        points: usize,
+    },
+    /// Refused. A zero `retry_after_ms` marks the refusal permanent
+    /// (invalid grid, corrupt checkpoint); nonzero is backpressure.
+    Rejected {
+        /// Why.
+        reason: String,
+        /// Backpressure hint in milliseconds (0 = don't retry).
+        retry_after_ms: u64,
+    },
+}
+
+/// Everything a finished (or abandoned) job streamed back.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job id.
+    pub job: u64,
+    /// Terminal status: `"complete"`, `"cancelled"`, `"deadline"`, or
+    /// `"failed"`.
+    pub status: String,
+    /// Points the server actually computed (excludes checkpoint
+    /// restores).
+    pub computed: usize,
+    /// Failure detail when status is `"failed"`, else empty.
+    pub detail: String,
+    /// Per-point `(errors, bits)` tallies, in grid-index order. The
+    /// protocol streams each job's results as a strictly contiguous
+    /// prefix, so `results[i]` is grid point `i`; the vector covers the
+    /// whole grid exactly when the status is `"complete"`.
+    pub results: Vec<(u64, u64)>,
+}
+
+impl JobOutcome {
+    /// Re-aggregates the streamed tallies into the report an in-process
+    /// run would produce.
+    ///
+    /// # Errors
+    ///
+    /// A message if the job did not complete (partial grids have no
+    /// honest report).
+    pub fn report(&self, spec: &WaterfallSpec) -> Result<WaterfallReport, String> {
+        if self.status != "complete" {
+            return Err(format!("job {} ended {}", self.job, self.status));
+        }
+        assemble_report(spec, &self.results)
+    }
+}
+
+/// A connected session.
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+    /// Frames read while looking for something else, served first by
+    /// [`Client::next_msg`].
+    pending: VecDeque<ServerMsg>,
+}
+
+impl Client {
+    /// Connects and performs the hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol error if the server's first frame is
+    /// not `Welcome`.
+    pub fn connect(addr: &str, name: &str) -> Result<Client, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        wire::send(
+            &mut stream,
+            &ClientMsg::Hello {
+                client: name.to_owned(),
+            }
+            .to_value(),
+        )?;
+        match ServerMsg::from_value(&wire::recv(&mut stream)?)? {
+            ServerMsg::Welcome { session, .. } => Ok(Client {
+                stream,
+                session,
+                pending: VecDeque::new(),
+            }),
+            other => Err(WireError::Malformed(format!(
+                "expected welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The next server frame — buffered frames first, then the socket.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from [`wire::recv`].
+    pub fn next_msg(&mut self) -> Result<ServerMsg, WireError> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Ok(msg);
+        }
+        ServerMsg::from_value(&wire::recv(&mut self.stream)?)
+    }
+
+    /// Submits a job and waits for the server's verdict. Result frames
+    /// of other in-flight jobs seen along the way are buffered, not
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::Malformed`] if the server
+    /// complains about the frame.
+    pub fn submit(&mut self, job: &JobSpec) -> Result<SubmitOutcome, WireError> {
+        wire::send(
+            &mut self.stream,
+            &ClientMsg::Submit { job: job.clone() }.to_value(),
+        )?;
+        loop {
+            // Read from the socket directly: the verdict is always a
+            // fresh frame, never an already-buffered one.
+            match ServerMsg::from_value(&wire::recv(&mut self.stream)?)? {
+                ServerMsg::Accepted { job, points } => {
+                    return Ok(SubmitOutcome::Accepted { job, points })
+                }
+                ServerMsg::Rejected {
+                    reason,
+                    retry_after_ms,
+                } => {
+                    return Ok(SubmitOutcome::Rejected {
+                        reason,
+                        retry_after_ms,
+                    })
+                }
+                ServerMsg::Error { detail } => return Err(WireError::Malformed(detail)),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Submits, sleeping through up to `max_attempts` backpressure
+    /// rejections (honoring each `retry_after_ms` hint).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; [`WireError::Malformed`] carrying the reason
+    /// for permanent rejections or exhausted retries.
+    pub fn submit_with_retry(
+        &mut self,
+        job: &JobSpec,
+        max_attempts: usize,
+    ) -> Result<(u64, usize), WireError> {
+        let mut last_reason = String::new();
+        for _ in 0..max_attempts.max(1) {
+            match self.submit(job)? {
+                SubmitOutcome::Accepted { job, points } => return Ok((job, points)),
+                SubmitOutcome::Rejected {
+                    reason,
+                    retry_after_ms,
+                } => {
+                    if retry_after_ms == 0 {
+                        return Err(WireError::Malformed(format!("rejected: {reason}")));
+                    }
+                    last_reason = reason;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+            }
+        }
+        Err(WireError::Malformed(format!(
+            "rejected after retries: {last_reason}"
+        )))
+    }
+
+    /// Tails one job's stream until its `Done` frame. Frames belonging
+    /// to other jobs are re-buffered in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::Malformed`] if the server
+    /// violates the in-order streaming contract.
+    pub fn tail_job(&mut self, job_id: u64) -> Result<JobOutcome, WireError> {
+        let mut results: Vec<(u64, u64)> = Vec::new();
+        let mut stash: VecDeque<ServerMsg> = VecDeque::new();
+        let outcome = loop {
+            let msg = self.next_msg()?;
+            match msg {
+                ServerMsg::Result {
+                    job,
+                    index,
+                    errors,
+                    bits,
+                } if job == job_id => {
+                    if index != results.len() {
+                        return Err(WireError::Malformed(format!(
+                            "job {job_id}: result {index} arrived, expected {}",
+                            results.len()
+                        )));
+                    }
+                    results.push((errors, bits));
+                }
+                ServerMsg::Telemetry { job, .. } if job == job_id => {}
+                ServerMsg::Done {
+                    job,
+                    status,
+                    computed,
+                    detail,
+                } if job == job_id => {
+                    break JobOutcome {
+                        job: job_id,
+                        status,
+                        computed,
+                        detail,
+                        results,
+                    };
+                }
+                other => stash.push_back(other),
+            }
+        };
+        // Everything that wasn't ours goes back, order preserved.
+        while let Some(msg) = stash.pop_back() {
+            self.pending.push_front(msg);
+        }
+        Ok(outcome)
+    }
+
+    /// Submits (riding out backpressure) and tails the job to its end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::submit_with_retry`] and
+    /// [`Client::tail_job`] failures.
+    pub fn run_job(&mut self, job: &JobSpec) -> Result<JobOutcome, WireError> {
+        let (id, _points) = self.submit_with_retry(job, 100)?;
+        self.tail_job(id)
+    }
+
+    /// Asks the server to cancel one of this session's jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from sending the frame.
+    pub fn cancel(&mut self, job: u64) -> Result<(), WireError> {
+        wire::send(&mut self.stream, &ClientMsg::Cancel { job }.to_value())
+    }
+
+    /// Ends the session cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from sending the frame.
+    pub fn bye(mut self) -> Result<(), WireError> {
+        wire::send(&mut self.stream, &ClientMsg::Bye.to_value())
+    }
+
+    /// Asks the server to shut down entirely.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from sending the frame.
+    pub fn shutdown_server(mut self) -> Result<(), WireError> {
+        wire::send(&mut self.stream, &ClientMsg::Shutdown.to_value())
+    }
+}

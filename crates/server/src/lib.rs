@@ -1,0 +1,31 @@
+//! rfsim-as-a-service: a long-running simulation server and its client.
+//!
+//! The library splits into three layers:
+//!
+//! - [`wire`] — the transport: length-prefixed JSON frames over a plain
+//!   [`std::net::TcpStream`] (no async runtime), and the typed
+//!   [`wire::ClientMsg`]/[`wire::ServerMsg`] message vocabulary.
+//! - [`server`] — a pool of workers executing waterfall grid points with
+//!   fair round-robin scheduling across client sessions, bounded
+//!   per-session queues with backpressure, per-session cancellation
+//!   scopes, deadlines, circuit breakers, and optional on-disk sweep
+//!   checkpoints (the [`rfsim::supervise`] primitives, wired end to end).
+//! - [`client`] — a blocking client that submits jobs, retries through
+//!   backpressure, and tails the streamed results back into the same
+//!   [`ofdm_bench::waterfall::WaterfallReport`] an in-process run yields,
+//!   so server-side and local sweeps can be compared byte for byte.
+//!
+//! Grid points are pure in `(spec, index)` ([`waterfall_point`]), which is
+//! what makes the service honest: any point may be computed by any worker
+//! in any order, restored from a checkpoint, or re-run after a crash, and
+//! the assembled report cannot tell the difference.
+//!
+//! [`waterfall_point`]: ofdm_bench::waterfall::waterfall_point
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, JobOutcome, SubmitOutcome};
+pub use server::{assemble_report, Server, ServerConfig};
+pub use wire::{ClientMsg, JobSpec, ServerMsg, WireError, MAX_FRAME};

@@ -1,0 +1,1027 @@
+//! The simulation server: session management, fair scheduling, and the
+//! worker pool.
+//!
+//! # Architecture
+//!
+//! One thread per connected client reads and dispatches its frames; a
+//! fixed pool of worker threads executes waterfall grid points. All
+//! coordination happens through one mutex-guarded scheduler state plus a
+//! condvar — no async runtime.
+//!
+//! - **Fairness** — workers pick work one *grid point* at a time,
+//!   round-robin across sessions (`SchedState::pick`), so a session
+//!   with a thousand-point job cannot starve a session with a ten-point
+//!   job: their points interleave.
+//! - **Backpressure** — each session may hold at most
+//!   [`ServerConfig::queue_capacity`] unfinished jobs; further submits
+//!   are refused with [`ServerMsg::Rejected`] and a retry hint instead
+//!   of queueing unboundedly.
+//! - **Cancellation** — the server owns a root [`CancelToken`]; every
+//!   session gets a child scope and every job a grandchild, so a lost
+//!   connection cancels exactly that session's jobs and a server
+//!   shutdown cancels everything.
+//! - **Supervision** — jobs may carry a wall-clock [`Deadline`]; a
+//!   session whose jobs keep failing trips a circuit breaker
+//!   ([`BreakerState`]) and has new submits refused until probation.
+//! - **Checkpoints** — with a checkpoint directory configured, each
+//!   job's completed points persist through [`SweepCheckpoint`]; a
+//!   resubmitted identical grid restores them instead of recomputing,
+//!   and a corrupt checkpoint file refuses the submit loudly.
+//!
+//! Per job, results stream strictly in grid-index order: workers finish
+//! points out of order into a reorder buffer and the contiguous prefix
+//! is flushed as [`ServerMsg::Result`] frames.
+
+use crate::wire::{self, JobSpec, ServerMsg, WireError};
+use ofdm_bench::waterfall::{
+    checkpoint_label, waterfall_point, WaterfallCurve, WaterfallReport, WaterfallSpec,
+};
+use ofdm_core::ber::BerCounter;
+use rfsim::{
+    BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload, Deadline,
+    SweepCheckpoint,
+};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads computing grid points (`0` = one per CPU).
+    pub workers: usize,
+    /// Unfinished jobs a session may hold before submits are rejected.
+    pub queue_capacity: usize,
+    /// The retry hint attached to backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Where to persist per-job sweep checkpoints (`None` = in-memory
+    /// only).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Circuit-breaker policy for sessions whose jobs keep failing.
+    pub breaker: BreakerPolicy,
+    /// Emit a [`ServerMsg::Telemetry`] frame every this many completed
+    /// points of a job.
+    pub telemetry_every: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 4,
+            retry_after_ms: 250,
+            checkpoint_dir: None,
+            breaker: BreakerPolicy::new(),
+            telemetry_every: 8,
+        }
+    }
+}
+
+/// Re-aggregates a job's streamed per-point tallies into the same
+/// [`WaterfallReport`] an in-process [`run_waterfall`] call yields —
+/// feeding it to [`waterfall_json`] therefore reproduces the local
+/// document byte for byte.
+///
+/// `results[i]` is grid point `i`'s `(errors, bits)` tally.
+///
+/// # Errors
+///
+/// A message if `results` does not cover the spec's full grid.
+///
+/// [`run_waterfall`]: ofdm_bench::waterfall::run_waterfall
+/// [`waterfall_json`]: ofdm_bench::waterfall::waterfall_json
+pub fn assemble_report(
+    spec: &WaterfallSpec,
+    results: &[(u64, u64)],
+) -> Result<WaterfallReport, String> {
+    if results.len() != spec.point_count() {
+        return Err(format!(
+            "got {} point results for a {}-point grid",
+            results.len(),
+            spec.point_count()
+        ));
+    }
+    let mut curves = Vec::with_capacity(spec.standards.len());
+    for (s, &standard) in spec.standards.iter().enumerate() {
+        let mut points = vec![BerCounter::new(); spec.snr_db.len()];
+        for (g, point) in points.iter_mut().enumerate() {
+            for r in 0..spec.realizations {
+                let index = (s * spec.snr_db.len() + g) * spec.realizations + r;
+                let (errors, bits) = results[index];
+                point.add(errors, bits);
+            }
+        }
+        curves.push(WaterfallCurve { standard, points });
+    }
+    Ok(WaterfallReport { curves, resumed: 0 })
+}
+
+/// A session's outbound stream, shared between its reader thread and the
+/// workers delivering its results.
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+fn write_msg(writer: &SharedWriter, msg: &ServerMsg) {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    // A dead client's writes fail; its reader thread notices the
+    // disconnect and tears the session down, so failures here are moot.
+    let _ = wire::send(&mut *w, &msg.to_value());
+}
+
+/// Mutable per-job progress, behind the job's own mutex.
+struct JobProgress {
+    /// Out-of-order results awaiting their turn.
+    buffer: BTreeMap<usize, (u64, u64)>,
+    /// Next grid index to stream — everything below is already emitted.
+    emit_cursor: usize,
+    /// Points actually computed this run (excludes checkpoint restores).
+    computed: usize,
+    /// Terminal flag; set exactly once.
+    finished: bool,
+    /// On-disk progress, when the server checkpoints.
+    checkpoint: Option<SweepCheckpoint>,
+}
+
+/// One submitted job.
+struct JobState {
+    id: u64,
+    session: u64,
+    spec: WaterfallSpec,
+    total: usize,
+    restored: HashSet<usize>,
+    /// Next grid index to hand a worker (skipping restored points).
+    next_dispatch: AtomicUsize,
+    /// Mirror of `JobProgress::finished` readable without the job mutex,
+    /// so the scheduler can skip dead jobs under the state lock alone.
+    terminal: AtomicBool,
+    cancel: CancelToken,
+    deadline: Option<Deadline>,
+    progress: Mutex<JobProgress>,
+}
+
+impl JobState {
+    /// Claims the next undispatched, non-restored grid index.
+    fn take_next_index(&self) -> Option<usize> {
+        loop {
+            let n = self.next_dispatch.fetch_add(1, Ordering::SeqCst);
+            if n >= self.total {
+                // Park the cursor so repeated polls don't overflow.
+                self.next_dispatch.store(self.total, Ordering::SeqCst);
+                return None;
+            }
+            if !self.restored.contains(&n) {
+                return Some(n);
+            }
+        }
+    }
+}
+
+/// One connected session.
+struct SessionSlot {
+    id: u64,
+    queue: VecDeque<Arc<JobState>>,
+    writer: SharedWriter,
+    cancel: CancelToken,
+    breaker: BreakerState,
+}
+
+/// What a worker got out of the scheduler.
+enum Picked {
+    /// Compute this grid point.
+    Compute(Arc<JobState>, usize),
+    /// Drive this job to the given terminal status.
+    Finish(Arc<JobState>, &'static str),
+}
+
+/// The scheduler state, guarded by [`Shared::state`].
+struct SchedState {
+    sessions: Vec<SessionSlot>,
+    rr_cursor: usize,
+    next_session: u64,
+    next_job: u64,
+}
+
+impl SchedState {
+    /// Round-robin point pick: starting at the cursor, the first session
+    /// with dispatchable work wins one point and the cursor moves past
+    /// it, so heavy sessions cannot starve light ones.
+    fn pick(&mut self) -> Option<Picked> {
+        let n = self.sessions.len();
+        for k in 0..n {
+            let si = (self.rr_cursor + k) % n;
+            for job in &self.sessions[si].queue {
+                if job.terminal.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if job.cancel.is_cancelled() {
+                    self.rr_cursor = (si + 1) % n;
+                    return Some(Picked::Finish(Arc::clone(job), "cancelled"));
+                }
+                if job.deadline.as_ref().is_some_and(Deadline::expired) {
+                    self.rr_cursor = (si + 1) % n;
+                    return Some(Picked::Finish(Arc::clone(job), "deadline"));
+                }
+                if let Some(index) = job.take_next_index() {
+                    self.rr_cursor = (si + 1) % n;
+                    return Some(Picked::Compute(Arc::clone(job), index));
+                }
+            }
+        }
+        None
+    }
+
+    fn slot_mut(&mut self, session: u64) -> Option<&mut SessionSlot> {
+        self.sessions.iter_mut().find(|s| s.id == session)
+    }
+}
+
+/// State shared by the accept loop, session readers, and workers.
+struct Shared {
+    config: ServerConfig,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    /// Root cancellation scope; sessions and jobs are descendants.
+    shutdown: CancelToken,
+    /// Streams of every live connection, for unblocking readers at
+    /// shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn new(config: ServerConfig) -> Self {
+        Shared {
+            config,
+            state: Mutex::new(SchedState {
+                sessions: Vec::new(),
+                rr_cursor: 0,
+                next_session: 1,
+                next_job: 1,
+            }),
+            work_ready: Condvar::new(),
+            shutdown: CancelToken::new(),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a session around an outbound writer; returns its id.
+    fn register_session(&self, writer: SharedWriter) -> u64 {
+        let mut state = self.lock_state();
+        let id = state.next_session;
+        state.next_session += 1;
+        state.sessions.push(SessionSlot {
+            id,
+            queue: VecDeque::new(),
+            writer,
+            cancel: self.shutdown.child(),
+            breaker: BreakerState::default(),
+        });
+        id
+    }
+
+    /// The deterministic checkpoint path for a grid, when checkpointing
+    /// is configured — derived from the label so an identical resubmit
+    /// (even after a server restart) finds its previous progress.
+    fn checkpoint_path(&self, label: &str) -> Option<PathBuf> {
+        let dir = self.config.checkpoint_dir.as_ref()?;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Some(dir.join(format!("wf-{hash:016x}.json")))
+    }
+
+    /// Validates and queues a submit, streaming `Accepted` (plus any
+    /// checkpoint-restored results) or `Rejected` on the session.
+    fn submit(&self, session: u64, job: &JobSpec) {
+        let total = job.spec.point_count();
+        let label = checkpoint_label(&job.spec);
+
+        // Load prior progress before taking the state lock — file IO
+        // must not stall the scheduler.
+        let mut checkpoint = None;
+        let mut restored_entries: Vec<(usize, (u64, u64))> = Vec::new();
+        let ckpt_path = self.checkpoint_path(&label);
+        if let (Some(path), true) = (ckpt_path, total > 0) {
+            match SweepCheckpoint::load(path, &label, total) {
+                Ok(ckpt) => {
+                    for entry in ckpt.entries() {
+                        if let Some(r) = <(u64, u64)>::from_checkpoint_value(&entry.result) {
+                            restored_entries.push((entry.index, r));
+                        }
+                    }
+                    checkpoint = Some(ckpt);
+                }
+                Err(e) => {
+                    // A damaged checkpoint refuses the submit loudly
+                    // instead of silently recomputing (or worse, merging
+                    // garbage). `retry_after_ms: 0` marks it permanent.
+                    self.reply(
+                        session,
+                        &ServerMsg::Rejected {
+                            reason: format!("checkpoint: {e}"),
+                            retry_after_ms: 0,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+
+        let mut state = self.lock_state();
+        let id = state.next_job;
+        let (writer, session_cancel) = {
+            let Some(slot) = state.slot_mut(session) else {
+                return;
+            };
+            let rejection = if total == 0 {
+                Some(ServerMsg::Rejected {
+                    reason: "invalid job: empty waterfall grid".to_owned(),
+                    retry_after_ms: 0,
+                })
+            } else if slot.breaker.is_open() {
+                Some(ServerMsg::Rejected {
+                    reason: "circuit open: this session's jobs keep failing".to_owned(),
+                    retry_after_ms: self.config.retry_after_ms,
+                })
+            } else if slot.queue.len() >= self.config.queue_capacity {
+                Some(ServerMsg::Rejected {
+                    reason: format!(
+                        "queue full: {} jobs already pending",
+                        self.config.queue_capacity
+                    ),
+                    retry_after_ms: self.config.retry_after_ms,
+                })
+            } else {
+                None
+            };
+            if let Some(msg) = rejection {
+                let writer = Arc::clone(&slot.writer);
+                drop(state);
+                write_msg(&writer, &msg);
+                return;
+            }
+            (Arc::clone(&slot.writer), slot.cancel.clone())
+        };
+
+        state.next_job += 1;
+        let restored: HashSet<usize> = restored_entries.iter().map(|&(i, _)| i).collect();
+        let job_state = Arc::new(JobState {
+            id,
+            session,
+            spec: job.spec.clone(),
+            total,
+            restored,
+            next_dispatch: AtomicUsize::new(0),
+            terminal: AtomicBool::new(false),
+            cancel: session_cancel.child(),
+            deadline: job
+                .deadline_ms
+                .map(|ms| Deadline::starting_now(Duration::from_millis(ms))),
+            progress: Mutex::new(JobProgress {
+                buffer: restored_entries.into_iter().collect(),
+                emit_cursor: 0,
+                computed: 0,
+                finished: false,
+                checkpoint,
+            }),
+        });
+        if let Some(slot) = state.slot_mut(session) {
+            slot.queue.push_back(Arc::clone(&job_state));
+        }
+        drop(state);
+
+        write_msg(
+            &writer,
+            &ServerMsg::Accepted {
+                job: id,
+                points: total,
+            },
+        );
+        // Stream whatever prefix the checkpoint already covers; a fully
+        // restored job completes without touching the worker pool.
+        self.flush_progress(&job_state, &writer);
+        self.work_ready.notify_all();
+    }
+
+    /// Sends a message on a session's stream, if it still exists.
+    fn reply(&self, session: u64, msg: &ServerMsg) {
+        let writer = {
+            let mut state = self.lock_state();
+            state.slot_mut(session).map(|s| Arc::clone(&s.writer))
+        };
+        if let Some(writer) = writer {
+            write_msg(&writer, msg);
+        }
+    }
+
+    /// Delivers one computed point and streams the newly contiguous
+    /// prefix; drives the job terminal when it completes or fails.
+    fn deliver(&self, job: &Arc<JobState>, index: usize, result: Result<(u64, u64), String>) {
+        let tally = match result {
+            Ok(t) => t,
+            Err(detail) => {
+                self.finish_job(job, "failed", &detail);
+                return;
+            }
+        };
+        let writer = {
+            let mut state = self.lock_state();
+            match state.slot_mut(job.session) {
+                Some(slot) => Arc::clone(&slot.writer),
+                None => return, // session already torn down
+            }
+        };
+        {
+            let mut p = job.progress.lock().unwrap_or_else(PoisonError::into_inner);
+            if p.finished {
+                return; // late result for a cancelled/expired job
+            }
+            p.buffer.insert(index, tally);
+            p.computed += 1;
+            if let Some(ckpt) = &mut p.checkpoint {
+                ckpt.record(CheckpointEntry {
+                    index,
+                    attempts: 1,
+                    nanos: 0,
+                    result: tally.to_checkpoint_value(),
+                });
+                if ckpt.len().is_multiple_of(8) {
+                    let _ = ckpt.persist();
+                }
+            }
+        }
+        self.flush_progress(job, &writer);
+    }
+
+    /// Streams the contiguous prefix of a job's reorder buffer, emits
+    /// telemetry, and completes the job when the last point lands.
+    fn flush_progress(&self, job: &Arc<JobState>, writer: &SharedWriter) {
+        let mut complete = false;
+        {
+            let mut p = job.progress.lock().unwrap_or_else(PoisonError::into_inner);
+            if p.finished {
+                return;
+            }
+            let mut emitted = false;
+            loop {
+                let cursor = p.emit_cursor;
+                let Some(tally) = p.buffer.remove(&cursor) else {
+                    break;
+                };
+                write_msg(
+                    writer,
+                    &ServerMsg::Result {
+                        job: job.id,
+                        index: p.emit_cursor,
+                        errors: tally.0,
+                        bits: tally.1,
+                    },
+                );
+                p.emit_cursor += 1;
+                emitted = true;
+            }
+            let every = self.config.telemetry_every.max(1);
+            if emitted && p.emit_cursor < job.total && p.emit_cursor.is_multiple_of(every) {
+                write_msg(
+                    writer,
+                    &ServerMsg::Telemetry {
+                        job: job.id,
+                        done: p.emit_cursor,
+                        total: job.total,
+                    },
+                );
+            }
+            if p.emit_cursor == job.total {
+                p.finished = true;
+                job.terminal.store(true, Ordering::SeqCst);
+                if let Some(ckpt) = &p.checkpoint {
+                    let _ = ckpt.discard();
+                }
+                write_msg(
+                    writer,
+                    &ServerMsg::Done {
+                        job: job.id,
+                        status: "complete".to_owned(),
+                        computed: p.computed,
+                        detail: String::new(),
+                    },
+                );
+                complete = true;
+            }
+        }
+        if complete {
+            self.retire(job, true);
+        }
+    }
+
+    /// Drives a job to a non-complete terminal status exactly once.
+    fn finish_job(&self, job: &Arc<JobState>, status: &str, detail: &str) {
+        job.cancel.cancel();
+        {
+            let mut p = job.progress.lock().unwrap_or_else(PoisonError::into_inner);
+            if p.finished {
+                return;
+            }
+            p.finished = true;
+            job.terminal.store(true, Ordering::SeqCst);
+            // Keep the checkpoint: a cancelled or expired job's progress
+            // is exactly what a resubmit wants to restore.
+            if let Some(ckpt) = &p.checkpoint {
+                let _ = ckpt.persist();
+            }
+            let writer = {
+                let mut state = self.lock_state();
+                state.slot_mut(job.session).map(|s| Arc::clone(&s.writer))
+            };
+            if let Some(writer) = writer {
+                write_msg(
+                    &writer,
+                    &ServerMsg::Done {
+                        job: job.id,
+                        status: status.to_owned(),
+                        computed: p.computed,
+                        detail: detail.to_owned(),
+                    },
+                );
+            }
+        }
+        self.retire(job, false);
+    }
+
+    /// Removes a terminal job from its session queue, feeds the breaker,
+    /// and frees a capacity slot.
+    fn retire(&self, job: &Arc<JobState>, succeeded: bool) {
+        let mut state = self.lock_state();
+        if let Some(slot) = state.slot_mut(job.session) {
+            slot.queue.retain(|j| j.id != job.id);
+            if succeeded {
+                slot.breaker.record_success();
+            } else {
+                slot.breaker.record_failure(&self.config.breaker);
+            }
+        }
+        drop(state);
+        self.work_ready.notify_all();
+    }
+
+    /// Cancels one of a session's jobs by id.
+    fn cancel_job(&self, session: u64, job_id: u64) {
+        let job = {
+            let mut state = self.lock_state();
+            state
+                .slot_mut(session)
+                .and_then(|slot| slot.queue.iter().find(|j| j.id == job_id).map(Arc::clone))
+        };
+        match job {
+            Some(job) => self.finish_job(&job, "cancelled", ""),
+            None => self.reply(
+                session,
+                &ServerMsg::Error {
+                    detail: format!("no such job {job_id}"),
+                },
+            ),
+        }
+    }
+
+    /// Tears a session down: cancels its scope, finishes its jobs, and
+    /// unregisters it.
+    fn cleanup_session(&self, session: u64) {
+        let (jobs, cancel) = {
+            let mut state = self.lock_state();
+            let Some(pos) = state.sessions.iter().position(|s| s.id == session) else {
+                return;
+            };
+            let slot = state.sessions.remove(pos);
+            if state.rr_cursor >= state.sessions.len() {
+                state.rr_cursor = 0;
+            }
+            (slot.queue, slot.cancel)
+        };
+        cancel.cancel();
+        for job in &jobs {
+            self.finish_job(job, "cancelled", "session closed");
+        }
+        self.work_ready.notify_all();
+    }
+
+    /// The worker loop: pick, compute, deliver, until shutdown.
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let picked = {
+                let mut state = self.lock_state();
+                loop {
+                    if self.shutdown.is_cancelled() {
+                        return;
+                    }
+                    if let Some(p) = state.pick() {
+                        break p;
+                    }
+                    let (guard, _timeout) = self
+                        .work_ready
+                        .wait_timeout(state, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = guard;
+                }
+            };
+            match picked {
+                Picked::Finish(job, status) => self.finish_job(&job, status, ""),
+                Picked::Compute(job, index) => {
+                    let result = waterfall_point(&job.spec, index);
+                    self.deliver(&job, index, result);
+                }
+            }
+        }
+    }
+}
+
+/// A bound simulation server. [`Server::bind`] starts the worker pool;
+/// [`Server::run`] serves connections until a client sends `Shutdown`
+/// (or [`Server::shutdown_token`] is cancelled), then joins every thread
+/// — no orphan threads or sockets survive a clean return.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding, or filesystem errors creating the
+    /// checkpoint directory.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.checkpoint_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, usize::from)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared::new(config));
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the OS.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The root cancellation scope. Cancelling it (from any thread)
+    /// makes [`Server::run`] wind down as if a client sent `Shutdown`.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shared.shutdown.clone()
+    }
+
+    /// Accepts and serves connections until shutdown, then joins every
+    /// session and worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from the accept loop.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    if let Ok(clone) = stream.try_clone() {
+                        self.shared
+                            .conns
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(clone);
+                    }
+                    let shared = Arc::clone(&self.shared);
+                    readers.push(std::thread::spawn(move || session_main(&shared, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Unblock every session reader, then join the house down.
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        self.shared.work_ready.notify_all();
+        for handle in readers {
+            let _ = handle.join();
+        }
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// One session's reader: handshake, then frame dispatch until the client
+/// leaves or the connection dies.
+fn session_main(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut read_half = stream;
+    let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+
+    // The first frame must be Hello.
+    let session = match recv_client(&mut read_half) {
+        Ok(wire::ClientMsg::Hello { client: _ }) => {
+            let id = shared.register_session(Arc::clone(&writer));
+            write_msg(
+                &writer,
+                &ServerMsg::Welcome {
+                    session: id,
+                    queue_capacity: shared.config.queue_capacity,
+                },
+            );
+            id
+        }
+        Ok(_) => {
+            write_msg(
+                &writer,
+                &ServerMsg::Error {
+                    detail: "expected hello".to_owned(),
+                },
+            );
+            return;
+        }
+        Err(_) => return,
+    };
+
+    loop {
+        match recv_client(&mut read_half) {
+            Ok(wire::ClientMsg::Submit { job }) => shared.submit(session, &job),
+            Ok(wire::ClientMsg::Cancel { job }) => shared.cancel_job(session, job),
+            Ok(wire::ClientMsg::Bye) => break,
+            Ok(wire::ClientMsg::Shutdown) => {
+                shared.shutdown.cancel();
+                break;
+            }
+            Ok(wire::ClientMsg::Hello { .. }) => {
+                write_msg(
+                    &writer,
+                    &ServerMsg::Error {
+                        detail: "session already open".to_owned(),
+                    },
+                );
+            }
+            Err(WireError::Malformed(detail)) => {
+                write_msg(&writer, &ServerMsg::Error { detail });
+            }
+            Err(_) => break, // closed, truncated, oversized, or IO: drop
+        }
+    }
+    shared.cleanup_session(session);
+}
+
+fn recv_client(stream: &mut TcpStream) -> Result<wire::ClientMsg, WireError> {
+    wire::ClientMsg::from_value(&wire::recv(stream)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdm_standards::StandardId;
+
+    /// An in-memory writer standing in for a client socket.
+    #[derive(Clone, Default)]
+    struct MemWriter(Arc<Mutex<Vec<u8>>>);
+    impl Write for MemWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn tiny_spec(points: usize) -> WaterfallSpec {
+        WaterfallSpec {
+            standards: vec![StandardId::Ieee80211a],
+            snr_db: vec![10.0],
+            realizations: points,
+            payload_bits: 64,
+            base_seed: 7,
+            profile: ofdm_bench::waterfall::ChannelProfile::Awgn,
+            threads: 1,
+        }
+    }
+
+    fn shared_with_sessions(n: usize) -> (Arc<Shared>, Vec<u64>) {
+        let shared = Arc::new(Shared::new(ServerConfig {
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        }));
+        let ids = (0..n)
+            .map(|_| shared.register_session(Arc::new(Mutex::new(Box::new(MemWriter::default())))))
+            .collect();
+        (shared, ids)
+    }
+
+    #[test]
+    fn round_robin_pick_interleaves_sessions_point_by_point() {
+        // Three sessions with jobs of very different sizes: the pick
+        // order must cycle A, B, C, A, B, C... regardless of how much
+        // work each session holds, and once the small jobs drain the big
+        // one gets every remaining slot.
+        let (shared, ids) = shared_with_sessions(3);
+        let sizes = [6usize, 2, 3];
+        for (sid, &points) in ids.iter().zip(&sizes) {
+            shared.submit(
+                *sid,
+                &JobSpec {
+                    spec: tiny_spec(points),
+                    deadline_ms: None,
+                },
+            );
+        }
+        let mut order = Vec::new();
+        loop {
+            let picked = { shared.lock_state().pick() };
+            match picked {
+                Some(Picked::Compute(job, _index)) => order.push(job.session),
+                Some(Picked::Finish(..)) => panic!("nothing should finish during dispatch"),
+                None => break,
+            }
+        }
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        assert_eq!(
+            order,
+            // 3-way alternation while everyone has work (2 full rounds),
+            // then A/C alternate, then A drains its surplus alone.
+            vec![a, b, c, a, b, c, a, c, a, a, a],
+            "fair round-robin at point granularity"
+        );
+    }
+
+    #[test]
+    fn queue_capacity_rejects_with_retry_hint() {
+        let shared = Arc::new(Shared::new(ServerConfig {
+            queue_capacity: 1,
+            retry_after_ms: 123,
+            ..ServerConfig::default()
+        }));
+        let sink = MemWriter::default();
+        let sid = shared.register_session(Arc::new(Mutex::new(Box::new(sink.clone()))));
+        let job = JobSpec {
+            spec: tiny_spec(4),
+            deadline_ms: None,
+        };
+        shared.submit(sid, &job); // fills the queue
+        shared.submit(sid, &job); // must bounce
+        let bytes = sink
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut cursor = bytes.as_slice();
+        let first = ServerMsg::from_value(&wire::recv(&mut cursor).expect("frame")).expect("msg");
+        assert!(
+            matches!(first, ServerMsg::Accepted { points: 4, .. }),
+            "{first:?}"
+        );
+        let second = ServerMsg::from_value(&wire::recv(&mut cursor).expect("frame")).expect("msg");
+        match second {
+            ServerMsg::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                assert!(reason.contains("queue full"), "{reason}");
+                assert_eq!(retry_after_ms, 123, "backpressure carries the hint");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_rejected_permanently() {
+        let shared = Arc::new(Shared::new(ServerConfig::default()));
+        let sink = MemWriter::default();
+        let sid = shared.register_session(Arc::new(Mutex::new(Box::new(sink.clone()))));
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(0),
+                deadline_ms: None,
+            },
+        );
+        let bytes = sink
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let msg =
+            ServerMsg::from_value(&wire::recv(&mut bytes.as_slice()).expect("frame")).expect("msg");
+        match msg {
+            ServerMsg::Rejected { retry_after_ms, .. } => {
+                assert_eq!(retry_after_ms, 0, "permanent rejections hint no retry")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelling_a_job_emits_done_and_frees_the_slot() {
+        let shared = Arc::new(Shared::new(ServerConfig {
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        }));
+        let sink = MemWriter::default();
+        let sid = shared.register_session(Arc::new(Mutex::new(Box::new(sink.clone()))));
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(4),
+                deadline_ms: None,
+            },
+        );
+        shared.cancel_job(sid, 1);
+        // The slot is free again: a new submit is accepted.
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(2),
+                deadline_ms: None,
+            },
+        );
+        let bytes = sink
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut cursor = bytes.as_slice();
+        let mut kinds = Vec::new();
+        while let Ok(v) = wire::recv(&mut cursor) {
+            kinds.push(ServerMsg::from_value(&v).expect("msg"));
+        }
+        assert!(matches!(kinds[0], ServerMsg::Accepted { job: 1, .. }));
+        assert!(
+            matches!(&kinds[1], ServerMsg::Done { job: 1, status, .. } if status == "cancelled")
+        );
+        assert!(matches!(kinds[2], ServerMsg::Accepted { job: 2, .. }));
+    }
+
+    #[test]
+    fn assemble_report_matches_in_process_aggregation() {
+        let spec = WaterfallSpec {
+            standards: vec![StandardId::Ieee80211a, StandardId::Dab],
+            snr_db: vec![4.0, 12.0],
+            realizations: 2,
+            payload_bits: 128,
+            base_seed: 99,
+            profile: ofdm_bench::waterfall::ChannelProfile::Awgn,
+            threads: 2,
+        };
+        let local = ofdm_bench::waterfall::run_waterfall(&spec, None).expect("local run");
+        let results: Vec<(u64, u64)> = (0..spec.point_count())
+            .map(|i| waterfall_point(&spec, i).expect("point"))
+            .collect();
+        let assembled = assemble_report(&spec, &results).expect("full grid");
+        assert_eq!(
+            ofdm_bench::waterfall::waterfall_json(&spec, &assembled).to_string(),
+            ofdm_bench::waterfall::waterfall_json(&spec, &local).to_string(),
+            "streamed-and-reassembled results are byte-identical to a local run"
+        );
+        assert!(assemble_report(&spec, &results[1..]).is_err(), "short grid");
+    }
+}

@@ -1,0 +1,122 @@
+//! `rfsim-cli` — submits sweep jobs to a running `rfsim-server` and
+//! tails the streamed results.
+//!
+//! ```text
+//! rfsim-cli submit <job.json> [--addr HOST:PORT] [--out FILE] [--compare-local]
+//! rfsim-cli shutdown [--addr HOST:PORT]
+//! ```
+//!
+//! A job file is the wire-format job object, e.g.
+//! `examples/jobs/mini_waterfall.json`. `submit` prints the assembled
+//! `waterfall.json` document (or writes it to `--out`);
+//! `--compare-local` additionally recomputes the sweep in-process and
+//! fails unless the two documents are byte-identical.
+
+use ofdm_bench::waterfall::{run_waterfall, waterfall_json};
+use ofdm_server::wire::JobSpec;
+use ofdm_server::Client;
+use serde::json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        _ => {
+            eprintln!("usage: rfsim-cli <submit <job.json> [--addr A] [--out F] [--compare-local] | shutdown [--addr A]>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_addr(args: &[String], default: &str) -> Result<String, String> {
+    let mut addr = default.to_owned();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--addr" {
+            addr = it
+                .next()
+                .cloned()
+                .ok_or_else(|| "--addr needs a value".to_owned())?;
+        }
+    }
+    Ok(addr)
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("submit needs a job file")?;
+    let addr = parse_addr(&args[1..], "127.0.0.1:7464")?;
+    let mut out: Option<String> = None;
+    let mut compare_local = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                it.next();
+            }
+            "--out" => out = Some(it.next().cloned().ok_or("--out needs a value")?),
+            "--compare-local" => compare_local = true,
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+
+    let text = std::fs::read_to_string(path)?;
+    let job = JobSpec::from_value(&json::parse(&text).map_err(|e| format!("{path}: {e}"))?)?;
+
+    let mut client = Client::connect(&addr, "rfsim-cli")?;
+    let outcome = client.run_job(&job)?;
+    client.bye()?;
+    if outcome.status != "complete" {
+        return Err(format!(
+            "job {} ended `{}`{}{} after {} computed points",
+            outcome.job,
+            outcome.status,
+            if outcome.detail.is_empty() { "" } else { ": " },
+            outcome.detail,
+            outcome.computed,
+        )
+        .into());
+    }
+    let report = outcome.report(&job.spec)?;
+    let document = waterfall_json(&job.spec, &report).to_string();
+    eprintln!(
+        "job {}: {} points streamed ({} computed server-side)",
+        outcome.job,
+        outcome.results.len(),
+        outcome.computed
+    );
+
+    if compare_local {
+        let local = run_waterfall(&job.spec, None)?;
+        let local_doc = waterfall_json(&job.spec, &local).to_string();
+        if local_doc != document {
+            return Err("streamed results differ from the in-process run".into());
+        }
+        eprintln!("byte-identical to the in-process run");
+    }
+
+    match out {
+        Some(path) => std::fs::write(path, document + "\n")?,
+        None => println!("{document}"),
+    }
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = parse_addr(args, "127.0.0.1:7464")?;
+    let client = Client::connect(&addr, "rfsim-cli")?;
+    client.shutdown_server()?;
+    eprintln!("shutdown requested");
+    Ok(())
+}

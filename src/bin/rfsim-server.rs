@@ -1,0 +1,62 @@
+//! `rfsim-server` — the long-running simulation service.
+//!
+//! ```text
+//! rfsim-server [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!              [--checkpoint-dir DIR] [--port-file PATH]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7464`; use port `0` for an
+//! ephemeral one), prints `listening on <addr>`, optionally writes the
+//! bound address to `--port-file` (for scripts that started it on port
+//! 0), and serves until a client sends `shutdown`.
+
+use ofdm_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:7464".to_owned();
+    let mut config = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => config.workers = value("--workers")?.parse()?,
+            "--queue-capacity" => config.queue_capacity = value("--queue-capacity")?.parse()?,
+            "--checkpoint-dir" => {
+                config.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
+            }
+            "--port-file" => port_file = Some(value("--port-file")?),
+            other => {
+                return Err(format!("unknown flag `{other}`; see the module docs for usage").into())
+            }
+        }
+    }
+    if let Some(dir) = &config.checkpoint_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let server = Server::bind(&addr, config)?;
+    let bound = server.local_addr()?;
+    println!("listening on {bound}");
+    if let Some(path) = port_file {
+        std::fs::write(path, bound.to_string())?;
+    }
+    server.run()?;
+    println!("shut down cleanly");
+    Ok(())
+}

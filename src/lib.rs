@@ -2,17 +2,20 @@
 //!
 //! Meta-crate re-exporting the whole system: the [Mother Model]
 //! (`ofdm_core`), the ten standard presets (`ofdm_standards`), the RF system
-//! simulator (`rfsim`), the RT-level baseline (`ofdm_rtl`) and the reference
-//! receivers (`ofdm_rx`).
+//! simulator (`rfsim`), the RT-level baseline (`ofdm_rtl`), the reference
+//! receivers (`ofdm_rx`), the experiment harness (`ofdm_bench`) and the
+//! simulation service (`ofdm_server`, binaries `rfsim-server`/`rfsim-cli`).
 //!
 //! See the repository README for the quickstart and DESIGN.md for the
 //! architecture.
 //!
 //! [Mother Model]: ofdm_core
 
+pub use ofdm_bench as bench;
 pub use ofdm_core as core;
 pub use ofdm_dsp as dsp;
 pub use ofdm_rtl as rtl;
 pub use ofdm_rx as rx;
+pub use ofdm_server as server;
 pub use ofdm_standards as standards;
 pub use rfsim;

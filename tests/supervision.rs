@@ -282,3 +282,67 @@ fn run_report_json_carries_supervision_fields() {
     let summary = report.summary();
     assert!(summary.contains("health degraded"), "{summary}");
 }
+
+#[test]
+fn deadline_kill_on_final_retry_counts_each_scenario_once() {
+    // Regression: the kill tally must count killed *scenarios*, not
+    // killed attempts. Scenarios i % 3 == 2 hang on every attempt, so
+    // with one retry the watchdog cancels each of them twice — once on
+    // the first attempt and once more when the deadline fires during
+    // the final retry. Counting per attempt would report 6 kills for 3
+    // scenarios and break the partition below.
+    let supervisor = SweepSupervisor::new()
+        .with_scenario_budget(Duration::from_millis(40))
+        .with_poll_interval(Duration::from_millis(1));
+    let (outcomes, report) = SweepPlan::new(9)
+        .threads(3)
+        .with_retry(RetryPolicy::retries(1))
+        .with_supervisor(supervisor)
+        .run(|i, _attempt, ctx| -> Result<usize, String> {
+            match i % 3 {
+                // Clean successes.
+                0 => Ok(i),
+                // Plain faults: fail fast on both attempts, well inside
+                // the budget, so the watchdog never touches them.
+                1 => Err(format!("scenario {i} fails on its own")),
+                // Deadline faults: hang until the watchdog cancels,
+                // on the initial attempt and again on the final retry.
+                _ => loop {
+                    if ctx.is_cancelled() {
+                        return Err(format!("scenario {i} cancelled by watchdog"));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                },
+            }
+        });
+    let faults = report.faults.expect("fault account");
+    let sup = report.supervision.expect("supervision account");
+    assert_eq!(faults.succeeded, 3);
+    assert_eq!(faults.retried, 0);
+    assert_eq!(faults.faulted, 6, "plain faults plus deadline faults");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i % 3 == 0 {
+            assert_eq!(o.result(), Some(&i));
+        } else {
+            assert!(o.is_faulted());
+            assert_eq!(o.attempts(), 2, "faulting scenario consumed its retry");
+        }
+    }
+    assert_eq!(
+        sup.deadline_kills, 3,
+        "a scenario killed on both attempts is one kill, not two"
+    );
+    // Kills, clean successes, and non-deadline faults partition the
+    // sweep. Per-attempt counting would double the kill tally and break
+    // this sum (6 + 3 + 3 != 9).
+    let plain_faults = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(i, o)| o.is_faulted() && i % 3 == 1)
+        .count();
+    assert_eq!(
+        sup.deadline_kills + faults.succeeded + plain_faults,
+        outcomes.len(),
+        "kills partition against clean successes and non-deadline faults"
+    );
+}

@@ -8,7 +8,7 @@ use ofdm_bench::waterfall::{
     checkpoint_label, run_waterfall, waterfall_json, waterfall_point, ChannelProfile, WaterfallSpec,
 };
 use ofdm_standards::StandardId;
-use rfsim::{CheckpointEntry, CheckpointPayload, SweepCheckpoint};
+use rfsim::{CheckpointEntry, CheckpointPayload, SimError, SweepCheckpoint};
 
 fn spec() -> WaterfallSpec {
     WaterfallSpec {
@@ -97,4 +97,107 @@ fn stale_checkpoint_label_is_not_merged() {
         waterfall_json(&b, &resumed).to_string(),
         waterfall_json(&b, &reference).to_string(),
     );
+}
+
+#[test]
+fn corrupt_checkpoint_fails_typed_instead_of_restarting() {
+    // A checkpoint truncated mid-write (e.g. the process died inside a
+    // non-atomic copy, or the disk filled) must make the resume fail
+    // loudly with a typed error — silently restarting from zero would
+    // throw away hours of sweep progress without telling anyone.
+    let spec = spec();
+    let count = spec.point_count();
+    let path = std::env::temp_dir().join(format!(
+        "rfsim-waterfall-corrupt-{}.json",
+        std::process::id()
+    ));
+
+    // Build a valid checkpoint, then truncate it to simulate a torn write.
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, &checkpoint_label(&spec), count);
+    let result = waterfall_point(&spec, 0).expect("point runs");
+    ckpt.record(CheckpointEntry {
+        index: 0,
+        attempts: 1,
+        nanos: 0,
+        result: result.to_checkpoint_value(),
+    });
+    ckpt.persist().expect("checkpoint written");
+    drop(ckpt);
+    let full = std::fs::read_to_string(&path).expect("checkpoint readable");
+    std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+
+    // The typed loader reports corruption...
+    let err = SweepCheckpoint::load(&path, &checkpoint_label(&spec), count)
+        .expect_err("truncated checkpoint must not load");
+    match &err {
+        SimError::CheckpointCorrupt { path: p, .. } => {
+            assert!(p.ends_with(".json"), "error names the file: {p}")
+        }
+        other => panic!("expected CheckpointCorrupt, got {other:?}"),
+    }
+
+    // ...and the waterfall runner surfaces it instead of re-running.
+    let run_err = run_waterfall(&spec, Some(&path)).expect_err("resume must fail");
+    assert!(run_err.contains("corrupt"), "got: {run_err}");
+    assert!(
+        path.exists(),
+        "failed resume leaves the damaged file for inspection"
+    );
+
+    // A document that parses but isn't a checkpoint is corruption too.
+    std::fs::write(&path, "{\"schema\":\"not-a-checkpoint\"}").expect("write");
+    let err = SweepCheckpoint::load(&path, &checkpoint_label(&spec), count)
+        .expect_err("foreign document must not load");
+    assert!(matches!(err, SimError::CheckpointCorrupt { .. }), "{err:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn persist_is_atomic_and_tmp_garbage_is_harmless() {
+    // persist() writes a `.tmp` sibling and renames it over the real
+    // file, so the checkpoint on disk is always a complete document: a
+    // crash between write and rename leaves either the old checkpoint or
+    // the new one, never a torn hybrid. Pre-existing garbage in the tmp
+    // slot (a previous crash mid-write) must never leak into the real
+    // checkpoint either.
+    let spec = spec();
+    let count = spec.point_count();
+    let path = std::env::temp_dir().join(format!(
+        "rfsim-waterfall-atomic-{}.json",
+        std::process::id()
+    ));
+    let tmp = {
+        let mut t = path.as_os_str().to_owned();
+        t.push(".tmp");
+        std::path::PathBuf::from(t)
+    };
+    let _ = std::fs::remove_file(&path);
+    std::fs::write(&tmp, "{\"torn\": tru").expect("plant tmp garbage");
+
+    let mut ckpt = SweepCheckpoint::load_or_new(&path, &checkpoint_label(&spec), count);
+    for i in 0..2 {
+        let result = waterfall_point(&spec, i).expect("point runs");
+        ckpt.record(CheckpointEntry {
+            index: i,
+            attempts: 1,
+            nanos: 0,
+            result: result.to_checkpoint_value(),
+        });
+        ckpt.persist().expect("checkpoint written");
+        // Every persisted generation is a complete, reloadable document —
+        // the rename either happened entirely or not at all.
+        let reloaded = SweepCheckpoint::load(&path, &checkpoint_label(&spec), count)
+            .expect("on-disk checkpoint is always whole");
+        assert_eq!(reloaded.len(), i + 1);
+    }
+    assert!(
+        !tmp.exists(),
+        "persist consumes the tmp slot, garbage included"
+    );
+
+    // The surviving checkpoint resumes cleanly.
+    let restored = SweepCheckpoint::load(&path, &checkpoint_label(&spec), count)
+        .expect("final checkpoint loads");
+    assert_eq!(restored.len(), 2);
+    let _ = std::fs::remove_file(&path);
 }
