@@ -101,4 +101,68 @@ ADDR=$(cat "$SMOKE_DIR/port")
 ./target/release/rfsim-cli shutdown --addr "$ADDR"
 wait "$SERVER_PID" || { echo "service smoke: server exited non-zero" >&2; exit 1; }
 
+echo "==> chaos smoke: resilient submit through the fault-injection proxy, then drain"
+# The same round trip, but the wire is hostile: an in-process chaos proxy
+# injects connection resets and torn frames (bounded by a fault budget).
+# --resilient must reconnect under backoff and still produce a document
+# byte-identical to the in-process run; a graceful drain then takes the
+# server down cleanly.
+./target/release/rfsim-server --addr 127.0.0.1:0 \
+    --port-file "$SMOKE_DIR/chaos_port" &
+CHAOS_SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/chaos_port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/chaos_port" ] || { echo "chaos smoke: server never bound" >&2; exit 1; }
+ADDR=$(cat "$SMOKE_DIR/chaos_port")
+./target/release/rfsim-cli submit examples/jobs/mini_waterfall.json \
+    --addr "$ADDR" --resilient --via-chaos seed=11,reset=0.2,tear=0.2,faults=6 \
+    --compare-local --out "$SMOKE_DIR/chaos_mini.json"
+./target/release/rfsim-cli drain --addr "$ADDR"
+wait "$CHAOS_SERVER_PID" || { echo "chaos smoke: drained server exited non-zero" >&2; exit 1; }
+
+echo "==> crash-recovery smoke: kill -9 mid-grid, restart, resubmit byte-identically"
+# A checkpointing server is killed (-9, no cleanup) partway through a
+# grid. The restart must report the persisted checkpoint in its recovery
+# scan, and an identical resubmit must restore the computed prefix and
+# complete byte-identically to a local run.
+CKPT_DIR="$SMOKE_DIR/ckpt"
+./target/release/rfsim-server --addr 127.0.0.1:0 --checkpoint-dir "$CKPT_DIR" \
+    --port-file "$SMOKE_DIR/kill_port" &
+KILL_SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/kill_port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/kill_port" ] || { echo "crash smoke: server never bound" >&2; exit 1; }
+ADDR=$(cat "$SMOKE_DIR/kill_port")
+./target/release/rfsim-cli submit examples/jobs/chaos_waterfall.json \
+    --addr "$ADDR" --out "$SMOKE_DIR/doomed.json" &
+CLI_PID=$!
+sleep 2
+kill -9 "$KILL_SERVER_PID"
+if wait "$CLI_PID"; then
+    echo "crash smoke: the grid finished before the kill; grow chaos_waterfall.json" >&2
+    exit 1
+fi
+wait "$KILL_SERVER_PID" || true
+ls "$CKPT_DIR"/wf-*.json > /dev/null 2>&1 \
+    || { echo "crash smoke: no checkpoint persisted before the kill" >&2; exit 1; }
+./target/release/rfsim-server --addr 127.0.0.1:0 --checkpoint-dir "$CKPT_DIR" \
+    --port-file "$SMOKE_DIR/kill_port2" > "$SMOKE_DIR/restart.log" &
+KILL_SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/kill_port2" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/kill_port2" ] || { echo "crash smoke: restart never bound" >&2; exit 1; }
+grep -q "recovery: 1 resumable checkpoint" "$SMOKE_DIR/restart.log" \
+    || { echo "crash smoke: recovery scan missed the checkpoint" >&2; exit 1; }
+ADDR=$(cat "$SMOKE_DIR/kill_port2")
+./target/release/rfsim-cli submit examples/jobs/chaos_waterfall.json \
+    --addr "$ADDR" --compare-local --out "$SMOKE_DIR/recovered.json"
+./target/release/rfsim-cli shutdown --addr "$ADDR"
+wait "$KILL_SERVER_PID" || { echo "crash smoke: restarted server exited non-zero" >&2; exit 1; }
+
 echo "==> ci.sh: all gates passed"

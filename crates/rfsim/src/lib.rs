@@ -66,7 +66,7 @@ pub use scenario::{
 pub use signal::Signal;
 pub use supervise::{
     BlockRole, BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload,
-    Deadline, Health, SupervisionReport, SweepCheckpoint, SweepSupervisor,
+    Deadline, Health, Lease, LeaseReaper, SupervisionReport, SweepCheckpoint, SweepSupervisor,
 };
 pub use telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
 
@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::source::{SamplePlayback, ToneSource};
     pub use crate::supervise::{
         BlockRole, BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload,
-        Deadline, Health, SupervisionReport, SweepCheckpoint, SweepSupervisor,
+        Deadline, Health, Lease, LeaseReaper, SupervisionReport, SweepCheckpoint, SweepSupervisor,
     };
     pub use crate::telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
 }

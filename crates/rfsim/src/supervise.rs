@@ -34,8 +34,8 @@ use crate::block::SimError;
 use serde::json::Value;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Overall condition of a graph run or sweep under supervision.
@@ -207,6 +207,111 @@ impl CancelToken {
         } else {
             Ok(())
         }
+    }
+}
+
+/// A heartbeat-refreshed time-to-live, shared between the party proving
+/// liveness (which calls [`Lease::touch`]) and the party enforcing it
+/// (which polls [`Lease::expired`]).
+///
+/// A service hands every session a lease and touches it on every frame
+/// the client sends; a [`LeaseReaper`] cancels the session's
+/// [`CancelToken`] once the client has been silent longer than the TTL —
+/// the supervision answer to clients that die without closing their
+/// socket. Lock-free: the last-touch timestamp is an atomic nanosecond
+/// offset from the lease's creation instant.
+#[derive(Debug)]
+pub struct Lease {
+    ttl: Duration,
+    epoch: Instant,
+    /// Nanoseconds after `epoch` of the most recent touch.
+    last: AtomicU64,
+}
+
+impl Lease {
+    /// A fresh lease that expires `ttl` from now unless touched.
+    pub fn new(ttl: Duration) -> Self {
+        Lease {
+            ttl,
+            epoch: Instant::now(),
+            last: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured time-to-live.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Records a proof of liveness, restarting the TTL window.
+    pub fn touch(&self) {
+        let nanos = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.last.fetch_max(nanos, Ordering::SeqCst);
+    }
+
+    /// Time since the last touch (or creation, if never touched).
+    pub fn idle(&self) -> Duration {
+        let now = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Duration::from_nanos(now.saturating_sub(self.last.load(Ordering::SeqCst)))
+    }
+
+    /// Whether the holder has been silent longer than the TTL.
+    pub fn expired(&self) -> bool {
+        self.idle() > self.ttl
+    }
+}
+
+/// Associates [`Lease`]s with the [`CancelToken`]s they keep alive.
+///
+/// [`LeaseReaper::sweep`] cancels the token of every expired lease and
+/// forgets it; entries whose token was cancelled by someone else (a clean
+/// session teardown) are pruned without counting as reaped. A service
+/// runs one sweeping thread at a fraction of the lease TTL.
+#[derive(Debug, Default)]
+pub struct LeaseReaper {
+    entries: Mutex<Vec<(Arc<Lease>, CancelToken)>>,
+}
+
+impl LeaseReaper {
+    /// An empty reaper.
+    pub fn new() -> Self {
+        LeaseReaper::default()
+    }
+
+    /// Starts enforcing `lease`: when it expires, `token` is cancelled.
+    pub fn register(&self, lease: Arc<Lease>, token: CancelToken) {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((lease, token));
+    }
+
+    /// Leases currently being enforced.
+    pub fn tracked(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Cancels the token of every expired lease, prunes entries whose
+    /// token is already cancelled, and returns how many leases this sweep
+    /// reaped.
+    pub fn sweep(&self) -> usize {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut reaped = 0;
+        entries.retain(|(lease, token)| {
+            if token.is_cancelled() {
+                return false; // ended cleanly; nothing to reap
+            }
+            if lease.expired() {
+                token.cancel();
+                reaped += 1;
+                return false;
+            }
+            true
+        });
+        reaped
     }
 }
 
@@ -579,7 +684,10 @@ pub struct CheckpointEntry {
     pub result: Value,
 }
 
-const CHECKPOINT_SCHEMA: &str = "sweep-checkpoint/v1";
+/// The schema tag every persisted [`SweepCheckpoint`] document carries —
+/// exposed so services can census a checkpoint directory (e.g. a crash
+/// recovery scan) without constructing a checkpoint per file.
+pub const CHECKPOINT_SCHEMA: &str = "sweep-checkpoint/v1";
 
 /// Durable sweep state: which scenarios of a named sweep have completed,
 /// and with what results.
@@ -1059,6 +1167,45 @@ mod tests {
         let stale = SweepCheckpoint::load(&path, "x", 4).expect("stale identity starts fresh");
         assert!(stale.is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lease_touch_restarts_the_ttl_window() {
+        let lease = Lease::new(Duration::from_millis(40));
+        assert_eq!(lease.ttl(), Duration::from_millis(40));
+        assert!(!lease.expired(), "fresh lease is live");
+        std::thread::sleep(Duration::from_millis(25));
+        lease.touch();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(
+            !lease.expired(),
+            "touch restarted the window: 25ms idle < 40ms ttl"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(lease.expired(), "55ms of silence exceeds the ttl");
+        assert!(lease.idle() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn reaper_cancels_expired_leases_and_prunes_closed_sessions() {
+        let reaper = LeaseReaper::new();
+        let dead = Arc::new(Lease::new(Duration::ZERO));
+        let live = Arc::new(Lease::new(Duration::from_secs(3600)));
+        let closed = Arc::new(Lease::new(Duration::ZERO));
+        let dead_token = CancelToken::new();
+        let live_token = CancelToken::new();
+        let closed_token = CancelToken::new();
+        closed_token.cancel(); // clean teardown before the sweep
+        reaper.register(Arc::clone(&dead), dead_token.clone());
+        reaper.register(Arc::clone(&live), live_token.clone());
+        reaper.register(Arc::clone(&closed), closed_token.clone());
+        assert_eq!(reaper.tracked(), 3);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(reaper.sweep(), 1, "only the expired live session reaps");
+        assert!(dead_token.is_cancelled(), "expired lease cancels its token");
+        assert!(!live_token.is_cancelled(), "live lease untouched");
+        assert_eq!(reaper.tracked(), 1, "reaped and closed entries pruned");
+        assert_eq!(reaper.sweep(), 0, "idempotent");
     }
 
     #[test]

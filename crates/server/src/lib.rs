@@ -11,9 +11,14 @@
 //!   scopes, deadlines, circuit breakers, and optional on-disk sweep
 //!   checkpoints (the [`rfsim::supervise`] primitives, wired end to end).
 //! - [`client`] — a blocking client that submits jobs, retries through
-//!   backpressure, and tails the streamed results back into the same
+//!   backpressure, heartbeats its session lease, reconnects through
+//!   transport faults ([`client::run_job_with_recovery`]), and tails the
+//!   streamed results back into the same
 //!   [`ofdm_bench::waterfall::WaterfallReport`] an in-process run yields,
 //!   so server-side and local sweeps can be compared byte for byte.
+//! - [`chaos`] — a seeded wire-level fault-injection proxy (torn frames,
+//!   partial writes, delays, connection resets) for exercising all of the
+//!   above deterministically.
 //!
 //! Grid points are pure in `(spec, index)` ([`waterfall_point`]), which is
 //! what makes the service honest: any point may be computed by any worker
@@ -22,10 +27,12 @@
 //!
 //! [`waterfall_point`]: ofdm_bench::waterfall::waterfall_point
 
+pub mod chaos;
 pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, JobOutcome, SubmitOutcome};
-pub use server::{assemble_report, Server, ServerConfig};
-pub use wire::{ClientMsg, JobSpec, ServerMsg, WireError, MAX_FRAME};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use client::{run_job_with_recovery, BackoffPolicy, Client, JobOutcome, SubmitOutcome};
+pub use server::{assemble_report, RecoveryReport, Server, ServerConfig};
+pub use wire::{ClientMsg, FrameReader, JobSpec, ServerMsg, WireError, MAX_FRAME};

@@ -37,14 +37,15 @@ use ofdm_bench::waterfall::{
     checkpoint_label, waterfall_point, WaterfallCurve, WaterfallReport, WaterfallSpec,
 };
 use ofdm_core::ber::BerCounter;
+use rfsim::supervise::CHECKPOINT_SCHEMA;
 use rfsim::{
-    BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload, Deadline,
-    SweepCheckpoint,
+    BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload, Deadline, Lease,
+    LeaseReaper, SweepCheckpoint,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
@@ -66,6 +67,10 @@ pub struct ServerConfig {
     /// Emit a [`ServerMsg::Telemetry`] frame every this many completed
     /// points of a job.
     pub telemetry_every: usize,
+    /// Session lease TTL: a session whose client sends nothing (not even
+    /// a heartbeat) for this long is reaped — its jobs cancelled and its
+    /// queue capacity reclaimed. `None` disables the reaper.
+    pub lease_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -77,8 +82,57 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             breaker: BreakerPolicy::new(),
             telemetry_every: 8,
+            lease_ms: None,
         }
     }
+}
+
+/// What a crash-recovery scan of the checkpoint directory found at
+/// startup (see [`Server::recovery`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Persisted checkpoints with a valid schema tag: an identical
+    /// resubmit restores this many grids' prior progress.
+    pub resumable: usize,
+    /// Files that exist but do not carry the checkpoint schema — left in
+    /// place so the damage surfaces as a loud submit-time rejection.
+    pub corrupt: usize,
+    /// Orphaned `*.tmp` files from writes interrupted by the crash,
+    /// removed during the scan.
+    pub cleaned_tmp: usize,
+}
+
+/// Scans a checkpoint directory after a(n un)clean shutdown: removes
+/// orphaned atomic-write temp files and classifies every persisted
+/// document. Restoration itself stays lazy — submits find their progress
+/// through the label-derived path — so the scan only reports and cleans.
+fn recovery_scan(dir: &Path) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return report;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            if std::fs::remove_file(&path).is_ok() {
+                report.cleaned_tmp += 1;
+            }
+            continue;
+        }
+        if path.extension().is_some_and(|e| e == "json") {
+            let tagged = std::fs::read_to_string(&path).is_ok_and(|text| {
+                serde::json::parse(&text).is_ok_and(|doc| {
+                    doc.get("schema").and_then(|v| v.as_str()) == Some(CHECKPOINT_SCHEMA)
+                })
+            });
+            if tagged {
+                report.resumable += 1;
+            } else {
+                report.corrupt += 1;
+            }
+        }
+    }
+    report
 }
 
 /// Re-aggregates a job's streamed per-point tallies into the same
@@ -150,6 +204,9 @@ struct JobState {
     id: u64,
     session: u64,
     spec: WaterfallSpec,
+    /// The grid's identity ([`checkpoint_label`]) — the idempotency key
+    /// held in [`Shared::active_labels`] while this job is live.
+    label: String,
     total: usize,
     restored: HashSet<usize>,
     /// Next grid index to hand a worker (skipping restored points).
@@ -186,6 +243,9 @@ struct SessionSlot {
     writer: SharedWriter,
     cancel: CancelToken,
     breaker: BreakerState,
+    /// The session's socket, for the reaper to sever: cancelling the
+    /// token alone would leave the reader thread blocked in `recv`.
+    stream: Option<TcpStream>,
 }
 
 /// What a worker got out of the scheduler.
@@ -248,6 +308,14 @@ struct Shared {
     /// Streams of every live connection, for unblocking readers at
     /// shutdown.
     conns: Mutex<Vec<TcpStream>>,
+    /// Set once by a `drain` frame; refuses new submits while in-flight
+    /// jobs run (or checkpoint) to completion.
+    draining: AtomicBool,
+    /// Checkpoint labels of live jobs — the idempotency registry that
+    /// makes retried submits safe: a grid can never run twice at once.
+    active_labels: Mutex<HashSet<String>>,
+    /// Session-liveness reaper, swept periodically when leases are on.
+    reaper: LeaseReaper,
 }
 
 impl Shared {
@@ -263,6 +331,9 @@ impl Shared {
             work_ready: Condvar::new(),
             shutdown: CancelToken::new(),
             conns: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            active_labels: Mutex::new(HashSet::new()),
+            reaper: LeaseReaper::new(),
         }
     }
 
@@ -270,8 +341,30 @@ impl Shared {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Registers a session around an outbound writer; returns its id.
-    fn register_session(&self, writer: SharedWriter) -> u64 {
+    fn lock_labels(&self) -> std::sync::MutexGuard<'_, HashSet<String>> {
+        self.active_labels
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The session lease TTL, when leases are configured.
+    fn lease_ttl(&self) -> Option<Duration> {
+        self.config.lease_ms.map(Duration::from_millis)
+    }
+
+    /// Registers a session around an outbound writer (plus its socket,
+    /// when it has one, so the reaper can sever it); returns the id and
+    /// the session's lease for the reader to touch.
+    fn register_session(
+        &self,
+        writer: SharedWriter,
+        stream: Option<TcpStream>,
+    ) -> (u64, Arc<Lease>) {
+        let lease = Arc::new(Lease::new(self.lease_ttl().unwrap_or(Duration::MAX)));
+        let cancel = self.shutdown.child();
+        if self.lease_ttl().is_some() {
+            self.reaper.register(Arc::clone(&lease), cancel.clone());
+        }
         let mut state = self.lock_state();
         let id = state.next_session;
         state.next_session += 1;
@@ -279,10 +372,69 @@ impl Shared {
             id,
             queue: VecDeque::new(),
             writer,
-            cancel: self.shutdown.child(),
+            cancel,
             breaker: BreakerState::default(),
+            stream,
         });
-        id
+        (id, lease)
+    }
+
+    /// Begins a graceful drain exactly once: new submits are refused,
+    /// every session hears a typed [`ServerMsg::Draining`] frame, and
+    /// [`Server::run`] exits once the last in-flight job retires.
+    fn begin_drain(&self, detail: &str) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        let writers: Vec<SharedWriter> = {
+            let state = self.lock_state();
+            state
+                .sessions
+                .iter()
+                .map(|s| Arc::clone(&s.writer))
+                .collect()
+        };
+        let msg = ServerMsg::Draining {
+            detail: detail.to_owned(),
+        };
+        for writer in writers {
+            write_msg(&writer, &msg);
+        }
+        self.work_ready.notify_all();
+    }
+
+    /// True once a drain was requested and no session holds unfinished
+    /// jobs — the moment the accept loop may exit cleanly.
+    fn drained(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+            && self
+                .lock_state()
+                .sessions
+                .iter()
+                .all(|s| s.queue.is_empty())
+    }
+
+    /// One reaper tick: cancels sessions whose lease expired, then
+    /// severs their sockets so blocked readers wake and run the normal
+    /// teardown path (jobs cancelled, queue slots and labels freed).
+    fn reap_expired_sessions(&self) -> usize {
+        let reaped = self.reaper.sweep();
+        let streams: Vec<TcpStream> = {
+            let mut state = self.lock_state();
+            state
+                .sessions
+                .iter_mut()
+                .filter(|s| s.cancel.is_cancelled())
+                .filter_map(|s| s.stream.take())
+                .collect()
+        };
+        for stream in &streams {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if reaped > 0 {
+            self.work_ready.notify_all();
+        }
+        reaped
     }
 
     /// The deterministic checkpoint path for a grid, when checkpointing
@@ -304,6 +456,33 @@ impl Shared {
         let total = job.spec.point_count();
         let label = checkpoint_label(&job.spec);
 
+        if self.draining.load(Ordering::SeqCst) {
+            // Permanent for this server instance: a resilient client
+            // should fail over, not spin against a draining endpoint.
+            self.reply(
+                session,
+                &ServerMsg::Rejected {
+                    reason: "draining: no new jobs accepted".to_owned(),
+                    retry_after_ms: 0,
+                },
+            );
+            return;
+        }
+
+        // Reserve the grid's identity before anything else: a retried
+        // submit of a job that is still running (e.g. the client's ack
+        // was lost in transit) must bounce instead of double-running.
+        if !self.lock_labels().insert(label.clone()) {
+            self.reply(
+                session,
+                &ServerMsg::Rejected {
+                    reason: format!("duplicate job: grid '{label}' is already active"),
+                    retry_after_ms: self.config.retry_after_ms,
+                },
+            );
+            return;
+        }
+
         // Load prior progress before taking the state lock — file IO
         // must not stall the scheduler.
         let mut checkpoint = None;
@@ -323,6 +502,7 @@ impl Shared {
                     // A damaged checkpoint refuses the submit loudly
                     // instead of silently recomputing (or worse, merging
                     // garbage). `retry_after_ms: 0` marks it permanent.
+                    self.lock_labels().remove(&label);
                     self.reply(
                         session,
                         &ServerMsg::Rejected {
@@ -339,6 +519,8 @@ impl Shared {
         let id = state.next_job;
         let (writer, session_cancel) = {
             let Some(slot) = state.slot_mut(session) else {
+                drop(state);
+                self.lock_labels().remove(&label);
                 return;
             };
             let rejection = if total == 0 {
@@ -365,6 +547,7 @@ impl Shared {
             if let Some(msg) = rejection {
                 let writer = Arc::clone(&slot.writer);
                 drop(state);
+                self.lock_labels().remove(&label);
                 write_msg(&writer, &msg);
                 return;
             }
@@ -377,6 +560,7 @@ impl Shared {
             id,
             session,
             spec: job.spec.clone(),
+            label,
             total,
             restored,
             next_dispatch: AtomicUsize::new(0),
@@ -557,7 +741,7 @@ impl Shared {
     }
 
     /// Removes a terminal job from its session queue, feeds the breaker,
-    /// and frees a capacity slot.
+    /// and frees both its capacity slot and its idempotency label.
     fn retire(&self, job: &Arc<JobState>, succeeded: bool) {
         let mut state = self.lock_state();
         if let Some(slot) = state.slot_mut(job.session) {
@@ -569,6 +753,7 @@ impl Shared {
             }
         }
         drop(state);
+        self.lock_labels().remove(&job.label);
         self.work_ready.notify_all();
     }
 
@@ -650,19 +835,25 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    reaper_thread: Option<std::thread::JoinHandle<()>>,
+    recovery: RecoveryReport,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the worker pool.
+    /// starts the worker pool. With a checkpoint directory configured,
+    /// first runs the crash-recovery scan ([`Server::recovery`]); with
+    /// [`ServerConfig::lease_ms`] set, also starts the lease reaper.
     ///
     /// # Errors
     ///
     /// Socket errors from binding, or filesystem errors creating the
     /// checkpoint directory.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let mut recovery = RecoveryReport::default();
         if let Some(dir) = &config.checkpoint_dir {
             std::fs::create_dir_all(dir)?;
+            recovery = recovery_scan(dir);
         }
         let listener = TcpListener::bind(addr)?;
         let workers = if config.workers == 0 {
@@ -670,6 +861,7 @@ impl Server {
         } else {
             config.workers
         };
+        let lease_ms = config.lease_ms;
         let shared = Arc::new(Shared::new(config));
         let workers = (0..workers)
             .map(|_| {
@@ -677,11 +869,31 @@ impl Server {
                 std::thread::spawn(move || shared.worker_loop())
             })
             .collect();
+        let reaper_thread = lease_ms.map(|ttl_ms| {
+            // Sweep a few times per TTL so expiry latency stays a small
+            // fraction of the lease itself.
+            let tick = Duration::from_millis((ttl_ms / 4).clamp(10, 500));
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.shutdown.is_cancelled() {
+                    std::thread::sleep(tick);
+                    shared.reap_expired_sessions();
+                }
+            })
+        });
         Ok(Server {
             listener,
             shared,
             workers,
+            reaper_thread,
+            recovery,
         })
+    }
+
+    /// What the startup crash-recovery scan of the checkpoint directory
+    /// found (all zeros when no directory is configured).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -709,6 +921,13 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shared.shutdown.is_cancelled() {
+            if self.shared.drained() {
+                // Graceful drain completed: every in-flight job retired
+                // (its checkpoints persisted on the way), so winding the
+                // server down loses nothing.
+                self.shared.shutdown.cancel();
+                break;
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false)?;
@@ -746,6 +965,9 @@ impl Server {
         for handle in self.workers {
             let _ = handle.join();
         }
+        if let Some(handle) = self.reaper_thread {
+            let _ = handle.join();
+        }
         Ok(())
     }
 }
@@ -756,21 +978,23 @@ fn session_main(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let reap_handle = stream.try_clone().ok();
     let mut read_half = stream;
     let writer: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
 
     // The first frame must be Hello.
-    let session = match recv_client(&mut read_half) {
+    let (session, lease) = match recv_client(&mut read_half) {
         Ok(wire::ClientMsg::Hello { client: _ }) => {
-            let id = shared.register_session(Arc::clone(&writer));
+            let (id, lease) = shared.register_session(Arc::clone(&writer), reap_handle);
             write_msg(
                 &writer,
                 &ServerMsg::Welcome {
                     session: id,
                     queue_capacity: shared.config.queue_capacity,
+                    lease_ms: shared.config.lease_ms,
                 },
             );
-            id
+            (id, lease)
         }
         Ok(_) => {
             write_msg(
@@ -785,9 +1009,17 @@ fn session_main(shared: &Arc<Shared>, stream: TcpStream) {
     };
 
     loop {
-        match recv_client(&mut read_half) {
+        let msg = recv_client(&mut read_half);
+        if msg.is_ok() {
+            // Any frame proves the client is alive — heartbeats carry no
+            // payload precisely because arrival alone is the signal.
+            lease.touch();
+        }
+        match msg {
             Ok(wire::ClientMsg::Submit { job }) => shared.submit(session, &job),
             Ok(wire::ClientMsg::Cancel { job }) => shared.cancel_job(session, job),
+            Ok(wire::ClientMsg::Heartbeat) => {}
+            Ok(wire::ClientMsg::Drain) => shared.begin_drain("drain requested"),
             Ok(wire::ClientMsg::Bye) => break,
             Ok(wire::ClientMsg::Shutdown) => {
                 shared.shutdown.cancel();
@@ -853,9 +1085,33 @@ mod tests {
             ..ServerConfig::default()
         }));
         let ids = (0..n)
-            .map(|_| shared.register_session(Arc::new(Mutex::new(Box::new(MemWriter::default())))))
+            .map(|_| {
+                shared
+                    .register_session(Arc::new(Mutex::new(Box::new(MemWriter::default()))), None)
+                    .0
+            })
             .collect();
         (shared, ids)
+    }
+
+    fn open_session(shared: &Arc<Shared>, sink: &MemWriter) -> u64 {
+        shared
+            .register_session(Arc::new(Mutex::new(Box::new(sink.clone()))), None)
+            .0
+    }
+
+    fn decode_all(sink: &MemWriter) -> Vec<ServerMsg> {
+        let bytes = sink
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut cursor = bytes.as_slice();
+        let mut msgs = Vec::new();
+        while let Ok(v) = wire::recv(&mut cursor) {
+            msgs.push(ServerMsg::from_value(&v).expect("msg"));
+        }
+        msgs
     }
 
     #[test]
@@ -902,13 +1158,21 @@ mod tests {
             ..ServerConfig::default()
         }));
         let sink = MemWriter::default();
-        let sid = shared.register_session(Arc::new(Mutex::new(Box::new(sink.clone()))));
-        let job = JobSpec {
-            spec: tiny_spec(4),
-            deadline_ms: None,
-        };
-        shared.submit(sid, &job); // fills the queue
-        shared.submit(sid, &job); // must bounce
+        let sid = open_session(&shared, &sink);
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(4),
+                deadline_ms: None,
+            },
+        ); // fills the queue
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(6),
+                deadline_ms: None,
+            },
+        ); // must bounce (a distinct grid, so the label registry is not what rejects it)
         let bytes = sink
             .0
             .lock()
@@ -937,7 +1201,7 @@ mod tests {
     fn empty_grid_is_rejected_permanently() {
         let shared = Arc::new(Shared::new(ServerConfig::default()));
         let sink = MemWriter::default();
-        let sid = shared.register_session(Arc::new(Mutex::new(Box::new(sink.clone()))));
+        let sid = open_session(&shared, &sink);
         shared.submit(
             sid,
             &JobSpec {
@@ -967,7 +1231,7 @@ mod tests {
             ..ServerConfig::default()
         }));
         let sink = MemWriter::default();
-        let sid = shared.register_session(Arc::new(Mutex::new(Box::new(sink.clone()))));
+        let sid = open_session(&shared, &sink);
         shared.submit(
             sid,
             &JobSpec {
@@ -1023,5 +1287,175 @@ mod tests {
             "streamed-and-reassembled results are byte-identical to a local run"
         );
         assert!(assemble_report(&spec, &results[1..]).is_err(), "short grid");
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected_while_active_and_freed_on_retire() {
+        let (shared, ids) = shared_with_sessions(1);
+        let other = MemWriter::default();
+        let other_sid = open_session(&shared, &other);
+        let job = JobSpec {
+            spec: tiny_spec(4),
+            deadline_ms: None,
+        };
+        shared.submit(ids[0], &job);
+        // The same grid from another session must bounce with a retry
+        // hint — the first submission is still running it.
+        shared.submit(other_sid, &job);
+        let msgs = decode_all(&other);
+        match &msgs[0] {
+            ServerMsg::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                assert!(reason.contains("duplicate job"), "{reason}");
+                assert!(*retry_after_ms > 0, "duplicates are retryable, not fatal");
+            }
+            other => panic!("expected duplicate rejection, got {other:?}"),
+        }
+        // Cancelling the original frees the label; the retry then lands.
+        shared.cancel_job(ids[0], 1);
+        shared.submit(other_sid, &job);
+        let msgs = decode_all(&other);
+        assert!(
+            matches!(msgs[1], ServerMsg::Accepted { .. }),
+            "label freed on retire: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn draining_refuses_submits_and_reports_drained_when_queues_empty() {
+        let (shared, _ids) = shared_with_sessions(1);
+        let sink = MemWriter::default();
+        let sid = open_session(&shared, &sink);
+        assert!(!shared.drained(), "not draining yet");
+        shared.begin_drain("test");
+        shared.begin_drain("test"); // idempotent
+        assert!(shared.drained(), "draining with empty queues is drained");
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(4),
+                deadline_ms: None,
+            },
+        );
+        let msgs = decode_all(&sink);
+        // Draining broadcast first, then the permanent rejection.
+        assert!(
+            matches!(&msgs[0], ServerMsg::Draining { .. }),
+            "sessions hear a typed draining frame: {msgs:?}"
+        );
+        match &msgs[1] {
+            ServerMsg::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                assert!(reason.contains("draining"), "{reason}");
+                assert_eq!(*retry_after_ms, 0, "draining rejections are permanent");
+            }
+            other => panic!("expected draining rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_jobs_before_reporting_drained() {
+        let (shared, ids) = shared_with_sessions(1);
+        shared.submit(
+            ids[0],
+            &JobSpec {
+                spec: tiny_spec(2),
+                deadline_ms: None,
+            },
+        );
+        shared.begin_drain("test");
+        assert!(!shared.drained(), "in-flight job holds the drain open");
+        // Drive the job to completion by hand (no worker pool here).
+        let job = {
+            let state = shared.lock_state();
+            Arc::clone(&state.sessions.last().expect("session").queue[0])
+        };
+        while let Some(i) = job.take_next_index() {
+            let r = waterfall_point(&job.spec, i).expect("point");
+            shared.deliver(&job, i, Ok(r));
+        }
+        assert!(shared.drained(), "drain completes once the queue empties");
+    }
+
+    #[test]
+    fn recovery_scan_classifies_checkpoints_and_cleans_tmp_orphans() {
+        let dir = std::env::temp_dir().join(format!("rfsim-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // One real checkpoint, one corrupt file, one orphaned tmp.
+        let label = "test-grid";
+        let ckpt_path = dir.join("wf-0000000000000001.json");
+        let mut ckpt = SweepCheckpoint::load(&ckpt_path, label, 4).expect("fresh");
+        ckpt.record(CheckpointEntry {
+            index: 0,
+            attempts: 1,
+            nanos: 0,
+            result: (3u64, 64u64).to_checkpoint_value(),
+        });
+        ckpt.persist().expect("persist");
+        std::fs::write(dir.join("wf-bad.json"), "{\"schema\":\"other/v9\"}").expect("write");
+        std::fs::write(dir.join("wf-cut.json.tmp"), "{\"sch").expect("write");
+        let report = recovery_scan(&dir);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                resumable: 1,
+                corrupt: 1,
+                cleaned_tmp: 1
+            },
+            "scan classifies every file"
+        );
+        assert!(
+            !dir.join("wf-cut.json.tmp").exists(),
+            "tmp orphans are removed"
+        );
+        assert!(
+            dir.join("wf-bad.json").exists(),
+            "corrupt checkpoints stay for loud submit-time failure"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reaper_severs_expired_sessions_and_frees_their_labels() {
+        let shared = Arc::new(Shared::new(ServerConfig {
+            queue_capacity: 8,
+            lease_ms: Some(30),
+            ..ServerConfig::default()
+        }));
+        let sink = MemWriter::default();
+        let sid = open_session(&shared, &sink);
+        shared.submit(
+            sid,
+            &JobSpec {
+                spec: tiny_spec(4),
+                deadline_ms: None,
+            },
+        );
+        assert_eq!(shared.reap_expired_sessions(), 0, "fresh lease survives");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(shared.reap_expired_sessions(), 1, "expired lease reaped");
+        // The session scope is cancelled, which cancels its job's token;
+        // the normal teardown path then retires it. Here (no reader
+        // thread) drive it via the scheduler like a worker would.
+        let picked = shared.lock_state().pick();
+        match picked {
+            Some(Picked::Finish(job, status)) => {
+                assert_eq!(status, "cancelled");
+                shared.finish_job(&job, status, "lease expired");
+            }
+            other => panic!(
+                "expected the reaped session's job to surface as Finish, got {:?}",
+                other.is_some()
+            ),
+        }
+        assert!(
+            shared.lock_labels().is_empty(),
+            "reaped session's labels are reclaimed"
+        );
     }
 }

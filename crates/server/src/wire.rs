@@ -32,10 +32,20 @@ pub const MAX_FRAME: u32 = 1 << 20;
 pub enum WireError {
     /// The peer closed the connection at a frame boundary.
     Closed,
-    /// The connection died mid-frame.
-    Truncated,
-    /// A frame declared a payload longer than [`MAX_FRAME`].
-    Oversized(u32),
+    /// The connection died mid-frame; `read` counts the bytes of the
+    /// partial frame (length prefix included) consumed before EOF, so a
+    /// log line tells a header cut from a torn payload.
+    Truncated {
+        /// Bytes of the unfinished frame read before the stream ended.
+        read: usize,
+    },
+    /// A frame declared a payload longer than the cap.
+    Oversized {
+        /// The declared payload length.
+        len: u32,
+        /// The enforced ceiling ([`MAX_FRAME`]).
+        cap: u32,
+    },
     /// An underlying socket error.
     Io(std::io::Error),
     /// The frame's payload was not a message we understand.
@@ -46,9 +56,11 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Closed => write!(f, "connection closed"),
-            WireError::Truncated => write!(f, "connection died mid-frame"),
-            WireError::Oversized(n) => {
-                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            WireError::Truncated { read } => {
+                write!(f, "connection died mid-frame after {read} bytes")
+            }
+            WireError::Oversized { len, cap } => {
+                write!(f, "frame of {len} bytes exceeds the {cap}-byte limit")
             }
             WireError::Io(e) => write!(f, "socket error: {e}"),
             WireError::Malformed(detail) => write!(f, "malformed message: {detail}"),
@@ -71,9 +83,15 @@ impl From<std::io::Error> for WireError {
 /// [`WireError::Oversized`] if the payload exceeds [`MAX_FRAME`];
 /// otherwise socket errors.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
-    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversized {
+        len: u32::MAX,
+        cap: MAX_FRAME,
+    })?;
     if len > MAX_FRAME {
-        return Err(WireError::Oversized(len));
+        return Err(WireError::Oversized {
+            len,
+            cap: MAX_FRAME,
+        });
     }
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
@@ -81,24 +99,103 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
     Ok(())
 }
 
-/// Fills `buf` completely, distinguishing EOF-at-start from EOF-inside.
-fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(if filled == 0 && at_boundary {
-                    WireError::Closed
-                } else {
-                    WireError::Truncated
-                })
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e)),
+/// An incremental frame decoder that survives read timeouts.
+///
+/// [`FrameReader::poll`] pulls bytes until a whole frame is assembled,
+/// retaining partial state across calls: a `WouldBlock`/`TimedOut` read
+/// error returns `Ok(None)` *without losing the bytes already consumed*,
+/// so a client may use a socket read timeout as a heartbeat tick and keep
+/// decoding afterwards. The blocking [`read_frame`] is a thin wrapper.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    in_payload: bool,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Bytes of the current partial frame consumed so far (length prefix
+    /// included); zero at a frame boundary.
+    pub fn partial_bytes(&self) -> usize {
+        if self.in_payload {
+            4 + self.payload_filled
+        } else {
+            self.header_filled
         }
     }
-    Ok(())
+
+    /// Pulls bytes from `r` until a frame completes (`Ok(Some(payload))`)
+    /// or the read would block (`Ok(None)`, state retained).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] on clean EOF at a frame boundary,
+    /// [`WireError::Truncated`] (with the partial byte count) on EOF
+    /// inside a frame, [`WireError::Oversized`] on a length prefix beyond
+    /// [`MAX_FRAME`], and [`WireError::Io`] for other socket errors.
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+        while !self.in_payload {
+            if self.header_filled == 4 {
+                let len = u32::from_be_bytes(self.header);
+                if len > MAX_FRAME {
+                    return Err(WireError::Oversized {
+                        len,
+                        cap: MAX_FRAME,
+                    });
+                }
+                self.payload = vec![0u8; len as usize];
+                self.payload_filled = 0;
+                self.in_payload = true;
+                break;
+            }
+            match r.read(&mut self.header[self.header_filled..]) {
+                Ok(0) => {
+                    return Err(if self.header_filled == 0 {
+                        WireError::Closed
+                    } else {
+                        WireError::Truncated {
+                            read: self.header_filled,
+                        }
+                    })
+                }
+                Ok(n) => self.header_filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if would_block(&e) => return Ok(None),
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        while self.payload_filled < self.payload.len() {
+            match r.read(&mut self.payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(WireError::Truncated {
+                        read: 4 + self.payload_filled,
+                    })
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if would_block(&e) => return Ok(None),
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        self.header_filled = 0;
+        self.payload_filled = 0;
+        self.in_payload = false;
+        Ok(Some(std::mem::take(&mut self.payload)))
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// Reads one frame's payload, reassembling across however many partial
@@ -107,18 +204,18 @@ fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result
 /// # Errors
 ///
 /// [`WireError::Closed`] on clean EOF at a frame boundary,
-/// [`WireError::Truncated`] on EOF inside a frame,
-/// [`WireError::Oversized`] on a length prefix beyond [`MAX_FRAME`].
+/// [`WireError::Truncated`] (carrying the partial byte count) on EOF
+/// inside a frame, [`WireError::Oversized`] on a length prefix beyond
+/// [`MAX_FRAME`]. A read timeout surfaces as [`WireError::Io`] — use a
+/// [`FrameReader`] directly to resume across timeouts.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
-    let mut header = [0u8; 4];
-    read_exact_or(r, &mut header, true)?;
-    let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME {
-        return Err(WireError::Oversized(len));
+    match FrameReader::new().poll(r)? {
+        Some(payload) => Ok(payload),
+        None => Err(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "read timed out mid-frame",
+        ))),
     }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_or(r, &mut payload, false)?;
-    Ok(payload)
 }
 
 /// Serializes a message value and writes it as one frame.
@@ -130,6 +227,17 @@ pub fn send(w: &mut impl Write, msg: &Value) -> Result<(), WireError> {
     write_frame(w, msg.to_string().as_bytes())
 }
 
+/// Parses a frame payload as a JSON message value.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] for payloads that are not UTF-8 JSON.
+pub fn parse_payload(payload: &[u8]) -> Result<Value, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| WireError::Malformed("payload is not UTF-8".to_owned()))?;
+    json::parse(text).map_err(WireError::Malformed)
+}
+
 /// Reads one frame and parses its JSON payload.
 ///
 /// # Errors
@@ -137,10 +245,7 @@ pub fn send(w: &mut impl Write, msg: &Value) -> Result<(), WireError> {
 /// Framing errors from [`read_frame`], or [`WireError::Malformed`] for
 /// payloads that are not UTF-8 JSON.
 pub fn recv(r: &mut impl Read) -> Result<Value, WireError> {
-    let payload = read_frame(r)?;
-    let text = std::str::from_utf8(&payload)
-        .map_err(|_| WireError::Malformed("payload is not UTF-8".to_owned()))?;
-    json::parse(text).map_err(WireError::Malformed)
+    parse_payload(&read_frame(r)?)
 }
 
 fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, WireError> {
@@ -340,6 +445,12 @@ pub enum ClientMsg {
         /// The job id from [`ServerMsg::Accepted`].
         job: u64,
     },
+    /// Proof of liveness: refreshes this session's lease. Carries no
+    /// payload and elicits no reply.
+    Heartbeat,
+    /// Asks the server to drain: refuse new submits, finish (or
+    /// checkpoint) in-flight jobs, then exit cleanly.
+    Drain,
     /// Ends the session cleanly (running jobs are cancelled).
     Bye,
     /// Asks the server to shut down entirely.
@@ -362,6 +473,8 @@ impl ClientMsg {
                 ("type".into(), Value::from("cancel")),
                 ("job".into(), Value::from(*job)),
             ]),
+            ClientMsg::Heartbeat => Value::Object(vec![("type".into(), Value::from("heartbeat"))]),
+            ClientMsg::Drain => Value::Object(vec![("type".into(), Value::from("drain"))]),
             ClientMsg::Bye => Value::Object(vec![("type".into(), Value::from("bye"))]),
             ClientMsg::Shutdown => Value::Object(vec![("type".into(), Value::from("shutdown"))]),
         }
@@ -383,6 +496,8 @@ impl ClientMsg {
             "cancel" => Ok(ClientMsg::Cancel {
                 job: u64_field(v, "job")?,
             }),
+            "heartbeat" => Ok(ClientMsg::Heartbeat),
+            "drain" => Ok(ClientMsg::Drain),
             "bye" => Ok(ClientMsg::Bye),
             "shutdown" => Ok(ClientMsg::Shutdown),
             other => Err(WireError::Malformed(format!("unknown message `{other}`"))),
@@ -399,6 +514,10 @@ pub enum ServerMsg {
         session: u64,
         /// How many jobs this session may have queued or running at once.
         queue_capacity: usize,
+        /// When set, the session lease TTL in milliseconds: the client
+        /// must send *some* frame (a [`ClientMsg::Heartbeat`] suffices)
+        /// at least this often or be reaped. `None` = no lease.
+        lease_ms: Option<u64>,
     },
     /// A submit was queued.
     Accepted {
@@ -445,6 +564,13 @@ pub enum ServerMsg {
         /// Failure detail when status is `"failed"`, else empty.
         detail: String,
     },
+    /// The server is draining: it will finish (or checkpoint) in-flight
+    /// jobs, refuse new submits, and then exit. Broadcast once to every
+    /// live session when a drain begins.
+    Draining {
+        /// Human-readable drain context.
+        detail: String,
+    },
     /// A protocol-level complaint about the last client frame.
     Error {
         /// What was wrong.
@@ -459,11 +585,18 @@ impl ServerMsg {
             ServerMsg::Welcome {
                 session,
                 queue_capacity,
-            } => Value::Object(vec![
-                ("type".into(), Value::from("welcome")),
-                ("session".into(), Value::from(*session)),
-                ("queue_capacity".into(), Value::from(*queue_capacity)),
-            ]),
+                lease_ms,
+            } => {
+                let mut members = vec![
+                    ("type".into(), Value::from("welcome")),
+                    ("session".into(), Value::from(*session)),
+                    ("queue_capacity".into(), Value::from(*queue_capacity)),
+                ];
+                if let Some(ms) = lease_ms {
+                    members.push(("lease_ms".into(), Value::from(*ms)));
+                }
+                Value::Object(members)
+            }
             ServerMsg::Accepted { job, points } => Value::Object(vec![
                 ("type".into(), Value::from("accepted")),
                 ("job".into(), Value::from(*job)),
@@ -507,6 +640,10 @@ impl ServerMsg {
                 ("computed".into(), Value::from(*computed)),
                 ("detail".into(), Value::from(detail.as_str())),
             ]),
+            ServerMsg::Draining { detail } => Value::Object(vec![
+                ("type".into(), Value::from("draining")),
+                ("detail".into(), Value::from(detail.as_str())),
+            ]),
             ServerMsg::Error { detail } => Value::Object(vec![
                 ("type".into(), Value::from("error")),
                 ("detail".into(), Value::from(detail.as_str())),
@@ -524,6 +661,10 @@ impl ServerMsg {
             "welcome" => Ok(ServerMsg::Welcome {
                 session: u64_field(v, "session")?,
                 queue_capacity: usize_field(v, "queue_capacity")?,
+                lease_ms: match v.get("lease_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(_) => Some(u64_field(v, "lease_ms")?),
+                },
             }),
             "accepted" => Ok(ServerMsg::Accepted {
                 job: u64_field(v, "job")?,
@@ -548,6 +689,9 @@ impl ServerMsg {
                 job: u64_field(v, "job")?,
                 status: str_field(v, "status")?,
                 computed: usize_field(v, "computed")?,
+                detail: str_field(v, "detail")?,
+            }),
+            "draining" => Ok(ServerMsg::Draining {
                 detail: str_field(v, "detail")?,
             }),
             "error" => Ok(ServerMsg::Error {
@@ -606,6 +750,8 @@ mod tests {
                 },
             },
             ClientMsg::Cancel { job: 17 },
+            ClientMsg::Heartbeat,
+            ClientMsg::Drain,
             ClientMsg::Bye,
             ClientMsg::Shutdown,
         ];
@@ -620,6 +766,12 @@ mod tests {
             ServerMsg::Welcome {
                 session: 3,
                 queue_capacity: 4,
+                lease_ms: None,
+            },
+            ServerMsg::Welcome {
+                session: 5,
+                queue_capacity: 2,
+                lease_ms: Some(1500),
             },
             ServerMsg::Accepted { job: 9, points: 12 },
             ServerMsg::Rejected {
@@ -643,6 +795,9 @@ mod tests {
                 computed: 12,
                 detail: String::new(),
             },
+            ServerMsg::Draining {
+                detail: "server draining".into(),
+            },
             ServerMsg::Error {
                 detail: "unknown message `nope`".into(),
             },
@@ -657,24 +812,37 @@ mod tests {
     }
 
     #[test]
-    fn oversized_frames_are_rejected_both_ways() {
-        // Writing: a payload over the cap never touches the stream.
+    fn oversized_frames_are_rejected_both_ways_with_observed_length() {
+        // Writing: a payload over the cap never touches the stream, and
+        // the error names the offending length next to the cap.
         let mut sink = Vec::new();
         let big = vec![b'x'; MAX_FRAME as usize + 1];
-        assert!(matches!(
-            write_frame(&mut sink, &big),
-            Err(WireError::Oversized(_))
-        ));
+        match write_frame(&mut sink, &big) {
+            Err(WireError::Oversized { len, cap }) => {
+                assert_eq!(len, MAX_FRAME + 1);
+                assert_eq!(cap, MAX_FRAME);
+            }
+            other => panic!("expected oversize, got {other:?}"),
+        }
         assert!(sink.is_empty(), "nothing written before the length check");
 
-        // Reading: a hostile length prefix is rejected before allocating.
+        // Reading: a hostile length prefix is rejected before allocating,
+        // reporting the declared length so logs are actionable.
         let mut hostile = Vec::new();
-        hostile.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        hostile.extend_from_slice(&(MAX_FRAME + 7).to_be_bytes());
         hostile.extend_from_slice(b"whatever");
-        assert!(matches!(
-            read_frame(&mut hostile.as_slice()),
-            Err(WireError::Oversized(_))
-        ));
+        match read_frame(&mut hostile.as_slice()) {
+            Err(WireError::Oversized { len, cap }) => {
+                assert_eq!(len, MAX_FRAME + 7);
+                assert_eq!(cap, MAX_FRAME);
+                let text = WireError::Oversized { len, cap }.to_string();
+                assert!(
+                    text.contains(&len.to_string()) && text.contains(&cap.to_string()),
+                    "{text}"
+                );
+            }
+            other => panic!("expected oversize, got {other:?}"),
+        }
     }
 
     /// A reader that delivers one byte per `read` call — the worst
@@ -714,17 +882,93 @@ mod tests {
         ));
         assert!(matches!(recv(&mut slow), Err(WireError::Closed)));
 
-        // A stream cut inside a frame is Truncated, not Closed.
+        // A stream cut inside a frame is Truncated, not Closed, and the
+        // error counts every byte consumed (4-byte prefix + partial
+        // payload) so the cut point is recoverable from logs.
         let cut = &buf[..buf.len() - 3];
         let mut slow = OneByte(cut);
-        let _ = recv(&mut slow).expect("first frame is whole");
-        assert!(matches!(recv(&mut slow), Err(WireError::Truncated)));
+        let first = read_frame(&mut slow).expect("first frame is whole");
+        let second_len = buf.len() - (4 + first.len()) - 4; // second frame's payload
+        match read_frame(&mut slow) {
+            Err(WireError::Truncated { read }) => {
+                assert_eq!(read, 4 + (second_len - 3), "prefix + partial payload")
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
 
-        // A stream cut inside the *header* is Truncated too.
-        let mut header_cut = &buf[..2];
+        // A stream cut inside the *length prefix* is Truncated too, with
+        // a sub-header byte count — today's most common torn-frame shape.
+        for cut_at in 1..4usize {
+            let mut header_cut = &buf[..cut_at];
+            match read_frame(&mut header_cut) {
+                Err(WireError::Truncated { read }) => assert_eq!(read, cut_at),
+                other => panic!("cut at {cut_at}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    /// A reader that yields one byte, then a `WouldBlock` timeout, then
+    /// the next byte — the worst interleaving a heartbeat-timeout socket
+    /// can produce.
+    struct TimeoutEveryOther<R> {
+        inner: R,
+        block_next: bool,
+    }
+    impl<R: Read> Read for TimeoutEveryOther<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.block_next = !self.block_next;
+            if self.block_next {
+                let take = buf.len().min(1);
+                self.inner.read(&mut buf[..take])
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "simulated timeout",
+                ))
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts_without_losing_bytes() {
+        let msg = ServerMsg::Telemetry {
+            job: 3,
+            done: 7,
+            total: 9,
+        };
+        let mut buf = Vec::new();
+        send(&mut buf, &msg.to_value()).expect("encodes");
+        let total = buf.len();
+        let mut src = TimeoutEveryOther {
+            inner: buf.as_slice(),
+            block_next: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut timeouts = 0usize;
+        let payload = loop {
+            match reader.poll(&mut src).expect("no transport error") {
+                Some(payload) => break payload,
+                None => timeouts += 1,
+            }
+        };
+        assert_eq!(
+            timeouts,
+            total - 1,
+            "a timeout between every pair of delivered bytes"
+        );
+        assert_eq!(
+            ServerMsg::from_value(&parse_payload(&payload).expect("json")).expect("typed"),
+            msg,
+            "frame reassembled byte-for-byte across timeouts and 1-byte reads"
+        );
+        assert_eq!(reader.partial_bytes(), 0, "reader back at a boundary");
+
+        // Mid-prefix progress is visible while a frame is in flight.
+        let mut two = &buf[..2];
+        let mut partial = FrameReader::new();
         assert!(matches!(
-            read_frame(&mut header_cut),
-            Err(WireError::Truncated)
+            partial.poll(&mut two),
+            Err(WireError::Truncated { read: 2 })
         ));
     }
 

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! rfsim-cli submit <job.json> [--addr HOST:PORT] [--out FILE] [--compare-local]
+//!                             [--resilient] [--via-chaos SPEC]
+//! rfsim-cli drain    [--addr HOST:PORT]
 //! rfsim-cli shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -11,20 +13,42 @@
 //! `waterfall.json` document (or writes it to `--out`);
 //! `--compare-local` additionally recomputes the sweep in-process and
 //! fails unless the two documents are byte-identical.
+//!
+//! `--resilient` submits through [`run_job_with_recovery`]: transport
+//! faults trigger reconnect-and-resubmit under capped exponential
+//! backoff with deterministic jitter — safe because submits are
+//! idempotent on the server (keyed by the grid's checkpoint label).
+//!
+//! `--via-chaos SPEC` routes the submission through an in-process
+//! fault-injection proxy ([`ofdm_server::chaos`]). `SPEC` is a
+//! comma-separated `k=v` list: `seed` (u64), `tear`/`reset`/`delay`/
+//! `shred` (per-frame probabilities), `delay_ms` (held-frame duration),
+//! `faults` (total fault budget). Example:
+//! `--via-chaos seed=7,reset=0.1,tear=0.1,faults=6`.
+//!
+//! `drain` asks the server to stop accepting submits, finish (and
+//! checkpoint) what is in flight, and exit cleanly.
 
 use ofdm_bench::waterfall::{run_waterfall, waterfall_json};
+use ofdm_server::chaos::{ChaosConfig, ChaosProxy};
+use ofdm_server::client::{run_job_with_recovery, BackoffPolicy, JobOutcome};
 use ofdm_server::wire::JobSpec;
 use ofdm_server::Client;
 use serde::json;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("submit") => cmd_submit(&args[1..]),
+        Some("drain") => cmd_drain(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
         _ => {
-            eprintln!("usage: rfsim-cli <submit <job.json> [--addr A] [--out F] [--compare-local] | shutdown [--addr A]>");
+            eprintln!(
+                "usage: rfsim-cli <submit <job.json> [--addr A] [--out F] [--compare-local] \
+                 [--resilient] [--via-chaos SPEC] | drain [--addr A] | shutdown [--addr A]>"
+            );
             return ExitCode::from(2);
         }
     };
@@ -51,6 +75,34 @@ fn parse_addr(args: &[String], default: &str) -> Result<String, String> {
     Ok(addr)
 }
 
+/// Parses a `--via-chaos` spec: comma-separated `k=v` pairs.
+fn parse_chaos_spec(spec: &str) -> Result<ChaosConfig, String> {
+    let mut config = ChaosConfig::default();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("chaos spec entry `{pair}` is not k=v"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("chaos spec `{key}`: {e}");
+        match key {
+            "seed" => config.seed = value.parse().map_err(|e| bad(&e))?,
+            "tear" => config.tear_rate = value.parse().map_err(|e| bad(&e))?,
+            "reset" => config.reset_rate = value.parse().map_err(|e| bad(&e))?,
+            "delay" => config.delay_rate = value.parse().map_err(|e| bad(&e))?,
+            "delay_ms" => {
+                config.delay = Duration::from_millis(value.parse().map_err(|e| bad(&e))?);
+            }
+            "shred" => config.shred_rate = value.parse().map_err(|e| bad(&e))?,
+            "faults" => config.max_faults = value.parse().map_err(|e| bad(&e))?,
+            other => {
+                return Err(format!(
+                    "unknown chaos spec key `{other}` (seed, tear, reset, delay, delay_ms, shred, faults)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
 fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args
         .first()
@@ -59,6 +111,8 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let addr = parse_addr(&args[1..], "127.0.0.1:7464")?;
     let mut out: Option<String> = None;
     let mut compare_local = false;
+    let mut resilient = false;
+    let mut chaos: Option<ChaosConfig> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -67,6 +121,11 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--out" => out = Some(it.next().cloned().ok_or("--out needs a value")?),
             "--compare-local" => compare_local = true,
+            "--resilient" => resilient = true,
+            "--via-chaos" => {
+                let spec = it.next().cloned().ok_or("--via-chaos needs a value")?;
+                chaos = Some(parse_chaos_spec(&spec)?);
+            }
             other => return Err(format!("unknown flag `{other}`").into()),
         }
     }
@@ -74,9 +133,31 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
     let job = JobSpec::from_value(&json::parse(&text).map_err(|e| format!("{path}: {e}"))?)?;
 
-    let mut client = Client::connect(&addr, "rfsim-cli")?;
-    let outcome = client.run_job(&job)?;
-    client.bye()?;
+    // With --via-chaos, traffic detours through an in-process
+    // fault-injection proxy pointed at the real server.
+    let proxy = match chaos {
+        Some(config) => Some(ChaosProxy::start(&addr, config)?),
+        None => None,
+    };
+    let target = proxy
+        .as_ref()
+        .map_or_else(|| addr.clone(), |p| p.addr().to_string());
+
+    let outcome: JobOutcome = if resilient {
+        run_job_with_recovery(&target, "rfsim-cli", &job, &BackoffPolicy::default())?
+    } else {
+        let mut client = Client::connect(&target, "rfsim-cli")?;
+        let outcome = client.run_job(&job)?;
+        client.bye()?;
+        outcome
+    };
+    if let Some(proxy) = proxy {
+        let stats = proxy.stop();
+        eprintln!(
+            "chaos: {} connection(s), {} frame(s); injected {} reset(s), {} torn, {} delayed, {} shredded",
+            stats.connections, stats.frames, stats.reset, stats.torn, stats.delayed, stats.shredded
+        );
+    }
     if outcome.status != "complete" {
         return Err(format!(
             "job {} ended `{}`{}{} after {} computed points",
@@ -110,6 +191,17 @@ fn cmd_submit(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some(path) => std::fs::write(path, document + "\n")?,
         None => println!("{document}"),
     }
+    Ok(())
+}
+
+fn cmd_drain(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = parse_addr(args, "127.0.0.1:7464")?;
+    let mut client = Client::connect(&addr, "rfsim-cli")?;
+    let detail = client.drain()?;
+    // Best-effort farewell: with nothing in flight the server may finish
+    // draining and close before the bye frame lands.
+    let _ = client.bye();
+    eprintln!("draining: {detail}");
     Ok(())
 }
 

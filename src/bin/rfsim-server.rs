@@ -2,13 +2,23 @@
 //!
 //! ```text
 //! rfsim-server [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!              [--checkpoint-dir DIR] [--port-file PATH]
+//!              [--checkpoint-dir DIR] [--port-file PATH] [--lease-ms MS]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7464`; use port `0` for an
 //! ephemeral one), prints `listening on <addr>`, optionally writes the
-//! bound address to `--port-file` (for scripts that started it on port
-//! 0), and serves until a client sends `shutdown`.
+//! bound address to `--port-file` (atomically, so a concurrently
+//! starting client can never read a half-written port), and serves until
+//! a client sends `shutdown` or a `drain` completes.
+//!
+//! With `--checkpoint-dir`, startup first runs the crash-recovery scan:
+//! orphaned atomic-write temp files are removed and every persisted
+//! sweep checkpoint is classified, so a `kill -9` mid-grid costs at most
+//! the un-checkpointed tail — an identical resubmit restores the rest
+//! and completes byte-identically. With `--lease-ms`, sessions whose
+//! clients go silent (no frames, not even heartbeats) for the TTL are
+//! reaped: their jobs are cancelled (checkpointing their progress) and
+//! their queue capacity is reclaimed.
 
 use ofdm_server::{Server, ServerConfig};
 use std::process::ExitCode;
@@ -21,6 +31,16 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Writes `text` to `path` atomically: tmp file in the same directory,
+/// then rename — the same pattern `SweepCheckpoint::persist` uses.
+fn write_atomic(path: &str, text: &str) -> std::io::Result<()> {
+    let mut tmp = std::path::PathBuf::from(path).into_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -42,6 +62,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 config.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
             }
             "--port-file" => port_file = Some(value("--port-file")?),
+            "--lease-ms" => config.lease_ms = Some(value("--lease-ms")?.parse()?),
             other => {
                 return Err(format!("unknown flag `{other}`; see the module docs for usage").into())
             }
@@ -50,11 +71,19 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = &config.checkpoint_dir {
         std::fs::create_dir_all(dir)?;
     }
+    let had_checkpoint_dir = config.checkpoint_dir.is_some();
     let server = Server::bind(&addr, config)?;
+    if had_checkpoint_dir {
+        let r = server.recovery();
+        println!(
+            "recovery: {} resumable checkpoint(s), {} corrupt, {} orphaned tmp file(s) cleaned",
+            r.resumable, r.corrupt, r.cleaned_tmp
+        );
+    }
     let bound = server.local_addr()?;
     println!("listening on {bound}");
     if let Some(path) = port_file {
-        std::fs::write(path, bound.to_string())?;
+        write_atomic(&path, &bound.to_string())?;
     }
     server.run()?;
     println!("shut down cleanly");
