@@ -68,16 +68,23 @@ cargo run --release -q -p ofdm-bench --bin experiments -- \
 cargo run --release -q -p ofdm-bench --bin experiments -- \
     --check-bench BENCH_ofdm.json
 
-echo "==> fault smoke: experiments --faults"
-# The 64-scenario adversarial sweep (E9): injected panics, NaNs and
-# dropped samples must yield exact per-outcome counts, never an abort.
-cargo run --release -q -p ofdm-bench --bin experiments -- --faults
-
-echo "==> supervision smoke: experiments --supervise"
-# The supervised-runtime sweep (E10): hung scenarios killed within their
-# budget, a tripped impairment breaker degrading to pass-through, and an
-# interrupted sweep resuming from its checkpoint exactly.
-cargo run --release -q -p ofdm-bench --bin experiments -- --supervise
+echo "==> lab smoke: experiments --spec examples/lab/smoke.json"
+# The declarative experiment lab end to end: run a small spec through the
+# engine, emit the byte-stable lab/v1 document, and validate it (shape,
+# finiteness, verdict) with --check-lab. The legacy --faults/--supervise
+# smokes live on as lab specs (e9_faults, e10_*) exercised by the same
+# engine; the spec-file library itself is covered by `cargo test`.
+LAB_DIR=$(mktemp -d)
+trap 'rm -rf "$LAB_DIR"' EXIT
+cargo run --release -q -p ofdm-bench --bin experiments -- \
+    --spec examples/lab/smoke.json --lab-out "$LAB_DIR/lab_smoke.json"
+cargo run --release -q -p ofdm-bench --bin experiments -- \
+    --check-lab "$LAB_DIR/lab_smoke.json"
+# Byte-stability gate: a second run must reproduce the document exactly.
+cargo run --release -q -p ofdm-bench --bin experiments -- \
+    --spec examples/lab/smoke.json --lab-out "$LAB_DIR/lab_smoke_2.json" >/dev/null
+cmp "$LAB_DIR/lab_smoke.json" "$LAB_DIR/lab_smoke_2.json" \
+    || { echo "lab smoke: lab/v1 document is not byte-stable" >&2; exit 1; }
 
 echo "==> service smoke: rfsim-server / rfsim-cli round trip"
 # Boot the simulation service on an ephemeral port, submit the example
@@ -85,7 +92,7 @@ echo "==> service smoke: rfsim-server / rfsim-cli round trip"
 # against an in-process run (--compare-local). A clean shutdown must
 # leave no orphan server process.
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$LAB_DIR"' EXIT
 cargo build --release -q --bin rfsim-server --bin rfsim-cli
 ./target/release/rfsim-server --addr 127.0.0.1:0 \
     --port-file "$SMOKE_DIR/port" &

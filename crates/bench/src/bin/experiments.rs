@@ -1,4 +1,5 @@
-//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//! The experiment harness: runs every EXPERIMENTS.md table from a
+//! declarative spec under `examples/lab/`.
 //!
 //! Run all experiments (release build strongly recommended):
 //!
@@ -6,7 +7,16 @@
 //! cargo run -p ofdm-bench --release --bin experiments
 //! ```
 //!
-//! or a subset: `… --bin experiments -- e1 e3 e6`.
+//! or a subset by short name: `… --bin experiments -- e1 e3 e6` (a short
+//! name can map to several specs — `e11` runs both the AWGN and the
+//! Rayleigh grid). Arbitrary spec files run with `--spec FILE`; the spec
+//! directory itself moves with `--lab-dir DIR` (default: `examples/lab`
+//! next to the workspace). `--list` prints the name → spec table.
+//!
+//! Lab outputs: `--lab-out FILE` writes the byte-stable `lab/v1` JSON of
+//! the (single) run, `--lab-checkpoint FILE` resumes interrupted runs,
+//! and `--check-lab FILE` validates an emitted document plus its verdict
+//! (the CI gate).
 //!
 //! Machine-readable telemetry (the C3 claim, decomposed per block and per
 //! transmitter stage):
@@ -26,32 +36,82 @@
 //! … --bin experiments -- --waterfall waterfall.json
 //! ```
 
-use ofdm_bench::waterfall::{
-    qpsk_reference_curve, run_waterfall, waterfall_json, ChannelProfile, WaterfallSpec,
-};
-use ofdm_bench::{
-    evm_after_gain_correction, fmt_secs, loopback_errors, payload_bits, time_per_run,
-    transmit_frame,
-};
-use ofdm_core::source::OfdmSource;
+use ofdm_bench::lab::workloads::{e10_scenario_power, run_fault_sweep};
+use ofdm_bench::lab::{report, ExperimentSpec, LabOptions};
+use ofdm_bench::waterfall::{run_waterfall, waterfall_json, ChannelProfile, WaterfallSpec};
+use ofdm_bench::{gates, payload_bits, time_per_run};
 use ofdm_core::{MotherModel, StreamState};
-use ofdm_rtl::{FxFormat, Tx80211aRtl};
+use ofdm_rtl::Tx80211aRtl;
 use ofdm_standards::ieee80211a::{self, WlanRate};
 use ofdm_standards::{default_params, StandardId};
 use rfsim::prelude::*;
 use serde::json::Value;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-const EXPERIMENTS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+/// Short experiment name → spec files under the lab directory. One name
+/// can fan out to several specs (the legacy experiment had several
+/// independent parts).
+const EXPERIMENTS: [(&str, &[&str]); 13] = [
+    ("e1", &["e1.json"]),
+    ("e2", &["e2.json"]),
+    ("e3", &["e3.json"]),
+    ("e4", &["e4.json"]),
+    ("e5", &["e5.json"]),
+    ("e6", &["e6_pa.json", "e6_lo.json"]),
+    ("e7", &["e7.json"]),
+    ("e8", &["e8.json"]),
+    ("e9", &["e9_faults.json", "e9_dropper.json"]),
+    (
+        "e10",
+        &[
+            "e10_watchdog.json",
+            "e10_breaker.json",
+            "e10_checkpoint.json",
+        ],
+    ),
+    ("e11", &["e11_awgn.json", "e11_rayleigh.json"]),
+    ("e12", &["e12.json"]),
+    ("e13", &["e13.json"]),
 ];
+
+fn usage() -> String {
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+    format!(
+        "experiments: {}; flags: --spec FILE, --lab-dir DIR, --lab-out FILE, \
+         --lab-checkpoint FILE, --check-lab FILE, --list, --emit-bench FILE, \
+         --check-bench FILE, --bench-symbols N, --waterfall FILE, --faults, --supervise",
+        names.join(", ")
+    )
+}
+
+/// Locates the spec directory: an explicit `--lab-dir`, else
+/// `examples/lab` under the current directory, else the copy that ships
+/// next to this crate's workspace (so `cargo run` works from anywhere
+/// inside the repo).
+fn lab_dir(explicit: Option<&str>) -> PathBuf {
+    if let Some(dir) = explicit {
+        return PathBuf::from(dir);
+    }
+    let cwd = PathBuf::from("examples/lab");
+    if cwd.is_dir() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lab")
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut emit_bench: Option<String> = None;
     let mut check_bench: Option<String> = None;
+    let mut check_lab: Option<String> = None;
     let mut waterfall_out: Option<String> = None;
+    let mut lab_out: Option<String> = None;
+    let mut lab_ckpt: Option<String> = None;
+    let mut lab_dir_arg: Option<String> = None;
     let mut bench_symbols = 50usize;
+    let mut list = false;
     let mut names: Vec<String> = Vec::new();
+    let mut spec_files: Vec<PathBuf> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -61,8 +121,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--check-bench" => {
                 check_bench = Some(it.next().ok_or("--check-bench needs a file path")?);
             }
+            "--check-lab" => {
+                check_lab = Some(it.next().ok_or("--check-lab needs a file path")?);
+            }
             "--waterfall" => {
                 waterfall_out = Some(it.next().ok_or("--waterfall needs a file path")?);
+            }
+            "--spec" => {
+                spec_files.push(PathBuf::from(it.next().ok_or("--spec needs a file path")?));
+            }
+            "--lab-dir" => {
+                lab_dir_arg = Some(it.next().ok_or("--lab-dir needs a directory")?);
+            }
+            "--lab-out" => {
+                lab_out = Some(it.next().ok_or("--lab-out needs a file path")?);
+            }
+            "--lab-checkpoint" => {
+                lab_ckpt = Some(it.next().ok_or("--lab-checkpoint needs a file path")?);
             }
             "--bench-symbols" => {
                 bench_symbols = it
@@ -71,21 +146,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .parse()
                     .map_err(|e| format!("--bench-symbols: {e}"))?;
             }
+            "--list" => list = true,
             // The fault smoke sweep is experiment E9 under a flag name.
             "--faults" => names.push("e9".into()),
             // The supervised-runtime smoke sweep is E10 under a flag name.
             "--supervise" => names.push("e10".into()),
-            name if EXPERIMENTS.contains(&name) => names.push(arg),
+            name if EXPERIMENTS.iter().any(|(n, _)| *n == name) => names.push(arg),
             bad => {
-                eprintln!(
-                    "error: unknown argument `{bad}`; experiments: {}; flags: \
-                     --emit-bench FILE, --check-bench FILE, --bench-symbols N, --faults, \
-                     --supervise, --waterfall FILE",
-                    EXPERIMENTS.join(", ")
-                );
+                eprintln!("error: unknown argument `{bad}`; {}", usage());
                 std::process::exit(2);
             }
         }
+    }
+    let dir = lab_dir(lab_dir_arg.as_deref());
+    if list {
+        for (name, specs) in EXPERIMENTS {
+            let paths: Vec<String> = specs
+                .iter()
+                .map(|s| dir.join(s).display().to_string())
+                .collect();
+            println!("{name}: {}", paths.join(", "));
+        }
+        return Ok(());
     }
     if let Some(path) = &emit_bench {
         emit_bench_json(path, bench_symbols)?;
@@ -94,47 +176,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         emit_waterfall_json(path)?;
     }
     if let Some(path) = &check_bench {
-        check_bench_json(path)?;
+        for line in gates::check_bench_json(path)? {
+            println!("{line}");
+        }
     }
-    if (emit_bench.is_some() || check_bench.is_some() || waterfall_out.is_some())
-        && names.is_empty()
-    {
+    if let Some(path) = &check_lab {
+        for line in gates::check_lab_json(path)? {
+            println!("{line}");
+        }
+    }
+    let had_side_job = emit_bench.is_some()
+        || check_bench.is_some()
+        || check_lab.is_some()
+        || waterfall_out.is_some();
+
+    // Resolve short names against the lab directory; `--spec` paths ride
+    // along as-is. No selection at all means the full E1–E13 suite —
+    // unless a side job above was the whole request.
+    for name in &names {
+        let specs = EXPERIMENTS
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .ok_or("unreachable: name was validated")?;
+        spec_files.extend(specs.iter().map(|s| dir.join(s)));
+    }
+    if spec_files.is_empty() && !had_side_job {
+        for (_, specs) in EXPERIMENTS {
+            spec_files.extend(specs.iter().map(|s| dir.join(s)));
+        }
+    }
+    if spec_files.is_empty() {
         return Ok(());
     }
-    let want = |name: &str| names.is_empty() || names.iter().any(|a| a == name);
+    if lab_out.is_some() && spec_files.len() > 1 {
+        eprintln!(
+            "error: --lab-out needs exactly one spec (got {})",
+            spec_files.len()
+        );
+        std::process::exit(2);
+    }
 
-    if want("e1") {
-        e1_reconfiguration_matrix()?;
+    let options = LabOptions {
+        threads: None,
+        checkpoint: lab_ckpt.as_ref().map(PathBuf::from),
+    };
+    let mut failed = false;
+    for path in &spec_files {
+        let spec = ExperimentSpec::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let run = ofdm_bench::lab::run_spec(&spec, &options)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("{}", report::render(&run));
+        if let Some(out) = &lab_out {
+            std::fs::write(out, format!("{}\n", report::lab_json(&run)))?;
+            println!("wrote {out}");
+        }
+        if !run.verdict {
+            failed = true;
+        }
     }
-    if want("e2") {
-        e2_cosimulation()?;
-    }
-    if want("e3") {
-        e3_simulation_time()?;
-    }
-    if want("e4") {
-        e4_design_effort();
-    }
-    if want("e5") {
-        e5_equivalence();
-    }
-    if want("e6") {
-        e6_impairments()?;
-    }
-    if want("e7") {
-        e7_ber_waterfall()?;
-    }
-    if want("e8") {
-        e8_dab_mobile()?;
-    }
-    if want("e9") {
-        e9_fault_sweep()?;
-    }
-    if want("e10") {
-        e10_supervision()?;
-    }
-    if want("e11") {
-        e11_waterfall()?;
+    if failed {
+        return Err("at least one lab assertion failed".into());
     }
     Ok(())
 }
@@ -173,759 +275,6 @@ fn emit_waterfall_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// E11 — BER-vs-SNR waterfalls through the channel suite: per-standard
-/// AWGN curves sharded across the sweep pool next to the closed-form
-/// uncoded QPSK reference, and a frequency-selective Rayleigh curve with
-/// perfect-CSI equalization.
-fn e11_waterfall() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n## E11 — BER-vs-SNR waterfall sweeps over the channel suite\n");
-
-    let spec = WaterfallSpec {
-        standards: vec![StandardId::Ieee80211a, StandardId::Dab, StandardId::DvbT],
-        snr_db: vec![0.0, 6.0, 12.0, 18.0, 24.0],
-        realizations: 4,
-        payload_bits: 2400,
-        base_seed: 0xE11,
-        profile: ChannelProfile::Awgn,
-        threads: 0,
-    };
-    let report = run_waterfall(&spec, None)?;
-    let reference = qpsk_reference_curve(&spec.snr_db);
-    println!("AWGN curves (coded standards vs uncoded QPSK theory):\n");
-    let keys: Vec<&str> = spec.standards.iter().map(|s| s.key()).collect();
-    println!("| SNR (dB) | {} | uncoded QPSK theory |", keys.join(" | "));
-    println!("|---|{}---|", "---|".repeat(keys.len()));
-    for (g, &snr) in spec.snr_db.iter().enumerate() {
-        let row: Vec<String> = report
-            .curves
-            .iter()
-            .map(|c| format!("{:.2e}", c.points[g].ber()))
-            .collect();
-        println!("| {snr:.0} | {} | {:.2e} |", row.join(" | "), reference[g]);
-    }
-    for curve in &report.curves {
-        let bers: Vec<f64> = curve.points.iter().map(|p| p.ber()).collect();
-        assert!(
-            bers.windows(2).all(|w| w[1] <= w[0] + 1e-3),
-            "{}: BER must fall with SNR: {bers:?}",
-            curve.standard.key()
-        );
-        assert!(
-            bers.last().expect("nonempty") < bers.first().expect("nonempty"),
-            "{}: waterfall must descend across the grid",
-            curve.standard.key()
-        );
-    }
-
-    let fading_spec = WaterfallSpec {
-        standards: vec![StandardId::Ieee80211a],
-        snr_db: vec![10.0, 20.0, 30.0],
-        realizations: 12,
-        payload_bits: 1200,
-        base_seed: 0xFAD,
-        profile: ChannelProfile::Rayleigh {
-            paths: vec![(0, 0.6), (2, 0.3), (5, 0.1)],
-        },
-        threads: 0,
-    };
-    let fading = run_waterfall(&fading_spec, None)?;
-    println!("\nFrequency-selective Rayleigh (3 taps, perfect-CSI equalization), 802.11a:\n");
-    println!("| SNR (dB) | BER | errors/bits |");
-    println!("|---|---|---|");
-    for (g, &snr) in fading_spec.snr_db.iter().enumerate() {
-        let p = &fading.curves[0].points[g];
-        println!("| {snr:.0} | {:.2e} | {}/{} |", p.ber(), p.errors, p.bits);
-    }
-    let fad: Vec<f64> = fading.curves[0].points.iter().map(|p| p.ber()).collect();
-    assert!(
-        fad.windows(2).all(|w| w[1] <= w[0]),
-        "fading waterfall must descend: {fad:?}"
-    );
-    Ok(())
-}
-
-/// The 64-scenario fault-injection sweep behind E9 and the bench JSON: a
-/// deterministic mix of clean, panicking, NaN-emitting and sample-dropping
-/// scenarios, with the [`FaultPlan`] rotating over three wrapped block
-/// types (soft-clip PA, Rapp PA, AWGN channel). Panicking scenarios
-/// recover on their retry (reseeded with a zero panic rate); NaN scenarios
-/// trip the graph's non-finite guard on every attempt and end `Faulted`.
-fn run_fault_sweep() -> (Vec<ScenarioOutcome<f64>>, SweepReport) {
-    // The injected panics are caught and accounted by the runner; the
-    // default hook would still print 16 backtraces into the report. Mute
-    // it for the sweep (the worker threads are the only panickers here).
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let result = SweepPlan::new(64).with_retry(RetryPolicy::retries(1)).run(
-        |i, attempt, _ctx| -> Result<f64, SimError> {
-            let seed = scenario_seed(0xFA17, i) ^ u64::from(attempt);
-            let plan = match i % 4 {
-                0 => FaultPlan::new(),
-                1 => FaultPlan::new().with_panic_rate(if attempt == 0 { 1.0 } else { 0.0 }),
-                2 => FaultPlan::new().with_nan_rate(1.0),
-                _ => FaultPlan::new().with_drop_rate(0.25),
-            };
-            let mut g = Graph::new();
-            g.guard_non_finite(true);
-            let src = g.add(ToneSource::new(1.0e6, 20.0e6, 2048));
-            let impaired = match (i / 4) % 3 {
-                0 => g.add(plan.wrap(seed, SoftClipPa::new(1.0))),
-                1 => g.add(plan.wrap(seed, RappPa::new(1.0, 3.0))),
-                _ => g.add(plan.wrap(seed, AwgnChannel::from_snr_db(30.0, seed))),
-            };
-            let meter = g.add(PowerMeter::new());
-            g.chain(&[src, impaired, meter])?;
-            g.run()?;
-            Ok(g.block::<PowerMeter>(meter)
-                .expect("present")
-                .power()
-                .expect("ran"))
-        },
-    );
-    std::panic::set_hook(prev_hook);
-    result
-}
-
-/// E9 — fault-injection sweep (graceful degradation): survival rate of a
-/// 64-scenario sweep under injected panics/NaNs/erasures, and degraded-mode
-/// EVM vs sample-drop rate.
-fn e9_fault_sweep() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n## E9 — Fault-injection sweep: survival & degraded-mode EVM\n");
-    let (outcomes, report) = run_fault_sweep();
-    let faults = report.faults.expect("resilient sweep reports faults");
-    println!("| outcome | scenarios |");
-    println!("|---|---|");
-    println!("| succeeded first try | {} |", faults.succeeded);
-    println!("| retried then succeeded | {} |", faults.retried);
-    println!("| faulted (all attempts) | {} |", faults.faulted);
-    println!(
-        "\ncaught: {} panics, {} typed errors; survival rate {:.1}%",
-        faults.panics_caught,
-        faults.errors_caught,
-        faults.survival_rate() * 100.0,
-    );
-    // The injected-fault pattern (i % 4 over 64 scenarios, one retry) fixes
-    // the outcome counts exactly; anything else is a regression in the
-    // fault layer or the runner.
-    assert_eq!(outcomes.len(), 64, "sweep must complete every scenario");
-    assert_eq!(faults.succeeded, 32, "clean + dropper scenarios");
-    assert_eq!(faults.retried, 16, "panic scenarios recover on retry");
-    assert_eq!(faults.faulted, 16, "NaN scenarios fault on both attempts");
-    assert_eq!(faults.panics_caught, 16);
-    assert_eq!(faults.errors_caught, 32);
-
-    println!("\nEVM vs sample-drop rate (802.11a QPSK through a SampleDropper):\n");
-    println!("| drop rate | EVM (dB) |");
-    println!("|---|---|");
-    let p = ieee80211a::params(WlanRate::Mbps12);
-    let frame = transmit_frame(&p, 4800, 9);
-    let rates = [0.001f64, 0.005, 0.02, 0.08];
-    let (evms, _) = SweepPlan::new(rates.len()).run_fail_fast(|i| -> Result<f64, String> {
-        let mut g = Graph::new();
-        let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let dropper = g.add(SampleDropper::new(rates[i], 7));
-        g.chain(&[src, dropper]).map_err(|e| e.to_string())?;
-        g.run().map_err(|e| e.to_string())?;
-        let out = g.output(dropper).expect("ran");
-        // Average over the whole frame: at the lowest drop rate only a
-        // handful of samples are erased, and a short measurement window
-        // could miss them all.
-        Ok(evm_after_gain_correction(&p, &frame, out, 50))
-    })?;
-    for (&rate, &evm) in rates.iter().zip(&evms) {
-        println!("| {rate} | {evm:.1} |");
-    }
-    assert!(
-        evms.windows(2).all(|w| w[1] > w[0]),
-        "EVM must degrade as the drop rate rises: {evms:?}"
-    );
-    Ok(())
-}
-
-/// Mean tone power through an AWGN channel and a soft limiter — the
-/// deterministic per-`(seed, index)` scenario both E10 sweeps share.
-fn e10_scenario_power(seed: u64, i: usize) -> Result<f64, SimError> {
-    let mut g = Graph::new();
-    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 1024));
-    let ch = g.add(AwgnChannel::from_snr_db(
-        10.0 + i as f64,
-        scenario_seed(seed, i),
-    ));
-    let pa = g.add(SoftClipPa::new(1.0));
-    let meter = g.add(PowerMeter::new());
-    g.chain(&[src, ch, pa, meter])?;
-    g.run()?;
-    Ok(g.block::<PowerMeter>(meter)
-        .expect("present")
-        .power()
-        .expect("ran"))
-}
-
-/// E10 — supervised execution runtime: watchdog deadline kills on hung
-/// scenarios, circuit-breaker degraded mode with pass-through output,
-/// essential-block fail-fast, and checkpoint/resume exactness.
-fn e10_supervision() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n## E10 — Supervised execution: deadlines, breakers, checkpoint/resume\n");
-
-    // Part A — watchdog. Every 4th scenario hangs on a stalled source and
-    // must be cancelled within the per-scenario budget; the rest compute
-    // real channel powers, undisturbed by their neighbours being killed.
-    let budget = Duration::from_millis(300);
-    let supervisor = SweepSupervisor::new()
-        .with_scenario_budget(budget)
-        .with_poll_interval(Duration::from_millis(2));
-    let started = std::time::Instant::now();
-    let (outcomes, report) = SweepPlan::new(16)
-        .threads(4)
-        .with_supervisor(supervisor)
-        .run(|i, _attempt, ctx| -> Result<f64, SimError> {
-            if i % 4 == 3 {
-                let mut g = Graph::new();
-                let src = g.add(StalledSource::new(20.0e6, Duration::from_millis(2)));
-                let pa = g.add(SoftClipPa::new(1.0));
-                g.chain(&[src, pa])?;
-                ctx.supervise(&mut g);
-                g.run_streaming(64)?;
-            }
-            e10_scenario_power(0xE10, i)
-        });
-    let faults = report.faults.expect("supervised sweep reports faults");
-    let sup = report
-        .supervision
-        .expect("supervised sweep reports supervision");
-    println!(
-        "watchdog sweep: 16 scenarios, 4 hung, {} ms budget per scenario\n",
-        budget.as_millis()
-    );
-    println!("| outcome | scenarios |");
-    println!("|---|---|");
-    println!("| succeeded | {} |", faults.succeeded);
-    println!("| killed by deadline, then faulted | {} |", faults.faulted);
-    println!(
-        "\nsweep wall time {} (hung scenarios do not stall the sweep)",
-        fmt_secs(started.elapsed().as_secs_f64())
-    );
-    assert_eq!(outcomes.len(), 16, "sweep must complete every scenario");
-    assert_eq!(faults.succeeded, 12, "healthy scenarios are undisturbed");
-    assert_eq!(faults.faulted, 4, "hung scenarios end Faulted");
-    assert_eq!(
-        sup.deadline_kills, 4,
-        "each hung scenario killed exactly once"
-    );
-
-    // Part B — circuit breaker. An impairment that fails every invocation
-    // trips its breaker on the first chunk; the rest of the streaming pass
-    // bypasses it, completing Degraded with exact pass-through output.
-    let mut clean = Graph::new();
-    let src = clean.add(ToneSource::new(1.0e6, 20.0e6, 4096));
-    let pa = clean.add(SoftClipPa::new(1.0));
-    clean.chain(&[src, pa])?;
-    clean.probe(pa)?;
-    clean.run_streaming(256)?;
-    let clean_out = clean.output(pa).expect("probed").clone();
-
-    let mut g = Graph::new();
-    let src = g.add(ToneSource::new(1.0e6, 20.0e6, 4096));
-    let bad = g.add(
-        FaultPlan::new()
-            .with_error_rate(1.0)
-            .wrap(0xB10, NanInjector::new(1.0, 7)),
-    );
-    let pa = g.add(SoftClipPa::new(1.0));
-    g.chain(&[src, bad, pa])?;
-    g.probe(pa)?;
-    g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(1)));
-    let run = g.run_streaming_instrumented(256)?;
-    println!(
-        "\nbreaker degraded mode: health {}, {} trip(s), {} invocation(s) bypassed",
-        run.health, run.breaker_trips, run.bypassed_invocations
-    );
-    assert_eq!(run.health, Health::Degraded);
-    assert_eq!(run.breaker_trips, 1, "threshold 1 trips on the first chunk");
-    assert!(run.bypassed_invocations >= 8, "remaining chunks bypassed");
-    let out = g.output(pa).expect("probed");
-    assert_eq!(
-        out.samples(),
-        clean_out.samples(),
-        "bypass must be exact pass-through"
-    );
-
-    // An essential block (here the source) is never bypassed: once its
-    // breaker opens, runs fail fast without touching the graph.
-    let mut g = Graph::new();
-    let src = g.add(
-        FaultPlan::new()
-            .with_error_rate(1.0)
-            .wrap(0xE55, ToneSource::new(1.0e6, 20.0e6, 256)),
-    );
-    let pa = g.add(SoftClipPa::new(1.0));
-    g.chain(&[src, pa])?;
-    g.set_breaker_policy(Some(BreakerPolicy::new().with_threshold(2)));
-    for _ in 0..2 {
-        assert!(g.run().is_err(), "injector always faults");
-    }
-    match g.run() {
-        Err(SimError::BlockFault { fault, .. }) if fault.contains("circuit breaker open") => {
-            println!("essential fail-fast: {fault}");
-        }
-        other => return Err(format!("expected open-breaker fail-fast, got {other:?}").into()),
-    }
-
-    // Part C — checkpoint/resume exactness. A sweep whose back half fails
-    // (standing in for a killed process) persists its front half; the
-    // restarted sweep re-runs only the missing scenarios, and the merged
-    // report is outcome-for-outcome identical to an uninterrupted one.
-    const COUNT: usize = 12;
-    let path = std::env::temp_dir().join(format!("rfsim-e10-resume-{}.json", std::process::id()));
-    let _ = std::fs::remove_file(&path);
-    let mut reference = SweepCheckpoint::load_or_new("/nonexistent/e10-reference", "e10", COUNT);
-    let plan = SweepPlan::new(COUNT).threads(4);
-    let (uninterrupted, _) = plan.run_checkpointed(&mut reference, |i, _attempt, _ctx| {
-        e10_scenario_power(0xC10, i)
-    });
-    let mut ckpt = SweepCheckpoint::load_or_new(&path, "e10", COUNT).with_batch(4);
-    let _ = plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| {
-        if i >= COUNT / 2 {
-            return Err(SimError::BlockFailure {
-                block: "e10".into(),
-                message: "interrupted".into(),
-            });
-        }
-        e10_scenario_power(0xC10, i)
-    });
-    drop(ckpt);
-    let mut ckpt = SweepCheckpoint::load_or_new(&path, "e10", COUNT);
-    assert_eq!(ckpt.len(), COUNT / 2, "front half persisted to disk");
-    let (resumed, resumed_report) =
-        plan.run_checkpointed(&mut ckpt, |i, _attempt, _ctx| e10_scenario_power(0xC10, i));
-    let resumed_sup = resumed_report
-        .supervision
-        .expect("checkpointed sweep reports supervision");
-    println!(
-        "\ncheckpoint/resume: {} of {COUNT} scenarios restored from disk, {} re-run",
-        resumed_sup.resumed,
-        COUNT - resumed_sup.resumed
-    );
-    assert_eq!(resumed_sup.resumed, COUNT / 2);
-    assert_eq!(resumed_report.faults.expect("present").succeeded, COUNT);
-    assert_eq!(uninterrupted.len(), resumed.len());
-    for (i, (a, b)) in uninterrupted.iter().zip(&resumed).enumerate() {
-        assert_eq!(a.result(), b.result(), "scenario {i} differs after resume");
-    }
-    ckpt.discard()?;
-    println!("resume exactness: merged sweep identical to the uninterrupted reference");
-    Ok(())
-}
-
-/// E8 — DAB mobile reception (Table 8): differential DQPSK BER vs Doppler
-/// over a Rayleigh channel, the broadcast-family counterpart of E6.
-fn e8_dab_mobile() -> Result<(), Box<dyn std::error::Error>> {
-    use ofdm_rx::receiver::ReferenceReceiver;
-    use ofdm_standards::dab::{self, TxMode};
-
-    println!("\n## E8 — DAB mode I over Rayleigh fading vs Doppler (Table 8)\n");
-    println!("| Doppler (Hz) | ≈ speed at VHF (km/h) | BER |");
-    println!("|---|---|---|");
-    let params = dab::params(TxMode::I);
-    let sent = payload_bits(6000, 31);
-    let mut tx = MotherModel::new(params.clone())?;
-    let frame = tx.transmit(&sent)?;
-    // Each Doppler point is an independent graph simulation: fan them out
-    // over the scenario runner (results come back in sweep order).
-    let dopplers = [2.0f64, 20.0, 100.0, 250.0, 500.0];
-    let (bers, _) = SweepPlan::new(dopplers.len()).run_fail_fast(|i| -> Result<f64, String> {
-        let mut g = Graph::new();
-        let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let fading = g.add(RayleighChannel::new(
-            vec![(0, 0.7), (30, 0.3)],
-            dopplers[i],
-            3,
-        ));
-        let noise = g.add(AwgnChannel::from_snr_db(28.0, 9));
-        g.chain(&[src, fading, noise]).map_err(|e| e.to_string())?;
-        g.run().map_err(|e| e.to_string())?;
-        let received = g.output(noise).expect("ran");
-        let mut rx = ReferenceReceiver::new(params.clone()).map_err(|e| e.to_string())?;
-        let got = rx
-            .receive(received, sent.len())
-            .map_err(|e| e.to_string())?;
-        Ok(sent.iter().zip(&got).filter(|(a, b)| a != b).count() as f64 / sent.len() as f64)
-    })?;
-    for (&doppler, &ber) in dopplers.iter().zip(&bers) {
-        // VHF band III ≈ 200 MHz: v = f_d·c/f ≈ f_d · 5.4 km/h per Hz.
-        println!("| {doppler:.0} | {:.0} | {ber:.2e} |", doppler * 5.4);
-    }
-    assert!(
-        bers.last().expect("nonempty") > bers.first().expect("nonempty"),
-        "fast fading must raise DQPSK BER"
-    );
-    Ok(())
-}
-
-/// E1 — one Mother Model reconfigures into all ten standards; loopback
-/// BER is zero for each (Table 1).
-fn e1_reconfiguration_matrix() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n## E1 — Reconfiguration matrix (Table 1)\n");
-    println!(
-        "| standard | FFT | guard | data carriers | fs (MHz) | Tsym (µs) | PAPR (dB) | loopback errors |"
-    );
-    println!("|---|---|---|---|---|---|---|---|");
-    for id in StandardId::ALL {
-        let p = default_params(id);
-        // Fill ≥4 OFDM symbols completely so PAPR reflects random data,
-        // not zero-padding.
-        let n_bits = 4 * p.nominal_bits_per_symbol().max(100);
-        let frame = transmit_frame(&p, n_bits, 17);
-        let errors = loopback_errors(&p, n_bits, 17);
-        println!(
-            "| {} | {} | {} | {} | {:.3} | {:.1} | {:.1} | {} |",
-            id.key(),
-            p.map.fft_size(),
-            p.guard.samples(p.map.fft_size()),
-            p.map.data_count(),
-            p.sample_rate / 1e6,
-            p.symbol_duration() * 1e6,
-            frame.signal().papr_db(),
-            errors,
-        );
-        assert_eq!(errors, 0, "{id}: loopback must be error-free");
-    }
-    Ok(())
-}
-
-/// E2 — the three paper-demonstrated standards as signal sources in the
-/// RF simulator (Table 2): occupied bandwidth, ACPR, EVM through a clean
-/// RF lineup.
-fn e2_cosimulation() -> Result<(), Box<dyn std::error::Error>> {
-    use ofdm_dsp::resample::Resampler;
-    use ofdm_dsp::spectrum::band_power;
-
-    println!("\n## E2 — RF co-simulation of 802.11a / ADSL / DRM (Table 2)\n");
-    println!("| standard | OBW 99% (MHz) | OOB @8 dB IBO (dB) | OOB @2 dB IBO (dB) | EVM @8 dB IBO (dB) | EVM @2 dB IBO (dB) |");
-    println!("|---|---|---|---|---|---|");
-    for id in [StandardId::Ieee80211a, StandardId::Adsl, StandardId::Drm] {
-        let p = default_params(id);
-        let frame = transmit_frame(&p, 6 * p.nominal_bits_per_symbol().max(100), 5);
-        // The nominal occupied band from the carrier allocation.
-        let spacing = p.subcarrier_spacing();
-        let carriers = p.map.data_carriers();
-        let f_hi = (*carriers.last().expect("nonempty map") as f64 + 1.0) * spacing;
-        let f_lo = if p.map.is_hermitian() {
-            // A real line signal occupies ± the tone band.
-            -f_hi
-        } else {
-            (carriers[0] as f64 - 1.0) * spacing
-        };
-
-        // 4× oversampled path: spectral regrowth lands inside Nyquist.
-        let mut up = Resampler::new(4, 1, 16);
-        let oversampled = Signal::new(up.process(&frame.samples()), p.sample_rate * 4.0);
-
-        // Out-of-band power after the PA, as a ratio to total (dB).
-        let oob_after_pa = |backoff: f64| -> Result<f64, SimError> {
-            let mut g = Graph::new();
-            let src = g.add(SamplePlayback::new(oversampled.clone()));
-            let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(backoff));
-            let sa = g.add(SpectrumAnalyzer::new(512));
-            g.chain(&[src, pa, sa])?;
-            g.run()?;
-            let sa_ref = g.block::<SpectrumAnalyzer>(sa).expect("present");
-            let psd = sa_ref.psd().expect("ran").to_vec();
-            let fs = p.sample_rate * 4.0;
-            let total = band_power(&psd, fs, -fs / 2.0, fs / 2.0);
-            let in_band = band_power(&psd, fs, f_lo, f_hi);
-            Ok(10.0 * ((total - in_band).max(1e-20) / total).log10())
-        };
-
-        // EVM at baseband rate (the PA is memoryless, so EVM is rate
-        // independent).
-        let evm_after_pa = |backoff: f64| -> Result<f64, SimError> {
-            let mut g = Graph::new();
-            let src = g.add(SamplePlayback::new(frame.signal().clone()));
-            let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(backoff));
-            g.chain(&[src, pa])?;
-            g.run()?;
-            let out = g.output(pa).expect("ran").clone();
-            Ok(evm_after_gain_correction(&p, &frame, &out, 4))
-        };
-
-        // Occupied bandwidth of the clean oversampled signal.
-        let mut g = Graph::new();
-        let src = g.add(SamplePlayback::new(oversampled.clone()));
-        let sa = g.add(SpectrumAnalyzer::new(512));
-        g.chain(&[src, sa])?;
-        g.run()?;
-        let obw = g
-            .block::<SpectrumAnalyzer>(sa)
-            .expect("present")
-            .occupied_bandwidth(0.99)
-            .expect("ran");
-
-        let oob8 = oob_after_pa(8.0)?;
-        let oob2 = oob_after_pa(2.0)?;
-        let evm8 = evm_after_pa(8.0)?;
-        let evm2 = evm_after_pa(2.0)?;
-        println!(
-            "| {} | {:.3} | {:.1} | {:.1} | {:.1} | {:.1} |",
-            id.key(),
-            obw / 1e6,
-            oob8,
-            oob2,
-            evm8,
-            evm2,
-        );
-        assert!(evm2 > evm8, "{id}: harder PA drive must degrade EVM");
-        assert!(
-            oob2 > oob8,
-            "{id}: harder PA drive must raise spectral regrowth"
-        );
-    }
-    Ok(())
-}
-
-/// E3 — behavioral vs RT-level simulation time (Table 3): the paper's
-/// "negligible influence" claim.
-fn e3_simulation_time() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n## E3 — Behavioral vs RT-level simulation time (Table 3)\n");
-    println!("| symbols | behavioral TX | RT-level TX | RTL/beh | RF sim (tone) | RF sim (OFDM src) | src overhead |");
-    println!("|---|---|---|---|---|---|---|");
-    let rate = WlanRate::Mbps12;
-    for &n_symbols in &[10usize, 50, 200] {
-        let bits = n_symbols * rate.n_cbps() / 2 - 6; // rate 1/2, minus tail
-        let payload = payload_bits(bits, 3);
-
-        let mut beh = MotherModel::new(ieee80211a::params(rate))?;
-        let t_beh = time_per_run(
-            || {
-                beh.transmit(&payload).expect("transmits");
-            },
-            3,
-        );
-        let rtl = Tx80211aRtl::new(rate);
-        let t_rtl = time_per_run(
-            || {
-                rtl.transmit(&payload);
-            },
-            3,
-        );
-        let n_samples = 320 + n_symbols * 80;
-        let rf_once = |use_ofdm: bool| -> f64 {
-            time_per_run(
-                || {
-                    let mut g = Graph::new();
-                    let src = if use_ofdm {
-                        g.add(
-                            OfdmSource::new(ieee80211a::params(rate), bits, 1)
-                                .expect("valid preset"),
-                        )
-                    } else {
-                        g.add(ToneSource::new(1e6, 20e6, n_samples))
-                    };
-                    let dac = g.add(Dac::new(10, 4.0));
-                    let lo = g.add(LocalOscillator::new(0.0, 100.0, 3));
-                    let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(8.0));
-                    let sa = g.add(SpectrumAnalyzer::new(256));
-                    g.chain(&[src, dac, lo, pa, sa]).expect("wires");
-                    g.run().expect("runs");
-                },
-                3,
-            )
-        };
-        let t_rf_tone = rf_once(false);
-        let t_rf_ofdm = rf_once(true);
-        println!(
-            "| {} | {} | {} | {:.1}× | {} | {} | {:+.0}% |",
-            n_symbols,
-            fmt_secs(t_beh),
-            fmt_secs(t_rtl),
-            t_rtl / t_beh.max(1e-12),
-            fmt_secs(t_rf_tone),
-            fmt_secs(t_rf_ofdm),
-            (t_rf_ofdm / t_rf_tone.max(1e-12) - 1.0) * 100.0,
-        );
-    }
-    println!("\n(RTL kernel here is compiled Rust with one micro-op/cycle — a *lower bound* on");
-    println!("real HDL-simulator cost; the paper's APLAC-vs-VHDL gap is far larger.)");
-
-    // Batch vs chunked streaming scheduler on a streaming-capable chain
-    // (OFDM source → PA → power meter, 80-sample chunks ≙ one symbol).
-    // Streaming keeps per-edge memory at O(chunk) instead of O(frame).
-    println!("\nBatch vs chunked streaming scheduler (80-sample chunks):\n");
-    println!("| symbols | batch `run` | streaming `run_streaming` | stream/batch |");
-    println!("|---|---|---|---|");
-    for &n_symbols in &[10usize, 50, 200] {
-        let bits = n_symbols * rate.n_cbps() / 2 - 6;
-        let chain_once = |streaming: bool| -> f64 {
-            time_per_run(
-                || {
-                    let mut g = Graph::new();
-                    let src = g.add(
-                        OfdmSource::new(ieee80211a::params(rate), bits, 1).expect("valid preset"),
-                    );
-                    let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(8.0));
-                    let meter = g.add(PowerMeter::new());
-                    g.chain(&[src, pa, meter]).expect("wires");
-                    if streaming {
-                        g.run_streaming(80).expect("runs");
-                    } else {
-                        g.run().expect("runs");
-                    }
-                },
-                3,
-            )
-        };
-        let t_batch = chain_once(false);
-        let t_stream = chain_once(true);
-        println!(
-            "| {} | {} | {} | {:.2}× |",
-            n_symbols,
-            fmt_secs(t_batch),
-            fmt_secs(t_stream),
-            t_stream / t_batch.max(1e-12),
-        );
-    }
-    Ok(())
-}
-
-/// E4 — design-effort proxy (Table 4): a standard is a parameter set; the
-/// engine is shared.
-fn e4_design_effort() {
-    println!("\n## E4 — Reconfiguration vs redesign effort proxy (Table 4)\n");
-    println!("| standard | preset size (debug bytes) | mechanisms used |");
-    println!("|---|---|---|");
-    let mechanisms = |p: &ofdm_core::params::OfdmParams| -> String {
-        let mut m = Vec::new();
-        if p.map.is_hermitian() {
-            m.push("DMT");
-        }
-        if p.differential {
-            m.push("diff");
-        }
-        if !p.pilots.is_none() {
-            m.push("pilots");
-        }
-        if p.scrambler.is_some() {
-            m.push("scram");
-        }
-        if p.rs_outer.is_some() {
-            m.push("RS");
-        }
-        if p.conv_code.is_some() {
-            m.push("CC");
-        }
-        if !matches!(p.interleaver, ofdm_core::interleave::InterleaverSpec::None) {
-            m.push("ilv");
-        }
-        if !p.preamble.is_empty() {
-            m.push("preamble");
-        }
-        m.join("+")
-    };
-    let mut total = 0usize;
-    for id in StandardId::ALL {
-        let p = default_params(id);
-        let size = format!("{p:?}").len();
-        total += size;
-        println!("| {} | {} | {} |", id.key(), size, mechanisms(&p));
-    }
-    println!("\nTen presets total ≈ {total} debug-bytes of *configuration*, all sharing one");
-    println!("engine — the Mother Model trade the paper describes: \"in the case of two or");
-    println!("more different standards this approach is time saving\".");
-}
-
-/// E5 — behavioral ↔ RT-level functional equivalence vs datapath
-/// wordlength (Table 5).
-fn e5_equivalence() {
-    println!("\n## E5 — Behavioral vs bit-true RTL equivalence (Table 5)\n");
-    println!("| datapath format | max |Δ| | RMS error | correlation |");
-    println!("|---|---|---|---|");
-    let rate = WlanRate::Mbps12;
-    let payload = payload_bits(960, 21);
-    let mut beh = MotherModel::new(ieee80211a::params(rate)).expect("valid preset");
-    let frame_b = beh.transmit(&payload).expect("transmits");
-    for &(w, f) in &[(8u32, 5u32), (10, 7), (12, 9), (16, 12), (20, 16), (24, 20)] {
-        let rtl = Tx80211aRtl::new(rate).with_format(FxFormat::new(w, f));
-        let frame_r = rtl.transmit(&payload);
-        let mut max_d = 0.0f64;
-        let mut err2 = 0.0f64;
-        let mut dot = 0.0f64;
-        let mut pb = 0.0f64;
-        let mut pr = 0.0f64;
-        for (b, r) in frame_b.samples().iter().zip(&frame_r.samples) {
-            let d = (*b - *r).abs();
-            max_d = max_d.max(d);
-            err2 += d * d;
-            dot += (b.conj() * *r).re;
-            pb += b.norm_sqr();
-            pr += r.norm_sqr();
-        }
-        let rms = (err2 / frame_b.samples().len() as f64).sqrt();
-        let corr = dot / (pb * pr).sqrt();
-        println!("| Q{w}.{f} | {max_d:.2e} | {rms:.2e} | {corr:.6} |");
-    }
-}
-
-/// E7 — end-to-end BER waterfall over the AWGN channel (Table 7): the
-/// coding gain of the 802.11a chain, measured through the co-simulation.
-fn e7_ber_waterfall() -> Result<(), Box<dyn std::error::Error>> {
-    use ofdm_rx::receiver::ReferenceReceiver;
-
-    println!("\n## E7 — BER vs SNR over AWGN, 802.11a QPSK (Table 7)\n");
-    println!("| SNR (dB) | uncoded BER | coded (K=7 r=1/2) BER |");
-    println!("|---|---|---|");
-
-    let coded_params = ieee80211a::params(WlanRate::Mbps12);
-    let mut uncoded_params = coded_params.clone();
-    uncoded_params.conv_code = None;
-    uncoded_params.interleaver = ofdm_core::interleave::InterleaverSpec::None;
-    uncoded_params.name = "802.11a QPSK uncoded".into();
-
-    let n_bits = 48_000;
-    let sent = payload_bits(n_bits, 77);
-    let ber_for = |params: &ofdm_core::params::OfdmParams, snr: f64, seed: u64| -> f64 {
-        let mut tx = MotherModel::new(params.clone()).expect("valid");
-        let frame = tx.transmit(&sent).expect("tx");
-        let mut g = Graph::new();
-        let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let ch = g.add(AwgnChannel::from_snr_db(snr, seed));
-        g.chain(&[src, ch]).expect("wiring");
-        g.run().expect("runs");
-        let received = g.output(ch).expect("ran").clone();
-        let mut rx = ReferenceReceiver::new(params.clone()).expect("valid");
-        let got = rx.receive(&received, sent.len()).expect("decodes");
-        sent.iter().zip(&got).filter(|(a, b)| a != b).count() as f64 / n_bits as f64
-    };
-    // The SNR points are independent scenarios; the seeds are functions of
-    // the SNR alone, so the parallel sweep is bit-identical to the old
-    // sequential loop.
-    let snrs = [2.0f64, 4.0, 6.0, 8.0, 10.0];
-    let (results, _) =
-        SweepPlan::new(snrs.len()).run_fail_fast(|i| -> Result<(f64, f64), String> {
-            let snr = snrs[i];
-            let raw = ber_for(&uncoded_params, snr, 1000 + snr as u64);
-            let coded = ber_for(&coded_params, snr, 2000 + snr as u64);
-            Ok((raw, coded))
-        })?;
-    for (&snr, &(raw, coded)) in snrs.iter().zip(&results) {
-        println!("| {snr:.0} | {raw:.2e} | {coded:.2e} |");
-    }
-    // The waterfall shape: monotone in SNR, and coding wins decisively at
-    // moderate SNR.
-    assert!(
-        results.windows(2).all(|w| w[1].0 <= w[0].0 * 1.2),
-        "uncoded BER must fall"
-    );
-    let (raw8, coded8) = results[3]; // 8 dB
-    assert!(
-        coded8 < raw8 / 20.0,
-        "coding gain at 8 dB: {raw8:.2e} vs {coded8:.2e}"
-    );
-    Ok(())
-}
-
-/// A finite, positive ratio for the bench JSON: both terms are floored
-/// away from zero so a zero-duration timing (coarse clock, trivial run)
-/// can never emit NaN or infinity into the trajectory file.
 fn finite_ratio(num: f64, den: f64) -> f64 {
     (num.max(1e-12) / den.max(1e-12)).clamp(1e-9, 1e9)
 }
@@ -1011,7 +360,8 @@ fn simd_speedup_snapshot() -> Result<Value, Box<dyn std::error::Error>> {
 /// PA → power meter, the same shape E3 times.
 fn bench_chain(params: &ofdm_core::params::OfdmParams, bits: usize) -> Graph {
     let mut g = Graph::new();
-    let src = g.add(OfdmSource::new(params.clone(), bits, 1).expect("valid preset"));
+    let src =
+        g.add(ofdm_core::source::OfdmSource::new(params.clone(), bits, 1).expect("valid preset"));
     let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(8.0));
     let meter = g.add(PowerMeter::new());
     g.chain(&[src, pa, meter]).expect("wires");
@@ -1256,385 +606,4 @@ fn supervision_snapshot() -> Result<Value, Box<dyn std::error::Error>> {
         ("deadline_kills".into(), watchdog.deadline_kills.into()),
         ("resumed".into(), resumed.into()),
     ]))
-}
-
-/// `--check-bench FILE` — parses an emitted `BENCH_ofdm.json` and fails
-/// (nonzero exit) unless every required key is present and well-typed for
-/// all ten standards. This is the CI gate on the telemetry pipeline.
-fn check_bench_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = serde::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let fail = |msg: String| -> Box<dyn std::error::Error> { format!("{path}: {msg}").into() };
-
-    if doc.get("schema").and_then(Value::as_str) != Some("bench-ofdm/v1") {
-        return Err(fail(
-            "missing or wrong `schema` (want \"bench-ofdm/v1\")".into(),
-        ));
-    }
-    for key in [
-        "symbols",
-        "behavioral_vs_rtl_ratio",
-        "instrumented_overhead_ratio",
-    ] {
-        let v = doc
-            .get(key)
-            .and_then(Value::as_f64)
-            .ok_or_else(|| fail(format!("missing numeric `{key}`")))?;
-        if !v.is_finite() || v <= 0.0 {
-            return Err(fail(format!(
-                "`{key}` must be finite and positive, got {v}"
-            )));
-        }
-    }
-    let standards = doc
-        .get("standards")
-        .ok_or_else(|| fail("missing `standards`".into()))?;
-    // The shim serializes non-finite f64 as `null` (caught above as a
-    // missing numeric), but a hand-edited or foreign file can still carry
-    // garbage — reject any non-finite number explicitly.
-    let finite = |v: Option<f64>, what: String| -> Result<f64, Box<dyn std::error::Error>> {
-        let v = v.ok_or_else(|| fail(format!("missing numeric {what}")))?;
-        if !v.is_finite() {
-            return Err(fail(format!("{what} is not finite: {v}")));
-        }
-        Ok(v)
-    };
-    for id in StandardId::ALL {
-        let key = id.key();
-        let s = standards
-            .get(key)
-            .ok_or_else(|| fail(format!("missing standard `{key}`")))?;
-        for field in ["total_ns", "samples", "throughput_msps"] {
-            finite(
-                s.get(field).and_then(Value::as_f64),
-                format!("`{key}`.`{field}`"),
-            )?;
-        }
-        let per_block = s
-            .get("per_block_ns")
-            .and_then(Value::as_object)
-            .ok_or_else(|| fail(format!("`{key}` missing object `per_block_ns`")))?;
-        if per_block.is_empty() {
-            return Err(fail(format!("`{key}`: `per_block_ns` is empty")));
-        }
-        for (block, ns) in per_block {
-            finite(ns.as_f64(), format!("`{key}` block `{block}` ns"))?;
-        }
-        let stages = s
-            .get("stages_ns")
-            .ok_or_else(|| fail(format!("`{key}` missing `stages_ns`")))?;
-        for stage in ["pilot", "map", "ifft", "cp"] {
-            finite(
-                stages.get(stage).and_then(Value::as_f64),
-                format!("`{key}` stage `{stage}`"),
-            )?;
-        }
-    }
-    // The fault sweep is optional (older files predate it) but must be
-    // sound when present.
-    if let Some(fs) = doc.get("fault_sweep") {
-        for field in [
-            "succeeded",
-            "retried",
-            "faulted",
-            "panics_caught",
-            "errors_caught",
-        ] {
-            finite(
-                fs.get(field).and_then(Value::as_f64),
-                format!("`fault_sweep`.`{field}`"),
-            )?;
-        }
-        let rate = finite(
-            fs.get("survival_rate").and_then(Value::as_f64),
-            "`fault_sweep`.`survival_rate`".into(),
-        )?;
-        if !(0.0..=1.0).contains(&rate) {
-            return Err(fail(format!(
-                "`fault_sweep`.`survival_rate` must be in [0, 1], got {rate}"
-            )));
-        }
-    }
-    // The unified-engine guard: optional in files predating the ExecPlan
-    // refactor, but when present the plan-driven engine must sit within
-    // timing noise (< 5%) of the legacy shim entrypoint it replaced.
-    if let Some(engine) = doc.get("exec_engine") {
-        for field in ["shim_ns", "engine_ns"] {
-            let v = finite(
-                engine.get(field).and_then(Value::as_f64),
-                format!("`exec_engine`.`{field}`"),
-            )?;
-            if v <= 0.0 {
-                return Err(fail(format!(
-                    "`exec_engine`.`{field}` must be positive, got {v}"
-                )));
-            }
-        }
-        let ratio = finite(
-            engine.get("ratio").and_then(Value::as_f64),
-            "`exec_engine`.`ratio`".into(),
-        )?;
-        if !(0.95..=1.05).contains(&ratio) {
-            return Err(fail(format!(
-                "`exec_engine`.`ratio` must be within 5% of 1.0 (engine within \
-                 noise of the shim), got {ratio}"
-            )));
-        }
-    }
-
-    // The SoA payoff gate: optional in files predating the split-layout
-    // refactor; when present, every standard's batched kernel must at
-    // minimum not regress the scalar path, the two headline standards
-    // (802.11a and DVB-T) must clear 5x, and the family geomean 3x.
-    if let Some(simd) = doc.get("simd_speedup") {
-        let entries = simd
-            .get("standards")
-            .and_then(Value::as_object)
-            .ok_or_else(|| fail("`simd_speedup` missing object `standards`".into()))?;
-        if entries.len() != StandardId::ALL.len() {
-            return Err(fail(format!(
-                "`simd_speedup`.`standards` has {} entries, want {}",
-                entries.len(),
-                StandardId::ALL.len()
-            )));
-        }
-        for id in StandardId::ALL {
-            let key = id.key();
-            let s = simd
-                .get("standards")
-                .and_then(|e| e.get(key))
-                .ok_or_else(|| fail(format!("`simd_speedup` missing standard `{key}`")))?;
-            for field in ["samples", "scalar_ns", "batched_ns"] {
-                finite(
-                    s.get(field).and_then(Value::as_f64),
-                    format!("`simd_speedup`.`{key}`.`{field}`"),
-                )?;
-            }
-            let speedup = finite(
-                s.get("speedup").and_then(Value::as_f64),
-                format!("`simd_speedup`.`{key}`.`speedup`"),
-            )?;
-            if speedup < 1.0 {
-                return Err(fail(format!(
-                    "`simd_speedup`.`{key}`: batched kernel slower than the \
-                     scalar path ({speedup:.2}x, floor 1x)"
-                )));
-            }
-            let floor = match id {
-                StandardId::Ieee80211a | StandardId::DvbT => 5.0,
-                _ => 1.0,
-            };
-            if speedup < floor {
-                return Err(fail(format!(
-                    "`simd_speedup`.`{key}`: {speedup:.2}x below the {floor}x floor"
-                )));
-            }
-        }
-        let geomean = finite(
-            simd.get("geomean").and_then(Value::as_f64),
-            "`simd_speedup`.`geomean`".into(),
-        )?;
-        if geomean < 3.0 {
-            return Err(fail(format!(
-                "`simd_speedup`.`geomean` {geomean:.2}x below the 3x family floor"
-            )));
-        }
-    }
-
-    // Same deal for the supervised-runtime gate: optional in older files,
-    // validated when present.
-    if let Some(sup) = doc.get("supervision") {
-        let health = sup
-            .get("health")
-            .and_then(Value::as_str)
-            .ok_or_else(|| fail("`supervision` missing string `health`".into()))?;
-        if !["healthy", "degraded", "failed"].contains(&health) {
-            return Err(fail(format!("`supervision`.`health` is `{health}`")));
-        }
-        for field in [
-            "breaker_trips",
-            "bypassed_invocations",
-            "deadline_kills",
-            "resumed",
-        ] {
-            let v = finite(
-                sup.get(field).and_then(Value::as_f64),
-                format!("`supervision`.`{field}`"),
-            )?;
-            if v < 0.0 {
-                return Err(fail(format!(
-                    "`supervision`.`{field}` must be non-negative, got {v}"
-                )));
-            }
-        }
-    }
-    // Waterfall curves ride along when a sibling `waterfall.json` exists
-    // (the CI smoke emits one next to the bench file): finite values,
-    // BER within [0, 1], and monotone-descending curves.
-    let sibling = std::path::Path::new(path).with_file_name("waterfall.json");
-    if sibling.exists() {
-        check_waterfall_json(&sibling.to_string_lossy())?;
-    }
-    println!("{path}: ok ({} standards)", StandardId::ALL.len());
-    Ok(())
-}
-
-/// Validates a `waterfall/v1` document: shape, finite values, BER within
-/// `[0, 1]` and consistent with its `errors/bits` tally, and per-standard
-/// curves that descend with SNR (small slack per step for counting noise,
-/// none for the endpoints).
-fn check_waterfall_json(path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = serde::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let fail = |msg: String| -> Box<dyn std::error::Error> { format!("{path}: {msg}").into() };
-
-    if doc.get("schema").and_then(Value::as_str) != Some("waterfall/v1") {
-        return Err(fail(
-            "missing or wrong `schema` (want \"waterfall/v1\")".into(),
-        ));
-    }
-    let snr = doc
-        .get("snr_db")
-        .and_then(Value::as_array)
-        .ok_or_else(|| fail("missing array `snr_db`".into()))?;
-    if snr.is_empty() {
-        return Err(fail("`snr_db` is empty".into()));
-    }
-    let mut prev = f64::NEG_INFINITY;
-    for (i, v) in snr.iter().enumerate() {
-        let db = v
-            .as_f64()
-            .filter(|d| d.is_finite())
-            .ok_or_else(|| fail(format!("`snr_db[{i}]` is not a finite number")))?;
-        if db <= prev {
-            return Err(fail(format!("`snr_db` must increase at index {i}")));
-        }
-        prev = db;
-    }
-    let standards = doc
-        .get("standards")
-        .and_then(Value::as_object)
-        .ok_or_else(|| fail("missing object `standards`".into()))?;
-    if standards.is_empty() {
-        return Err(fail("`standards` is empty".into()));
-    }
-    for (key, curve) in standards {
-        let series = |field: &str| -> Result<Vec<f64>, Box<dyn std::error::Error>> {
-            let arr = curve
-                .get(field)
-                .and_then(Value::as_array)
-                .ok_or_else(|| fail(format!("`{key}` missing array `{field}`")))?;
-            if arr.len() != snr.len() {
-                return Err(fail(format!(
-                    "`{key}`.`{field}` has {} points, want {}",
-                    arr.len(),
-                    snr.len()
-                )));
-            }
-            arr.iter()
-                .enumerate()
-                .map(|(i, v)| {
-                    v.as_f64()
-                        .filter(|x| x.is_finite())
-                        .ok_or_else(|| fail(format!("`{key}`.`{field}[{i}]` is not finite")))
-                })
-                .collect()
-        };
-        let ber = series("ber")?;
-        let errors = series("errors")?;
-        let bits = series("bits")?;
-        for i in 0..snr.len() {
-            if !(0.0..=1.0).contains(&ber[i]) {
-                return Err(fail(format!(
-                    "`{key}`.`ber[{i}]` outside [0, 1]: {}",
-                    ber[i]
-                )));
-            }
-            if bits[i] <= 0.0 || errors[i] < 0.0 || errors[i] > bits[i] {
-                return Err(fail(format!(
-                    "`{key}` point {i}: bad tally {}/{}",
-                    errors[i], bits[i]
-                )));
-            }
-            if (ber[i] - errors[i] / bits[i]).abs() > 1e-9 {
-                return Err(fail(format!(
-                    "`{key}`.`ber[{i}]` inconsistent with errors/bits"
-                )));
-            }
-        }
-        for (i, w) in ber.windows(2).enumerate() {
-            if w[1] > w[0] + (0.05 * w[0]).max(1e-3) {
-                return Err(fail(format!(
-                    "`{key}`: BER rises from {:.3e} to {:.3e} at SNR index {}",
-                    w[0],
-                    w[1],
-                    i + 1
-                )));
-            }
-        }
-        let (first, last) = (ber[0], ber[snr.len() - 1]);
-        if last >= first && first > 0.0 {
-            return Err(fail(format!(
-                "`{key}`: waterfall does not descend ({first:.3e} → {last:.3e})"
-            )));
-        }
-    }
-    println!("{path}: ok ({} curves)", standards.len());
-    Ok(())
-}
-
-/// E6 — the RF-design question the co-simulation answers (Table 6):
-/// 64-QAM 802.11a EVM vs PA back-off and vs LO phase noise.
-fn e6_impairments() -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n## E6 — Impairment studies via co-simulation (Table 6)\n");
-    let p = ieee80211a::params(WlanRate::Mbps54);
-    let frame = transmit_frame(&p, 12_000, 9);
-
-    println!("EVM vs PA input back-off (Rapp p=3):\n");
-    println!("| IBO (dB) | EVM (dB) | 64-QAM limit −25 dB |");
-    println!("|---|---|---|");
-    let ibos = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
-    let (evms, _) = SweepPlan::new(ibos.len()).run_fail_fast(|i| -> Result<f64, String> {
-        let mut g = Graph::new();
-        let src = g.add(SamplePlayback::new(frame.signal().clone()));
-        let pa = g.add(RappPa::new(1.0, 3.0).with_input_backoff_db(ibos[i]));
-        g.chain(&[src, pa]).map_err(|e| e.to_string())?;
-        g.run().map_err(|e| e.to_string())?;
-        let out = g.output(pa).expect("ran");
-        Ok(evm_after_gain_correction(&p, &frame, out, 6))
-    })?;
-    for (&ibo, &evm) in ibos.iter().zip(&evms) {
-        println!(
-            "| {ibo:.0} | {evm:.1} | {} |",
-            if evm < -25.0 { "pass" } else { "FAIL" }
-        );
-    }
-    // More back-off → monotonically better EVM, by a large margin overall.
-    assert!(
-        evms.windows(2).all(|w| w[1] < w[0] + 0.2),
-        "EVM must improve with back-off"
-    );
-    assert!(
-        evms.last().expect("nonempty") < &(evms[0] - 10.0),
-        "12 dB of back-off must buy well over 10 dB of EVM"
-    );
-
-    println!("\nEVM vs LO phase-noise linewidth:\n");
-    println!("| linewidth (Hz) | EVM (dB) |");
-    println!("|---|---|");
-    let linewidths = [0.0, 10.0, 100.0, 1_000.0, 10_000.0];
-    let (lo_evms, _) =
-        SweepPlan::new(linewidths.len()).run_fail_fast(|i| -> Result<f64, String> {
-            let mut g = Graph::new();
-            let src = g.add(SamplePlayback::new(frame.signal().clone()));
-            let lo = g.add(LocalOscillator::new(0.0, linewidths[i], 13));
-            g.chain(&[src, lo]).map_err(|e| e.to_string())?;
-            g.run().map_err(|e| e.to_string())?;
-            let out = g.output(lo).expect("ran");
-            Ok(evm_after_gain_correction(&p, &frame, out, 6))
-        })?;
-    for (&lw, &evm) in linewidths.iter().zip(&lo_evms) {
-        println!("| {lw:.0} | {evm:.1} |");
-    }
-    Ok(())
 }

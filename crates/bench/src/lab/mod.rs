@@ -1,0 +1,374 @@
+//! The declarative experiment lab: experiments as data.
+//!
+//! An [`ExperimentSpec`] (JSON, schema `lab-spec/v1`) declares scenarios
+//! × variants × repeats plus a base seed and declarative assertions; the
+//! engine here expands the cross-product into a deterministic flat run
+//! matrix, executes it over [`rfsim::SweepPlan`] (reusing its telemetry,
+//! supervision and checkpoint/resume machinery), aggregates per-cell
+//! metrics with p50/p95/p99 percentiles, and renders a byte-stable
+//! `lab/v1` JSON report plus a markdown comparison table.
+//!
+//! Determinism contract: every *deterministic* metric is a pure function
+//! of `(spec, cell seed)`, so the `lab/v1` document is byte-stable
+//! across reruns. Wall-clock measurements are declared *volatile* by
+//! their kernel ([`Metric::volatile`]); they appear in rendered tables
+//! but never in the JSON cells (only their names, under `volatile`).
+//!
+//! Layering: spec parsing in [`spec`], kernels in [`workloads`],
+//! aggregation/assertions/rendering in [`report`]. See DESIGN.md §3.9.
+
+pub mod report;
+pub mod spec;
+pub mod workloads;
+
+pub use report::{AssertionOutcome, CellAgg, LabRun, MetricAgg};
+pub use spec::{Assertion, AxisPoint, CellSel, Direction, ExperimentSpec, Op};
+
+use rfsim::{scenario_seed, CheckpointPayload, SimError, SweepCheckpoint, SweepPlan};
+use serde::json::Value;
+use std::path::Path;
+
+/// One measured quantity from a workload kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (assertion references use it).
+    pub name: String,
+    /// The measured value (must be finite).
+    pub value: f64,
+    /// `true` for wall-clock measurements: rendered, never serialized
+    /// into `lab/v1` cells, and not assertable.
+    pub volatile: bool,
+}
+
+impl Metric {
+    /// A deterministic metric — a pure function of `(spec, seed)`.
+    pub fn new(name: &str, value: f64) -> Metric {
+        Metric {
+            name: name.to_owned(),
+            value,
+            volatile: false,
+        }
+    }
+
+    /// A volatile (wall-clock) metric.
+    pub fn volatile(name: &str, value: f64) -> Metric {
+        Metric {
+            name: name.to_owned(),
+            value,
+            volatile: true,
+        }
+    }
+}
+
+/// The merged per-cell configuration a kernel reads: spec `defaults`,
+/// overlaid by the scenario's fields, overlaid by the variant's fields.
+#[derive(Debug, Clone)]
+pub struct CellCfg {
+    fields: Vec<(String, Value)>,
+}
+
+impl CellCfg {
+    /// Builds the merged view (later layers win by key).
+    pub fn merge(layers: &[&[(String, Value)]]) -> CellCfg {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        for layer in layers {
+            for (k, v) in *layer {
+                match fields.iter_mut().find(|(key, _)| key == k) {
+                    Some(slot) => slot.1 = v.clone(),
+                    None => fields.push((k.clone(), v.clone())),
+                }
+            }
+        }
+        CellCfg { fields }
+    }
+
+    /// Raw field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Required string field.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or not a string.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("missing string field `{key}`"))
+    }
+
+    /// String field with a default.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not a string.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> Result<&'a str, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| format!("field `{key}` is not a string")),
+        }
+    }
+
+    /// Required finite numeric field.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or not a finite number.
+    pub fn f64(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .and_then(Value::as_f64)
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| format!("missing finite numeric field `{key}`"))
+    }
+
+    /// Numeric field with a default.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not a finite number.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("field `{key}` is not a finite number")),
+        }
+    }
+
+    /// Required unsigned integer field.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or not a non-negative integer.
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing integer field `{key}`"))
+    }
+
+    /// Unsigned integer field with a default.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not a non-negative integer.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| format!("field `{key}` is not an integer")),
+        }
+    }
+
+    /// `usize` convenience over [`CellCfg::u64_or`].
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not a non-negative integer.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        Ok(self.u64_or(key, default as u64)? as usize)
+    }
+
+    /// Array-of-pairs field (`[[a, b], …]`), e.g. a power-delay profile.
+    ///
+    /// # Errors
+    ///
+    /// When the field is present but not an array of 2-element numeric
+    /// arrays.
+    pub fn pairs_or(&self, key: &str, default: &[(f64, f64)]) -> Result<Vec<(f64, f64)>, String> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| format!("field `{key}` is not an array"))?;
+                arr.iter()
+                    .map(|p| {
+                        let pair = p.as_array().filter(|a| a.len() == 2);
+                        match pair {
+                            Some(a) => match (a[0].as_f64(), a[1].as_f64()) {
+                                (Some(x), Some(y)) if x.is_finite() && y.is_finite() => Ok((x, y)),
+                                _ => Err(format!("field `{key}` has a non-numeric pair")),
+                            },
+                            None => Err(format!("field `{key}` has a non-pair entry")),
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One cell-repeat's metrics, as produced by a kernel — the unit the
+/// sweep pool shards and the checkpoint layer persists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRun(pub Vec<Metric>);
+
+impl CheckpointPayload for CellRun {
+    fn to_checkpoint_value(&self) -> Value {
+        Value::Array(
+            self.0
+                .iter()
+                .map(|m| {
+                    Value::Object(vec![
+                        ("name".into(), Value::from(m.name.as_str())),
+                        ("value".into(), Value::from(m.value)),
+                        ("volatile".into(), Value::from(m.volatile)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn from_checkpoint_value(value: &Value) -> Option<Self> {
+        let arr = value.as_array()?;
+        let mut metrics = Vec::with_capacity(arr.len());
+        for m in arr {
+            metrics.push(Metric {
+                name: m.get("name")?.as_str()?.to_owned(),
+                value: m.get("value")?.as_f64()?,
+                volatile: m.get("volatile")?.as_bool()?,
+            });
+        }
+        Some(CellRun(metrics))
+    }
+}
+
+/// Engine options orthogonal to the spec itself.
+#[derive(Debug, Clone, Default)]
+pub struct LabOptions {
+    /// Override the spec's worker-thread count.
+    pub threads: Option<usize>,
+    /// Persist completed cell-repeats here and resume across calls.
+    pub checkpoint: Option<std::path::PathBuf>,
+}
+
+/// Runs one flat cell-repeat of `spec`: merges the config layers,
+/// resolves the workload (variant override beats scenario override beats
+/// spec default) and dispatches to the kernel with the derived cell
+/// seed.
+///
+/// # Errors
+///
+/// Kernel failures, unknown workloads, or a kernel emitting a non-finite
+/// metric.
+pub fn run_flat(spec: &ExperimentSpec, flat: usize) -> Result<CellRun, String> {
+    let (s, v, _r) = spec.decompose(flat);
+    let scenario = &spec.scenarios[s];
+    let variant = &spec.variants[v];
+    let cfg = CellCfg::merge(&[&spec.defaults, &scenario.fields, &variant.fields]);
+    let workload = variant
+        .workload
+        .as_deref()
+        .or(scenario.workload.as_deref())
+        .unwrap_or(&spec.workload);
+    let seed = scenario_seed(spec.base_seed, flat);
+    let metrics = workloads::run(workload, &cfg, seed).map_err(|e| {
+        format!(
+            "cell ({}, {}): workload `{workload}`: {e}",
+            scenario.label, variant.label
+        )
+    })?;
+    for m in &metrics {
+        if !m.value.is_finite() {
+            return Err(format!(
+                "cell ({}, {}): metric `{}` is not finite: {}",
+                scenario.label, variant.label, m.name, m.value
+            ));
+        }
+    }
+    Ok(CellRun(metrics))
+}
+
+/// Executes the full spec: expands the matrix, shards it over a
+/// [`SweepPlan`] (checkpointed when [`LabOptions::checkpoint`] is set),
+/// aggregates percentiles per cell and evaluates the declarative
+/// assertions.
+///
+/// # Errors
+///
+/// Spec-shape problems (zero cells), the first failing cell, or a
+/// corrupt checkpoint.
+pub fn run_spec(spec: &ExperimentSpec, options: &LabOptions) -> Result<LabRun, String> {
+    let count = spec.run_count();
+    if count == 0 {
+        return Err("empty run matrix".into());
+    }
+    let threads = options.threads.unwrap_or(spec.threads);
+    let mut plan = SweepPlan::new(count).with_telemetry(true);
+    if threads > 0 {
+        plan = plan.threads(threads);
+    }
+    let (runs, sweep) = match &options.checkpoint {
+        None => plan.run_fail_fast(|flat| run_flat(spec, flat))?,
+        Some(path) => run_checkpointed(spec, &plan, path)?,
+    };
+    report::aggregate(spec, runs, sweep)
+}
+
+fn run_checkpointed(
+    spec: &ExperimentSpec,
+    plan: &SweepPlan,
+    path: &Path,
+) -> Result<(Vec<CellRun>, rfsim::SweepReport), String> {
+    let mut ckpt = SweepCheckpoint::load(path, &spec.checkpoint_label(), spec.run_count())
+        .map_err(|e| e.to_string())?;
+    let (outcomes, sweep) = plan.run_checkpointed(&mut ckpt, |flat, _attempt, _ctx| {
+        run_flat(spec, flat).map_err(|message| SimError::BlockFailure {
+            block: "lab".into(),
+            message,
+        })
+    });
+    let mut runs = Vec::with_capacity(outcomes.len());
+    for (flat, outcome) in outcomes.iter().enumerate() {
+        match outcome.result() {
+            Some(r) => runs.push(r.clone()),
+            None => {
+                let (s, v, rep) = spec.decompose(flat);
+                return Err(format!(
+                    "cell ({}, {}) repeat {rep} faulted every attempt",
+                    spec.scenarios[s].label, spec.variants[v].label
+                ));
+            }
+        }
+    }
+    // The matrix is complete — the checkpoint has served its purpose.
+    ckpt.discard().map_err(|e| format!("checkpoint: {e}"))?;
+    Ok((runs, sweep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_cfg_merge_later_layers_win() {
+        let base = vec![
+            ("a".to_owned(), Value::from(1.0)),
+            ("b".to_owned(), Value::from("x")),
+        ];
+        let over = vec![("a".to_owned(), Value::from(2.0))];
+        let cfg = CellCfg::merge(&[&base, &over]);
+        assert_eq!(cfg.f64("a"), Ok(2.0));
+        assert_eq!(cfg.str("b"), Ok("x"));
+        assert!(cfg.f64("c").is_err());
+        assert_eq!(cfg.f64_or("c", 7.0), Ok(7.0));
+        assert_eq!(cfg.usize_or("c", 3), Ok(3));
+    }
+
+    #[test]
+    fn cell_run_checkpoint_roundtrip() {
+        let run = CellRun(vec![
+            Metric::new("ber", 0.015625),
+            Metric::volatile("t_s", 0.25),
+        ]);
+        let restored =
+            CellRun::from_checkpoint_value(&run.to_checkpoint_value()).expect("roundtrips");
+        assert_eq!(restored, run);
+        assert!(CellRun::from_checkpoint_value(&Value::from(3.0)).is_none());
+    }
+}

@@ -1,0 +1,556 @@
+//! Declarative experiment specs (`lab-spec/v1`).
+//!
+//! A spec is pure data: scenarios × variants × repeats plus a base seed
+//! and a list of declarative assertions. The engine ([`crate::lab`])
+//! expands the cross-product into a deterministic run matrix; nothing in
+//! a spec is executable, so adding an experiment is a data change.
+
+use serde::json::Value;
+
+/// One point on the scenario or variant axis: a label plus the config
+/// fields it contributes to each cell, and an optional workload override
+/// (so one spec can mix kernels, e.g. E10's watchdog/breaker/resume
+/// parts as sibling scenarios).
+#[derive(Debug, Clone)]
+pub struct AxisPoint {
+    /// Stable label — the row/column name in tables, JSON and assertion
+    /// references.
+    pub label: String,
+    /// Config fields merged into each cell this point participates in.
+    pub fields: Vec<(String, Value)>,
+    /// Workload override for cells on this point (`None` = spec default).
+    pub workload: Option<String>,
+}
+
+/// Comparison operator for [`Assertion::Bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `value <= bound`
+    Le,
+    /// `value >= bound`
+    Ge,
+    /// `value < bound`
+    Lt,
+    /// `value > bound`
+    Gt,
+    /// `|value - bound| <= tol`
+    Eq,
+}
+
+impl Op {
+    fn parse(s: &str) -> Result<Op, String> {
+        match s {
+            "<=" => Ok(Op::Le),
+            ">=" => Ok(Op::Ge),
+            "<" => Ok(Op::Lt),
+            ">" => Ok(Op::Gt),
+            "==" => Ok(Op::Eq),
+            other => Err(format!("unknown op `{other}` (want <=, >=, <, >, ==)")),
+        }
+    }
+
+    /// The operator as written in the spec.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Le => "<=",
+            Op::Ge => ">=",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Eq => "==",
+        }
+    }
+}
+
+/// Required trend direction for [`Assertion::Monotone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `next <= prev * factor + slack`
+    NonIncreasing,
+    /// `next >= prev * factor - slack`
+    NonDecreasing,
+    /// `next > prev * factor + slack`
+    Increasing,
+    /// `next < prev * factor - slack`
+    Decreasing,
+}
+
+impl Direction {
+    fn parse(s: &str) -> Result<Direction, String> {
+        match s {
+            "non_increasing" => Ok(Direction::NonIncreasing),
+            "non_decreasing" => Ok(Direction::NonDecreasing),
+            "increasing" => Ok(Direction::Increasing),
+            "decreasing" => Ok(Direction::Decreasing),
+            other => Err(format!("unknown direction `{other}`")),
+        }
+    }
+
+    /// The direction as written in the spec.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::NonIncreasing => "non_increasing",
+            Direction::NonDecreasing => "non_decreasing",
+            Direction::Increasing => "increasing",
+            Direction::Decreasing => "decreasing",
+        }
+    }
+}
+
+/// A cell reference inside an [`Assertion::Order`] / [`Assertion::Equal`]
+/// pair. Axes left `None` in *both* sides of a pair are iterated jointly
+/// (the comparison must hold for every scenario/variant); an axis pinned
+/// on one side must be pinned on the other.
+#[derive(Debug, Clone, Default)]
+pub struct CellSel {
+    /// Scenario label, or `None` to iterate.
+    pub scenario: Option<String>,
+    /// Variant label, or `None` to iterate.
+    pub variant: Option<String>,
+    /// Metric override, or `None` for the assertion-level metric.
+    pub metric: Option<String>,
+}
+
+impl CellSel {
+    fn parse(v: &Value, what: &str) -> Result<CellSel, String> {
+        let opt = |key: &str| -> Result<Option<String>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(s) => Ok(Some(
+                    s.as_str()
+                        .ok_or_else(|| format!("{what}.`{key}` is not a string"))?
+                        .to_owned(),
+                )),
+            }
+        };
+        Ok(CellSel {
+            scenario: opt("scenario")?,
+            variant: opt("variant")?,
+            metric: opt("metric")?,
+        })
+    }
+}
+
+/// A declarative check over the aggregated cell matrix — the data-form
+/// replacement for the hand-coded `assert!`s of the legacy experiments.
+#[derive(Debug, Clone)]
+pub enum Assertion {
+    /// Every matching cell's statistic satisfies `op value`.
+    Bound {
+        /// Metric name.
+        metric: String,
+        /// Statistic (`p50` by default; any [`rfsim::Percentiles::stat`]
+        /// name).
+        stat: String,
+        /// Restrict to one scenario (`None` = all).
+        scenario: Option<String>,
+        /// Restrict to one variant (`None` = all).
+        variant: Option<String>,
+        /// The comparison.
+        op: Op,
+        /// The bound.
+        value: f64,
+        /// Tolerance for [`Op::Eq`].
+        tol: f64,
+    },
+    /// The statistic follows `direction` across consecutive scenarios.
+    Monotone {
+        /// Metric name.
+        metric: String,
+        /// Statistic name.
+        stat: String,
+        /// Restrict to one variant (`None` = every variant must hold).
+        variant: Option<String>,
+        /// Scenario labels in trend order (`None` = spec order, all).
+        scenarios: Option<Vec<String>>,
+        /// Trend direction.
+        direction: Direction,
+        /// Multiplier on the previous value.
+        factor: f64,
+        /// Additive slack.
+        slack: f64,
+    },
+    /// `lesser < greater * factor - margin` for every joint instance.
+    Order {
+        /// Default metric for both sides (a side may override).
+        metric: Option<String>,
+        /// Statistic name.
+        stat: String,
+        /// The side required to be smaller.
+        lesser: CellSel,
+        /// The side required to be larger.
+        greater: CellSel,
+        /// Multiplier on the greater side.
+        factor: f64,
+        /// Subtracted from the greater side.
+        margin: f64,
+    },
+    /// `|left - right| <= tol` for every joint instance — cross-variant
+    /// (or cross-scenario) equality, e.g. batch vs streaming output.
+    Equal {
+        /// Default metric for both sides (a side may override).
+        metric: Option<String>,
+        /// Statistic name.
+        stat: String,
+        /// One side.
+        left: CellSel,
+        /// The other side.
+        right: CellSel,
+        /// Absolute tolerance.
+        tol: f64,
+    },
+}
+
+impl Assertion {
+    /// The `check` discriminator as written in the spec.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Assertion::Bound { .. } => "bound",
+            Assertion::Monotone { .. } => "monotone",
+            Assertion::Order { .. } => "order",
+            Assertion::Equal { .. } => "equal",
+        }
+    }
+}
+
+/// A parsed `lab-spec/v1` experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Stable identifier (also the report `name`).
+    pub name: String,
+    /// Human title for rendered tables.
+    pub title: String,
+    /// Default workload kernel (see [`crate::lab::workloads`]).
+    pub workload: String,
+    /// Base seed; every cell derives its own seed from it.
+    pub base_seed: u64,
+    /// Repeats per cell (percentiles aggregate over repeats).
+    pub repeats: usize,
+    /// Worker threads (`0` = default pool).
+    pub threads: usize,
+    /// Metric to lead rendered tables with.
+    pub headline: Option<String>,
+    /// Config fields shared by every cell.
+    pub defaults: Vec<(String, Value)>,
+    /// The scenario axis (rows).
+    pub scenarios: Vec<AxisPoint>,
+    /// The variant axis (columns); a single `base` variant by default.
+    pub variants: Vec<AxisPoint>,
+    /// Declarative checks over the aggregated matrix.
+    pub assertions: Vec<Assertion>,
+}
+
+fn parse_fields(v: &Value, what: &str) -> Result<Vec<(String, Value)>, String> {
+    let members = v
+        .as_object()
+        .ok_or_else(|| format!("{what} is not an object"))?;
+    Ok(members
+        .iter()
+        .filter(|(k, _)| k != "label" && k != "workload")
+        .map(|(k, f)| (k.clone(), f.clone()))
+        .collect())
+}
+
+fn parse_axis(v: &Value, what: &str) -> Result<Vec<AxisPoint>, String> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("`{what}` is not an array"))?;
+    if arr.is_empty() {
+        return Err(format!("`{what}` is empty"));
+    }
+    let mut points = Vec::with_capacity(arr.len());
+    for (i, p) in arr.iter().enumerate() {
+        let where_ = format!("`{what}[{i}]`");
+        let label = p
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{where_} missing string `label`"))?
+            .to_owned();
+        if points.iter().any(|q: &AxisPoint| q.label == label) {
+            return Err(format!("{where_}: duplicate label `{label}`"));
+        }
+        let workload = match p.get("workload") {
+            None => None,
+            Some(w) => Some(
+                w.as_str()
+                    .ok_or_else(|| format!("{where_}.`workload` is not a string"))?
+                    .to_owned(),
+            ),
+        };
+        points.push(AxisPoint {
+            label,
+            fields: parse_fields(p, &where_)?,
+            workload,
+        });
+    }
+    Ok(points)
+}
+
+fn opt_f64(v: &Value, key: &str, default: f64, what: &str) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| format!("{what}.`{key}` is not a finite number")),
+    }
+}
+
+fn opt_str(v: &Value, key: &str, default: &str, what: &str) -> Result<String, String> {
+    match v.get(key) {
+        None => Ok(default.to_owned()),
+        Some(x) => Ok(x
+            .as_str()
+            .ok_or_else(|| format!("{what}.`{key}` is not a string"))?
+            .to_owned()),
+    }
+}
+
+fn opt_label(v: &Value, key: &str, what: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => Ok(Some(
+            x.as_str()
+                .ok_or_else(|| format!("{what}.`{key}` is not a string"))?
+                .to_owned(),
+        )),
+    }
+}
+
+fn parse_assertion(v: &Value, i: usize) -> Result<Assertion, String> {
+    let what = format!("`assertions[{i}]`");
+    let check = v
+        .get("check")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{what} missing string `check`"))?;
+    let stat = opt_str(v, "stat", "p50", &what)?;
+    let metric = opt_label(v, "metric", &what)?;
+    let require_metric = || {
+        metric
+            .clone()
+            .ok_or_else(|| format!("{what} missing string `metric`"))
+    };
+    match check {
+        "bound" => Ok(Assertion::Bound {
+            metric: require_metric()?,
+            stat,
+            scenario: opt_label(v, "scenario", &what)?,
+            variant: opt_label(v, "variant", &what)?,
+            op: Op::parse(
+                v.get("op")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("{what} missing string `op`"))?,
+            )
+            .map_err(|e| format!("{what}: {e}"))?,
+            value: v
+                .get("value")
+                .and_then(Value::as_f64)
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("{what} missing finite `value`"))?,
+            tol: opt_f64(v, "tol", 0.0, &what)?,
+        }),
+        "monotone" => {
+            let scenarios = match v.get("scenarios") {
+                None => None,
+                Some(list) => {
+                    let arr = list
+                        .as_array()
+                        .ok_or_else(|| format!("{what}.`scenarios` is not an array"))?;
+                    let mut labels = Vec::with_capacity(arr.len());
+                    for s in arr {
+                        labels.push(
+                            s.as_str()
+                                .ok_or_else(|| {
+                                    format!("{what}.`scenarios` has a non-string entry")
+                                })?
+                                .to_owned(),
+                        );
+                    }
+                    Some(labels)
+                }
+            };
+            Ok(Assertion::Monotone {
+                metric: require_metric()?,
+                stat,
+                variant: opt_label(v, "variant", &what)?,
+                scenarios,
+                direction: Direction::parse(
+                    v.get("direction")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("{what} missing string `direction`"))?,
+                )
+                .map_err(|e| format!("{what}: {e}"))?,
+                factor: opt_f64(v, "factor", 1.0, &what)?,
+                slack: opt_f64(v, "slack", 0.0, &what)?,
+            })
+        }
+        "order" | "equal" => {
+            let side = |key: &str| -> Result<CellSel, String> {
+                match v.get(key) {
+                    None => Ok(CellSel::default()),
+                    Some(s) => CellSel::parse(s, &format!("{what}.`{key}`")),
+                }
+            };
+            if check == "order" {
+                let (lesser, greater) = (side("lesser")?, side("greater")?);
+                check_pair_pins(&lesser, &greater, &what)?;
+                Ok(Assertion::Order {
+                    metric,
+                    stat,
+                    lesser,
+                    greater,
+                    factor: opt_f64(v, "factor", 1.0, &what)?,
+                    margin: opt_f64(v, "margin", 0.0, &what)?,
+                })
+            } else {
+                let (left, right) = (side("left")?, side("right")?);
+                check_pair_pins(&left, &right, &what)?;
+                Ok(Assertion::Equal {
+                    metric,
+                    stat,
+                    left,
+                    right,
+                    tol: opt_f64(v, "tol", 0.0, &what)?,
+                })
+            }
+        }
+        other => Err(format!("{what}: unknown check `{other}`")),
+    }
+}
+
+/// An axis pinned on one side of a pair comparison must be pinned on the
+/// other — "compare `snr8` against every scenario" is ambiguous.
+fn check_pair_pins(a: &CellSel, b: &CellSel, what: &str) -> Result<(), String> {
+    if a.scenario.is_some() != b.scenario.is_some() {
+        return Err(format!(
+            "{what}: `scenario` must be pinned on both sides or neither"
+        ));
+    }
+    if a.variant.is_some() != b.variant.is_some() {
+        return Err(format!(
+            "{what}: `variant` must be pinned on both sides or neither"
+        ));
+    }
+    Ok(())
+}
+
+impl ExperimentSpec {
+    /// Parses a `lab-spec/v1` document.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed or missing field.
+    pub fn parse(doc: &Value) -> Result<ExperimentSpec, String> {
+        if doc.get("schema").and_then(Value::as_str) != Some("lab-spec/v1") {
+            return Err("missing or wrong `schema` (want \"lab-spec/v1\")".into());
+        }
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or("missing non-empty string `name`")?
+            .to_owned();
+        let workload = doc
+            .get("workload")
+            .and_then(Value::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or("missing non-empty string `workload`")?
+            .to_owned();
+        let base_seed = doc
+            .get("base_seed")
+            .and_then(Value::as_u64)
+            .ok_or("missing integer `base_seed`")?;
+        let repeats = match doc.get("repeats") {
+            None => 1,
+            Some(r) => {
+                let r = r.as_u64().ok_or("`repeats` is not an integer")? as usize;
+                if r == 0 {
+                    return Err("`repeats` must be at least 1".into());
+                }
+                r
+            }
+        };
+        let threads = match doc.get("threads") {
+            None => 0,
+            Some(t) => t.as_u64().ok_or("`threads` is not an integer")? as usize,
+        };
+        let defaults = match doc.get("defaults") {
+            None => Vec::new(),
+            Some(d) => d.as_object().ok_or("`defaults` is not an object")?.to_vec(),
+        };
+        let scenarios = parse_axis(
+            doc.get("scenarios").ok_or("missing array `scenarios`")?,
+            "scenarios",
+        )?;
+        let variants = match doc.get("variants") {
+            None => vec![AxisPoint {
+                label: "base".to_owned(),
+                fields: Vec::new(),
+                workload: None,
+            }],
+            Some(v) => parse_axis(v, "variants")?,
+        };
+        let assertions = match doc.get("assertions") {
+            None => Vec::new(),
+            Some(a) => {
+                let arr = a.as_array().ok_or("`assertions` is not an array")?;
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, v)| parse_assertion(v, i))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        Ok(ExperimentSpec {
+            title: opt_str(doc, "title", &name, "spec")?,
+            headline: opt_label(doc, "headline", "spec")?,
+            name,
+            workload,
+            base_seed,
+            repeats,
+            threads,
+            defaults,
+            scenarios,
+            variants,
+            assertions,
+        })
+    }
+
+    /// Reads and parses a spec file.
+    ///
+    /// # Errors
+    ///
+    /// IO, JSON or spec-shape failures, prefixed with the path.
+    pub fn load(path: &std::path::Path) -> Result<ExperimentSpec, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = serde::json::parse(&text)
+            .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        ExperimentSpec::parse(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Total flat run count: scenarios × variants × repeats.
+    pub fn run_count(&self) -> usize {
+        self.scenarios.len() * self.variants.len() * self.repeats
+    }
+
+    /// Splits a flat run index into `(scenario, variant, repeat)`
+    /// indices; repeat is the fastest-varying axis.
+    pub fn decompose(&self, index: usize) -> (usize, usize, usize) {
+        let per_scenario = self.variants.len() * self.repeats;
+        (
+            index / per_scenario,
+            (index % per_scenario) / self.repeats,
+            index % self.repeats,
+        )
+    }
+
+    /// The deterministic label checkpoints are validated against.
+    pub fn checkpoint_label(&self) -> String {
+        format!(
+            "lab/{}/{}x{}x{}/seed{}",
+            self.name,
+            self.scenarios.len(),
+            self.variants.len(),
+            self.repeats,
+            self.base_seed,
+        )
+    }
+}

@@ -1,6 +1,8 @@
 //! Shared workload generators and measurement helpers for the benchmark
 //! harness and the `experiments` binary.
 
+pub mod gates;
+pub mod lab;
 pub mod theory;
 pub mod waterfall;
 

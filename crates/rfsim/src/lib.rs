@@ -68,7 +68,7 @@ pub use supervise::{
     BlockRole, BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload,
     Deadline, Health, Lease, LeaseReaper, SupervisionReport, SweepCheckpoint, SweepSupervisor,
 };
-pub use telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
+pub use telemetry::{BlockStats, FaultReport, Percentiles, RunMode, RunReport, SweepReport};
 
 /// Convenient glob-import surface for simulator users.
 pub mod prelude {
@@ -102,5 +102,7 @@ pub mod prelude {
         BlockRole, BreakerPolicy, BreakerState, CancelToken, CheckpointEntry, CheckpointPayload,
         Deadline, Health, Lease, LeaseReaper, SupervisionReport, SweepCheckpoint, SweepSupervisor,
     };
-    pub use crate::telemetry::{BlockStats, FaultReport, RunMode, RunReport, SweepReport};
+    pub use crate::telemetry::{
+        BlockStats, FaultReport, Percentiles, RunMode, RunReport, SweepReport,
+    };
 }

@@ -328,6 +328,110 @@ pub(crate) fn finite_or_zero(x: f64) -> f64 {
     }
 }
 
+/// Order statistics over a sample set: min/max/mean plus the p50, p95
+/// and p99 percentiles.
+///
+/// Tails are where a service lives or dies — a mean hides the one
+/// scenario in a hundred that blew its budget. Sweep runners attach
+/// these over per-scenario durations ([`SweepReport::duration_percentiles`]),
+/// and the experiment lab reuses the same aggregation over per-repeat
+/// metric values, so "p95 BER over 20 realizations" and "p99 scenario
+/// latency" are the same code path.
+///
+/// Percentiles use linear interpolation between order statistics
+/// (rank `q·(n−1)`), which is deterministic: the same samples always
+/// produce bit-identical statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Aggregates a sample set; `None` when it is empty.
+    ///
+    /// Non-finite samples are not filtered — they propagate into the
+    /// statistics (and serialize as `null`), so a corrupted input is
+    /// visible downstream instead of silently dropped.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(Percentiles {
+            count: sorted.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean,
+            p50: quantile(&sorted, 0.50),
+            p95: quantile(&sorted, 0.95),
+            p99: quantile(&sorted, 0.99),
+        })
+    }
+
+    /// Aggregates integer nanosecond durations.
+    pub fn from_nanos(nanos: &[u64]) -> Option<Self> {
+        let samples: Vec<f64> = nanos.iter().map(|&n| n as f64).collect();
+        Self::from_samples(&samples)
+    }
+
+    /// Looks a statistic up by name (`"min"`, `"max"`, `"mean"`,
+    /// `"p50"`, `"p95"`, `"p99"`); `None` for anything else.
+    pub fn stat(&self, name: &str) -> Option<f64> {
+        match name {
+            "min" => Some(self.min),
+            "max" => Some(self.max),
+            "mean" => Some(self.mean),
+            "p50" => Some(self.p50),
+            "p95" => Some(self.p95),
+            "p99" => Some(self.p99),
+            _ => None,
+        }
+    }
+
+    /// The statistics as a JSON object (insertion-ordered, so emission
+    /// is deterministic).
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".into(), Value::from(self.count)),
+            ("min".into(), Value::from(self.min)),
+            ("max".into(), Value::from(self.max)),
+            ("mean".into(), Value::from(self.mean)),
+            ("p50".into(), Value::from(self.p50)),
+            ("p95".into(), Value::from(self.p95)),
+            ("p99".into(), Value::from(self.p99)),
+        ])
+    }
+}
+
+/// Quantile `q` of an ascending-sorted slice by linear interpolation at
+/// rank `q·(n−1)`.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
 /// Outcome counts of a fault-tolerant scenario sweep
 /// ([`crate::scenario::SweepPlan::run`]): how the sweep degraded
 /// instead of whether it survived — it always survives.
@@ -444,6 +548,16 @@ impl SweepReport {
         }
     }
 
+    /// Percentiles (p50/p95/p99) over the per-scenario durations —
+    /// the tail-latency view of the sweep. `None` when the sweep ran
+    /// without telemetry (every duration is zero) or had no scenarios.
+    pub fn duration_percentiles(&self) -> Option<Percentiles> {
+        if self.scenario_nanos.iter().all(|&n| n == 0) {
+            return None;
+        }
+        Percentiles::from_nanos(&self.scenario_nanos)
+    }
+
     /// One-line human-readable digest.
     pub fn summary(&self) -> String {
         let mut line = format!(
@@ -455,6 +569,14 @@ impl SweepReport {
             self.speedup(),
             self.utilization() * 100.0,
         );
+        if let Some(p) = self.duration_percentiles() {
+            line.push_str(&format!(
+                ", p50/p95/p99 {:.3}/{:.3}/{:.3} ms",
+                p.p50 / 1e6,
+                p.p95 / 1e6,
+                p.p99 / 1e6,
+            ));
+        }
         if let Some(f) = &self.faults {
             line.push_str(" — ");
             line.push_str(&f.summary());
@@ -490,6 +612,9 @@ impl SweepReport {
                 ),
             ),
         ];
+        if let Some(p) = self.duration_percentiles() {
+            fields.push(("scenario_ns_percentiles".into(), p.to_json_value()));
+        }
         if let Some(f) = &self.faults {
             fields.push(("faults".into(), f.to_json_value()));
         }
@@ -704,6 +829,68 @@ mod tests {
         let sup = doc.get("supervision").expect("supervision object");
         assert_eq!(sup.get("deadline_kills").and_then(Value::as_f64), Some(3.0));
         assert_eq!(sup.get("resumed").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let p = Percentiles::from_samples(&[4.0, 1.0, 3.0, 2.0]).expect("nonempty");
+        assert_eq!(p.count, 4);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 4.0);
+        assert!((p.mean - 2.5).abs() < 1e-12);
+        // rank 0.5·3 = 1.5 → halfway between 2 and 3.
+        assert!((p.p50 - 2.5).abs() < 1e-12);
+        // rank 0.95·3 = 2.85 → between 3 and 4.
+        assert!((p.p95 - 3.85).abs() < 1e-12);
+        assert!((p.p99 - 3.97).abs() < 1e-12);
+        assert!(Percentiles::from_samples(&[]).is_none());
+        let single = Percentiles::from_samples(&[7.0]).expect("nonempty");
+        assert_eq!(single.p50, 7.0);
+        assert_eq!(single.p99, 7.0);
+    }
+
+    #[test]
+    fn percentiles_are_deterministic_and_named() {
+        let samples = [9.0, 1.0, 5.0, 5.0, 2.0, 8.0];
+        let a = Percentiles::from_samples(&samples).expect("nonempty");
+        let b = Percentiles::from_samples(&samples).expect("nonempty");
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_value().to_string(), b.to_json_value().to_string());
+        assert_eq!(a.stat("p50"), Some(a.p50));
+        assert_eq!(a.stat("mean"), Some(a.mean));
+        assert_eq!(a.stat("p37"), None);
+    }
+
+    #[test]
+    fn sweep_report_threads_duration_percentiles() {
+        let s = SweepReport {
+            total_nanos: 10_000_000,
+            workers: 2,
+            scenario_nanos: vec![1_000_000, 2_000_000, 3_000_000, 10_000_000],
+            faults: None,
+            supervision: None,
+        };
+        let p = s.duration_percentiles().expect("telemetry on");
+        assert_eq!(p.count, 4);
+        assert!((p.p50 - 2_500_000.0).abs() < 1.0);
+        assert!(s.summary().contains("p50/p95/p99"), "{}", s.summary());
+        let doc = serde::json::parse(&s.to_json_value().to_string()).expect("valid");
+        let pct = doc
+            .get("scenario_ns_percentiles")
+            .expect("percentiles object");
+        assert_eq!(pct.get("count").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(pct.get("max").and_then(Value::as_f64), Some(10_000_000.0));
+        // Telemetry off (all-zero durations) → no percentiles emitted.
+        let off = SweepReport {
+            total_nanos: 0,
+            workers: 2,
+            scenario_nanos: vec![0, 0],
+            faults: None,
+            supervision: None,
+        };
+        assert!(off.duration_percentiles().is_none());
+        let doc = serde::json::parse(&off.to_json_value().to_string()).expect("valid");
+        assert!(doc.get("scenario_ns_percentiles").is_none());
     }
 
     #[test]

@@ -82,6 +82,27 @@ pub mod json {
                 _ => None,
             }
         }
+
+        /// The boolean value, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as an unsigned integer, if this is a number that is
+        /// finite, non-negative and integral.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(x)
+                    if x.is_finite() && *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 =>
+                {
+                    Some(*x as u64)
+                }
+                _ => None,
+            }
+        }
     }
 
     impl From<f64> for Value {
@@ -334,6 +355,22 @@ pub mod json {
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn typed_accessors_reject_mismatched_variants() {
+            assert_eq!(Value::Bool(true).as_bool(), Some(true));
+            assert_eq!(Value::Bool(false).as_bool(), Some(false));
+            assert_eq!(Value::from(1.0).as_bool(), None);
+            assert_eq!(Value::from("true").as_bool(), None);
+
+            assert_eq!(Value::from(42u64).as_u64(), Some(42));
+            assert_eq!(Value::from(0.0).as_u64(), Some(0));
+            assert_eq!(Value::from(1.5).as_u64(), None);
+            assert_eq!(Value::from(-3.0).as_u64(), None);
+            assert_eq!(Value::from(f64::NAN).as_u64(), None);
+            assert_eq!(Value::from(f64::INFINITY).as_u64(), None);
+            assert_eq!(Value::from("7").as_u64(), None);
+        }
 
         #[test]
         fn roundtrips_nested_document() {
